@@ -1,0 +1,78 @@
+"""Ablation: the four (f, g) deviation instantiations (Section 3.3.2).
+
+The paper studies all four combinations of {f_a, f_s} x {g_sum, g_max}
+(presenting f_a/g_sum for space). This bench computes all four on one
+dataset pair and checks the structural relationships between them:
+g_max <= g_sum, f_s inflates rare-region changes relative to f_a, and
+all four agree on the same-process-vs-drift ordering.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.aggregate import MAX, SUM
+from repro.core.deviation import deviation
+from repro.core.difference import ABSOLUTE, SCALED
+from repro.core.lits import LitsModel
+from repro.data.quest_basket import build_pattern_pool, generate_basket
+import numpy as np
+
+
+@pytest.fixture(scope="module")
+def datasets(scale):
+    rng = np.random.default_rng(77)
+    pool = build_pattern_pool(
+        rng, n_items=scale.n_items, n_patterns=scale.n_patterns,
+        avg_pattern_len=scale.avg_pattern_len,
+    )
+    base = generate_basket(
+        scale.base_transactions, n_items=scale.n_items,
+        avg_transaction_len=scale.avg_transaction_len, rng=rng, pool=pool,
+    )
+    same = generate_basket(
+        scale.base_transactions, n_items=scale.n_items,
+        avg_transaction_len=scale.avg_transaction_len, rng=rng, pool=pool,
+    )
+    drifted = generate_basket(
+        scale.base_transactions, n_items=scale.n_items,
+        avg_transaction_len=scale.avg_transaction_len,
+        n_patterns=scale.n_patterns, avg_pattern_len=scale.avg_pattern_len + 1,
+        rng=rng,
+    )
+    return base, same, drifted
+
+
+def test_four_instantiations(benchmark, datasets, scale):
+    base, same, drifted = datasets
+    ms = scale.min_supports[0]
+
+    def mine(d):
+        return LitsModel.mine(d, ms, max_len=scale.max_itemset_len)
+
+    m_base, m_same, m_drift = mine(base), mine(same), mine(drifted)
+
+    def all_four(m2, d2):
+        return {
+            (f.name, g.name): deviation(m_base, m2, base, d2, f=f, g=g).value
+            for f in (ABSOLUTE, SCALED)
+            for g in (SUM, MAX)
+        }
+
+    values = benchmark.pedantic(
+        all_four, args=(m_drift, drifted), rounds=1, iterations=1
+    )
+    same_values = all_four(m_same, same)
+
+    print("\nfour instantiations (same-process vs drifted):")
+    for key in values:
+        print(f"  {key}: same={same_values[key]:9.4f}  drift={values[key]:9.4f}")
+
+    # g_max never exceeds g_sum.
+    assert values[("f_a", "g_max")] <= values[("f_a", "g_sum")]
+    assert values[("f_s", "g_max")] <= values[("f_s", "g_sum")]
+    # f_s's per-region values are bounded by 2, so its g_max is too.
+    assert values[("f_s", "g_max")] <= 2.0 + 1e-9
+    # Every instantiation ranks drifted above same-process.
+    for key in values:
+        assert values[key] > same_values[key], key

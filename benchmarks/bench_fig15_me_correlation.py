@@ -1,0 +1,29 @@
+"""Figure 15: misclassification error versus deviation.
+
+Paper's shape: "they exhibit a strong positive correlation" -- the ME of
+the base tree on a second dataset grows with the FOCUS deviation between
+the datasets.
+"""
+
+from __future__ import annotations
+
+from conftest import once
+
+from repro.experiments.me_correlation import figure_15
+
+
+def test_fig15_me_vs_deviation(benchmark, scale):
+    result = once(benchmark, figure_15, scale)
+
+    print(f"\nFigure 15 (scaled): Pearson r = {result.pearson_r:.3f}")
+    for p in sorted(result.points, key=lambda p: p.deviation):
+        print(f"  {p.label:9s} deviation={p.deviation:8.4f} "
+              f"ME={p.misclassification:.4f}")
+
+    assert len(result.points) == 6
+    assert result.pearson_r > 0.8  # strong positive correlation
+
+    # The ordering is consistent at the extremes: the most deviant
+    # dataset has (weakly) the largest ME among the block rows vs cross rows.
+    points = sorted(result.points, key=lambda p: p.deviation)
+    assert points[0].misclassification < points[-1].misclassification

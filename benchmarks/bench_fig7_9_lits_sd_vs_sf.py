@@ -1,0 +1,46 @@
+"""Figures 7-9: lits-model SD-vs-SF curves (3 dataset sizes x 3 minsups).
+
+Paper's shapes: (1) SD falls steeply with SF and flattens past ~0.3;
+(2) lower minimum support sits on a higher curve ("the lower the minimum
+support level the more difficult it is to estimate the model");
+(3) for a fixed SF, bigger datasets give lower SD.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from conftest import once
+
+from repro.experiments.figures import figures_7_to_9
+from repro.experiments.reporting import format_curves
+
+
+def test_fig7_9_lits_sd_vs_sf(benchmark, scale):
+    families = once(benchmark, figures_7_to_9, scale)
+
+    assert len(families) == 3
+    for family in families:
+        series = [(c.label, list(c.means())) for c in family.curves]
+        print(f"\n{family.figure} -- {family.dataset_name}")
+        print(format_curves(list(scale.fractions), series))
+
+        for curve in family.curves:
+            means = curve.means()
+            # (1) SD decreases from the smallest to the largest fraction.
+            assert means[-1] < means[0]
+            # ...and the early drop dominates the late drop (knee shape).
+            early_drop = means[0] - means[len(means) // 2]
+            late_drop = means[len(means) // 2] - means[-1]
+            assert early_drop > late_drop
+
+        # (2) lower minsup => higher curve (compare curve averages).
+        averages = [c.means().mean() for c in family.curves]
+        assert averages == sorted(averages), (
+            "curves should rise as minsup falls: " + str(averages)
+        )
+
+    # (3) bigger dataset => lower SD at the same minsup (compare the
+    # 1x family against the 0.5x family at the top support level).
+    big = families[0].curves[0].means().mean()
+    small = families[2].curves[0].means().mean()
+    assert big < small

@@ -1,0 +1,84 @@
+"""Substrate micro-benchmarks: the miners and the GCR overlay.
+
+Not a paper table -- these keep the building blocks honest so the
+experiment-level timings above stay interpretable.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.dtree_model import DtModel
+from repro.core.gcr import gcr_partition
+from repro.core.lits import LitsModel
+from repro.data.quest_basket import generate_basket
+from repro.data.quest_classify import generate_classification
+from repro.mining.tree.builder import TreeParams
+
+
+@pytest.fixture(scope="module")
+def basket(scale):
+    return generate_basket(
+        scale.base_transactions, n_items=scale.n_items,
+        avg_transaction_len=scale.avg_transaction_len,
+        n_patterns=scale.n_patterns, avg_pattern_len=scale.avg_pattern_len,
+        seed=606,
+    )
+
+
+@pytest.fixture(scope="module")
+def people(scale):
+    return generate_classification(scale.base_rows, function=2, seed=607)
+
+
+def test_apriori_mining(benchmark, basket, scale):
+    model = benchmark(
+        lambda: LitsModel.mine(
+            basket, scale.min_supports[0], max_len=scale.max_itemset_len
+        )
+    )
+    print(f"\nApriori: {len(model)} frequent itemsets "
+          f"at ms={scale.min_supports[0]:g} over {len(basket)} transactions")
+    assert len(model) > 0
+
+
+def test_tree_building(benchmark, people, scale):
+    params = TreeParams(
+        max_depth=scale.tree_max_depth,
+        min_leaf=scale.tree_min_leaf(len(people)),
+    )
+    model = benchmark(lambda: DtModel.fit(people, params))
+    print(f"\nCART: {model.n_leaves} leaves on {len(people)} tuples")
+    assert model.n_leaves >= 2
+
+
+def test_partition_overlay(benchmark, people, scale):
+    params = TreeParams(
+        max_depth=scale.tree_max_depth,
+        min_leaf=scale.tree_min_leaf(len(people)),
+    )
+    m1 = DtModel.fit(people, params)
+    other = generate_classification(scale.base_rows, function=3, seed=608)
+    m2 = DtModel.fit(other, params)
+
+    overlay = benchmark(lambda: gcr_partition(m1.structure, m2.structure))
+    print(f"\noverlay: {len(m1.structure.cells)} x {len(m2.structure.cells)} "
+          f"leaves -> {len(overlay.cells)} GCR cells")
+    assert len(overlay.cells) >= max(
+        len(m1.structure.cells), len(m2.structure.cells)
+    )
+
+
+def test_gcr_measurement_scan(benchmark, people, scale):
+    """One-scan measurement of all GCR regions (Section 3.3.1)."""
+    params = TreeParams(
+        max_depth=scale.tree_max_depth,
+        min_leaf=scale.tree_min_leaf(len(people)),
+    )
+    m1 = DtModel.fit(people, params)
+    other = generate_classification(scale.base_rows, function=3, seed=609)
+    m2 = DtModel.fit(other, params)
+    structure = gcr_partition(m1.structure, m2.structure)
+
+    counts = benchmark(lambda: structure.counts(people))
+    assert counts.sum() == len(people)

@@ -1,0 +1,29 @@
+"""Table 1: lits-models -- significance of representativeness increase.
+
+Paper's row (1M.20L.1K.4000pats.4patlen, 50 reps, Wilcoxon): 99.99 at
+every sample-fraction step. Scaled expectation: high significance at the
+early steps (where SD drops steeply); the late steps may be noisier at
+tiny replicate counts, mirroring the paper's dt-model Table 2.
+"""
+
+from __future__ import annotations
+
+from conftest import once
+
+from repro.experiments.significance_tables import table_1
+
+
+def test_table1_lits_significance(benchmark, scale):
+    result = once(benchmark, table_1, scale)
+
+    print(f"\nTable 1 ({result.dataset_name}):")
+    for fraction, sig in result.rows():
+        print(f"  SF={fraction:>5}: significance {sig}")
+
+    assert len(result.significances) == len(scale.fractions) - 1
+    # Shape: the early size increases are decisively significant.
+    assert result.significances[0] > 95.0
+    assert result.significances[1] > 95.0
+    # And the overall tendency is towards significance.
+    above_95 = sum(1 for s in result.significances if s > 95.0)
+    assert above_95 >= len(result.significances) // 2

@@ -1,0 +1,27 @@
+"""Table 2: dt-models -- significance of SD decrease with sample fraction.
+
+Paper's row (1M.F1, 50 reps, Wilcoxon): values from 79 to 99.99 -- high
+but visibly noisier than the lits-model Table 1. Scaled expectation: the
+early steps significant, later steps noisy.
+"""
+
+from __future__ import annotations
+
+from conftest import once
+
+from repro.experiments.significance_tables import table_2
+
+
+def test_table2_dt_significance(benchmark, scale):
+    result = once(benchmark, table_2, scale)
+
+    print(f"\nTable 2 ({result.dataset_name}):")
+    for fraction, sig in result.rows():
+        print(f"  SF={fraction:>5}: significance {sig}")
+
+    assert len(result.significances) == len(scale.fractions) - 1
+    # Shape: at least the first step is clearly significant, and no
+    # step is "significantly harmful" (close to 0 would mean bigger
+    # samples made models worse).
+    assert max(result.significances) > 95.0
+    assert all(s >= 0.0 for s in result.significances)

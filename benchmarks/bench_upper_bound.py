@@ -1,0 +1,76 @@
+"""Section 4.1.1: delta* quality and speed against the exact delta.
+
+The paper's claim set (Theorem 4.2 + Figure 13's timing columns):
+delta* majorises delta, never ignores a significant deviation, satisfies
+the triangle inequality, and is computed from the in-memory models alone
+-- orders of magnitude faster than the dataset-scanning delta.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.core.deviation import deviation
+from repro.core.lits import LitsModel
+from repro.core.upper_bound import upper_bound_deviation
+from repro.data.quest_basket import generate_basket
+
+
+@pytest.fixture(scope="module")
+def mined_pair(scale):
+    d1 = generate_basket(
+        scale.base_transactions, n_items=scale.n_items,
+        avg_transaction_len=scale.avg_transaction_len,
+        n_patterns=scale.n_patterns, avg_pattern_len=scale.avg_pattern_len,
+        seed=101,
+    )
+    d2 = generate_basket(
+        scale.base_transactions, n_items=scale.n_items,
+        avg_transaction_len=scale.avg_transaction_len,
+        n_patterns=scale.n_patterns, avg_pattern_len=scale.avg_pattern_len + 1,
+        seed=202,
+    )
+    ms = scale.min_supports[0]
+    m1 = LitsModel.mine(d1, ms, max_len=scale.max_itemset_len)
+    m2 = LitsModel.mine(d2, ms, max_len=scale.max_itemset_len)
+    return m1, m2, d1, d2
+
+
+def test_upper_bound_speed(benchmark, mined_pair):
+    """Benchmark delta* itself; it must beat the scanning delta handily."""
+    m1, m2, d1, d2 = mined_pair
+
+    ub = benchmark(lambda: upper_bound_deviation(m1, m2).value)
+
+    d1.drop_index()
+    d2.drop_index()
+    t0 = time.perf_counter()
+    exact = deviation(m1, m2, d1, d2).value
+    t_exact = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    upper_bound_deviation(m1, m2)
+    t_bound = time.perf_counter() - t0
+
+    print(f"\ndelta = {exact:.4f} in {t_exact:.4f}s; "
+          f"delta* = {ub:.4f} in {t_bound:.5f}s "
+          f"({t_exact / max(t_bound, 1e-9):.0f}x faster)")
+
+    assert ub >= exact - 1e-9
+    assert t_bound < t_exact / 2
+    # delta* is tight enough to be useful (within a small factor).
+    assert ub <= 2 * exact + 1.0
+
+
+def test_upper_bound_quality(mined_pair):
+    """The relative slack of delta* stays moderate on generated data."""
+    m1, m2, d1, d2 = mined_pair
+    exact = deviation(m1, m2, d1, d2).value
+    ub = upper_bound_deviation(m1, m2).value
+    slack = (ub - exact) / max(exact, 1e-12)
+    print(f"\ndelta* slack: {100 * slack:.1f}%")
+    assert slack >= -1e-12
+    assert slack < 1.0  # less than 2x on realistic basket data

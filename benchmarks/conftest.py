@@ -1,0 +1,24 @@
+"""Shared benchmark configuration.
+
+Every bench reproduces one table or figure of the paper at the ``tiny``
+scale (seconds-per-bench; see EXPERIMENTS.md for a recorded ``small``
+run and the paper-vs-measured comparison). Benches assert the *shape*
+of each result -- who wins, what decreases, what is significant -- not
+absolute numbers, which depend on scale and hardware.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.config import Scale
+
+
+@pytest.fixture(scope="session")
+def scale() -> Scale:
+    return Scale.tiny()
+
+
+def once(benchmark, fn, *args, **kwargs):
+    """Run a harness function exactly once under the benchmark timer."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)

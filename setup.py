@@ -1,0 +1,5 @@
+"""Setuptools shim: lets ``pip install -e .`` work without the wheel package."""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,145 @@
+"""FOCUS: a framework for measuring changes in data characteristics.
+
+Reproduction of Ganti, Gehrke, Ramakrishnan & Loh (PODS 1999). The
+top-level package re-exports the user-facing API:
+
+>>> from repro import LitsModel, deviation, generate_basket
+>>> d1 = generate_basket(5_000, seed=1)
+>>> d2 = generate_basket(5_000, seed=2)
+>>> m1 = LitsModel.mine(d1, min_support=0.01)
+>>> m2 = LitsModel.mine(d2, min_support=0.01)
+>>> delta = deviation(m1, m2, d1, d2)
+>>> delta.value  # doctest: +SKIP
+0.73...
+
+See :mod:`repro.core` for the framework, :mod:`repro.data` for datasets
+and generators, :mod:`repro.mining` for the model-building substrates,
+:mod:`repro.stats` for the qualification procedure, and
+:mod:`repro.experiments` for the paper's tables and figures.
+"""
+
+from repro._version import __version__
+from repro.core import (
+    ABSOLUTE,
+    MAX,
+    SCALED,
+    SUM,
+    AggregateFunction,
+    AttributeSpace,
+    BoxRegion,
+    ChangeMonitor,
+    ClusterModel,
+    DeviationResult,
+    DifferenceFunction,
+    DtModel,
+    ItemsetRegion,
+    LitsModel,
+    agglomerate,
+    box_focus,
+    chi_squared_difference,
+    chi_squared_statistic,
+    classical_mds,
+    deviation,
+    deviation_matrix,
+    deviation_over_structure,
+    embed_models,
+    focussed_deviation,
+    gcr,
+    group_stores,
+    itemset_focus,
+    misclassification_error,
+    misclassification_error_via_focus,
+    parse_predicate,
+    parse_region,
+    predicted_dataset,
+    rank,
+    Region,
+    refines,
+    structural_difference,
+    structural_intersection,
+    structural_union,
+    top_n,
+    upper_bound_deviation,
+    upper_bound_matrix,
+)
+from repro.data import (
+    TabularDataset,
+    TransactionDataset,
+    generate_basket,
+    generate_classification,
+    sample,
+)
+from repro.errors import (
+    EmptyRegionError,
+    FocusError,
+    IncompatibleModelsError,
+    InvalidParameterError,
+    NotFittedError,
+    SchemaError,
+)
+from repro.stats import (
+    BootstrapResult,
+    deviation_significance,
+    rank_sum_test,
+    significance_of_statistic,
+)
+
+__all__ = [
+    "ABSOLUTE",
+    "AggregateFunction",
+    "AttributeSpace",
+    "BootstrapResult",
+    "BoxRegion",
+    "ChangeMonitor",
+    "ClusterModel",
+    "DeviationResult",
+    "DifferenceFunction",
+    "DtModel",
+    "EmptyRegionError",
+    "FocusError",
+    "IncompatibleModelsError",
+    "InvalidParameterError",
+    "ItemsetRegion",
+    "LitsModel",
+    "MAX",
+    "NotFittedError",
+    "Region",
+    "SCALED",
+    "SUM",
+    "SchemaError",
+    "TabularDataset",
+    "TransactionDataset",
+    "__version__",
+    "agglomerate",
+    "box_focus",
+    "chi_squared_difference",
+    "chi_squared_statistic",
+    "classical_mds",
+    "deviation",
+    "deviation_matrix",
+    "deviation_over_structure",
+    "deviation_significance",
+    "embed_models",
+    "focussed_deviation",
+    "gcr",
+    "generate_basket",
+    "generate_classification",
+    "group_stores",
+    "itemset_focus",
+    "misclassification_error",
+    "misclassification_error_via_focus",
+    "parse_predicate",
+    "parse_region",
+    "predicted_dataset",
+    "rank",
+    "rank_sum_test",
+    "refines",
+    "sample",
+    "significance_of_statistic",
+    "structural_difference",
+    "structural_intersection",
+    "structural_union",
+    "top_n",
+    "upper_bound_deviation",
+    "upper_bound_matrix",
+]

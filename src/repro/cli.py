@@ -1,0 +1,222 @@
+"""Command-line interface for the FOCUS reproduction.
+
+Subcommands::
+
+    generate-basket   --out txns.txt   [--n 10000 --items 500 ...]
+    generate-classify --out people.npz [--n 10000 --function 1]
+    mine              --data txns.txt --min-support 0.01
+    compare-lits      --data1 a.txt --data2 b.txt --min-support 0.01 [--boot 50]
+    compare-dt        --data1 a.npz --data2 b.npz [--boot 50]
+
+``compare-*`` prints delta, (for lits) delta*, and the bootstrap
+significance -- the full Section 3 pipeline from flat files.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+from repro.core.deviation import deviation
+from repro.core.dtree_model import DtModel
+from repro.core.lits import LitsModel
+from repro.core.upper_bound import upper_bound_deviation
+from repro.data.io import (
+    load_tabular,
+    load_transactions,
+    save_tabular,
+    save_transactions,
+)
+from repro.data.quest_basket import generate_basket
+from repro.data.quest_classify import generate_classification
+from repro.mining.tree.builder import TreeParams
+from repro.stats.bootstrap import deviation_significance
+
+
+def _add_generate_basket(sub) -> None:
+    p = sub.add_parser("generate-basket", help="write a Quest basket dataset")
+    p.add_argument("--out", required=True)
+    p.add_argument("--n", type=int, default=10_000)
+    p.add_argument("--items", type=int, default=500)
+    p.add_argument("--avg-len", type=int, default=10)
+    p.add_argument("--patterns", type=int, default=1_000)
+    p.add_argument("--pattern-len", type=int, default=4)
+    p.add_argument("--seed", type=int, default=None)
+
+
+def _add_generate_classify(sub) -> None:
+    p = sub.add_parser(
+        "generate-classify", help="write an Agrawal classification dataset"
+    )
+    p.add_argument("--out", required=True)
+    p.add_argument("--n", type=int, default=10_000)
+    p.add_argument("--function", type=int, default=1)
+    p.add_argument("--seed", type=int, default=None)
+
+
+def _add_mine(sub) -> None:
+    p = sub.add_parser("mine", help="mine and print frequent itemsets")
+    p.add_argument("--data", required=True)
+    p.add_argument("--min-support", type=float, default=0.01)
+    p.add_argument("--max-len", type=int, default=None)
+    p.add_argument("--top", type=int, default=20)
+    p.add_argument("--save", default=None, help="write the model as JSON")
+
+
+def _add_compare_models(sub) -> None:
+    p = sub.add_parser(
+        "compare-models",
+        help="delta* between two saved lits-models (no data needed)",
+    )
+    p.add_argument("--model1", required=True)
+    p.add_argument("--model2", required=True)
+
+
+def _add_compare_lits(sub) -> None:
+    p = sub.add_parser("compare-lits", help="lits-model deviation of two files")
+    p.add_argument("--data1", required=True)
+    p.add_argument("--data2", required=True)
+    p.add_argument("--min-support", type=float, default=0.01)
+    p.add_argument("--max-len", type=int, default=None)
+    p.add_argument("--boot", type=int, default=0, help="bootstrap resamples")
+    p.add_argument("--seed", type=int, default=None)
+
+
+def _add_compare_dt(sub) -> None:
+    p = sub.add_parser("compare-dt", help="dt-model deviation of two files")
+    p.add_argument("--data1", required=True)
+    p.add_argument("--data2", required=True)
+    p.add_argument("--max-depth", type=int, default=8)
+    p.add_argument("--min-leaf", type=int, default=25)
+    p.add_argument("--boot", type=int, default=0)
+    p.add_argument("--seed", type=int, default=None)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(prog="focus-repro", description=__doc__)
+    sub = parser.add_subparsers(dest="command", required=True)
+    _add_generate_basket(sub)
+    _add_generate_classify(sub)
+    _add_mine(sub)
+    _add_compare_lits(sub)
+    _add_compare_dt(sub)
+    _add_compare_models(sub)
+    return parser
+
+
+def _cmd_generate_basket(args, out) -> int:
+    dataset = generate_basket(
+        args.n,
+        n_items=args.items,
+        avg_transaction_len=args.avg_len,
+        n_patterns=args.patterns,
+        avg_pattern_len=args.pattern_len,
+        seed=args.seed,
+    )
+    save_transactions(dataset, args.out)
+    print(f"wrote {len(dataset)} transactions to {args.out}", file=out)
+    return 0
+
+
+def _cmd_generate_classify(args, out) -> int:
+    dataset = generate_classification(args.n, function=args.function, seed=args.seed)
+    save_tabular(dataset, args.out)
+    print(f"wrote {len(dataset)} tuples (F{args.function}) to {args.out}", file=out)
+    return 0
+
+
+def _cmd_mine(args, out) -> int:
+    dataset = load_transactions(args.data)
+    model = LitsModel.mine(dataset, args.min_support, max_len=args.max_len)
+    print(f"{len(model)} frequent itemsets at ms={args.min_support:g}", file=out)
+    ranked = sorted(model.supports.items(), key=lambda kv: -kv[1])
+    for itemset, support in ranked[: args.top]:
+        items = ",".join(str(i) for i in sorted(itemset))
+        print(f"  {{{items}}}: {support:.4f}", file=out)
+    if args.save:
+        from repro.data.model_io import save_lits_model
+
+        save_lits_model(model, args.save)
+        print(f"saved model to {args.save}", file=out)
+    return 0
+
+
+def _cmd_compare_models(args, out) -> int:
+    from repro.data.model_io import load_lits_model
+
+    m1 = load_lits_model(args.model1)
+    m2 = load_lits_model(args.model2)
+    bound = upper_bound_deviation(m1, m2)
+    print(
+        f"delta* = {bound.value:.6f} over {len(bound.itemsets)} itemsets "
+        f"(union of {len(m1)} and {len(m2)})",
+        file=out,
+    )
+    return 0
+
+
+def _cmd_compare_lits(args, out) -> int:
+    d1 = load_transactions(args.data1)
+    d2 = load_transactions(args.data2)
+
+    def builder(d):
+        return LitsModel.mine(d, args.min_support, max_len=args.max_len)
+
+    m1, m2 = builder(d1), builder(d2)
+    result = deviation(m1, m2, d1, d2)
+    bound = upper_bound_deviation(m1, m2)
+    print(f"delta  = {result.value:.6f} over {len(result.regions)} regions", file=out)
+    print(f"delta* = {bound.value:.6f} (models only)", file=out)
+    if args.boot > 0:
+        sig = deviation_significance(
+            d1, d2, builder, n_boot=args.boot,
+            rng=np.random.default_rng(args.seed),
+        )
+        print(f"significance = {sig.significance_percent:.1f}%", file=out)
+    return 0
+
+
+def _cmd_compare_dt(args, out) -> int:
+    d1 = load_tabular(args.data1)
+    d2 = load_tabular(args.data2)
+    params = TreeParams(max_depth=args.max_depth, min_leaf=args.min_leaf)
+
+    def builder(d):
+        return DtModel.fit(d, params)
+
+    m1, m2 = builder(d1), builder(d2)
+    result = deviation(m1, m2, d1, d2)
+    print(
+        f"delta = {result.value:.6f} over {len(result.regions)} regions "
+        f"({m1.n_leaves} x {m2.n_leaves} leaves)",
+        file=out,
+    )
+    if args.boot > 0:
+        sig = deviation_significance(
+            d1, d2, builder, n_boot=args.boot,
+            rng=np.random.default_rng(args.seed),
+        )
+        print(f"significance = {sig.significance_percent:.1f}%", file=out)
+    return 0
+
+
+COMMANDS = {
+    "generate-basket": _cmd_generate_basket,
+    "generate-classify": _cmd_generate_classify,
+    "mine": _cmd_mine,
+    "compare-lits": _cmd_compare_lits,
+    "compare-dt": _cmd_compare_dt,
+    "compare-models": _cmd_compare_models,
+}
+
+
+def main(argv: list[str] | None = None, out=None) -> int:
+    out = out or sys.stdout
+    args = build_parser().parse_args(argv)
+    return COMMANDS[args.command](args, out)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

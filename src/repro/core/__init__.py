@@ -1,0 +1,154 @@
+"""FOCUS core: 2-component models, GCRs, and the deviation measure."""
+
+from repro.core.aggregate import AGGREGATE_FUNCTIONS, MAX, SUM, AggregateFunction
+from repro.core.attribute import (
+    Attribute,
+    AttributeKind,
+    AttributeSpace,
+    categorical,
+    numeric,
+)
+from repro.core.cluster_model import ClusterModel
+from repro.core.deviation import (
+    DeviationResult,
+    RegionDeviation,
+    deviation,
+    deviation_over_structure,
+)
+from repro.core.difference import (
+    ABSOLUTE,
+    DIFFERENCE_FUNCTIONS,
+    SCALED,
+    DifferenceFunction,
+    chi_squared_difference,
+)
+from repro.core.dtree_model import DtModel
+from repro.core.embedding import (
+    classical_mds,
+    deviation_matrix,
+    embed_models,
+    upper_bound_matrix,
+)
+from repro.core.focus import (
+    box_focus,
+    focussed_deviation,
+    focussed_structure,
+    itemset_focus,
+)
+from repro.core.gcr import gcr
+from repro.core.grouping import Grouping, agglomerate, group_stores
+from repro.core.lits import LitsModel
+from repro.core.model import LitsStructure, Model, PartitionStructure, Structure
+from repro.core.monitor import ChangeMonitor, Observation
+from repro.core.monitoring import (
+    chi_squared_statistic,
+    misclassification_error,
+    misclassification_error_focus,
+    misclassification_error_via_focus,
+    predicted_dataset,
+)
+from repro.core.operators import (
+    RankedRegion,
+    bottom_n,
+    itemsets_over,
+    min_region,
+    rank,
+    region_set_union,
+    structural_difference,
+    structural_intersection,
+    structural_union,
+    top,
+    top_n,
+)
+from repro.core.parser import (
+    format_predicate,
+    format_region,
+    parse_predicate,
+    parse_region,
+)
+from repro.core.predicate import (
+    Conjunction,
+    Interval,
+    TRUE,
+    ValueSet,
+    interval_constraint,
+    value_constraint,
+)
+from repro.core.refinement import refines, verify_measure_additivity
+from repro.core.region import BoxRegion, ItemsetRegion, Region
+from repro.core.upper_bound import UpperBoundResult, upper_bound_deviation
+
+__all__ = [
+    "ABSOLUTE",
+    "AGGREGATE_FUNCTIONS",
+    "Attribute",
+    "AttributeKind",
+    "AttributeSpace",
+    "AggregateFunction",
+    "BoxRegion",
+    "ChangeMonitor",
+    "ClusterModel",
+    "Conjunction",
+    "DIFFERENCE_FUNCTIONS",
+    "DeviationResult",
+    "DifferenceFunction",
+    "DtModel",
+    "Grouping",
+    "Interval",
+    "ItemsetRegion",
+    "LitsModel",
+    "LitsStructure",
+    "MAX",
+    "Model",
+    "Observation",
+    "PartitionStructure",
+    "RankedRegion",
+    "Region",
+    "RegionDeviation",
+    "SCALED",
+    "SUM",
+    "Structure",
+    "TRUE",
+    "UpperBoundResult",
+    "ValueSet",
+    "agglomerate",
+    "bottom_n",
+    "box_focus",
+    "categorical",
+    "chi_squared_difference",
+    "chi_squared_statistic",
+    "classical_mds",
+    "deviation",
+    "deviation_matrix",
+    "deviation_over_structure",
+    "embed_models",
+    "format_predicate",
+    "format_region",
+    "group_stores",
+    "focussed_deviation",
+    "focussed_structure",
+    "gcr",
+    "interval_constraint",
+    "itemset_focus",
+    "itemsets_over",
+    "min_region",
+    "misclassification_error",
+    "misclassification_error_focus",
+    "misclassification_error_via_focus",
+    "numeric",
+    "parse_predicate",
+    "parse_region",
+    "predicted_dataset",
+    "rank",
+    "refines",
+    "region_set_union",
+    "structural_difference",
+    "structural_intersection",
+    "structural_union",
+    "top",
+    "top_n",
+    "upper_bound_deviation",
+    "upper_bound_matrix",
+    "value_constraint",
+    "verify_measure_additivity",
+]

@@ -1,0 +1,42 @@
+"""Aggregate functions ``g`` (Section 3.3.2).
+
+An aggregate function folds the per-region deviations into a single
+number: ``g : P(R+) -> R+``. The paper's two instantiations are ``sum``
+and ``max``; together with ``f_a``/``f_s`` they generate the four
+deviation measures studied in Section 6. Aggregating an empty region set
+yields 0 (no regions, no work to transform).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class AggregateFunction:
+    """A named reduction over a vector of per-region deviations."""
+
+    name: str
+    fn: Callable[[np.ndarray], float]
+
+    def __call__(self, values: np.ndarray) -> float:
+        values = np.asarray(values, dtype=np.float64)
+        if values.size == 0:
+            return 0.0
+        return float(self.fn(values))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"AggregateFunction({self.name})"
+
+
+SUM = AggregateFunction("g_sum", np.sum)
+MAX = AggregateFunction("g_max", np.max)
+
+#: Registry of the paper's named aggregate functions.
+AGGREGATE_FUNCTIONS: dict[str, AggregateFunction] = {
+    "g_sum": SUM,
+    "g_max": MAX,
+}

@@ -1,0 +1,146 @@
+"""Attributes and attribute spaces (Definition 3.1 of the paper).
+
+An :class:`Attribute` is a named dimension of the attribute space
+``A(I) = D_1 x ... x D_n``. FOCUS regions constrain attributes one at a
+time, so the only structure an attribute needs is its *kind*:
+
+* ``NUMERIC`` -- a totally ordered domain, constrained by half-open
+  intervals ``[lo, hi)``.
+* ``CATEGORICAL`` -- a finite unordered domain of integer codes,
+  constrained by value sets.
+
+Datasets store every column as ``float64``; categorical columns hold the
+integer codes as floats. That keeps region evaluation a single vectorised
+mask per attribute regardless of kind.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from enum import Enum
+
+from repro.errors import InvalidParameterError
+
+
+class AttributeKind(Enum):
+    """The two attribute kinds FOCUS regions know how to constrain."""
+
+    NUMERIC = "numeric"
+    CATEGORICAL = "categorical"
+
+
+@dataclass(frozen=True)
+class Attribute:
+    """A named dimension of the attribute space.
+
+    Parameters
+    ----------
+    name:
+        Identifier used by datasets, predicates, and regions.
+    kind:
+        ``AttributeKind.NUMERIC`` or ``AttributeKind.CATEGORICAL``.
+    low, high:
+        For numeric attributes, the half-open domain ``[low, high)``.
+        Defaults to the whole real line.
+    values:
+        For categorical attributes, the tuple of legal integer codes.
+    """
+
+    name: str
+    kind: AttributeKind = AttributeKind.NUMERIC
+    low: float = -math.inf
+    high: float = math.inf
+    values: tuple[int, ...] = ()
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise InvalidParameterError("attribute name must be non-empty")
+        if self.kind is AttributeKind.NUMERIC:
+            if not self.low < self.high:
+                raise InvalidParameterError(
+                    f"numeric attribute {self.name!r} needs low < high, "
+                    f"got [{self.low}, {self.high})"
+                )
+        else:
+            if not self.values:
+                raise InvalidParameterError(
+                    f"categorical attribute {self.name!r} needs at least one value"
+                )
+            if len(set(self.values)) != len(self.values):
+                raise InvalidParameterError(
+                    f"categorical attribute {self.name!r} has duplicate values"
+                )
+
+    @property
+    def is_numeric(self) -> bool:
+        return self.kind is AttributeKind.NUMERIC
+
+    @property
+    def is_categorical(self) -> bool:
+        return self.kind is AttributeKind.CATEGORICAL
+
+
+def numeric(name: str, low: float = -math.inf, high: float = math.inf) -> Attribute:
+    """Shorthand constructor for a numeric attribute with domain ``[low, high)``."""
+    return Attribute(name, AttributeKind.NUMERIC, low=low, high=high)
+
+
+def categorical(name: str, values: tuple[int, ...] | range) -> Attribute:
+    """Shorthand constructor for a categorical attribute over integer codes."""
+    return Attribute(name, AttributeKind.CATEGORICAL, values=tuple(values))
+
+
+@dataclass(frozen=True)
+class AttributeSpace:
+    """The cross product of attribute domains, ``A(I)`` in the paper.
+
+    The space also records the class labels when the datasets carry a
+    class attribute (dt-models produce ``k`` regions per leaf, one per
+    class; see Section 2.1 of the paper).
+    """
+
+    attributes: tuple[Attribute, ...]
+    class_labels: tuple[int, ...] = ()
+
+    def __post_init__(self) -> None:
+        names = [a.name for a in self.attributes]
+        if len(set(names)) != len(names):
+            raise InvalidParameterError(f"duplicate attribute names in {names}")
+
+    @property
+    def names(self) -> tuple[str, ...]:
+        return tuple(a.name for a in self.attributes)
+
+    @property
+    def n_attributes(self) -> int:
+        return len(self.attributes)
+
+    @property
+    def n_classes(self) -> int:
+        return len(self.class_labels)
+
+    def attribute(self, name: str) -> Attribute:
+        """Look up an attribute by name, raising ``SchemaError`` if absent."""
+        for a in self.attributes:
+            if a.name == name:
+                return a
+        from repro.errors import SchemaError
+
+        raise SchemaError(f"unknown attribute {name!r}; have {self.names}")
+
+    def index_of(self, name: str) -> int:
+        """Column index of the named attribute."""
+        for i, a in enumerate(self.attributes):
+            if a.name == name:
+                return i
+        from repro.errors import SchemaError
+
+        raise SchemaError(f"unknown attribute {name!r}; have {self.names}")
+
+    def compatible_with(self, other: "AttributeSpace") -> bool:
+        """Whether two spaces describe the same attributes and classes."""
+        return (
+            self.attributes == other.attributes
+            and self.class_labels == other.class_labels
+        )

@@ -1,0 +1,195 @@
+"""The deviation measure (Definitions 3.5, 3.6 and 5.2).
+
+``deviation_over_structure`` implements ``delta_1``: both datasets are
+measured over one *common* structural component and the per-region
+differences are aggregated. ``deviation`` implements ``delta``: the two
+models' structures are first extended to their greatest common
+refinement, then ``delta_1`` is applied -- optionally after focussing the
+GCR w.r.t. a region (Definition 5.2's ``delta^rho``).
+
+The result object keeps the per-region breakdown so exploratory analysis
+(Section 5.1's rank/select operators) can reuse a single scan.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.aggregate import SUM, AggregateFunction
+from repro.core.difference import ABSOLUTE, DifferenceFunction
+from repro.core.gcr import gcr
+from repro.core.model import Model, Structure
+from repro.core.region import Region
+
+
+@dataclass(frozen=True)
+class RegionDeviation:
+    """One region's contribution to a deviation."""
+
+    region: Region
+    value: float
+    count1: int
+    count2: int
+    selectivity1: float
+    selectivity2: float
+
+    def describe(self) -> str:
+        return (
+            f"{self.region.describe()}: {self.value:.6g} "
+            f"(sigma1={self.selectivity1:.4g}, sigma2={self.selectivity2:.4g})"
+        )
+
+
+@dataclass(frozen=True)
+class DeviationResult:
+    """A deviation value plus its per-region breakdown.
+
+    ``value`` is ``g({f(...)})`` over all regions of the (possibly
+    focussed) common structure. The arrays are aligned with ``regions``.
+    """
+
+    value: float
+    f_name: str
+    g_name: str
+    regions: tuple[Region, ...]
+    per_region: np.ndarray
+    counts1: np.ndarray
+    counts2: np.ndarray
+    n1: int
+    n2: int
+
+    def __float__(self) -> float:
+        return self.value
+
+    @property
+    def selectivities1(self) -> np.ndarray:
+        return self.counts1 / self.n1 if self.n1 else np.zeros_like(self.per_region)
+
+    @property
+    def selectivities2(self) -> np.ndarray:
+        return self.counts2 / self.n2 if self.n2 else np.zeros_like(self.per_region)
+
+    def region_deviations(self) -> list[RegionDeviation]:
+        """The per-region contributions, in structure order."""
+        s1, s2 = self.selectivities1, self.selectivities2
+        return [
+            RegionDeviation(
+                region=r,
+                value=float(self.per_region[i]),
+                count1=int(self.counts1[i]),
+                count2=int(self.counts2[i]),
+                selectivity1=float(s1[i]),
+                selectivity2=float(s2[i]),
+            )
+            for i, r in enumerate(self.regions)
+        ]
+
+    def top_regions(self, k: int = 5) -> list[RegionDeviation]:
+        """The ``k`` regions with the largest contributions, descending."""
+        contributions = self.region_deviations()
+        contributions.sort(key=lambda rd: -rd.value)
+        return contributions[:k]
+
+
+def deviation_over_structure(
+    structure: Structure,
+    dataset1,
+    dataset2,
+    f: DifferenceFunction = ABSOLUTE,
+    g: AggregateFunction = SUM,
+) -> DeviationResult:
+    """``delta_1``: deviation over an already-common structural component."""
+    counts1 = structure.counts(dataset1)
+    counts2 = structure.counts(dataset2)
+    n1, n2 = len(dataset1), len(dataset2)
+    per_region = f(counts1, counts2, n1, n2)
+    return DeviationResult(
+        value=g(per_region),
+        f_name=f.name,
+        g_name=g.name,
+        regions=structure.regions,
+        per_region=per_region,
+        counts1=np.asarray(counts1),
+        counts2=np.asarray(counts2),
+        n1=n1,
+        n2=n2,
+    )
+
+
+def deviation(
+    model1: Model,
+    model2: Model,
+    dataset1,
+    dataset2,
+    f: DifferenceFunction = ABSOLUTE,
+    g: AggregateFunction = SUM,
+    focus: Region | None = None,
+) -> DeviationResult:
+    """``delta`` (Definition 3.6), optionally focussed (Definition 5.2).
+
+    Parameters
+    ----------
+    model1, model2:
+        The two models (same model class over the same attribute space).
+    dataset1, dataset2:
+        The datasets that induced them (scanned once each to measure the
+        GCR regions).
+    f, g:
+        Difference and aggregate functions; defaults give the paper's
+        workhorse ``delta_(f_a, g_sum)``.
+    focus:
+        An optional focussing region ``rho``; when given, every GCR
+        region is intersected with it before measuring.
+    """
+    structure = gcr(model1.structure, model2.structure)
+    if focus is not None:
+        structure = structure.focussed(focus)
+
+    fast = _counts_from_models(model1, model2, structure, len(dataset1), len(dataset2))
+    if fast is not None:
+        counts1, counts2 = fast
+        per_region = f(counts1, counts2, len(dataset1), len(dataset2))
+        return DeviationResult(
+            value=g(per_region),
+            f_name=f.name,
+            g_name=g.name,
+            regions=structure.regions,
+            per_region=per_region,
+            counts1=counts1,
+            counts2=counts2,
+            n1=len(dataset1),
+            n2=len(dataset2),
+        )
+    return deviation_over_structure(structure, dataset1, dataset2, f, g)
+
+
+def _counts_from_models(
+    model1: Model, model2: Model, structure: Structure, n1: int, n2: int
+) -> tuple[np.ndarray, np.ndarray] | None:
+    """Measures straight from the models when no scan is needed.
+
+    When two lits-models have identical structural components, every GCR
+    measure is already stored in both models, so no dataset scan is
+    required -- the paper's Section 7.1 observation that for
+    identical-structure models "all the measures necessary to compute
+    the deviation are obtained directly from the models".
+    """
+    from repro.core.lits import LitsModel  # local import to avoid a cycle
+    from repro.core.model import LitsStructure
+
+    if not (
+        isinstance(model1, LitsModel)
+        and isinstance(model2, LitsModel)
+        and isinstance(structure, LitsStructure)
+    ):
+        return None
+    supports1 = model1.supports
+    supports2 = model2.supports
+    itemsets = structure.itemsets
+    if any(s not in supports1 or s not in supports2 for s in itemsets):
+        return None
+    counts1 = np.array([round(supports1[s] * n1) for s in itemsets], dtype=np.int64)
+    counts2 = np.array([round(supports2[s] * n2) for s in itemsets], dtype=np.int64)
+    return counts1, counts2

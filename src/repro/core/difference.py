@@ -1,0 +1,95 @@
+"""Difference functions ``f`` (Definition 3.7 and Proposition 5.1).
+
+A difference function maps the absolute measures of one region under the
+two datasets, plus the dataset sizes, to a non-negative deviation:
+``f : I+^4 -> R+`` (the paper passes absolute counts rather than bare
+selectivities precisely so functions like the chi-squared ``f`` can use
+them -- footnote 2).
+
+Instantiations:
+
+* :data:`ABSOLUTE` (``f_a``) -- the absolute difference of selectivities.
+* :data:`SCALED` (``f_s``) -- the absolute difference scaled by the mean
+  selectivity, which promotes changes in small regions ("noticing an
+  itemset for the first time is more important than a slight increase in
+  an already significant itemset", Section 3.3.2).
+* :func:`chi_squared_difference` -- the per-cell chi-squared contribution
+  of Proposition 5.1 (expected from dataset 1, observed in dataset 2),
+  with the standard small-constant fallback for empty expected cells.
+
+All functions are vectorised over numpy arrays of per-region counts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class DifferenceFunction:
+    """A named, vectorised difference function ``f(nu1, nu2, N1, N2)``."""
+
+    name: str
+    fn: Callable[[np.ndarray, np.ndarray, int, int], np.ndarray]
+
+    def __call__(
+        self, nu1: np.ndarray, nu2: np.ndarray, n1: int, n2: int
+    ) -> np.ndarray:
+        nu1 = np.asarray(nu1, dtype=np.float64)
+        nu2 = np.asarray(nu2, dtype=np.float64)
+        return self.fn(nu1, nu2, n1, n2)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"DifferenceFunction({self.name})"
+
+
+def _selectivities(
+    nu1: np.ndarray, nu2: np.ndarray, n1: int, n2: int
+) -> tuple[np.ndarray, np.ndarray]:
+    s1 = nu1 / n1 if n1 > 0 else np.zeros_like(nu1)
+    s2 = nu2 / n2 if n2 > 0 else np.zeros_like(nu2)
+    return s1, s2
+
+
+def _absolute(nu1: np.ndarray, nu2: np.ndarray, n1: int, n2: int) -> np.ndarray:
+    s1, s2 = _selectivities(nu1, nu2, n1, n2)
+    return np.abs(s1 - s2)
+
+
+def _scaled(nu1: np.ndarray, nu2: np.ndarray, n1: int, n2: int) -> np.ndarray:
+    s1, s2 = _selectivities(nu1, nu2, n1, n2)
+    mean = (s1 + s2) / 2.0
+    with np.errstate(invalid="ignore", divide="ignore"):
+        out = np.abs(s1 - s2) / mean
+    return np.where(mean > 0, out, 0.0)
+
+
+ABSOLUTE = DifferenceFunction("f_a", _absolute)
+SCALED = DifferenceFunction("f_s", _scaled)
+
+
+def chi_squared_difference(c: float = 0.5) -> DifferenceFunction:
+    """The chi-squared per-cell difference of Proposition 5.1.
+
+    ``f(nu1, nu2, N1, N2) = N2 * (nu1/N1 - nu2/N2)^2 / (nu1/N1)`` when
+    ``nu1 > 0``, else the constant ``c`` (the "add a small constant"
+    device for empty expected cells; 0.5 is the common choice, §5.2.2).
+    """
+
+    def _chi(nu1: np.ndarray, nu2: np.ndarray, n1: int, n2: int) -> np.ndarray:
+        s1, s2 = _selectivities(nu1, nu2, n1, n2)
+        with np.errstate(invalid="ignore", divide="ignore"):
+            out = n2 * (s1 - s2) ** 2 / s1
+        return np.where(nu1 > 0, out, c)
+
+    return DifferenceFunction(f"f_chi(c={c})", _chi)
+
+
+#: Registry of the paper's named difference functions.
+DIFFERENCE_FUNCTIONS: dict[str, DifferenceFunction] = {
+    "f_a": ABSOLUTE,
+    "f_s": SCALED,
+}

@@ -1,0 +1,56 @@
+"""dt-models: decision trees as 2-component models (Sections 2.1, 4.2).
+
+The structural component of a dt-model with ``k`` classes is the set of
+``n_leaves x k`` regions -- each leaf's box crossed with each class
+label -- which partitions the attribute space. Measures are the fractions
+of tuples falling in each (box, class) region.
+
+The structure is a :class:`~repro.core.model.PartitionStructure` whose
+assigner is the tree's vectorised leaf descent, so measuring any number
+of regions costs one scan.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.model import Model, PartitionStructure
+from repro.data.tabular import TabularDataset
+from repro.mining.tree.builder import TreeParams, build_tree
+from repro.mining.tree.tree import DecisionTree
+
+
+@dataclass(frozen=True)
+class DtModel(Model):
+    """A decision-tree model over a labelled attribute space."""
+
+    tree: DecisionTree
+    _structure: PartitionStructure = field(init=False, repr=False, compare=False)
+
+    def __post_init__(self) -> None:
+        tree = self.tree
+        structure = PartitionStructure(
+            cells=tuple(tree.leaf_predicates()),
+            class_labels=tree.space.class_labels,
+            assigner=tree.assign_dataset,
+        )
+        object.__setattr__(self, "_structure", structure)
+
+    @classmethod
+    def fit(
+        cls, dataset: TabularDataset, params: TreeParams | None = None
+    ) -> "DtModel":
+        """Induce a dt-model from a labelled dataset with the CART builder."""
+        return cls(build_tree(dataset, params))
+
+    @property
+    def structure(self) -> PartitionStructure:
+        return self._structure
+
+    @property
+    def n_leaves(self) -> int:
+        return self.tree.n_leaves
+
+    def predict(self, dataset: TabularDataset):
+        """Majority-class predictions (delegates to the tree)."""
+        return self.tree.predict(dataset)

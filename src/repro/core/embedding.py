@@ -1,0 +1,97 @@
+"""Embedding dataset collections by their pairwise deviations (Section 4.1.1).
+
+The paper: "delta* also satisfies the triangle inequality, and can
+therefore be used to embed a collection of datasets in a k-dimensional
+space for visually comparing their relative differences." This module
+provides exactly that pipeline:
+
+1. a pairwise distance matrix over a collection of models -- either the
+   instant ``delta*`` (models only) or the exact deviation (with the
+   datasets);
+2. classical multidimensional scaling (Torgerson double-centering +
+   eigendecomposition) mapping the matrix to ``k``-dimensional points.
+
+Everything is numpy-only; no SciPy needed at runtime.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.aggregate import SUM, AggregateFunction
+from repro.core.deviation import deviation
+from repro.core.difference import ABSOLUTE, DifferenceFunction
+from repro.core.lits import LitsModel
+from repro.core.model import Model
+from repro.core.upper_bound import upper_bound_deviation
+from repro.errors import InvalidParameterError
+
+
+def upper_bound_matrix(
+    models: Sequence[LitsModel], g: AggregateFunction = SUM
+) -> np.ndarray:
+    """Pairwise ``delta*`` distances over lits-models (no dataset scans)."""
+    n = len(models)
+    if n < 2:
+        raise InvalidParameterError("need at least two models to compare")
+    out = np.zeros((n, n))
+    for i in range(n):
+        for j in range(i + 1, n):
+            value = upper_bound_deviation(models[i], models[j], g=g).value
+            out[i, j] = out[j, i] = value
+    return out
+
+
+def deviation_matrix(
+    models: Sequence[Model],
+    datasets: Sequence,
+    f: DifferenceFunction = ABSOLUTE,
+    g: AggregateFunction = SUM,
+) -> np.ndarray:
+    """Pairwise exact deviations over any model class (scans datasets)."""
+    if len(models) != len(datasets):
+        raise InvalidParameterError("models and datasets must be aligned")
+    n = len(models)
+    if n < 2:
+        raise InvalidParameterError("need at least two models to compare")
+    out = np.zeros((n, n))
+    for i in range(n):
+        for j in range(i + 1, n):
+            value = deviation(
+                models[i], models[j], datasets[i], datasets[j], f=f, g=g
+            ).value
+            out[i, j] = out[j, i] = value
+    return out
+
+
+def classical_mds(distances: np.ndarray, k: int = 2) -> np.ndarray:
+    """Classical (Torgerson) MDS: ``(n, k)`` coordinates from distances.
+
+    Double-centres the squared-distance matrix and keeps the top ``k``
+    non-negative eigen-directions. Distances that embed exactly in
+    ``k`` dimensions are reproduced exactly; others are approximated in
+    the least-squares (strain) sense.
+    """
+    distances = np.asarray(distances, dtype=np.float64)
+    n = distances.shape[0]
+    if distances.shape != (n, n):
+        raise InvalidParameterError("distance matrix must be square")
+    if not np.allclose(distances, distances.T, atol=1e-9):
+        raise InvalidParameterError("distance matrix must be symmetric")
+    if k < 1 or k >= n:
+        raise InvalidParameterError(f"k must be in [1, {n - 1}]")
+    j_centre = np.eye(n) - np.ones((n, n)) / n
+    b = -0.5 * j_centre @ (distances**2) @ j_centre
+    eigenvalues, eigenvectors = np.linalg.eigh(b)
+    order = np.argsort(eigenvalues)[::-1][:k]
+    top_values = np.clip(eigenvalues[order], 0.0, None)
+    return eigenvectors[:, order] * np.sqrt(top_values)
+
+
+def embed_models(
+    models: Sequence[LitsModel], k: int = 2, g: AggregateFunction = SUM
+) -> np.ndarray:
+    """One-call pipeline: ``delta*`` matrix -> classical MDS coordinates."""
+    return classical_mds(upper_bound_matrix(models, g=g), k=k)

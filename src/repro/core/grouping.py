@@ -1,0 +1,111 @@
+"""Grouping datasets by pairwise deviation (the paper's marketing example).
+
+From the introduction: "based on the deviation between pairs of
+datasets, a set of stores can be grouped together and earmarked for the
+same marketing strategy." This module implements that workflow:
+agglomerative clustering (single / complete / average linkage, built
+from scratch) over any pairwise deviation matrix from
+:mod:`repro.core.embedding`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.errors import InvalidParameterError
+
+LINKAGES = ("single", "complete", "average")
+
+
+@dataclass(frozen=True)
+class MergeStep:
+    """One agglomeration: which two clusters merged, at what distance."""
+
+    cluster_a: tuple[int, ...]
+    cluster_b: tuple[int, ...]
+    distance: float
+
+
+@dataclass(frozen=True)
+class Grouping:
+    """A flat clustering plus the dendrogram that produced it."""
+
+    labels: tuple[int, ...]
+    merges: tuple[MergeStep, ...]
+
+    @property
+    def n_groups(self) -> int:
+        return len(set(self.labels))
+
+    def members(self, group: int) -> tuple[int, ...]:
+        return tuple(i for i, g in enumerate(self.labels) if g == group)
+
+
+def _linkage_distance(
+    distances: np.ndarray, a: tuple[int, ...], b: tuple[int, ...], linkage: str
+) -> float:
+    block = distances[np.ix_(a, b)]
+    if linkage == "single":
+        return float(block.min())
+    if linkage == "complete":
+        return float(block.max())
+    return float(block.mean())
+
+
+def agglomerate(
+    distances: np.ndarray, n_groups: int, linkage: str = "average"
+) -> Grouping:
+    """Agglomerative clustering of items given their distance matrix."""
+    distances = np.asarray(distances, dtype=np.float64)
+    n = distances.shape[0]
+    if distances.shape != (n, n):
+        raise InvalidParameterError("distance matrix must be square")
+    if not 1 <= n_groups <= n:
+        raise InvalidParameterError(f"n_groups must be in [1, {n}]")
+    if linkage not in LINKAGES:
+        raise InvalidParameterError(
+            f"linkage must be one of {LINKAGES}, got {linkage!r}"
+        )
+
+    clusters: list[tuple[int, ...]] = [(i,) for i in range(n)]
+    merges: list[MergeStep] = []
+    while len(clusters) > n_groups:
+        best: tuple[float, int, int] | None = None
+        for i in range(len(clusters)):
+            for j in range(i + 1, len(clusters)):
+                d = _linkage_distance(distances, clusters[i], clusters[j], linkage)
+                if best is None or d < best[0]:
+                    best = (d, i, j)
+        assert best is not None
+        d, i, j = best
+        merges.append(MergeStep(clusters[i], clusters[j], d))
+        merged = tuple(sorted(clusters[i] + clusters[j]))
+        clusters = [
+            c for idx, c in enumerate(clusters) if idx not in (i, j)
+        ] + [merged]
+
+    labels = [0] * n
+    for group, cluster in enumerate(sorted(clusters)):
+        for member in cluster:
+            labels[member] = group
+    return Grouping(tuple(labels), tuple(merges))
+
+
+def group_stores(
+    distance_matrix: np.ndarray,
+    n_groups: int,
+    linkage: str = "average",
+    names: Sequence[str] | None = None,
+) -> dict[int, list]:
+    """The marketing workflow: group labels -> member names (or indices)."""
+    grouping = agglomerate(distance_matrix, n_groups, linkage)
+    out: dict[int, list] = {}
+    for group in range(grouping.n_groups):
+        members = grouping.members(group)
+        out[group] = [
+            names[m] if names is not None else m for m in members
+        ]
+    return out

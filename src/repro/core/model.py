@@ -1,0 +1,247 @@
+"""The 2-component model abstraction (Definition 3.3) and its structures.
+
+A model ``M`` induced by a dataset ``D`` is a pair
+``<Lambda_M, Sigma(Lambda_M, D)>``: a *structural component* (a set of
+regions) and a *measure component* (the selectivity of each region
+w.r.t. ``D``). FOCUS never needs more than this, so the deviation engine
+works against the :class:`Structure` interface:
+
+* :class:`LitsStructure` -- a set of itemsets (lits-models). Measures are
+  supports, counted against the dataset's bitmap index.
+* :class:`PartitionStructure` -- box cells that partition the attribute
+  space, optionally crossed with the class labels (dt-models and
+  cluster-models). Measures are histogrammed in one vectorised pass.
+
+Both structures support *focussing* (Definition 5.1): intersecting every
+region with a focussing region, which Theorem 5.1 shows preserves the
+meet-semilattice property.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Callable, Hashable, Sequence
+
+import numpy as np
+
+from repro.core.predicate import Conjunction
+from repro.core.region import BoxRegion, ItemsetRegion, Region
+from repro.errors import IncompatibleModelsError, InvalidParameterError
+
+
+class Structure(ABC):
+    """A structural component: an ordered set of regions with fast counting."""
+
+    @property
+    @abstractmethod
+    def regions(self) -> tuple[Region, ...]:
+        """The regions, in a deterministic order."""
+
+    @property
+    @abstractmethod
+    def key(self) -> Hashable:
+        """Order-insensitive identity; equal keys mean identical structures."""
+
+    @abstractmethod
+    def counts(self, dataset) -> np.ndarray:
+        """Absolute tuple counts per region (aligned with :attr:`regions`)."""
+
+    @abstractmethod
+    def focussed(self, region: Region) -> "Structure":
+        """The structure with every region intersected with ``region``."""
+
+    def selectivities(self, dataset) -> np.ndarray:
+        """Relative measures sigma(Lambda, D); zeros for an empty dataset."""
+        n = len(dataset)
+        counts = self.counts(dataset)
+        if n == 0:
+            return np.zeros(len(counts))
+        return counts / n
+
+    def __len__(self) -> int:
+        return len(self.regions)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Structure):
+            return NotImplemented
+        return self.key == other.key
+
+    def __hash__(self) -> int:
+        return hash(self.key)
+
+
+class LitsStructure(Structure):
+    """The structural component of a lits-model: a set of itemsets."""
+
+    def __init__(self, itemsets: Sequence[frozenset[int]]) -> None:
+        ordered = sorted(
+            {frozenset(s) for s in itemsets},
+            key=lambda s: (len(s), tuple(sorted(s))),
+        )
+        self._itemsets: tuple[frozenset[int], ...] = tuple(ordered)
+        self._regions = tuple(ItemsetRegion(s) for s in self._itemsets)
+
+    @property
+    def itemsets(self) -> tuple[frozenset[int], ...]:
+        return self._itemsets
+
+    @property
+    def regions(self) -> tuple[Region, ...]:
+        return self._regions
+
+    @property
+    def key(self) -> Hashable:
+        return ("lits", frozenset(self._itemsets))
+
+    def counts(self, dataset) -> np.ndarray:
+        return dataset.index.support_counts(self._itemsets)
+
+    def focussed(self, region: Region) -> "LitsStructure":
+        if not isinstance(region, ItemsetRegion):
+            raise IncompatibleModelsError(
+                "a lits-model can only be focussed w.r.t. an ItemsetRegion"
+            )
+        return LitsStructure([s | region.items for s in self._itemsets])
+
+
+class PartitionStructure(Structure):
+    """Box cells partitioning the attribute space, optionally per class.
+
+    Parameters
+    ----------
+    cells:
+        Box predicates that partition the space (pairwise disjoint,
+        jointly exhaustive over the data's domain).
+    class_labels:
+        When non-empty, every cell is crossed with every class label
+        (a dt-model's ``k`` regions per leaf); empty for cluster-models.
+    assigner:
+        ``assigner(dataset) -> (n,)`` int array mapping each row to its
+        cell index. This is the one-scan fast path; region predicates
+        remain available for display and focussing.
+    focus_predicate:
+        Internal: the conjunctive part of an active focussing region.
+        Rows outside it are excluded from every count.
+    focus_class:
+        Internal: class restriction of an active focussing region.
+    """
+
+    def __init__(
+        self,
+        cells: Sequence[Conjunction],
+        class_labels: tuple[int, ...],
+        assigner: Callable,
+        focus_predicate: Conjunction | None = None,
+        focus_class: int | None = None,
+    ) -> None:
+        if not cells:
+            raise InvalidParameterError("a partition needs at least one cell")
+        self._cells = tuple(cells)
+        self._class_labels = tuple(class_labels)
+        self._assigner = assigner
+        self._focus_predicate = focus_predicate
+        self._focus_class = focus_class
+        self._regions = self._build_regions()
+
+    def _build_regions(self) -> tuple[Region, ...]:
+        cells = self._cells
+        if self._focus_predicate is not None:
+            cells = tuple(c.intersect(self._focus_predicate) for c in cells)
+        regions: list[Region] = []
+        if self._class_labels and self._focus_class is None:
+            for cell in cells:
+                for label in self._class_labels:
+                    regions.append(BoxRegion(cell, label))
+        elif self._class_labels:
+            for cell in cells:
+                regions.append(BoxRegion(cell, self._focus_class))
+        else:
+            label = self._focus_class
+            for cell in cells:
+                regions.append(BoxRegion(cell, label))
+        return tuple(regions)
+
+    @property
+    def cells(self) -> tuple[Conjunction, ...]:
+        return self._cells
+
+    @property
+    def class_labels(self) -> tuple[int, ...]:
+        return self._class_labels
+
+    @property
+    def assigner(self) -> Callable:
+        return self._assigner
+
+    @property
+    def regions(self) -> tuple[Region, ...]:
+        return self._regions
+
+    @property
+    def key(self) -> Hashable:
+        return (
+            "partition",
+            frozenset(r.key for r in self._regions),
+        )
+
+    def counts(self, dataset) -> np.ndarray:
+        """Histogram the dataset over cells (x classes) in one pass."""
+        n_cells = len(self._cells)
+        cell_idx = np.asarray(self._assigner(dataset), dtype=np.int64)
+
+        keep = np.ones(len(dataset), dtype=bool)
+        if self._focus_predicate is not None:
+            keep &= dataset.predicate_mask(self._focus_predicate)
+
+        if self._class_labels and self._focus_class is None:
+            y = dataset.y
+            if y is None:
+                raise IncompatibleModelsError(
+                    "structure has class regions but the dataset is unlabelled"
+                )
+            label_code = {label: i for i, label in enumerate(self._class_labels)}
+            codes = np.array([label_code[int(v)] for v in y], dtype=np.int64)
+            k = len(self._class_labels)
+            flat = cell_idx * k + codes
+            flat = flat[keep]
+            return np.bincount(flat, minlength=n_cells * k).astype(np.int64)
+
+        if self._focus_class is not None and dataset.y is not None:
+            keep &= dataset.y == self._focus_class
+        return np.bincount(cell_idx[keep], minlength=n_cells).astype(np.int64)
+
+    def focussed(self, region: Region) -> "PartitionStructure":
+        if not isinstance(region, BoxRegion):
+            raise IncompatibleModelsError(
+                "a partition model can only be focussed w.r.t. a BoxRegion"
+            )
+        predicate = region.predicate
+        if self._focus_predicate is not None:
+            predicate = self._focus_predicate.intersect(predicate)
+        focus_class = self._focus_class
+        if region.class_label is not None:
+            if focus_class is not None and focus_class != region.class_label:
+                raise IncompatibleModelsError(
+                    "conflicting class restrictions in nested focussing"
+                )
+            focus_class = region.class_label
+        return PartitionStructure(
+            self._cells,
+            self._class_labels,
+            self._assigner,
+            focus_predicate=predicate,
+            focus_class=focus_class,
+        )
+
+
+class Model(ABC):
+    """A 2-component model: a structure plus the dataset that induced it."""
+
+    @property
+    @abstractmethod
+    def structure(self) -> Structure:
+        """The structural component Lambda_M."""
+
+    def measures(self, dataset) -> np.ndarray:
+        """The measure component Sigma(Lambda_M, D) w.r.t. any dataset."""
+        return self.structure.selectivities(dataset)

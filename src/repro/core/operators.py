@@ -1,0 +1,136 @@
+"""Structural and rank operators for exploratory analysis (Section 5).
+
+The paper equips FOCUS with a small algebra over *sets of regions* so an
+analyst can declaratively specify where to look for change:
+
+* ``structural_union`` (the paper's square-cup) -- the GCR of two
+  structures;
+* ``structural_intersection`` (square-cap) -- regions present in both;
+* ``structural_difference`` -- ``(union) minus (intersection)``;
+* ``predicate_region`` -- an explicitly specified region;
+* ``rank`` (the paper's rho operator) -- order regions by the
+  "interestingness" of change between two datasets, measured by a
+  deviation function;
+* selectors ``top`` / ``top_n`` / ``min_region`` / ``bottom_n``.
+
+Rank works on any iterable of regions (from structures, unions of
+structural components, or hand-built), measuring each region's deviation
+with one selectivity query per dataset.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.core.aggregate import AggregateFunction, SUM
+from repro.core.difference import ABSOLUTE, DifferenceFunction
+from repro.core.gcr import gcr
+from repro.core.model import Structure
+from repro.core.region import ItemsetRegion, Region
+
+
+def structural_union(s1: Structure, s2: Structure) -> Structure:
+    """The paper's structural union: the GCR of the two region sets."""
+    return gcr(s1, s2)
+
+
+def structural_intersection(s1: Structure, s2: Structure) -> tuple[Region, ...]:
+    """Regions that appear in both structural components (set semantics)."""
+    keys2 = {r.key for r in s2.regions}
+    return tuple(r for r in s1.regions if r.key in keys2)
+
+
+def structural_difference(s1: Structure, s2: Structure) -> tuple[Region, ...]:
+    """``(s1 union s2) minus (s1 intersect s2)`` on region sets."""
+    union = structural_union(s1, s2).regions
+    common = {r.key for r in structural_intersection(s1, s2)}
+    return tuple(r for r in union if r.key not in common)
+
+
+def region_set_union(*region_sets: Iterable[Region]) -> tuple[Region, ...]:
+    """Plain set union of region collections (the paper's ``Lambda1 U Lambda2``)."""
+    seen: dict = {}
+    for regions in region_sets:
+        for r in regions:
+            seen.setdefault(r.key, r)
+    return tuple(seen.values())
+
+
+def itemsets_over(regions: Iterable[Region], items) -> tuple[Region, ...]:
+    """Filter itemset regions to those drawn from an item subset.
+
+    Implements the paper's ``P(I_1)`` device: the region set of all
+    itemsets over a department's items ``I_1``, intersected with a
+    structural component.
+    """
+    universe = frozenset(int(i) for i in items)
+    return tuple(
+        r
+        for r in regions
+        if isinstance(r, ItemsetRegion) and r.items <= universe
+    )
+
+
+@dataclass(frozen=True)
+class RankedRegion:
+    """A region with its interestingness score (deviation contribution)."""
+
+    region: Region
+    score: float
+    selectivity1: float
+    selectivity2: float
+
+    def describe(self) -> str:
+        return (
+            f"{self.region.describe()}: score={self.score:.6g} "
+            f"(sigma1={self.selectivity1:.4g}, sigma2={self.selectivity2:.4g})"
+        )
+
+
+def rank(
+    regions: Iterable[Region],
+    dataset1,
+    dataset2,
+    f: DifferenceFunction = ABSOLUTE,
+    g: AggregateFunction = SUM,
+) -> list[RankedRegion]:
+    """The rank operator: regions in decreasing order of interestingness.
+
+    Each region's score is its own deviation between the two datasets --
+    ``g({f(nu1, nu2, N1, N2)})`` over the singleton region set, which for
+    both ``g_sum`` and ``g_max`` is just the ``f`` value.
+    """
+    n1, n2 = len(dataset1), len(dataset2)
+    ranked: list[RankedRegion] = []
+    for region in regions:
+        s1 = region.selectivity(dataset1)
+        s2 = region.selectivity(dataset2)
+        nu1 = np.array([round(s1 * n1)])
+        nu2 = np.array([round(s2 * n2)])
+        score = g(f(nu1, nu2, max(n1, 1), max(n2, 1)))
+        ranked.append(RankedRegion(region, score, s1, s2))
+    ranked.sort(key=lambda rr: (-rr.score, str(rr.region.describe())))
+    return ranked
+
+
+def top(ranked: Sequence[RankedRegion]) -> RankedRegion:
+    """``sigma_top``: the most interesting region."""
+    return ranked[0]
+
+
+def top_n(ranked: Sequence[RankedRegion], n: int) -> list[RankedRegion]:
+    """``sigma_n``: the ``n`` most interesting regions."""
+    return list(ranked[:n])
+
+
+def min_region(ranked: Sequence[RankedRegion]) -> RankedRegion:
+    """``sigma_min``: the least interesting region."""
+    return ranked[-1]
+
+
+def bottom_n(ranked: Sequence[RankedRegion], n: int) -> list[RankedRegion]:
+    """``sigma_-n``: the ``n`` least interesting regions."""
+    return list(ranked[-n:])

@@ -1,0 +1,194 @@
+"""A tiny declarative predicate language for focussing regions (Section 5).
+
+The paper's operators "declaratively specify a set of interesting
+regions"; this parser turns strings like::
+
+    age < 30 and salary >= 100000
+    elevel in {0, 1} and 40 <= age
+    age < 30 and class = 1
+
+into :class:`~repro.core.region.BoxRegion` objects, so analysts can
+write focussing regions without touching predicate objects.
+
+Grammar (conjunctions only, matching FOCUS's conjunctive regions)::
+
+    predicate := clause ("and" clause)*
+    clause    := NAME cmp NUMBER | NUMBER cmp NAME
+               | NAME "in" "{" NUMBER ("," NUMBER)* "}"
+               | "class" "=" INT
+    cmp       := "<" | "<=" | ">" | ">=" | "="
+
+``x <= v`` is translated to the half-open ``x < nextafter(v, inf)`` so
+every interval stays ``[lo, hi)``; ``name = v`` on a numeric attribute
+means the degenerate interval ``[v, nextafter(v))``.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+
+from repro.core.predicate import Conjunction, Interval, ValueSet
+from repro.core.region import BoxRegion
+from repro.errors import InvalidParameterError
+
+_TOKEN = re.compile(
+    r"\s*(?:(?P<name>[A-Za-z_][A-Za-z_0-9]*)"
+    r"|(?P<number>-?\d+(?:\.\d+)?(?:[eE][+-]?\d+)?)"
+    r"|(?P<op><=|>=|<|>|=)"
+    r"|(?P<brace>[{}])"
+    r"|(?P<comma>,))"
+)
+
+
+def _tokenize(text: str) -> list[tuple[str, str]]:
+    tokens: list[tuple[str, str]] = []
+    pos = 0
+    while pos < len(text):
+        match = _TOKEN.match(text, pos)
+        if match is None:
+            raise InvalidParameterError(
+                f"cannot tokenize predicate at: {text[pos:pos + 20]!r}"
+            )
+        pos = match.end()
+        for kind in ("name", "number", "op", "brace", "comma"):
+            value = match.group(kind)
+            if value is not None:
+                tokens.append((kind, value))
+                break
+    return tokens
+
+
+def _split_clauses(tokens: list[tuple[str, str]]) -> list[list[tuple[str, str]]]:
+    clauses: list[list[tuple[str, str]]] = [[]]
+    for kind, value in tokens:
+        if kind == "name" and value.lower() == "and":
+            if not clauses[-1]:
+                raise InvalidParameterError("empty clause before 'and'")
+            clauses.append([])
+        else:
+            clauses[-1].append((kind, value))
+    if not clauses[-1]:
+        raise InvalidParameterError("trailing 'and' in predicate")
+    return clauses
+
+
+def _interval_for(op: str, value: float, name_on_left: bool) -> Interval:
+    if not name_on_left:
+        # "30 <= age" is "age >= 30": flip the comparison.
+        op = {"<": ">", "<=": ">=", ">": "<", ">=": "<=", "=": "="}[op]
+    if op == "<":
+        return Interval(hi=value)
+    if op == "<=":
+        return Interval(hi=math.nextafter(value, math.inf))
+    if op == ">":
+        return Interval(lo=math.nextafter(value, math.inf))
+    if op == ">=":
+        return Interval(lo=value)
+    return Interval(value, math.nextafter(value, math.inf))
+
+
+def _parse_clause(clause: list[tuple[str, str]]):
+    kinds = [k for k, _ in clause]
+    # NAME in { ... }
+    if (
+        len(clause) >= 4
+        and kinds[0] == "name"
+        and clause[1] == ("name", "in")
+        and clause[2] == ("brace", "{")
+        and clause[-1] == ("brace", "}")
+    ):
+        name = clause[0][1]
+        values = []
+        for kind, value in clause[3:-1]:
+            if kind == "comma":
+                continue
+            if kind != "number" or "." in value:
+                raise InvalidParameterError(
+                    f"value set for {name!r} must contain integers"
+                )
+            values.append(int(value))
+        if not values:
+            raise InvalidParameterError(f"empty value set for {name!r}")
+        return name, ValueSet(values)
+    # NAME op NUMBER or NUMBER op NAME
+    if kinds == ["name", "op", "number"]:
+        name, op, number = clause[0][1], clause[1][1], float(clause[2][1])
+        return name, _interval_for(op, number, name_on_left=True)
+    if kinds == ["number", "op", "name"]:
+        number, op, name = float(clause[0][1]), clause[1][1], clause[2][1]
+        return name, _interval_for(op, number, name_on_left=False)
+    raise InvalidParameterError(
+        "clause must be 'name op number', 'number op name', or "
+        f"'name in {{...}}'; got {' '.join(v for _, v in clause)!r}"
+    )
+
+
+def parse_predicate(text: str) -> Conjunction:
+    """Parse a conjunction string into a :class:`Conjunction`."""
+    if not text or not text.strip():
+        return Conjunction()
+    constraints: dict = {}
+    for clause in _split_clauses(_tokenize(text)):
+        name, constraint = _parse_clause(clause)
+        if name in constraints:
+            existing = constraints[name]
+            if isinstance(existing, Interval) != isinstance(constraint, Interval):
+                raise InvalidParameterError(
+                    f"mixed interval/value-set constraints on {name!r}"
+                )
+            constraints[name] = existing.intersect(constraint)
+        else:
+            constraints[name] = constraint
+    return Conjunction(constraints)
+
+
+def format_predicate(predicate: Conjunction) -> str:
+    """Render a conjunction as text that :func:`parse_predicate` accepts.
+
+    Inverse of :func:`parse_predicate` up to predicate equality: interval
+    bounds become ``>=`` / ``<`` clauses (the native half-open form) and
+    value sets become ``in {...}`` clauses.
+    """
+    clauses: list[str] = []
+    for name in sorted(predicate.constraints):
+        constraint = predicate.constraints[name]
+        if isinstance(constraint, Interval):
+            if constraint.lo != -math.inf:
+                clauses.append(f"{name} >= {constraint.lo!r}")
+            if constraint.hi != math.inf:
+                clauses.append(f"{name} < {constraint.hi!r}")
+        else:
+            values = ", ".join(str(v) for v in sorted(constraint.values))
+            clauses.append(f"{name} in {{{values}}}")
+    return " and ".join(clauses)
+
+
+def format_region(region: BoxRegion) -> str:
+    """Render a box region as text that :func:`parse_region` accepts."""
+    parts = []
+    predicate_text = format_predicate(region.predicate)
+    if predicate_text:
+        parts.append(predicate_text)
+    if region.class_label is not None:
+        parts.append(f"class = {region.class_label}")
+    return " and ".join(parts)
+
+
+def parse_region(text: str) -> BoxRegion:
+    """Parse a region string; a ``class = k`` clause sets the class label."""
+    if not text or not text.strip():
+        return BoxRegion()
+    class_label: int | None = None
+    kept: list[str] = []
+    for part in re.split(r"\band\b", text):
+        stripped = part.strip()
+        match = re.fullmatch(r"class\s*=\s*(-?\d+)", stripped)
+        if match:
+            if class_label is not None:
+                raise InvalidParameterError("multiple class clauses")
+            class_label = int(match.group(1))
+        elif stripped:
+            kept.append(stripped)
+    predicate = parse_predicate(" and ".join(kept))
+    return BoxRegion(predicate, class_label)

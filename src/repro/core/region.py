@@ -1,0 +1,147 @@
+"""Regions of the attribute space (Definition 3.1) and their selectivities.
+
+Two concrete region families cover the paper's three model classes:
+
+* :class:`BoxRegion` -- a conjunctive (axis-aligned) predicate plus an
+  optional class label. Decision-tree leaves yield one box per class
+  ("each leaf node ... corresponds to two regions", Section 2.1);
+  cluster cells yield unlabelled boxes.
+* :class:`ItemsetRegion` -- the region identified by a frequent itemset
+  ``X``: the transactions containing every item of ``X``. Its measure is
+  the support of ``X`` (Section 2.2).
+
+Both families are closed under intersection, which focussed deviations
+(Section 5) and greatest common refinements (Section 4) rely on. The
+selectivity of a region w.r.t. a dataset (Definition 3.2) is delegated to
+the dataset so each dataset kind can use its own vectorised kernel.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import Hashable, Optional
+
+from repro.core.predicate import Conjunction, TRUE
+from repro.errors import IncompatibleModelsError
+
+
+class Region(ABC):
+    """A subset of the attribute space with a hashable identity."""
+
+    @property
+    @abstractmethod
+    def key(self) -> Hashable:
+        """Hashable identity used to compare structural components."""
+
+    @abstractmethod
+    def intersect(self, other: "Region") -> Optional["Region"]:
+        """The intersection region, or ``None`` when provably empty."""
+
+    @abstractmethod
+    def selectivity(self, dataset) -> float:
+        """Fraction of the dataset's tuples that map into this region."""
+
+    @abstractmethod
+    def describe(self) -> str:
+        """Human-readable predicate, e.g. for ranked-region reports."""
+
+    def __hash__(self) -> int:
+        return hash(self.key)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Region):
+            return NotImplemented
+        return self.key == other.key
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}({self.describe()})"
+
+
+@dataclass(frozen=True, eq=False)
+class BoxRegion(Region):
+    """A conjunctive predicate over attributes, optionally class-specific.
+
+    ``class_label is None`` means the region spans every class (cluster
+    cells); an integer restricts the region to tuples of that class
+    (decision-tree regions).
+    """
+
+    predicate: Conjunction = TRUE
+    class_label: int | None = None
+
+    @property
+    def key(self) -> Hashable:
+        return ("box", self.predicate, self.class_label)
+
+    @property
+    def is_empty(self) -> bool:
+        return self.predicate.is_empty
+
+    def intersect(self, other: Region) -> Optional["BoxRegion"]:
+        if not isinstance(other, BoxRegion):
+            raise IncompatibleModelsError(
+                f"cannot intersect BoxRegion with {type(other).__name__}"
+            )
+        if (
+            self.class_label is not None
+            and other.class_label is not None
+            and self.class_label != other.class_label
+        ):
+            return None
+        label = self.class_label if self.class_label is not None else other.class_label
+        predicate = self.predicate.intersect(other.predicate)
+        if predicate.is_empty:
+            return None
+        return BoxRegion(predicate, label)
+
+    def contains(self, other: "BoxRegion") -> bool:
+        """Whether ``other`` is wholly inside this region (ignoring emptiness)."""
+        if self.class_label is not None and other.class_label != self.class_label:
+            return False
+        if self.predicate.is_universal:
+            return True
+        return self.predicate.contains_conjunction(other.predicate)
+
+    def selectivity(self, dataset) -> float:
+        return dataset.box_selectivity(self)
+
+    def describe(self) -> str:
+        text = self.predicate.describe()
+        if self.class_label is not None:
+            text = f"{text} and class = {self.class_label}"
+        return text
+
+
+@dataclass(frozen=True, eq=False)
+class ItemsetRegion(Region):
+    """The region of transactions containing every item in ``items``.
+
+    The empty itemset identifies the whole space (support 1); intersecting
+    two itemset regions unions their items, because a transaction lies in
+    both regions exactly when it contains both itemsets.
+    """
+
+    items: frozenset[int]
+
+    def __init__(self, items) -> None:
+        object.__setattr__(self, "items", frozenset(int(i) for i in items))
+
+    @property
+    def key(self) -> Hashable:
+        return ("itemset", self.items)
+
+    def intersect(self, other: Region) -> Optional["ItemsetRegion"]:
+        if not isinstance(other, ItemsetRegion):
+            raise IncompatibleModelsError(
+                f"cannot intersect ItemsetRegion with {type(other).__name__}"
+            )
+        return ItemsetRegion(self.items | other.items)
+
+    def selectivity(self, dataset) -> float:
+        return dataset.itemset_selectivity(self.items)
+
+    def describe(self) -> str:
+        if not self.items:
+            return "{}"
+        return "{" + ",".join(str(i) for i in sorted(self.items)) + "}"

@@ -1,0 +1,61 @@
+"""Datasets, synthetic generators, sampling, and flat-file IO."""
+
+from repro.data.io import (
+    load_tabular,
+    load_transactions,
+    save_tabular,
+    save_transactions,
+)
+from repro.data.model_io import (
+    load_dt_model,
+    load_lits_model,
+    save_dt_model,
+    save_lits_model,
+)
+from repro.data.quest_basket import PatternPool, build_pattern_pool, generate_basket
+from repro.data.quest_classify import (
+    CLASSIFICATION_FUNCTIONS,
+    GROUP_A,
+    GROUP_B,
+    assign_labels,
+    classification_space,
+    generate_classification,
+)
+from repro.data.sampling import (
+    bootstrap_pair,
+    sample,
+    sample_indices,
+    sample_n,
+    split_halves,
+)
+from repro.data.tabular import TabularDataset, from_rows
+from repro.data.transactions import BitmapIndex, TransactionDataset
+
+__all__ = [
+    "BitmapIndex",
+    "CLASSIFICATION_FUNCTIONS",
+    "GROUP_A",
+    "GROUP_B",
+    "PatternPool",
+    "TabularDataset",
+    "TransactionDataset",
+    "assign_labels",
+    "bootstrap_pair",
+    "build_pattern_pool",
+    "classification_space",
+    "from_rows",
+    "generate_basket",
+    "generate_classification",
+    "load_dt_model",
+    "load_lits_model",
+    "load_tabular",
+    "load_transactions",
+    "sample",
+    "save_dt_model",
+    "save_lits_model",
+    "sample_indices",
+    "sample_n",
+    "save_tabular",
+    "save_transactions",
+    "split_halves",
+]

@@ -1,0 +1,100 @@
+"""Flat-file persistence for datasets.
+
+Tabular datasets round-trip through ``.npz`` (matrix + labels) plus an
+embedded JSON schema; transaction datasets use the classic one-line-per-
+transaction text format that Apriori implementations exchange.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.attribute import Attribute, AttributeKind, AttributeSpace
+from repro.data.tabular import TabularDataset
+from repro.data.transactions import TransactionDataset
+from repro.errors import InvalidParameterError
+
+
+def _space_to_dict(space: AttributeSpace) -> dict:
+    return {
+        "attributes": [
+            {
+                "name": a.name,
+                "kind": a.kind.value,
+                "low": a.low,
+                "high": a.high,
+                "values": list(a.values),
+            }
+            for a in space.attributes
+        ],
+        "class_labels": list(space.class_labels),
+    }
+
+
+def _space_from_dict(d: dict) -> AttributeSpace:
+    attributes = tuple(
+        Attribute(
+            name=a["name"],
+            kind=AttributeKind(a["kind"]),
+            low=a["low"],
+            high=a["high"],
+            values=tuple(a["values"]),
+        )
+        for a in d["attributes"]
+    )
+    return AttributeSpace(attributes, tuple(d["class_labels"]))
+
+
+def save_tabular(dataset: TabularDataset, path: str | Path) -> None:
+    """Write a tabular dataset to ``path`` (``.npz``)."""
+    path = Path(path)
+    schema = json.dumps(_space_to_dict(dataset.space))
+    arrays = {"X": dataset.X, "schema": np.array(schema)}
+    if dataset.y is not None:
+        arrays["y"] = dataset.y
+    np.savez_compressed(path, **arrays)
+
+
+def load_tabular(path: str | Path) -> TabularDataset:
+    """Read a tabular dataset written by :func:`save_tabular`."""
+    with np.load(Path(path), allow_pickle=False) as data:
+        space = _space_from_dict(json.loads(str(data["schema"])))
+        y = data["y"] if "y" in data.files else None
+        return TabularDataset(space, data["X"], y)
+
+
+def save_transactions(dataset: TransactionDataset, path: str | Path) -> None:
+    """Write transactions as space-separated item ids, one line each.
+
+    The first line is a header comment recording the item universe size.
+    """
+    path = Path(path)
+    with path.open("w") as f:
+        f.write(f"# n_items={dataset.n_items}\n")
+        for txn in dataset:
+            f.write(" ".join(str(i) for i in txn))
+            f.write("\n")
+
+
+def load_transactions(path: str | Path) -> TransactionDataset:
+    """Read transactions written by :func:`save_transactions`."""
+    path = Path(path)
+    n_items: int | None = None
+    transactions: list[tuple[int, ...]] = []
+    with path.open() as f:
+        for line in f:
+            line = line.strip()
+            if line.startswith("#"):
+                if "n_items=" in line:
+                    n_items = int(line.split("n_items=")[1])
+                continue
+            if line:
+                transactions.append(tuple(int(tok) for tok in line.split()))
+            else:
+                transactions.append(())
+    if n_items is None:
+        raise InvalidParameterError(f"{path} lacks the '# n_items=' header")
+    return TransactionDataset(transactions, n_items)

@@ -1,0 +1,150 @@
+"""Model persistence: mine once, compare later.
+
+The delta* workflow (Section 4.1.1) assumes mined models are kept around
+-- "which will probably fit in main memory, unlike the datasets" -- so a
+production deployment stores models, not data. This module round-trips
+both model classes through JSON:
+
+* :class:`LitsModel` -- itemsets + supports + threshold;
+* :class:`DecisionTree` / :class:`DtModel` -- the split tree, leaf
+  histograms, and the attribute space.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.attribute import Attribute, AttributeKind, AttributeSpace
+from repro.core.dtree_model import DtModel
+from repro.core.lits import LitsModel
+from repro.errors import InvalidParameterError
+from repro.mining.tree.splits import CategoricalSplit, NumericSplit
+from repro.mining.tree.tree import DecisionTree, Node
+
+
+def save_lits_model(model: LitsModel, path: str | Path) -> None:
+    """Write a lits-model as JSON."""
+    payload = {
+        "kind": "lits-model",
+        "min_support": model.min_support,
+        "n_items": model.n_items,
+        "itemsets": [
+            {"items": sorted(itemset), "support": support}
+            for itemset, support in sorted(
+                model.supports.items(),
+                key=lambda kv: (len(kv[0]), tuple(sorted(kv[0]))),
+            )
+        ],
+    }
+    Path(path).write_text(json.dumps(payload, indent=1))
+
+
+def load_lits_model(path: str | Path) -> LitsModel:
+    """Read a lits-model written by :func:`save_lits_model`."""
+    payload = json.loads(Path(path).read_text())
+    if payload.get("kind") != "lits-model":
+        raise InvalidParameterError(f"{path} does not contain a lits-model")
+    supports = {
+        frozenset(entry["items"]): float(entry["support"])
+        for entry in payload["itemsets"]
+    }
+    return LitsModel(supports, payload["min_support"], payload["n_items"])
+
+
+def _space_to_dict(space: AttributeSpace) -> dict:
+    return {
+        "attributes": [
+            {
+                "name": a.name,
+                "kind": a.kind.value,
+                "low": a.low,
+                "high": a.high,
+                "values": list(a.values),
+            }
+            for a in space.attributes
+        ],
+        "class_labels": list(space.class_labels),
+    }
+
+
+def _space_from_dict(d: dict) -> AttributeSpace:
+    return AttributeSpace(
+        tuple(
+            Attribute(
+                name=a["name"],
+                kind=AttributeKind(a["kind"]),
+                low=a["low"],
+                high=a["high"],
+                values=tuple(a["values"]),
+            )
+            for a in d["attributes"]
+        ),
+        tuple(d["class_labels"]),
+    )
+
+
+def _node_to_dict(node: Node) -> dict:
+    out: dict = {"class_counts": [int(c) for c in node.class_counts]}
+    if node.is_leaf:
+        return out
+    split = node.split
+    if isinstance(split, NumericSplit):
+        out["split"] = {
+            "type": "numeric",
+            "attribute": split.attribute,
+            "threshold": split.threshold,
+            "gain": split.gain,
+        }
+    else:
+        assert isinstance(split, CategoricalSplit)
+        out["split"] = {
+            "type": "categorical",
+            "attribute": split.attribute,
+            "left_values": sorted(split.left_values),
+            "gain": split.gain,
+        }
+    assert node.left is not None and node.right is not None
+    out["left"] = _node_to_dict(node.left)
+    out["right"] = _node_to_dict(node.right)
+    return out
+
+
+def _node_from_dict(d: dict, depth: int = 0) -> Node:
+    node = Node(
+        class_counts=np.array(d["class_counts"], dtype=np.int64), depth=depth
+    )
+    if "split" in d:
+        s = d["split"]
+        if s["type"] == "numeric":
+            node.split = NumericSplit(s["attribute"], s["threshold"], s["gain"])
+        else:
+            node.split = CategoricalSplit(
+                s["attribute"], frozenset(s["left_values"]), s["gain"]
+            )
+        node.left = _node_from_dict(d["left"], depth + 1)
+        node.right = _node_from_dict(d["right"], depth + 1)
+    return node
+
+
+def save_dt_model(model: DtModel | DecisionTree, path: str | Path) -> None:
+    """Write a decision-tree model as JSON."""
+    tree = model.tree if isinstance(model, DtModel) else model
+    payload = {
+        "kind": "dt-model",
+        "space": _space_to_dict(tree.space),
+        "root": _node_to_dict(tree.root),
+    }
+    Path(path).write_text(json.dumps(payload, indent=1))
+
+
+def load_dt_model(path: str | Path) -> DtModel:
+    """Read a dt-model written by :func:`save_dt_model`."""
+    payload = json.loads(Path(path).read_text())
+    if payload.get("kind") != "dt-model":
+        raise InvalidParameterError(f"{path} does not contain a dt-model")
+    space = _space_from_dict(payload["space"])
+    tree = DecisionTree(space=space, root=_node_from_dict(payload["root"]))
+    return DtModel(tree)

@@ -1,0 +1,165 @@
+"""IBM Quest synthetic market-basket generator (Agrawal & Srikant, VLDB 1994).
+
+The paper's lits-model experiments all use this generator (Section 6.1.1:
+"We used the synthetic data generator from the IBM Quest Data Mining
+group"), with datasets named ``NM.tlL.kI.PPpats.pplen`` -- N million
+transactions of average length tl over k thousand items, with PP thousand
+potential patterns of average length p.
+
+The generative process (faithful to the VLDB'94 description):
+
+1. Build ``n_patterns`` potentially-frequent itemsets. Pattern sizes are
+   Poisson-distributed around ``avg_pattern_len`` (min 1). Each pattern
+   shares a random fraction of items with its predecessor (exponentially
+   distributed with mean ``correlation``); the rest are fresh uniform
+   picks. Patterns carry exponentially distributed weights (normalised to
+   sum to 1) and a corruption level drawn from a clipped normal
+   ``N(corruption_mean, corruption_sd)``.
+2. Each transaction has a Poisson-distributed size around
+   ``avg_transaction_len`` and is filled by repeatedly drawing patterns
+   according to their weights. Items are dropped from a drawn pattern
+   while a uniform coin is below its corruption level. An over-full
+   pattern is kept anyway half the time, otherwise the transaction ends.
+
+The defaults mirror the paper's base dataset family
+(``1M.20L.1K.4000pats.4patlen``) modulo the row count, which callers
+scale down via :mod:`repro.experiments.config`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.data.transactions import TransactionDataset
+from repro.errors import InvalidParameterError
+
+
+@dataclass(frozen=True)
+class PatternPool:
+    """The potentially-frequent itemsets with their weights and corruptions."""
+
+    patterns: tuple[tuple[int, ...], ...]
+    weights: np.ndarray
+    corruption: np.ndarray
+
+    def __post_init__(self) -> None:
+        if len(self.patterns) != len(self.weights) or len(self.patterns) != len(
+            self.corruption
+        ):
+            raise InvalidParameterError("pattern pool arrays must be aligned")
+
+
+def build_pattern_pool(
+    rng: np.random.Generator,
+    n_items: int,
+    n_patterns: int,
+    avg_pattern_len: float,
+    correlation: float = 0.5,
+    corruption_mean: float = 0.5,
+    corruption_sd: float = 0.1,
+) -> PatternPool:
+    """Generate the pool of potentially-frequent itemsets."""
+    if n_patterns <= 0:
+        raise InvalidParameterError("n_patterns must be positive")
+    if avg_pattern_len < 1:
+        raise InvalidParameterError("avg_pattern_len must be >= 1")
+    patterns: list[tuple[int, ...]] = []
+    previous: tuple[int, ...] = ()
+    for _ in range(n_patterns):
+        size = int(min(max(1, rng.poisson(avg_pattern_len - 1) + 1), n_items))
+        items: set[int] = set()
+        if previous:
+            # Fraction of items carried over from the previous pattern;
+            # exponentially distributed with the given mean, capped at 1.
+            frac = min(1.0, rng.exponential(correlation))
+            n_shared = min(int(round(frac * size)), len(previous), size)
+            if n_shared:
+                items.update(
+                    rng.choice(previous, size=n_shared, replace=False).tolist()
+                )
+        while len(items) < size:
+            items.add(int(rng.integers(0, n_items)))
+        pattern = tuple(sorted(items))
+        patterns.append(pattern)
+        previous = pattern
+    weights = rng.exponential(1.0, n_patterns)
+    weights /= weights.sum()
+    corruption = np.clip(
+        rng.normal(corruption_mean, corruption_sd, n_patterns), 0.0, 1.0
+    )
+    return PatternPool(tuple(patterns), weights, corruption)
+
+
+def generate_basket(
+    n_transactions: int,
+    *,
+    n_items: int = 1000,
+    avg_transaction_len: float = 20,
+    n_patterns: int = 4000,
+    avg_pattern_len: float = 4,
+    correlation: float = 0.5,
+    corruption_mean: float = 0.5,
+    corruption_sd: float = 0.1,
+    seed: int | None = None,
+    rng: np.random.Generator | None = None,
+    pool: PatternPool | None = None,
+) -> TransactionDataset:
+    """Generate a market-basket dataset.
+
+    Parameters mirror the Quest generator's knobs and the paper's naming
+    convention (``1M.20L.1K.4000pats.4patlen``). Pass ``pool`` to reuse
+    one pattern pool across several datasets -- the paper's "same
+    generating process" scenario (e.g. rows (1) of Figures 13/14).
+    """
+    if n_transactions < 0:
+        raise InvalidParameterError("n_transactions must be non-negative")
+    if avg_transaction_len < 1:
+        raise InvalidParameterError("avg_transaction_len must be >= 1")
+    if rng is None:
+        rng = np.random.default_rng(seed)
+    if pool is None:
+        pool = build_pattern_pool(
+            rng,
+            n_items=n_items,
+            n_patterns=n_patterns,
+            avg_pattern_len=avg_pattern_len,
+            correlation=correlation,
+            corruption_mean=corruption_mean,
+            corruption_sd=corruption_sd,
+        )
+
+    n_pool = len(pool.patterns)
+    transactions: list[tuple[int, ...]] = []
+    # Draw pattern indices in bulk for speed; refill the buffer as needed.
+    buffer = rng.choice(n_pool, size=max(4 * n_transactions, 1024), p=pool.weights)
+    buf_pos = 0
+
+    for _ in range(n_transactions):
+        size = int(max(1, rng.poisson(avg_transaction_len - 1) + 1))
+        txn: set[int] = set()
+        while len(txn) < size:
+            if buf_pos >= len(buffer):
+                buffer = rng.choice(n_pool, size=len(buffer), p=pool.weights)
+                buf_pos = 0
+            p_idx = int(buffer[buf_pos])
+            buf_pos += 1
+            pattern = list(pool.patterns[p_idx])
+            # Corrupt: drop random items while the coin keeps coming up low.
+            level = pool.corruption[p_idx]
+            while pattern and rng.random() < level:
+                pattern.pop(int(rng.integers(0, len(pattern))))
+            if not pattern:
+                continue
+            if len(txn) + len(pattern) > size:
+                # Over-full: keep anyway half the time, else close out.
+                if rng.random() < 0.5:
+                    txn.update(pattern)
+                break
+            txn.update(pattern)
+        if not txn:
+            txn = {int(rng.integers(0, n_items))}
+        transactions.append(tuple(sorted(txn)))
+
+    return TransactionDataset(transactions, n_items)

@@ -1,0 +1,77 @@
+"""Random sampling of datasets (Section 6's sample-deviation experiments).
+
+Works uniformly for tabular and transaction datasets through their shared
+``take`` / ``__len__`` interface. Sampling defaults to *with* replacement
+(matching bootstrap semantics); Figure 9 of the paper also reports
+without-replacement (``WOR``) curves, so both are supported.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import InvalidParameterError
+
+
+def sample_indices(
+    n_rows: int,
+    n_sample: int,
+    rng: np.random.Generator,
+    replace: bool = True,
+) -> np.ndarray:
+    """Row indices for a uniform random sample."""
+    if n_sample < 0:
+        raise InvalidParameterError("sample size must be non-negative")
+    if not replace and n_sample > n_rows:
+        raise InvalidParameterError(
+            f"cannot draw {n_sample} rows without replacement from {n_rows}"
+        )
+    return rng.choice(n_rows, size=n_sample, replace=replace)
+
+
+def sample(dataset, fraction: float, rng: np.random.Generator, replace: bool = True):
+    """A uniform random sample of ``fraction`` of the dataset's rows.
+
+    Parameters
+    ----------
+    dataset:
+        Any dataset exposing ``__len__`` and ``take(indices)``.
+    fraction:
+        The sample fraction (SF in the paper's plots), in ``(0, 1]``.
+    rng:
+        Numpy random generator (callers own seeding for reproducibility).
+    replace:
+        ``True`` for sampling with replacement (default), ``False`` for
+        the paper's ``WOR`` variant.
+    """
+    if not 0.0 < fraction <= 1.0:
+        raise InvalidParameterError(f"fraction must be in (0, 1], got {fraction}")
+    n = len(dataset)
+    n_sample = max(1, int(round(fraction * n)))
+    return dataset.take(sample_indices(n, n_sample, rng, replace))
+
+
+def sample_n(dataset, n_sample: int, rng: np.random.Generator, replace: bool = True):
+    """A uniform random sample of exactly ``n_sample`` rows."""
+    return dataset.take(sample_indices(len(dataset), n_sample, rng, replace))
+
+
+def bootstrap_pair(pooled, n1: int, n2: int, rng: np.random.Generator):
+    """Resample a pair of datasets of sizes ``n1``/``n2`` from a pooled dataset.
+
+    This is the resampling step of the qualification procedure
+    (Section 3.4): under the null hypothesis the two datasets come from
+    the same process, so both resamples are drawn (with replacement) from
+    the union of the originals.
+    """
+    d1 = sample_n(pooled, n1, rng, replace=True)
+    d2 = sample_n(pooled, n2, rng, replace=True)
+    return d1, d2
+
+
+def split_halves(dataset, rng: np.random.Generator):
+    """Randomly partition a dataset into two halves (no replacement)."""
+    n = len(dataset)
+    perm = rng.permutation(n)
+    mid = n // 2
+    return dataset.take(perm[:mid]), dataset.take(perm[mid:])

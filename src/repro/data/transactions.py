@@ -1,0 +1,191 @@
+"""Market-basket transaction datasets and their packed-bitmap index.
+
+A :class:`TransactionDataset` is a bag of itemsets over an item universe
+``{0, ..., n_items - 1}``. Support queries drive everything lits-model
+related: mining (Apriori candidates), extending a model to the GCR
+(counting the *other* model's itemsets), and focussed deviations.
+
+The :class:`BitmapIndex` packs each item's occurrence vector into bits
+(one ``uint8`` row stripe per item), so the support of an itemset is a
+few ``bitwise_and`` passes plus a popcount -- a single conceptual scan
+of the data, built once and reused for any number of itemsets.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.errors import InvalidParameterError
+
+# Popcount lookup for uint8 values; POPCOUNT[b] = number of set bits in b.
+POPCOUNT = np.array([bin(b).count("1") for b in range(256)], dtype=np.uint32)
+
+
+class BitmapIndex:
+    """Packed bit matrix: row per item, bit per transaction."""
+
+    def __init__(self, transactions: Sequence[tuple[int, ...]], n_items: int) -> None:
+        n = len(transactions)
+        self.n_transactions = n
+        self.n_items = n_items
+        n_bytes = (n + 7) // 8
+        bits = np.zeros((n_items, n_bytes), dtype=np.uint8)
+        # Set bit (MSB-first within each byte) for each (item, tid) pair.
+        if n:
+            tids: list[int] = []
+            items: list[int] = []
+            for tid, t in enumerate(transactions):
+                for item in t:
+                    items.append(item)
+                    tids.append(tid)
+            items_arr = np.array(items, dtype=np.int64)
+            tids_arr = np.array(tids, dtype=np.int64)
+            byte_idx = tids_arr >> 3
+            bit_val = (np.uint8(128) >> (tids_arr & 7)).astype(np.uint8)
+            np.bitwise_or.at(bits, (items_arr, byte_idx), bit_val)
+        self._bits = bits
+
+    def item_bits(self, item: int) -> np.ndarray:
+        """The packed occurrence vector of a single item."""
+        return self._bits[item]
+
+    def item_support_counts(self) -> np.ndarray:
+        """Support counts of every single item, in one popcount pass."""
+        return POPCOUNT[self._bits].sum(axis=1).astype(np.int64)
+
+    def support_count(self, items: Iterable[int]) -> int:
+        """Number of transactions containing every item in ``items``.
+
+        The empty itemset is contained in every transaction.
+        """
+        items = sorted(set(int(i) for i in items))
+        if not items:
+            return self.n_transactions
+        acc = self._bits[items[0]]
+        for item in items[1:]:
+            acc = np.bitwise_and(acc, self._bits[item])
+        return int(POPCOUNT[acc].sum())
+
+    def support_counts(self, itemsets: Sequence[Iterable[int]]) -> np.ndarray:
+        """Support counts for a collection of itemsets (one pass each)."""
+        return np.array([self.support_count(x) for x in itemsets], dtype=np.int64)
+
+    def intersection_bits(self, items: Iterable[int]) -> np.ndarray:
+        """Packed membership vector of transactions containing ``items``."""
+        items = sorted(set(int(i) for i in items))
+        if not items:
+            n_bytes = self._bits.shape[1] if self.n_items else (self.n_transactions + 7) // 8
+            full = np.full(n_bytes, 255, dtype=np.uint8)
+            # Mask off padding bits beyond the last transaction.
+            extra = n_bytes * 8 - self.n_transactions
+            if extra and n_bytes:
+                full[-1] = np.uint8(0xFF << extra & 0xFF)
+            return full
+        acc = self._bits[items[0]].copy()
+        for item in items[1:]:
+            np.bitwise_and(acc, self._bits[item], out=acc)
+        return acc
+
+
+class TransactionDataset:
+    """An immutable sequence of transactions over ``n_items`` items."""
+
+    def __init__(
+        self,
+        transactions: Iterable[Iterable[int]],
+        n_items: int,
+    ) -> None:
+        if n_items <= 0:
+            raise InvalidParameterError("n_items must be positive")
+        cleaned: list[tuple[int, ...]] = []
+        for t in transactions:
+            items = tuple(sorted(set(int(i) for i in t)))
+            if items and (items[0] < 0 or items[-1] >= n_items):
+                raise InvalidParameterError(
+                    f"transaction {items} has items outside [0, {n_items})"
+                )
+            cleaned.append(items)
+        self._transactions = cleaned
+        self.n_items = n_items
+        self._index: BitmapIndex | None = None
+
+    # ------------------------------------------------------------------ #
+    # Basic accessors
+    # ------------------------------------------------------------------ #
+
+    def __len__(self) -> int:
+        return len(self._transactions)
+
+    @property
+    def n_rows(self) -> int:
+        return len(self._transactions)
+
+    @property
+    def transactions(self) -> list[tuple[int, ...]]:
+        return self._transactions
+
+    def __iter__(self):
+        return iter(self._transactions)
+
+    @property
+    def index(self) -> BitmapIndex:
+        """The (lazily built, cached) bitmap index over this dataset."""
+        if self._index is None:
+            self._index = BitmapIndex(self._transactions, self.n_items)
+        return self._index
+
+    def drop_index(self) -> None:
+        """Discard the cached bitmap index.
+
+        Benchmarks call this so a timed deviation honestly includes the
+        dataset scan (index construction), as in the paper's Figure 13
+        timing columns.
+        """
+        self._index = None
+
+    # ------------------------------------------------------------------ #
+    # Support queries
+    # ------------------------------------------------------------------ #
+
+    def support_count(self, items: Iterable[int]) -> int:
+        """Absolute number of transactions containing ``items``."""
+        return self.index.support_count(items)
+
+    def itemset_selectivity(self, items: Iterable[int]) -> float:
+        """Support (fraction of transactions) of an itemset; 0 on empty data."""
+        if not self._transactions:
+            return 0.0
+        return self.support_count(items) / len(self._transactions)
+
+    # ------------------------------------------------------------------ #
+    # Dataset algebra
+    # ------------------------------------------------------------------ #
+
+    def take(self, indices: np.ndarray) -> "TransactionDataset":
+        """A new dataset with the transactions at ``indices`` (repeats OK)."""
+        txns = [self._transactions[int(i)] for i in np.asarray(indices)]
+        return TransactionDataset(txns, self.n_items)
+
+    def concat(self, other: "TransactionDataset") -> "TransactionDataset":
+        """Append another dataset over the same item universe."""
+        if other.n_items != self.n_items:
+            raise InvalidParameterError(
+                "cannot concatenate datasets with different item universes"
+            )
+        return TransactionDataset(
+            self._transactions + other._transactions, self.n_items
+        )
+
+    def average_length(self) -> float:
+        """Mean transaction length (diagnostics for the generator tests)."""
+        if not self._transactions:
+            return 0.0
+        return sum(len(t) for t in self._transactions) / len(self._transactions)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"TransactionDataset(n={len(self)}, items={self.n_items}, "
+            f"avg_len={self.average_length():.2f})"
+        )

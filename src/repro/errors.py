@@ -1,0 +1,33 @@
+"""Exception hierarchy for the FOCUS reproduction.
+
+All library errors derive from :class:`FocusError` so callers can catch a
+single base class. The sub-classes separate configuration mistakes (bad
+parameters) from structural violations (e.g. comparing models over different
+attribute spaces), which the paper's framework treats as undefined.
+"""
+
+from __future__ import annotations
+
+
+class FocusError(Exception):
+    """Base class for every error raised by this library."""
+
+
+class SchemaError(FocusError):
+    """A dataset, region, or model refers to attributes inconsistently."""
+
+
+class EmptyRegionError(FocusError):
+    """An operation produced or required a region with an empty predicate."""
+
+
+class IncompatibleModelsError(FocusError):
+    """Two models cannot be compared (different model classes or spaces)."""
+
+
+class NotFittedError(FocusError):
+    """A miner or model was used before being fitted to data."""
+
+
+class InvalidParameterError(FocusError):
+    """A caller supplied an out-of-range or ill-typed parameter."""

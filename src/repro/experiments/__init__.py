@@ -1,0 +1,88 @@
+"""Scaled re-creations of every table and figure in the paper."""
+
+from repro.experiments.builders import dt_builder, lits_builder
+from repro.experiments.config import PAPER_FRACTIONS, SCALES, Scale, get_scale
+from repro.experiments.crossover import (
+    CrossoverRow,
+    fig14_crossover,
+    format_crossover,
+)
+from repro.experiments.deviation_tables import (
+    DtDeviationRow,
+    LitsDeviationRow,
+    figure_13,
+    figure_14,
+    figure_14_datasets,
+)
+from repro.experiments.figures import (
+    CurveFamily,
+    dt_sd_family,
+    figures_7_to_9,
+    figures_10_to_12,
+    lits_sd_family,
+)
+from repro.experiments.me_correlation import MeCorrelation, MePoint, figure_15
+from repro.experiments.naming import (
+    BasketSpec,
+    ClassifySpec,
+    parse_basket_name,
+    parse_classify_name,
+)
+from repro.experiments.reporting import format_curves, format_table
+from repro.experiments.sample_size import (
+    SampleDeviationCurve,
+    sample_deviation,
+    sample_deviation_curve,
+)
+from repro.experiments.significance_tables import (
+    SignificanceTable,
+    table_1,
+    table_2,
+)
+from repro.experiments.windows import (
+    DeviationSeries,
+    deviation_series,
+    sliding_windows,
+    tumbling_windows,
+)
+
+__all__ = [
+    "BasketSpec",
+    "ClassifySpec",
+    "CrossoverRow",
+    "CurveFamily",
+    "DeviationSeries",
+    "DtDeviationRow",
+    "LitsDeviationRow",
+    "MeCorrelation",
+    "MePoint",
+    "PAPER_FRACTIONS",
+    "SCALES",
+    "SampleDeviationCurve",
+    "Scale",
+    "SignificanceTable",
+    "deviation_series",
+    "dt_builder",
+    "fig14_crossover",
+    "format_crossover",
+    "dt_sd_family",
+    "figure_13",
+    "figure_14",
+    "figure_14_datasets",
+    "figure_15",
+    "figures_10_to_12",
+    "figures_7_to_9",
+    "format_curves",
+    "format_table",
+    "get_scale",
+    "lits_builder",
+    "lits_sd_family",
+    "parse_basket_name",
+    "parse_classify_name",
+    "sample_deviation",
+    "sample_deviation_curve",
+    "sliding_windows",
+    "table_1",
+    "table_2",
+    "tumbling_windows",
+]

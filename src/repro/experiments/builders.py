@@ -1,0 +1,40 @@
+"""Model-builder factories shared by the experiment harness.
+
+A *model builder* is a callable ``dataset -> Model``; the bootstrap
+qualification procedure and the sample-deviation machinery re-invoke it
+on every resample, so the entire mining pipeline sits behind this one
+seam.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.core.dtree_model import DtModel
+from repro.core.lits import LitsModel
+from repro.experiments.config import Scale
+from repro.mining.tree.builder import TreeParams
+
+
+def lits_builder(scale: Scale, min_support: float) -> Callable:
+    """A lits-model builder at the given support level."""
+
+    def build(dataset) -> LitsModel:
+        return LitsModel.mine(
+            dataset, min_support, max_len=scale.max_itemset_len
+        )
+
+    return build
+
+
+def dt_builder(scale: Scale) -> Callable:
+    """A dt-model builder with scale-appropriate stopping rules."""
+
+    def build(dataset) -> DtModel:
+        params = TreeParams(
+            max_depth=scale.tree_max_depth,
+            min_leaf=scale.tree_min_leaf(len(dataset)),
+        )
+        return DtModel.fit(dataset, params)
+
+    return build

@@ -1,0 +1,170 @@
+"""Experiment scaling (laptop-scale defaults, paper-scale on request).
+
+The paper's testbed datasets had 0.5M-1M rows and its Wilcoxon tables
+used 50 replicates per sample fraction. Re-running that takes hours on
+a laptop without changing any qualitative conclusion, so every
+experiment takes a :class:`Scale`:
+
+* :meth:`Scale.tiny` -- seconds; used by the benchmark suite.
+* :meth:`Scale.small` -- minutes; the defaults behind EXPERIMENTS.md.
+* :meth:`Scale.paper` -- the paper's sizes (1M transactions etc.).
+
+All row counts are derived from ``base_transactions`` / ``base_rows`` so
+the three-dataset-size figure families (7-9, 10-12) keep the paper's
+1 : 0.75 : 0.5 ratios.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import InvalidParameterError
+
+#: The sample fractions of Tables 1-2 and Figures 7-12.
+PAPER_FRACTIONS = (0.01, 0.05, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8)
+
+
+@dataclass(frozen=True)
+class Scale:
+    """Knobs controlling dataset sizes and replicate counts.
+
+    Attributes
+    ----------
+    base_transactions:
+        Size of the base market-basket dataset (the paper's 1M).
+    n_items:
+        Item universe (paper: 1000).
+    avg_transaction_len:
+        Mean transaction length (paper: 20).
+    n_patterns:
+        Potential patterns in the generator pool (paper: 4000).
+    avg_pattern_len:
+        Mean pattern length (paper: 4).
+    min_supports:
+        The minimum support sweep of Figures 7-9 (paper: 1%, 0.8%, 0.6%).
+    base_rows:
+        Size of the base classification dataset (the paper's 1M).
+    fractions:
+        Sample fractions for the SD-vs-SF studies.
+    n_reps:
+        Replicates per fraction for the Wilcoxon tables (paper: 50).
+    n_boot:
+        Bootstrap resamples for significance estimation.
+    max_itemset_len:
+        Cap on mined itemset size (keeps Apriori's level count bounded
+        at tiny scales; ``None`` = unbounded, as in the paper).
+    tree_max_depth / tree_min_leaf_frac:
+        dt-model induction knobs; ``min_leaf = max(10, frac * n)``.
+    """
+
+    name: str
+    base_transactions: int
+    n_items: int
+    avg_transaction_len: int
+    n_patterns: int
+    avg_pattern_len: int
+    min_supports: tuple[float, ...]
+    base_rows: int
+    fractions: tuple[float, ...] = PAPER_FRACTIONS
+    n_reps: int = 15
+    n_boot: int = 30
+    max_itemset_len: int | None = 4
+    tree_max_depth: int = 8
+    tree_min_leaf_frac: float = 0.005
+    seed: int = 1999
+
+    def __post_init__(self) -> None:
+        if self.base_transactions < 10 or self.base_rows < 10:
+            raise InvalidParameterError("base sizes must be at least 10")
+        if self.n_reps < 2:
+            raise InvalidParameterError("n_reps must be >= 2 for Wilcoxon tests")
+
+    @staticmethod
+    def tiny() -> "Scale":
+        """Seconds-scale: benchmark and CI defaults."""
+        return Scale(
+            name="tiny",
+            base_transactions=4_000,
+            n_items=100,
+            avg_transaction_len=8,
+            n_patterns=150,
+            avg_pattern_len=4,
+            min_supports=(0.02, 0.015, 0.01),
+            base_rows=4_000,
+            fractions=(0.05, 0.1, 0.2, 0.4, 0.6, 0.8),
+            n_reps=6,
+            n_boot=12,
+            max_itemset_len=3,
+            tree_max_depth=6,
+            tree_min_leaf_frac=0.01,
+        )
+
+    @staticmethod
+    def small() -> "Scale":
+        """Minutes-scale: the EXPERIMENTS.md configuration."""
+        return Scale(
+            name="small",
+            base_transactions=20_000,
+            n_items=250,
+            avg_transaction_len=10,
+            n_patterns=500,
+            avg_pattern_len=4,
+            min_supports=(0.01, 0.008, 0.006),
+            base_rows=20_000,
+            n_reps=15,
+            n_boot=30,
+            max_itemset_len=4,
+            tree_max_depth=8,
+            tree_min_leaf_frac=0.005,
+        )
+
+    @staticmethod
+    def paper() -> "Scale":
+        """The paper's sizes; expect many hours of runtime."""
+        return Scale(
+            name="paper",
+            base_transactions=1_000_000,
+            n_items=1_000,
+            avg_transaction_len=20,
+            n_patterns=4_000,
+            avg_pattern_len=4,
+            min_supports=(0.01, 0.008, 0.006),
+            base_rows=1_000_000,
+            n_reps=50,
+            n_boot=100,
+            max_itemset_len=None,
+            tree_max_depth=12,
+            tree_min_leaf_frac=0.001,
+        )
+
+    def tree_min_leaf(self, n_rows: int) -> int:
+        """The min-leaf size for a dataset of ``n_rows``."""
+        return max(10, int(self.tree_min_leaf_frac * n_rows))
+
+    def dataset_sizes(self) -> tuple[int, int, int]:
+        """The 1x / 0.75x / 0.5x sizes of the figure families."""
+        return (
+            self.base_transactions,
+            int(0.75 * self.base_transactions),
+            int(0.5 * self.base_transactions),
+        )
+
+    def row_sizes(self) -> tuple[int, int, int]:
+        """Same ratios for classification rows (Figures 10-12)."""
+        return (
+            self.base_rows,
+            int(0.75 * self.base_rows),
+            int(0.5 * self.base_rows),
+        )
+
+
+SCALES = {"tiny": Scale.tiny, "small": Scale.small, "paper": Scale.paper}
+
+
+def get_scale(name: str) -> Scale:
+    """Look up a named scale (``tiny`` / ``small`` / ``paper``)."""
+    if name not in SCALES:
+        raise InvalidParameterError(
+            f"unknown scale {name!r}; choose from {sorted(SCALES)}"
+        )
+    return SCALES[name]()

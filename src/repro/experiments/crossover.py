@@ -1,0 +1,99 @@
+"""Row-count crossover of the qualification verdicts (reproduction study).
+
+The paper's Figure 13/14 significance verdicts for the *subtle* rows —
+the same-process dataset D(1) and the 5%-block extensions — depend on
+the bootstrap null's measure-noise floor, which shrinks like
+``sqrt(regions / n)`` while the block shift stays constant. This module
+sweeps the dataset size and records when each verdict locks in to the
+paper's: blocks significant, same-process not (EXPERIMENTS.md shows the
+dt-model verdicts resolve by ~100K rows; at 400K D(1) hits the paper's
+exact significance of 10).
+
+This study is a contribution of the reproduction rather than a paper
+artifact: it quantifies how much data the qualification procedure needs
+before a 5% contamination is detectable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.data.quest_classify import generate_classification
+from repro.experiments.builders import dt_builder
+from repro.experiments.config import Scale
+from repro.stats.bootstrap import deviation_significance
+
+
+@dataclass(frozen=True)
+class CrossoverRow:
+    """Verdicts for one dataset size."""
+
+    n_rows: int
+    same_process_sig: float
+    block_sigs: tuple[float, ...]  # F2, F3, F4 blocks
+
+    @property
+    def paper_verdicts_hold(self) -> bool:
+        """Same-process insignificant AND every block significant."""
+        return self.same_process_sig < 95.0 and all(
+            s >= 95.0 for s in self.block_sigs
+        )
+
+
+def fig14_crossover(
+    row_counts: tuple[int, ...],
+    scale: Scale | None = None,
+    n_boot: int = 30,
+    block_fraction: float = 0.05,
+    seed: int = 4000,
+) -> list[CrossoverRow]:
+    """Sweep dataset sizes and qualify the Figure 14 subtle rows at each.
+
+    For every ``n`` in ``row_counts``: build the F1 base dataset, a
+    half-size same-process dataset, and three ``block_fraction``-sized
+    blocks from F2/F3/F4 appended to the base; bootstrap-qualify each
+    comparison with the fixed-structure null.
+    """
+    scale = scale or Scale.small()
+    builder = dt_builder(scale)
+    out: list[CrossoverRow] = []
+    for n in row_counts:
+        rng = np.random.default_rng(seed)
+        base = generate_classification(n, function=1, rng=rng)
+        same = generate_classification(max(n // 2, 10), function=1, rng=rng)
+        same_sig = deviation_significance(
+            base, same, builder, n_boot=n_boot, rng=rng
+        ).significance_percent
+        block_sigs = []
+        for function in (2, 3, 4):
+            block = generate_classification(
+                max(int(block_fraction * n), 1), function=function, rng=rng
+            )
+            extended = base.concat(block)
+            block_sigs.append(
+                deviation_significance(
+                    base, extended, builder, n_boot=n_boot, rng=rng
+                ).significance_percent
+            )
+        out.append(CrossoverRow(n, same_sig, tuple(block_sigs)))
+    return out
+
+
+def format_crossover(rows: list[CrossoverRow]) -> str:
+    """Paper-style text rendering of the sweep."""
+    lines = [
+        "Row-count crossover of Figure 14 verdicts "
+        "(same-process should be <95; blocks >=95):",
+        f"{'n':>10s} {'D(1) sig':>9s} {'blk F2':>7s} {'blk F3':>7s} "
+        f"{'blk F4':>7s}  verdicts",
+    ]
+    for row in rows:
+        mark = "paper" if row.paper_verdicts_hold else "under-powered"
+        b = row.block_sigs
+        lines.append(
+            f"{row.n_rows:>10d} {row.same_process_sig:>9.0f} "
+            f"{b[0]:>7.0f} {b[1]:>7.0f} {b[2]:>7.0f}  {mark}"
+        )
+    return "\n".join(lines)

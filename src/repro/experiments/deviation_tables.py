@@ -1,0 +1,196 @@
+"""Figures 13 and 14: deviation tables with bootstrap significance.
+
+Figure 13 (lits-models) compares a base dataset ``D`` against:
+
+* ``D(1)`` -- same generating process (same pattern pool), half size;
+  expected *insignificant*.
+* ``D(2)..D(4)`` -- fresh pools varying pattern count and length
+  ``(1.5P, p)``, ``(P, p+1)``, ``(1.25P, p+1)``; expected significant,
+  with pattern length the dominant influence.
+* ``D + delta(5..7)`` -- ``D`` extended with a 5%-sized block from the
+  ``D(2..4)`` processes; the paper finds the patlen-changing blocks
+  (rows 6-7) significant and the pats-only block (row 5) not.
+
+Each row reports ``delta_(f_a, g_sum)``, its bootstrap significance, the
+``delta*`` upper bound, and wall-clock times for ``delta`` (including
+the dataset scans) and ``delta*`` (models only).
+
+Figure 14 repeats the design with dt-models on the classification
+generator (functions F1-F4 and 5% blocks), reporting ``delta`` and its
+significance; Figure 15's ME correlation reuses these datasets.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.deviation import deviation
+from repro.core.upper_bound import upper_bound_deviation
+from repro.data.quest_basket import build_pattern_pool, generate_basket
+from repro.data.quest_classify import generate_classification
+from repro.experiments.builders import dt_builder, lits_builder
+from repro.experiments.config import Scale
+from repro.stats.bootstrap import deviation_significance
+
+
+@dataclass(frozen=True)
+class LitsDeviationRow:
+    """One row of Figure 13."""
+
+    label: str
+    delta: float
+    significance: float
+    delta_star: float
+    time_delta: float
+    time_delta_star: float
+
+
+@dataclass(frozen=True)
+class DtDeviationRow:
+    """One row of Figure 14."""
+
+    label: str
+    delta: float
+    significance: float
+
+
+def _lits_variant_specs(scale: Scale) -> list[tuple[str, float, float, bool]]:
+    """(label, pats_factor, plen_delta, is_block) for rows (2)..(7)."""
+    return [
+        ("D(2)", 1.5, 0, False),
+        ("D(3)", 1.0, 1, False),
+        ("D(4)", 1.25, 1, False),
+        ("D+d(5)", 1.5, 0, True),
+        ("D+d(6)", 1.0, 1, True),
+        ("D+d(7)", 1.25, 1, True),
+    ]
+
+
+def figure_13(scale: Scale, n_boot: int | None = None) -> list[LitsDeviationRow]:
+    """The lits deviation table (Figure 13), at the given scale."""
+    rng = np.random.default_rng(scale.seed + 3000)
+    n_boot = n_boot if n_boot is not None else scale.n_boot
+    min_support = scale.min_supports[0]
+    builder = lits_builder(scale, min_support)
+
+    pool = build_pattern_pool(
+        rng,
+        n_items=scale.n_items,
+        n_patterns=scale.n_patterns,
+        avg_pattern_len=scale.avg_pattern_len,
+    )
+    base = generate_basket(
+        scale.base_transactions,
+        n_items=scale.n_items,
+        avg_transaction_len=scale.avg_transaction_len,
+        rng=rng,
+        pool=pool,
+    )
+    base_model = builder(base)
+
+    comparisons: list[tuple[str, object]] = []
+    # Row (1): same process, half the size.
+    same_process = generate_basket(
+        scale.base_transactions // 2,
+        n_items=scale.n_items,
+        avg_transaction_len=scale.avg_transaction_len,
+        rng=rng,
+        pool=pool,
+    )
+    comparisons.append(("D(1)", same_process))
+    for label, pats_factor, plen_delta, is_block in _lits_variant_specs(scale):
+        variant_pool = build_pattern_pool(
+            rng,
+            n_items=scale.n_items,
+            n_patterns=int(scale.n_patterns * pats_factor),
+            avg_pattern_len=scale.avg_pattern_len + plen_delta,
+        )
+        size = (
+            max(1, int(0.05 * scale.base_transactions))
+            if is_block
+            else scale.base_transactions
+        )
+        variant = generate_basket(
+            size,
+            n_items=scale.n_items,
+            avg_transaction_len=scale.avg_transaction_len,
+            rng=rng,
+            pool=variant_pool,
+        )
+        comparisons.append((label, base.concat(variant) if is_block else variant))
+
+    rows: list[LitsDeviationRow] = []
+    for label, other in comparisons:
+        other_model = builder(other)
+
+        # Time delta including the dataset scans (rebuild both indexes).
+        base.drop_index()
+        other.drop_index()
+        t0 = time.perf_counter()
+        delta = deviation(base_model, other_model, base, other).value
+        time_delta = time.perf_counter() - t0
+
+        t0 = time.perf_counter()
+        delta_star = upper_bound_deviation(base_model, other_model).value
+        time_delta_star = time.perf_counter() - t0
+
+        sig = deviation_significance(
+            base, other, builder, n_boot=n_boot, rng=rng
+        ).significance_percent
+        rows.append(
+            LitsDeviationRow(
+                label=label,
+                delta=delta,
+                significance=sig,
+                delta_star=delta_star,
+                time_delta=time_delta,
+                time_delta_star=time_delta_star,
+            )
+        )
+    return rows
+
+
+def figure_14_datasets(scale: Scale) -> tuple[object, list[tuple[str, object]]]:
+    """The base F1 dataset and the labelled comparison datasets."""
+    rng = np.random.default_rng(scale.seed + 4000)
+    base = generate_classification(scale.base_rows, function=1, rng=rng)
+    comparisons: list[tuple[str, object]] = [
+        (
+            "D(1)",
+            generate_classification(scale.base_rows // 2, function=1, rng=rng),
+        )
+    ]
+    for i, function in enumerate((2, 3, 4), start=2):
+        comparisons.append(
+            (
+                f"D({i})",
+                generate_classification(scale.base_rows, function=function, rng=rng),
+            )
+        )
+    block_size = max(1, int(0.05 * scale.base_rows))
+    for i, function in enumerate((2, 3, 4), start=5):
+        block = generate_classification(block_size, function=function, rng=rng)
+        comparisons.append((f"D+d({i})", base.concat(block)))
+    return base, comparisons
+
+
+def figure_14(scale: Scale, n_boot: int | None = None) -> list[DtDeviationRow]:
+    """The dt deviation table (Figure 14), at the given scale."""
+    n_boot = n_boot if n_boot is not None else scale.n_boot
+    builder = dt_builder(scale)
+    base, comparisons = figure_14_datasets(scale)
+    base_model = builder(base)
+    rng = np.random.default_rng(scale.seed + 4500)
+
+    rows: list[DtDeviationRow] = []
+    for label, other in comparisons:
+        other_model = builder(other)
+        delta = deviation(base_model, other_model, base, other).value
+        sig = deviation_significance(
+            base, other, builder, n_boot=n_boot, rng=rng
+        ).significance_percent
+        rows.append(DtDeviationRow(label=label, delta=delta, significance=sig))
+    return rows

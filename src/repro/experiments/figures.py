@@ -1,0 +1,114 @@
+"""SD-versus-SF curve families (Figures 7-9 and 10-12).
+
+* Figures 7-9: lits-model sample deviations for three dataset sizes
+  (1x, 0.75x, 0.5x of the base) at three minimum support levels. The
+  paper's shapes: SD falls steeply with SF then flattens past ~0.3, and
+  lower support levels sit on higher curves (harder models need bigger
+  samples).
+* Figures 10-12: dt-model sample deviations for three dataset sizes and
+  classification functions F1-F4.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.data.quest_basket import generate_basket
+from repro.data.quest_classify import generate_classification
+from repro.experiments.builders import dt_builder, lits_builder
+from repro.experiments.config import Scale
+from repro.experiments.naming import BasketSpec, ClassifySpec
+from repro.experiments.sample_size import (
+    SampleDeviationCurve,
+    sample_deviation_curve,
+)
+
+
+@dataclass(frozen=True)
+class CurveFamily:
+    """One figure: several labelled SD-vs-SF curves over one dataset."""
+
+    figure: str
+    dataset_name: str
+    curves: tuple[SampleDeviationCurve, ...]
+
+
+def lits_sd_family(
+    scale: Scale, n_transactions: int, figure: str, seed_offset: int = 0
+) -> CurveFamily:
+    """One of Figures 7-9: SD vs SF at each support level of the scale."""
+    rng = np.random.default_rng(scale.seed + seed_offset)
+    dataset = generate_basket(
+        n_transactions,
+        n_items=scale.n_items,
+        avg_transaction_len=scale.avg_transaction_len,
+        n_patterns=scale.n_patterns,
+        avg_pattern_len=scale.avg_pattern_len,
+        rng=rng,
+    )
+    spec = BasketSpec(
+        n_transactions,
+        scale.avg_transaction_len,
+        scale.n_items,
+        scale.n_patterns,
+        scale.avg_pattern_len,
+    )
+    curves = []
+    for min_support in scale.min_supports:
+        curve = sample_deviation_curve(
+            dataset,
+            lits_builder(scale, min_support),
+            scale.fractions,
+            scale.n_reps,
+            rng,
+            label=f"f_a,g_sum;minSup={min_support:g}",
+        )
+        curves.append(curve)
+    return CurveFamily(figure, spec.name(), tuple(curves))
+
+
+def dt_sd_family(
+    scale: Scale,
+    n_rows: int,
+    figure: str,
+    functions: tuple[int, ...] = (1, 2, 3, 4),
+    seed_offset: int = 0,
+) -> CurveFamily:
+    """One of Figures 10-12: SD vs SF per classification function."""
+    rng = np.random.default_rng(scale.seed + 100 + seed_offset)
+    curves = []
+    for function in functions:
+        dataset = generate_classification(n_rows, function=function, rng=rng)
+        curve = sample_deviation_curve(
+            dataset,
+            dt_builder(scale),
+            scale.fractions,
+            scale.n_reps,
+            rng,
+            label=f"f_a,g_sum:F{function}",
+        )
+        curves.append(curve)
+    name = ClassifySpec(n_rows, 0).name().replace(".F0", " tuples")
+    return CurveFamily(figure, name, tuple(curves))
+
+
+def figures_7_to_9(scale: Scale) -> list[CurveFamily]:
+    """The three lits SD-vs-SF figures (sizes 1x, 0.75x, 0.5x)."""
+    sizes = scale.dataset_sizes()
+    return [
+        lits_sd_family(scale, sizes[0], "Figure 7", seed_offset=0),
+        lits_sd_family(scale, sizes[1], "Figure 8", seed_offset=1),
+        lits_sd_family(scale, sizes[2], "Figure 9", seed_offset=2),
+    ]
+
+
+def figures_10_to_12(scale: Scale) -> list[CurveFamily]:
+    """The three dt SD-vs-SF figures (sizes 1x, 0.75x, 0.5x)."""
+    sizes = scale.row_sizes()
+    return [
+        dt_sd_family(scale, sizes[0], "Figure 10", seed_offset=0),
+        dt_sd_family(scale, sizes[1], "Figure 11", seed_offset=1),
+        dt_sd_family(scale, sizes[2], "Figure 12", seed_offset=2),
+    ]

@@ -1,0 +1,61 @@
+"""Figure 15: misclassification error versus deviation.
+
+The paper plots, for each second dataset (the ``D(2)..D(4)`` function
+variants and the ``D + delta`` block extensions), the misclassification
+error of the base tree on that dataset against the FOCUS deviation
+between the two datasets -- and finds "a strong positive correlation".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.deviation import deviation
+from repro.core.monitoring import misclassification_error
+from repro.experiments.builders import dt_builder
+from repro.experiments.config import Scale
+from repro.experiments.deviation_tables import figure_14_datasets
+from repro.stats.descriptive import pearson_correlation
+
+
+@dataclass(frozen=True)
+class MePoint:
+    """One scatter point of Figure 15."""
+
+    label: str
+    deviation: float
+    misclassification: float
+
+
+@dataclass(frozen=True)
+class MeCorrelation:
+    """The Figure 15 scatter plus its Pearson correlation."""
+
+    points: tuple[MePoint, ...]
+    pearson_r: float
+
+
+def figure_15(scale: Scale) -> MeCorrelation:
+    """Compute the ME-vs-deviation scatter of Figure 15.
+
+    Uses the experimental setup of Figure 14 (base ``1M.F1``-style
+    dataset, variants F2-F4, and 5% block extensions), excluding the
+    same-process row which contributes no meaningful error spread.
+    """
+    builder = dt_builder(scale)
+    base, comparisons = figure_14_datasets(scale)
+    base_model = builder(base)
+
+    points: list[MePoint] = []
+    for label, other in comparisons:
+        if label == "D(1)":
+            continue  # same process: not part of the paper's scatter
+        other_model = builder(other)
+        delta = deviation(base_model, other_model, base, other).value
+        me = misclassification_error(base_model, other)
+        points.append(MePoint(label, delta, me))
+
+    r = pearson_correlation(
+        [p.deviation for p in points], [p.misclassification for p in points]
+    )
+    return MeCorrelation(tuple(points), r)

@@ -1,0 +1,112 @@
+"""The paper's dataset naming conventions.
+
+Section 6.1 names market-basket datasets ``NM.tlL.kI.PPpats.pplen``
+("``N`` million transactions, average transaction length ``tl``, ``k``
+thousand items, ``PP`` thousand patterns, average pattern length ``p``")
+and classification datasets ``NM.Fnum`` (``N`` million tuples generated
+with classification function ``num``). This module parses and formats
+both so experiment reports can label rows exactly as the paper does --
+including scaled-down sizes, which render with their true row counts
+(e.g. ``20K.10L.0.25I.0.5pats.4plen``).
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+from repro.errors import InvalidParameterError
+
+
+@dataclass(frozen=True)
+class BasketSpec:
+    """Parameters of a Quest market-basket dataset."""
+
+    n_transactions: int
+    avg_transaction_len: int
+    n_items: int
+    n_patterns: int
+    avg_pattern_len: int
+
+    def name(self) -> str:
+        return (
+            f"{_fmt_count(self.n_transactions)}."
+            f"{self.avg_transaction_len}L."
+            f"{_fmt_thousands(self.n_items)}I."
+            f"{_fmt_thousands(self.n_patterns)}pats."
+            f"{self.avg_pattern_len}plen"
+        )
+
+
+@dataclass(frozen=True)
+class ClassifySpec:
+    """Parameters of a classification dataset."""
+
+    n_rows: int
+    function: int
+
+    def name(self) -> str:
+        return f"{_fmt_count(self.n_rows)}.F{self.function}"
+
+
+def _fmt_count(n: int) -> str:
+    if n % 1_000_000 == 0 and n >= 1_000_000:
+        return f"{n // 1_000_000}M"
+    if n % 1_000 == 0 and n >= 1_000:
+        return f"{n // 1_000}K"
+    return str(n)
+
+
+def _fmt_thousands(n: int) -> str:
+    if n % 1_000 == 0 and n >= 1_000:
+        return str(n // 1_000)
+    return f"{n / 1_000:g}"
+
+
+def _parse_count(token: str) -> int:
+    token = token.strip()
+    match = re.fullmatch(r"(\d+(?:\.\d+)?)([MK]?)", token)
+    if not match:
+        raise InvalidParameterError(f"cannot parse count {token!r}")
+    value = float(match.group(1))
+    unit = match.group(2)
+    if unit == "M":
+        value *= 1_000_000
+    elif unit == "K":
+        value *= 1_000
+    return int(round(value))
+
+
+def parse_basket_name(name: str) -> BasketSpec:
+    """Parse ``1M.20L.1K.4000pats.4patlen``-style names.
+
+    Accepts the paper's two spellings (``4patlen`` / ``4plen`` and
+    ``1K``-items vs bare ``1I`` thousands).
+    """
+    match = re.fullmatch(
+        r"([\d.]+[MK]?)\.(\d+)L\.([\d.]+)[KI]?I?\.([\d.]+[MK]?)pats\.(\d+)p(?:at)?len",
+        name,
+    )
+    if not match:
+        raise InvalidParameterError(f"cannot parse basket dataset name {name!r}")
+    n_txn = _parse_count(match.group(1))
+    tl = int(match.group(2))
+    items_token = match.group(3)
+    n_items = int(round(float(items_token) * 1_000))
+    pats_token = match.group(4)
+    if pats_token.endswith(("M", "K")):
+        n_patterns = _parse_count(pats_token)
+    else:
+        value = float(pats_token)
+        # Paper writes both "4000pats" (absolute) and "4pats" (thousands).
+        n_patterns = int(round(value * 1_000)) if value < 100 else int(round(value))
+    plen = int(match.group(5))
+    return BasketSpec(n_txn, tl, n_items, n_patterns, plen)
+
+
+def parse_classify_name(name: str) -> ClassifySpec:
+    """Parse ``1M.F1``-style names."""
+    match = re.fullmatch(r"([\d.]+[MK]?)\.F(\d+)", name)
+    if not match:
+        raise InvalidParameterError(f"cannot parse classify dataset name {name!r}")
+    return ClassifySpec(_parse_count(match.group(1)), int(match.group(2)))

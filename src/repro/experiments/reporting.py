@@ -1,0 +1,87 @@
+"""Plain-text rendering of experiment results (tables and curves).
+
+The harness prints the same rows/series the paper reports; these helpers
+format them as aligned ASCII tables and simple character plots so a
+benchmark run's output can be eyeballed against the paper's figures.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence[object]]) -> str:
+    """An aligned ASCII table with a header rule."""
+    str_rows = [[_cell(v) for v in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    line = "  ".join(h.ljust(widths[i]) for i, h in enumerate(headers))
+    rule = "-" * len(line)
+    body = [
+        "  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row))
+        for row in str_rows
+    ]
+    return "\n".join([line, rule, *body])
+
+
+def _cell(value: object) -> str:
+    if isinstance(value, float):
+        return f"{value:.4g}"
+    return str(value)
+
+
+def format_curves(
+    xs: Sequence[float],
+    series: Sequence[tuple[str, Sequence[float]]],
+    width: int = 60,
+    height: int = 16,
+    x_label: str = "SF",
+    y_label: str = "SD",
+) -> str:
+    """A character-cell line plot of several series over shared x values.
+
+    Each series is drawn with its own marker; the legend maps markers to
+    labels. Good enough to see the shape of the paper's SD-vs-SF curves
+    in a terminal.
+    """
+    markers = "*o+x#@%&"
+    all_y = [y for _, ys in series for y in ys]
+    if not all_y:
+        return "(no data)"
+    y_min, y_max = min(all_y), max(all_y)
+    if y_max == y_min:
+        y_max = y_min + 1.0
+    x_min, x_max = min(xs), max(xs)
+    if x_max == x_min:
+        x_max = x_min + 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    for s_idx, (_, ys) in enumerate(series):
+        marker = markers[s_idx % len(markers)]
+        for x, y in zip(xs, ys):
+            col = int((x - x_min) / (x_max - x_min) * (width - 1))
+            row = int((y - y_min) / (y_max - y_min) * (height - 1))
+            grid[height - 1 - row][col] = marker
+
+    lines = []
+    for i, row_cells in enumerate(grid):
+        if i == 0:
+            prefix = f"{y_max:8.4g} |"
+        elif i == height - 1:
+            prefix = f"{y_min:8.4g} |"
+        else:
+            prefix = " " * 8 + " |"
+        lines.append(prefix + "".join(row_cells))
+    lines.append(" " * 9 + "+" + "-" * width)
+    lines.append(
+        " " * 9
+        + f" {x_min:g}"
+        + " " * max(1, width - len(f"{x_min:g}") - len(f"{x_max:g}") - 2)
+        + f"{x_max:g}  ({x_label})"
+    )
+    for s_idx, (label, _) in enumerate(series):
+        lines.append(f"  {markers[s_idx % len(markers)]} = {label}")
+    lines.append(f"  (y axis: {y_label})")
+    return "\n".join(lines)

@@ -1,0 +1,210 @@
+"""Run every table and figure of the paper and print paper-style output.
+
+Usage::
+
+    python -m repro.experiments.runner --scale tiny --experiment all
+    python -m repro.experiments.runner --scale small --experiment table1
+
+Each experiment prints the same rows/series the paper reports (Tables
+1-2, Figures 7-15). See EXPERIMENTS.md for the recorded paper-vs-measured
+comparison.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.experiments.config import Scale, get_scale
+from repro.experiments.deviation_tables import figure_13, figure_14
+from repro.experiments.figures import figures_7_to_9, figures_10_to_12
+from repro.experiments.me_correlation import figure_15
+from repro.experiments.reporting import format_curves, format_table
+from repro.experiments.significance_tables import table_1, table_2
+
+
+def run_table_1(scale: Scale) -> str:
+    result = table_1(scale)
+    rows = result.rows()
+    out = [
+        f"Table 1 ({result.dataset_name}): lits-models -- % significance of "
+        f"increase in representativeness with sample size",
+        format_table(
+            ["Sample Fraction", *[c[0] for c in rows]],
+            [["Significance", *[c[1] for c in rows]]],
+        ),
+    ]
+    return "\n".join(out)
+
+
+def run_table_2(scale: Scale) -> str:
+    result = table_2(scale)
+    rows = result.rows()
+    out = [
+        f"Table 2 ({result.dataset_name}): dt-models -- % significance of "
+        f"decrease in sample deviation with sample fraction",
+        format_table(
+            ["Sample Fraction", *[c[0] for c in rows]],
+            [["Significance", *[c[1] for c in rows]]],
+        ),
+    ]
+    return "\n".join(out)
+
+
+def run_figures_7_9(scale: Scale) -> str:
+    out = []
+    for family in figures_7_to_9(scale):
+        series = [(c.label, list(c.means())) for c in family.curves]
+        out.append(f"{family.figure}: SD vs SF -- lits-models: {family.dataset_name}")
+        out.append(format_curves(list(family.curves[0].fractions), series))
+        out.append(
+            format_table(
+                ["minsup \\ SF", *[f"{f:g}" for f in family.curves[0].fractions]],
+                [
+                    [c.label, *[f"{v:.4g}" for v in c.means()]]
+                    for c in family.curves
+                ],
+            )
+        )
+    return "\n\n".join(out)
+
+
+def run_figures_10_12(scale: Scale) -> str:
+    out = []
+    for family in figures_10_to_12(scale):
+        series = [(c.label, list(c.means())) for c in family.curves]
+        out.append(f"{family.figure}: SD vs SF -- dt-models: {family.dataset_name}")
+        out.append(format_curves(list(family.curves[0].fractions), series))
+        out.append(
+            format_table(
+                ["function \\ SF", *[f"{f:g}" for f in family.curves[0].fractions]],
+                [
+                    [c.label, *[f"{v:.4g}" for v in c.means()]]
+                    for c in family.curves
+                ],
+            )
+        )
+    return "\n\n".join(out)
+
+
+def run_figure_13(scale: Scale) -> str:
+    rows = figure_13(scale)
+    return "\n".join(
+        [
+            "Figure 13: lits deviations with D (base dataset)",
+            format_table(
+                [
+                    "Dataset",
+                    "delta",
+                    "% sig(delta)",
+                    "delta*",
+                    "t(delta) s",
+                    "t(delta*) s",
+                ],
+                [
+                    [
+                        r.label,
+                        f"{r.delta:.4f}",
+                        f"{r.significance:.0f}",
+                        f"{r.delta_star:.4f}",
+                        f"{r.time_delta:.3f}",
+                        f"{r.time_delta_star:.4f}",
+                    ]
+                    for r in rows
+                ],
+            ),
+        ]
+    )
+
+
+def run_figure_14(scale: Scale) -> str:
+    rows = figure_14(scale)
+    return "\n".join(
+        [
+            "Figure 14: dt deviations with D (base dataset, F1)",
+            format_table(
+                ["ID", "delta", "% sig(delta)"],
+                [
+                    [r.label, f"{r.delta:.4f}", f"{r.significance:.0f}"]
+                    for r in rows
+                ],
+            ),
+        ]
+    )
+
+
+def run_figure_15(scale: Scale) -> str:
+    result = figure_15(scale)
+    return "\n".join(
+        [
+            "Figure 15: misclassification error vs deviation "
+            f"(Pearson r = {result.pearson_r:.3f})",
+            format_table(
+                ["Dataset", "Deviation", "ME"],
+                [
+                    [p.label, f"{p.deviation:.4f}", f"{p.misclassification:.4f}"]
+                    for p in result.points
+                ],
+            ),
+        ]
+    )
+
+
+def run_crossover(scale: Scale) -> str:
+    """Reproduction study: row counts at which the Fig. 14 verdicts hold."""
+    from repro.experiments.crossover import fig14_crossover, format_crossover
+
+    row_counts = (scale.base_rows, 5 * scale.base_rows, 20 * scale.base_rows)
+    rows = fig14_crossover(row_counts, scale=scale, n_boot=scale.n_boot)
+    return format_crossover(rows)
+
+
+EXPERIMENTS = {
+    "table1": run_table_1,
+    "table2": run_table_2,
+    "fig7-9": run_figures_7_9,
+    "fig10-12": run_figures_10_12,
+    "fig13": run_figure_13,
+    "fig14": run_figure_14,
+    "fig15": run_figure_15,
+}
+
+#: Additional studies not in the paper; run explicitly by name.
+EXTRA_EXPERIMENTS = {"crossover": run_crossover}
+
+
+def run_all(scale: Scale, stream=None) -> None:
+    """Run every experiment, printing results as they complete."""
+    stream = stream or sys.stdout
+    for name, runner in EXPERIMENTS.items():
+        start = time.perf_counter()
+        output = runner(scale)
+        elapsed = time.perf_counter() - start
+        print(f"\n=== {name} (scale={scale.name}, {elapsed:.1f}s) ===", file=stream)
+        print(output, file=stream)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--scale", default="tiny", choices=["tiny", "small", "paper"]
+    )
+    parser.add_argument(
+        "--experiment",
+        default="all",
+        choices=["all", *EXPERIMENTS, *EXTRA_EXPERIMENTS],
+    )
+    args = parser.parse_args(argv)
+    scale = get_scale(args.scale)
+    if args.experiment == "all":
+        run_all(scale)
+    elif args.experiment in EXTRA_EXPERIMENTS:
+        print(EXTRA_EXPERIMENTS[args.experiment](scale))
+    else:
+        print(EXPERIMENTS[args.experiment](scale))
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,110 @@
+"""Sample-deviation machinery (Section 6: effect of sample size).
+
+The *sample deviation* (SD) of a random sample ``S`` drawn from ``D`` is
+``delta(M, M_S)`` -- the FOCUS deviation between the model induced by the
+full dataset and the model induced by the sample. Section 6 studies SD
+as a function of the sample fraction (SF) and tests, with the Wilcoxon
+rank-sum test over sets of replicates, whether each increase in sample
+size decreases SD significantly (Tables 1 and 2).
+
+Everything here is model-class agnostic: pass a ``model_builder``
+callable and the same machinery produces the lits curves of Figures 7-9
+and the dt curves of Figures 10-12.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.core.aggregate import SUM, AggregateFunction
+from repro.core.deviation import deviation
+from repro.core.difference import ABSOLUTE, DifferenceFunction
+from repro.data.sampling import sample
+from repro.errors import InvalidParameterError
+from repro.stats.wilcoxon import rank_sum_test
+
+
+@dataclass(frozen=True)
+class SampleDeviationCurve:
+    """SD replicates per sample fraction, plus the summary curve."""
+
+    fractions: tuple[float, ...]
+    replicates: dict[float, np.ndarray]
+    label: str = ""
+
+    def means(self) -> np.ndarray:
+        """Mean SD per fraction (the curves of Figures 7-12)."""
+        return np.array([self.replicates[f].mean() for f in self.fractions])
+
+    def significance_of_decrease(self) -> list[tuple[float, float]]:
+        """Per-fraction Wilcoxon significance of the SD decrease.
+
+        Entry ``i`` tests fraction ``s_i`` against ``s_{i+1}``: the
+        alternative is that SDs at the larger fraction are smaller. The
+        returned significance is the paper's ``100(1 - alpha)%``. The
+        last fraction has no successor, matching the '-' cells of
+        Tables 1 and 2.
+        """
+        out: list[tuple[float, float]] = []
+        for i in range(len(self.fractions) - 1):
+            lower = self.replicates[self.fractions[i]]
+            higher = self.replicates[self.fractions[i + 1]]
+            result = rank_sum_test(higher, lower, alternative="less")
+            out.append((self.fractions[i], result.significance_percent))
+        return out
+
+
+def sample_deviation(
+    dataset,
+    full_model,
+    model_builder: Callable,
+    fraction: float,
+    rng: np.random.Generator,
+    f: DifferenceFunction = ABSOLUTE,
+    g: AggregateFunction = SUM,
+    replace: bool = True,
+) -> float:
+    """One SD draw: sample, re-induce, and measure ``delta(M, M_S)``."""
+    s = sample(dataset, fraction, rng, replace=replace)
+    sample_model = model_builder(s)
+    return deviation(full_model, sample_model, dataset, s, f=f, g=g).value
+
+
+def sample_deviation_curve(
+    dataset,
+    model_builder: Callable,
+    fractions: Sequence[float],
+    n_reps: int,
+    rng: np.random.Generator,
+    f: DifferenceFunction = ABSOLUTE,
+    g: AggregateFunction = SUM,
+    replace: bool = True,
+    label: str = "",
+) -> SampleDeviationCurve:
+    """SD replicates for every sample fraction.
+
+    The full model is induced once; each replicate draws a fresh sample
+    of the given fraction and re-induces the sample model.
+    """
+    if n_reps < 1:
+        raise InvalidParameterError("n_reps must be >= 1")
+    full_model = model_builder(dataset)
+    replicates: dict[float, np.ndarray] = {}
+    for fraction in fractions:
+        values = np.empty(n_reps)
+        for r in range(n_reps):
+            values[r] = sample_deviation(
+                dataset,
+                full_model,
+                model_builder,
+                fraction,
+                rng,
+                f=f,
+                g=g,
+                replace=replace,
+            )
+        replicates[fraction] = values
+    return SampleDeviationCurve(tuple(fractions), replicates, label=label)

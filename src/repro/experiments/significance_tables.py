@@ -1,0 +1,88 @@
+"""Tables 1 and 2: significance of the SD decrease with sample size.
+
+For each consecutive pair of sample fractions ``s_i -> s_{i+1}``, the
+Wilcoxon rank-sum test (over ``n_reps`` SD replicates per fraction)
+measures the confidence that the larger sample is more representative.
+The paper reports 99.99% almost everywhere for lits-models (Table 1)
+and high-but-noisier values for dt-models (Table 2: 79-99.99).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.data.quest_basket import generate_basket
+from repro.data.quest_classify import generate_classification
+from repro.experiments.builders import dt_builder, lits_builder
+from repro.experiments.config import Scale
+from repro.experiments.naming import BasketSpec, ClassifySpec
+from repro.experiments.sample_size import sample_deviation_curve
+
+
+@dataclass(frozen=True)
+class SignificanceTable:
+    """One of Tables 1/2: significance per fraction step."""
+
+    table: str
+    dataset_name: str
+    fractions: tuple[float, ...]
+    significances: tuple[float, ...]  # aligned with fractions[:-1]
+
+    def rows(self) -> list[tuple[str, str]]:
+        """(fraction, significance%) cells, '-' for the last fraction."""
+        cells = [
+            (f"{f:g}", f"{s:.2f}")
+            for f, s in zip(self.fractions[:-1], self.significances)
+        ]
+        cells.append((f"{self.fractions[-1]:g}", "-"))
+        return cells
+
+
+def table_1(scale: Scale) -> SignificanceTable:
+    """lits-models: % significance of representativeness increase."""
+    rng = np.random.default_rng(scale.seed + 1000)
+    dataset = generate_basket(
+        scale.base_transactions,
+        n_items=scale.n_items,
+        avg_transaction_len=scale.avg_transaction_len,
+        n_patterns=scale.n_patterns,
+        avg_pattern_len=scale.avg_pattern_len,
+        rng=rng,
+    )
+    curve = sample_deviation_curve(
+        dataset,
+        lits_builder(scale, scale.min_supports[0]),
+        scale.fractions,
+        scale.n_reps,
+        rng,
+        label="table1",
+    )
+    sig = tuple(s for _, s in curve.significance_of_decrease())
+    spec = BasketSpec(
+        scale.base_transactions,
+        scale.avg_transaction_len,
+        scale.n_items,
+        scale.n_patterns,
+        scale.avg_pattern_len,
+    )
+    return SignificanceTable("Table 1", spec.name(), scale.fractions, sig)
+
+
+def table_2(scale: Scale) -> SignificanceTable:
+    """dt-models: % significance of SD decrease with sample fraction."""
+    rng = np.random.default_rng(scale.seed + 2000)
+    dataset = generate_classification(scale.base_rows, function=1, rng=rng)
+    curve = sample_deviation_curve(
+        dataset,
+        dt_builder(scale),
+        scale.fractions,
+        scale.n_reps,
+        rng,
+        label="table2",
+    )
+    sig = tuple(s for _, s in curve.significance_of_decrease())
+    return SignificanceTable(
+        "Table 2", ClassifySpec(scale.base_rows, 1).name(), scale.fractions, sig
+    )

@@ -1,0 +1,21 @@
+"""Mining substrates: Apriori, FP-growth, decision trees, and clustering."""
+
+from repro.mining.apriori import apriori
+from repro.mining.fpgrowth import fpgrowth
+from repro.mining.itemsets import (
+    brute_force_frequent,
+    brute_force_support_count,
+    sort_itemsets,
+    support_counts,
+    supports,
+)
+
+__all__ = [
+    "apriori",
+    "brute_force_frequent",
+    "brute_force_support_count",
+    "fpgrowth",
+    "sort_itemsets",
+    "support_counts",
+    "supports",
+]

@@ -1,0 +1,6 @@
+"""Clustering substrates: grid-density clustering and k-means."""
+
+from repro.mining.cluster.grid import Grid, GridClustering, grid_cluster
+from repro.mining.cluster.kmeans import KMeans
+
+__all__ = ["Grid", "GridClustering", "KMeans", "grid_cluster"]

@@ -1,0 +1,90 @@
+"""Lloyd's k-means over the numeric attributes of a tabular dataset.
+
+Used by the cluster-model examples: the fitted centroids are rasterised
+onto a grid (each cell labelled by its nearest centroid), which turns a
+k-means clustering into the box-partition form that FOCUS cluster-models
+require (Section 2.4 treats cluster-models as a special case of
+dt-models).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.data.tabular import TabularDataset
+from repro.errors import InvalidParameterError, NotFittedError
+
+
+@dataclass
+class KMeans:
+    """Standard Lloyd iterations with k-means++ style seeding."""
+
+    n_clusters: int
+    max_iter: int = 100
+    tol: float = 1e-6
+    centroids: np.ndarray | None = None
+
+    def _numeric_matrix(self, dataset: TabularDataset) -> np.ndarray:
+        numeric_idx = [
+            i for i, a in enumerate(dataset.space.attributes) if a.is_numeric
+        ]
+        if not numeric_idx:
+            raise InvalidParameterError("k-means needs at least one numeric attribute")
+        return dataset.X[:, numeric_idx]
+
+    def fit(self, dataset: TabularDataset, rng: np.random.Generator) -> "KMeans":
+        """Fit centroids; returns ``self`` for chaining."""
+        X = self._numeric_matrix(dataset)
+        n = X.shape[0]
+        if self.n_clusters < 1 or self.n_clusters > n:
+            raise InvalidParameterError(
+                f"n_clusters must be in [1, {n}], got {self.n_clusters}"
+            )
+        # k-means++ seeding: first uniform, rest proportional to D^2.
+        centroids = [X[int(rng.integers(0, n))]]
+        while len(centroids) < self.n_clusters:
+            d2 = np.min(
+                ((X[:, None, :] - np.array(centroids)[None, :, :]) ** 2).sum(-1),
+                axis=1,
+            )
+            total = d2.sum()
+            if total <= 0:
+                centroids.append(X[int(rng.integers(0, n))])
+                continue
+            centroids.append(X[int(rng.choice(n, p=d2 / total))])
+        C = np.array(centroids)
+
+        for _ in range(self.max_iter):
+            assign = np.argmin(
+                ((X[:, None, :] - C[None, :, :]) ** 2).sum(-1), axis=1
+            )
+            new_C = C.copy()
+            for k in range(self.n_clusters):
+                members = X[assign == k]
+                if len(members):
+                    new_C[k] = members.mean(axis=0)
+            shift = float(np.abs(new_C - C).max())
+            C = new_C
+            if shift < self.tol:
+                break
+        self.centroids = C
+        return self
+
+    def predict(self, dataset: TabularDataset) -> np.ndarray:
+        """Nearest-centroid assignment per row."""
+        if self.centroids is None:
+            raise NotFittedError("call fit() before predict()")
+        X = self._numeric_matrix(dataset)
+        return np.argmin(
+            ((X[:, None, :] - self.centroids[None, :, :]) ** 2).sum(-1), axis=1
+        ).astype(np.int64)
+
+    def inertia(self, dataset: TabularDataset) -> float:
+        """Total within-cluster squared distance (quality diagnostic)."""
+        if self.centroids is None:
+            raise NotFittedError("call fit() before inertia()")
+        X = self._numeric_matrix(dataset)
+        d2 = ((X[:, None, :] - self.centroids[None, :, :]) ** 2).sum(-1)
+        return float(d2.min(axis=1).sum())

@@ -1,0 +1,27 @@
+"""CART-style decision trees (the paper's RainForest/CART substrate)."""
+
+from repro.mining.tree.builder import TreeParams, build_tree
+from repro.mining.tree.splits import (
+    CategoricalSplit,
+    NumericSplit,
+    best_categorical_split,
+    best_numeric_split,
+    best_split,
+    entropy,
+    gini,
+)
+from repro.mining.tree.tree import DecisionTree, Node
+
+__all__ = [
+    "CategoricalSplit",
+    "DecisionTree",
+    "Node",
+    "NumericSplit",
+    "TreeParams",
+    "best_categorical_split",
+    "best_numeric_split",
+    "best_split",
+    "build_tree",
+    "entropy",
+    "gini",
+]

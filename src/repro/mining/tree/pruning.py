@@ -1,0 +1,162 @@
+"""Cost-complexity (weakest-link) pruning, per CART (Breiman et al., ch. 3).
+
+The paper's dt-models come from "a scalable version of the widely
+studied CART algorithm"; CART's full recipe prunes the grown tree by
+minimising ``R_alpha(T) = R(T) + alpha * |leaves(T)|`` where ``R`` is
+the training misclassification count. Increasing ``alpha`` collapses
+internal nodes in weakest-link order, producing the nested subtree
+sequence ``T_0 > T_1 > ... > {root}``; a validation set (or a fixed
+``alpha``) selects the final tree.
+
+Pruned trees remain ordinary :class:`DecisionTree` objects, so every
+FOCUS computation (deviation, focussing, monitoring) works on them
+unchanged -- pruning is an ablation knob for how fine the dt-model's
+structural component is.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.data.tabular import TabularDataset
+from repro.errors import InvalidParameterError
+from repro.mining.tree.tree import DecisionTree, Node
+
+
+def _copy_subtree(node: Node) -> Node:
+    """A deep copy of a subtree (Node is mutable; trees share nothing)."""
+    clone = Node(
+        class_counts=node.class_counts.copy(),
+        split=node.split,
+        depth=node.depth,
+    )
+    if not node.is_leaf:
+        assert node.left is not None and node.right is not None
+        clone.left = _copy_subtree(node.left)
+        clone.right = _copy_subtree(node.right)
+    return clone
+
+
+def _misclassified(node: Node) -> int:
+    """Training tuples at this node not of its majority class."""
+    return int(node.class_counts.sum() - node.class_counts.max())
+
+
+def _subtree_stats(node: Node) -> tuple[int, int]:
+    """(leaf count, summed leaf misclassification count) of a subtree."""
+    if node.is_leaf:
+        return 1, _misclassified(node)
+    assert node.left is not None and node.right is not None
+    l_leaves, l_err = _subtree_stats(node.left)
+    r_leaves, r_err = _subtree_stats(node.right)
+    return l_leaves + r_leaves, l_err + r_err
+
+
+def _weakest_link(node: Node) -> tuple[float, Node] | None:
+    """The internal node with the smallest g(t) = (R(t) - R(T_t)) / (|T_t|-1)."""
+    if node.is_leaf:
+        return None
+    best: tuple[float, Node] | None = None
+    stack = [node]
+    while stack:
+        current = stack.pop()
+        if current.is_leaf:
+            continue
+        leaves, subtree_err = _subtree_stats(current)
+        g = (_misclassified(current) - subtree_err) / max(leaves - 1, 1)
+        if best is None or g < best[0]:
+            best = (g, current)
+        assert current.left is not None and current.right is not None
+        stack.extend((current.left, current.right))
+    return best
+
+
+def _collapse(node: Node) -> None:
+    node.split = None
+    node.left = None
+    node.right = None
+
+
+@dataclass(frozen=True)
+class PruningStep:
+    """One tree of the cost-complexity sequence."""
+
+    alpha: float
+    n_leaves: int
+    training_error: float
+    tree: DecisionTree
+
+
+def cost_complexity_path(tree: DecisionTree) -> list[PruningStep]:
+    """The nested subtree sequence from the full tree down to the root.
+
+    Step 0 is the unpruned tree at ``alpha = 0``; each later step records
+    the critical ``alpha`` at which its tree becomes optimal.
+    """
+    n_total = max(tree.root.n_tuples, 1)
+    current = _copy_subtree(tree.root)
+    steps: list[PruningStep] = []
+
+    def snapshot(alpha: float) -> None:
+        frozen = DecisionTree(space=tree.space, root=_copy_subtree(current))
+        _, err = _subtree_stats(current)
+        steps.append(
+            PruningStep(
+                alpha=alpha,
+                n_leaves=frozen.n_leaves,
+                training_error=err / n_total,
+                tree=frozen,
+            )
+        )
+
+    snapshot(0.0)
+    while not current.is_leaf:
+        link = _weakest_link(current)
+        assert link is not None
+        g, node = link
+        _collapse(node)
+        snapshot(max(g, 0.0))
+    return steps
+
+
+def prune_tree(tree: DecisionTree, alpha: float) -> DecisionTree:
+    """The cost-complexity optimal subtree for a fixed ``alpha >= 0``.
+
+    Collapses every weakest link whose ``g(t) <= alpha``, which yields
+    the minimiser of ``R(T) + alpha |leaves|`` over the nested sequence.
+    """
+    if alpha < 0:
+        raise InvalidParameterError("alpha must be non-negative")
+    root = _copy_subtree(tree.root)
+    while not root.is_leaf:
+        link = _weakest_link(root)
+        assert link is not None
+        g, node = link
+        if g > alpha:
+            break
+        _collapse(node)
+    return DecisionTree(space=tree.space, root=root)
+
+
+def prune_by_validation(
+    tree: DecisionTree, validation: TabularDataset
+) -> DecisionTree:
+    """The subtree of the cost-complexity sequence with least validation error.
+
+    Ties prefer the smaller tree (fewer leaves), per the usual CART
+    practice.
+    """
+    if validation.y is None:
+        raise InvalidParameterError("validation pruning needs labelled data")
+    best_tree = tree
+    best_key: tuple[float, int] | None = None
+    for step in cost_complexity_path(tree):
+        predictions = step.tree.predict(validation)
+        error = float(np.mean(predictions != validation.y))
+        key = (error, step.n_leaves)
+        if best_key is None or key < best_key:
+            best_key = key
+            best_tree = step.tree
+    return best_tree

@@ -1,0 +1,220 @@
+"""Split search for the CART-style decision-tree builder.
+
+Numeric attributes are searched exactly: the column is sorted once, class
+counts are prefix-summed, and the impurity of every boundary between
+distinct values is evaluated vectorised (the classic CART sweep, here
+over RainForest-style sufficient statistics rather than the raw rows).
+
+Categorical attributes use CART's ordering device for two-class problems
+(order categories by the class-0 proportion; the optimal gini subset
+split is then a prefix split). With more than two classes, one-vs-rest
+value splits are searched instead.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.attribute import Attribute
+
+
+def gini(counts: np.ndarray) -> float:
+    """Gini impurity of a class-count vector."""
+    total = counts.sum()
+    if total == 0:
+        return 0.0
+    p = counts / total
+    return float(1.0 - np.dot(p, p))
+
+
+def entropy(counts: np.ndarray) -> float:
+    """Shannon entropy (bits) of a class-count vector."""
+    total = counts.sum()
+    if total == 0:
+        return 0.0
+    p = counts[counts > 0] / total
+    return float(-(p * np.log2(p)).sum())
+
+
+IMPURITIES = {"gini": gini, "entropy": entropy}
+
+
+@dataclass(frozen=True)
+class NumericSplit:
+    """``x < threshold`` goes left, ``x >= threshold`` goes right."""
+
+    attribute: str
+    threshold: float
+    gain: float
+
+    def left_mask(self, column: np.ndarray) -> np.ndarray:
+        return column < self.threshold
+
+
+@dataclass(frozen=True)
+class CategoricalSplit:
+    """``x in left_values`` goes left, everything else right."""
+
+    attribute: str
+    left_values: frozenset[int]
+    gain: float
+
+    def left_mask(self, column: np.ndarray) -> np.ndarray:
+        return np.isin(column, np.array(sorted(self.left_values), dtype=np.float64))
+
+
+Split = NumericSplit | CategoricalSplit
+
+
+def _weighted_impurity_curve(
+    prefix: np.ndarray, totals: np.ndarray, impurity: str
+) -> np.ndarray:
+    """Weighted child impurity for every prefix split position.
+
+    ``prefix[i]`` holds the class counts of the first ``i+1`` groups; the
+    last row equals ``totals``. Only positions ``0..len-2`` are valid
+    split points. Vectorised for gini; entropy falls back to a loop.
+    """
+    left = prefix[:-1].astype(np.float64)
+    right = totals[None, :].astype(np.float64) - left
+    n = totals.sum()
+    nl = left.sum(axis=1)
+    nr = right.sum(axis=1)
+    if impurity == "gini":
+        with np.errstate(invalid="ignore", divide="ignore"):
+            gl = 1.0 - (left**2).sum(axis=1) / np.maximum(nl, 1) ** 2
+            gr = 1.0 - (right**2).sum(axis=1) / np.maximum(nr, 1) ** 2
+        gl = np.where(nl > 0, gl, 0.0)
+        gr = np.where(nr > 0, gr, 0.0)
+        return (nl * gl + nr * gr) / n
+    values = np.empty(left.shape[0])
+    for i in range(left.shape[0]):
+        values[i] = (
+            nl[i] * entropy(left[i]) + nr[i] * entropy(right[i])
+        ) / n
+    return values
+
+
+def best_numeric_split(
+    attribute: str,
+    column: np.ndarray,
+    y: np.ndarray,
+    n_classes: int,
+    min_leaf: int,
+    impurity: str = "gini",
+) -> NumericSplit | None:
+    """Exact best threshold split of a numeric column, or ``None``."""
+    order = np.argsort(column, kind="stable")
+    sorted_col = column[order]
+    sorted_y = y[order]
+    # Group equal values together; splits are only legal between groups.
+    boundaries = np.flatnonzero(np.diff(sorted_col) > 0)
+    if boundaries.size == 0:
+        return None
+    one_hot = np.zeros((len(y), n_classes), dtype=np.int64)
+    one_hot[np.arange(len(y)), sorted_y] = 1
+    cum = one_hot.cumsum(axis=0)
+    totals = cum[-1]
+    parent = IMPURITIES[impurity](totals)
+
+    prefix = cum[boundaries]  # class counts of the left side at each boundary
+    left_sizes = prefix.sum(axis=1)
+    right_sizes = len(y) - left_sizes
+    child = _weighted_impurity_curve(
+        np.vstack([prefix, totals]), totals, impurity
+    )
+    gains = parent - child
+    legal = (left_sizes >= min_leaf) & (right_sizes >= min_leaf)
+    gains = np.where(legal, gains, -np.inf)
+    best = int(np.argmax(gains))
+    if not np.isfinite(gains[best]) or gains[best] <= 0:
+        return None
+    b = boundaries[best]
+    threshold = float((sorted_col[b] + sorted_col[b + 1]) / 2.0)
+    return NumericSplit(attribute, threshold, float(gains[best]))
+
+
+def best_categorical_split(
+    attribute: Attribute,
+    column: np.ndarray,
+    y: np.ndarray,
+    n_classes: int,
+    min_leaf: int,
+    impurity: str = "gini",
+) -> CategoricalSplit | None:
+    """Best value-subset split of a categorical column, or ``None``."""
+    codes = column.astype(np.int64)
+    values = np.array(sorted(set(codes.tolist())), dtype=np.int64)
+    if values.size < 2:
+        return None
+    # Class counts per present value.
+    counts = np.zeros((values.size, n_classes), dtype=np.int64)
+    value_pos = {int(v): i for i, v in enumerate(values)}
+    np.add.at(counts, ([value_pos[int(c)] for c in codes], y), 1)
+    totals = counts.sum(axis=0)
+    parent = IMPURITIES[impurity](totals)
+
+    if n_classes == 2:
+        # CART device: order by P(class 0 | value); prefix splits suffice.
+        with np.errstate(invalid="ignore", divide="ignore"):
+            p0 = counts[:, 0] / np.maximum(counts.sum(axis=1), 1)
+        order = np.argsort(p0, kind="stable")
+        ordered_counts = counts[order]
+        ordered_values = values[order]
+        prefix = ordered_counts.cumsum(axis=0)
+        child = _weighted_impurity_curve(prefix, totals, impurity)
+        left_sizes = prefix[:-1].sum(axis=1)
+        right_sizes = len(y) - left_sizes
+        gains = parent - child
+        legal = (left_sizes >= min_leaf) & (right_sizes >= min_leaf)
+        gains = np.where(legal, gains, -np.inf)
+        best = int(np.argmax(gains))
+        if not np.isfinite(gains[best]) or gains[best] <= 0:
+            return None
+        left_values = frozenset(int(v) for v in ordered_values[: best + 1])
+        return CategoricalSplit(attribute.name, left_values, float(gains[best]))
+
+    # Multi-class: one value versus the rest.
+    best_split: CategoricalSplit | None = None
+    for i, v in enumerate(values):
+        left = counts[i]
+        right = totals - left
+        nl, nr = left.sum(), right.sum()
+        if nl < min_leaf or nr < min_leaf:
+            continue
+        child = (
+            nl * IMPURITIES[impurity](left) + nr * IMPURITIES[impurity](right)
+        ) / len(y)
+        gain = parent - child
+        if gain > 0 and (best_split is None or gain > best_split.gain):
+            best_split = CategoricalSplit(
+                attribute.name, frozenset((int(v),)), float(gain)
+            )
+    return best_split
+
+
+def best_split(
+    attributes: tuple[Attribute, ...],
+    columns: dict[str, np.ndarray],
+    y: np.ndarray,
+    n_classes: int,
+    min_leaf: int,
+    impurity: str = "gini",
+) -> Split | None:
+    """The highest-gain split across all attributes, or ``None``."""
+    best: Split | None = None
+    for attribute in attributes:
+        column = columns[attribute.name]
+        if attribute.is_numeric:
+            split = best_numeric_split(
+                attribute.name, column, y, n_classes, min_leaf, impurity
+            )
+        else:
+            split = best_categorical_split(
+                attribute, column, y, n_classes, min_leaf, impurity
+            )
+        if split is not None and (best is None or split.gain > best.gain):
+            best = split
+    return best

@@ -1,0 +1,218 @@
+"""Decision-tree structure: nodes, prediction, and leaf partitions.
+
+A fitted :class:`DecisionTree` exposes exactly what FOCUS needs from a
+dt-model (Section 2.1):
+
+* ``predict`` -- majority-class prediction per tuple (used by the
+  misclassification-error instantiation, Section 5.2.1);
+* ``leaf_assign`` -- vectorised tuple -> leaf-id mapping (the fast path
+  for measuring GCR regions in one scan);
+* ``leaf_predicates`` -- the conjunctive predicate of each leaf, whose
+  cross product with the class labels forms the structural component.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping
+
+import numpy as np
+
+from repro.core.attribute import Attribute, AttributeSpace
+from repro.core.predicate import Conjunction, Interval, ValueSet
+from repro.errors import NotFittedError
+from repro.mining.tree.splits import CategoricalSplit, NumericSplit, Split
+
+
+@dataclass
+class Node:
+    """A tree node; internal nodes carry a split, leaves a class histogram."""
+
+    class_counts: np.ndarray
+    split: Split | None = None
+    left: "Node | None" = None
+    right: "Node | None" = None
+    leaf_id: int = -1
+    depth: int = 0
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.split is None
+
+    @property
+    def prediction(self) -> int:
+        return int(np.argmax(self.class_counts))
+
+    @property
+    def n_tuples(self) -> int:
+        return int(self.class_counts.sum())
+
+
+@dataclass
+class DecisionTree:
+    """A fitted binary decision tree over an :class:`AttributeSpace`."""
+
+    space: AttributeSpace
+    root: Node
+    leaves: list[Node] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if not self.leaves:
+            self._collect_leaves()
+
+    def _collect_leaves(self) -> None:
+        self.leaves = []
+
+        def walk(node: Node) -> None:
+            if node.is_leaf:
+                node.leaf_id = len(self.leaves)
+                self.leaves.append(node)
+            else:
+                assert node.left is not None and node.right is not None
+                walk(node.left)
+                walk(node.right)
+
+        walk(self.root)
+
+    # ------------------------------------------------------------------ #
+    # Shape accessors
+    # ------------------------------------------------------------------ #
+
+    @property
+    def n_leaves(self) -> int:
+        return len(self.leaves)
+
+    @property
+    def depth(self) -> int:
+        def walk(node: Node) -> int:
+            if node.is_leaf:
+                return 0
+            assert node.left is not None and node.right is not None
+            return 1 + max(walk(node.left), walk(node.right))
+
+        return walk(self.root)
+
+    @property
+    def n_classes(self) -> int:
+        return self.space.n_classes
+
+    # ------------------------------------------------------------------ #
+    # Vectorised evaluation
+    # ------------------------------------------------------------------ #
+
+    def leaf_assign(self, columns: Mapping[str, np.ndarray], n_rows: int) -> np.ndarray:
+        """Leaf id for each row, computed with masked descents."""
+        if not self.leaves:
+            raise NotFittedError("tree has no leaves")
+        out = np.empty(n_rows, dtype=np.int64)
+        stack: list[tuple[Node, np.ndarray]] = [
+            (self.root, np.arange(n_rows, dtype=np.int64))
+        ]
+        while stack:
+            node, idx = stack.pop()
+            if node.is_leaf:
+                out[idx] = node.leaf_id
+                continue
+            assert node.split is not None
+            assert node.left is not None and node.right is not None
+            column = columns[node.split.attribute][idx]
+            left_mask = node.split.left_mask(column)
+            stack.append((node.left, idx[left_mask]))
+            stack.append((node.right, idx[~left_mask]))
+        return out
+
+    def assign_dataset(self, dataset) -> np.ndarray:
+        """Leaf id per row of a :class:`TabularDataset`."""
+        return self.leaf_assign(dataset.columns, dataset.n_rows)
+
+    def predict(self, dataset) -> np.ndarray:
+        """Majority-class prediction per row (in the space's label alphabet).
+
+        Leaf histograms are indexed by class *position*; predictions are
+        translated back to the actual labels of ``space.class_labels``.
+        """
+        leaf_ids = self.assign_dataset(dataset)
+        labels = np.array(self.space.class_labels, dtype=np.int64)
+        predictions = np.array(
+            [labels[leaf.prediction] for leaf in self.leaves], dtype=np.int64
+        )
+        return predictions[leaf_ids]
+
+    # ------------------------------------------------------------------ #
+    # Structural component
+    # ------------------------------------------------------------------ #
+
+    def leaf_predicates(self) -> list[Conjunction]:
+        """The box predicate of each leaf, indexed by leaf id.
+
+        The boxes partition the attribute space: each split sends
+        ``x < t`` left and ``x >= t`` right (numeric), or
+        ``x in S`` left and ``x in domain \\ S`` right (categorical).
+        """
+        predicates: list[Conjunction | None] = [None] * self.n_leaves
+
+        def attr(name: str) -> Attribute:
+            return self.space.attribute(name)
+
+        def walk(node: Node, predicate: Conjunction) -> None:
+            if node.is_leaf:
+                predicates[node.leaf_id] = predicate
+                return
+            assert node.split is not None
+            assert node.left is not None and node.right is not None
+            split = node.split
+            if isinstance(split, NumericSplit):
+                left_c = Conjunction({split.attribute: Interval(hi=split.threshold)})
+                right_c = Conjunction({split.attribute: Interval(lo=split.threshold)})
+            else:
+                assert isinstance(split, CategoricalSplit)
+                domain = frozenset(attr(split.attribute).values)
+                left_c = Conjunction({split.attribute: ValueSet(split.left_values)})
+                right_c = Conjunction(
+                    {split.attribute: ValueSet(domain - split.left_values)}
+                )
+            walk(node.left, predicate.intersect(left_c))
+            walk(node.right, predicate.intersect(right_c))
+
+        walk(self.root, Conjunction())
+        assert all(p is not None for p in predicates)
+        return predicates  # type: ignore[return-value]
+
+    def leaf_class_fractions(self) -> np.ndarray:
+        """``(n_leaves, n_classes)`` matrix of training-tuple fractions.
+
+        Row ``i`` holds the fraction of *all* training tuples that fall in
+        leaf ``i`` with each class -- exactly the per-leaf measure pairs the
+        paper draws beside each leaf in Figure 1.
+        """
+        total = max(self.root.n_tuples, 1)
+        out = np.zeros((self.n_leaves, self.n_classes))
+        for leaf in self.leaves:
+            out[leaf.leaf_id] = leaf.class_counts / total
+        return out
+
+    def describe(self) -> str:
+        """An indented textual rendering of the tree."""
+        lines: list[str] = []
+
+        def walk(node: Node, indent: str, tag: str) -> None:
+            if node.is_leaf:
+                counts = ",".join(str(int(c)) for c in node.class_counts)
+                lines.append(
+                    f"{indent}{tag}leaf#{node.leaf_id} -> class {node.prediction} "
+                    f"[{counts}]"
+                )
+                return
+            assert node.split is not None
+            if isinstance(node.split, NumericSplit):
+                cond = f"{node.split.attribute} < {node.split.threshold:g}"
+            else:
+                vals = ",".join(str(v) for v in sorted(node.split.left_values))
+                cond = f"{node.split.attribute} in {{{vals}}}"
+            lines.append(f"{indent}{tag}if {cond}:")
+            assert node.left is not None and node.right is not None
+            walk(node.left, indent + "  ", "then ")
+            walk(node.right, indent + "  ", "else ")
+
+        walk(self.root, "", "")
+        return "\n".join(lines)

@@ -1,0 +1,43 @@
+"""Statistical machinery: bootstrap qualification, Wilcoxon, chi-squared."""
+
+from repro.stats.bootstrap import (
+    BootstrapResult,
+    deviation_significance,
+    significance_of_statistic,
+)
+from repro.stats.chisq import chi2_cdf, chi2_sf, gammainc_lower, gammainc_upper
+from repro.stats.descriptive import (
+    mean_std,
+    normal_sf,
+    pearson_correlation,
+    quantiles,
+    spearman_correlation,
+)
+from repro.stats.sample_bounds import (
+    failure_probability,
+    required_sample_size,
+    sd_bound_sum,
+    support_error_bound,
+)
+from repro.stats.wilcoxon import WilcoxonResult, rank_sum_test
+
+__all__ = [
+    "BootstrapResult",
+    "WilcoxonResult",
+    "chi2_cdf",
+    "chi2_sf",
+    "deviation_significance",
+    "failure_probability",
+    "gammainc_lower",
+    "gammainc_upper",
+    "mean_std",
+    "normal_sf",
+    "pearson_correlation",
+    "quantiles",
+    "rank_sum_test",
+    "required_sample_size",
+    "sd_bound_sum",
+    "significance_of_statistic",
+    "spearman_correlation",
+    "support_error_bound",
+]

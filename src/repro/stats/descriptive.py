@@ -1,0 +1,55 @@
+"""Small descriptive-statistics helpers used by the experiment harness."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.errors import InvalidParameterError
+
+
+def mean_std(values) -> tuple[float, float]:
+    """Sample mean and (ddof=1) standard deviation; std is 0 for n < 2."""
+    arr = np.asarray(values, dtype=np.float64)
+    if arr.size == 0:
+        raise InvalidParameterError("mean_std needs at least one value")
+    std = float(arr.std(ddof=1)) if arr.size > 1 else 0.0
+    return float(arr.mean()), std
+
+
+def quantiles(values, qs=(0.25, 0.5, 0.75)) -> list[float]:
+    """Selected quantiles of a sample."""
+    arr = np.asarray(values, dtype=np.float64)
+    if arr.size == 0:
+        raise InvalidParameterError("quantiles needs at least one value")
+    return [float(np.quantile(arr, q)) for q in qs]
+
+
+def pearson_correlation(x, y) -> float:
+    """Pearson's r; raises on degenerate input (zero variance)."""
+    x = np.asarray(x, dtype=np.float64)
+    y = np.asarray(y, dtype=np.float64)
+    if x.size != y.size:
+        raise InvalidParameterError("samples must have equal length")
+    if x.size < 2:
+        raise InvalidParameterError("correlation needs at least two points")
+    sx = x.std()
+    sy = y.std()
+    if sx == 0 or sy == 0:
+        raise InvalidParameterError("correlation undefined for constant samples")
+    return float(((x - x.mean()) * (y - y.mean())).mean() / (sx * sy))
+
+
+def spearman_correlation(x, y) -> float:
+    """Spearman's rank correlation (Pearson on mid-ranks)."""
+    from repro.stats.wilcoxon import _midranks
+
+    x = np.asarray(x, dtype=np.float64)
+    y = np.asarray(y, dtype=np.float64)
+    return pearson_correlation(_midranks(x), _midranks(y))
+
+
+def normal_sf(z: float) -> float:
+    """Standard normal survival function ``P(Z > z)``."""
+    return 0.5 * math.erfc(z / math.sqrt(2.0))

@@ -1,0 +1,69 @@
+"""Analytic sample-size bounds for support estimation (Section 6 companion).
+
+The paper answers "how big a sample?" empirically with sample
+deviations. These Hoeffding-style bounds give the analytic counterpart:
+how many tuples guarantee every itemset support is estimated within
+``epsilon`` with probability ``1 - delta`` -- a quick a-priori check
+before running the SD study, and the reason the SD curves flatten
+(estimation error shrinks as ``1/sqrt(n)``).
+
+For a sample of size ``n`` and one fixed itemset, Hoeffding's
+inequality gives ``P(|s_hat - s| >= eps) <= 2 exp(-2 n eps^2)``; a union
+bound extends it to ``m`` itemsets simultaneously.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.errors import InvalidParameterError
+
+
+def required_sample_size(
+    epsilon: float, delta: float, n_itemsets: int = 1
+) -> int:
+    """Tuples needed so all ``n_itemsets`` supports are within ``epsilon``
+    of truth with probability at least ``1 - delta``."""
+    if not 0 < epsilon < 1:
+        raise InvalidParameterError("epsilon must be in (0, 1)")
+    if not 0 < delta < 1:
+        raise InvalidParameterError("delta must be in (0, 1)")
+    if n_itemsets < 1:
+        raise InvalidParameterError("n_itemsets must be >= 1")
+    return math.ceil(math.log(2 * n_itemsets / delta) / (2 * epsilon**2))
+
+
+def support_error_bound(n: int, delta: float, n_itemsets: int = 1) -> float:
+    """The ``epsilon`` guaranteed by ``n`` tuples at confidence ``1 - delta``."""
+    if n < 1:
+        raise InvalidParameterError("n must be >= 1")
+    if not 0 < delta < 1:
+        raise InvalidParameterError("delta must be in (0, 1)")
+    if n_itemsets < 1:
+        raise InvalidParameterError("n_itemsets must be >= 1")
+    return math.sqrt(math.log(2 * n_itemsets / delta) / (2 * n))
+
+
+def failure_probability(n: int, epsilon: float, n_itemsets: int = 1) -> float:
+    """Upper bound on the probability that some support errs by >= epsilon."""
+    if n < 1:
+        raise InvalidParameterError("n must be >= 1")
+    if not 0 < epsilon < 1:
+        raise InvalidParameterError("epsilon must be in (0, 1)")
+    if n_itemsets < 1:
+        raise InvalidParameterError("n_itemsets must be >= 1")
+    return min(1.0, 2 * n_itemsets * math.exp(-2 * n * epsilon**2))
+
+
+def sd_bound_sum(
+    n_sample: int, delta: float, n_regions: int
+) -> float:
+    """A crude bound on the ``(f_a, g_sum)`` sample deviation.
+
+    With probability ``1 - delta`` every region's measure is within
+    ``support_error_bound(n_sample, delta, n_regions)``, so the summed
+    deviation is at most ``n_regions`` times that. Loose (errors are not
+    adversarially aligned in practice) but explains the SD curve's
+    ``1/sqrt(n)`` envelope in Figures 7-12.
+    """
+    return n_regions * support_error_bound(n_sample, delta, n_regions)

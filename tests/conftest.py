@@ -1,0 +1,77 @@
+"""Shared fixtures: small deterministic datasets and hand-built models."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.attribute import AttributeSpace, numeric
+from repro.data.quest_basket import generate_basket
+from repro.data.quest_classify import generate_classification
+from repro.data.tabular import TabularDataset
+from repro.data.transactions import TransactionDataset
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(42)
+
+
+@pytest.fixture
+def two_d_space() -> AttributeSpace:
+    """An (age, salary) space with two classes, as in the paper's figures."""
+    return AttributeSpace(
+        attributes=(numeric("age", 0, 100), numeric("salary", 0, 200_000)),
+        class_labels=(0, 1),
+    )
+
+
+@pytest.fixture
+def small_tabular(two_d_space, rng) -> TabularDataset:
+    """300 random labelled points over the (age, salary) space."""
+    n = 300
+    X = np.column_stack(
+        [rng.uniform(0, 100, n), rng.uniform(0, 200_000, n)]
+    )
+    y = (X[:, 0] + X[:, 1] / 2_000 > 80).astype(np.int64)
+    return TabularDataset(two_d_space, X, y)
+
+
+@pytest.fixture
+def small_transactions() -> TransactionDataset:
+    """A tiny fixed transaction dataset over 5 items."""
+    txns = [
+        (0, 1),
+        (0, 1, 2),
+        (0,),
+        (1, 2),
+        (2,),
+        (0, 1),
+        (3,),
+        (0, 2, 3),
+        (1,),
+        (0, 1, 3),
+    ]
+    return TransactionDataset(txns, n_items=5)
+
+
+@pytest.fixture
+def basket_pair():
+    """Two small generated basket datasets from different processes."""
+    d1 = generate_basket(
+        800, n_items=40, avg_transaction_len=6, n_patterns=40,
+        avg_pattern_len=3, seed=11,
+    )
+    d2 = generate_basket(
+        800, n_items=40, avg_transaction_len=6, n_patterns=40,
+        avg_pattern_len=4, seed=22,
+    )
+    return d1, d2
+
+
+@pytest.fixture
+def classify_pair():
+    """Two small generated classification datasets (F1 vs F2)."""
+    d1 = generate_classification(1_200, function=1, seed=11)
+    d2 = generate_classification(1_200, function=2, seed=22)
+    return d1, d2

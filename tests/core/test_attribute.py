@@ -1,0 +1,74 @@
+"""Unit tests for attributes and attribute spaces."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.attribute import (
+    Attribute,
+    AttributeKind,
+    AttributeSpace,
+    categorical,
+    numeric,
+)
+from repro.errors import InvalidParameterError, SchemaError
+
+
+class TestAttribute:
+    def test_numeric_shorthand(self):
+        a = numeric("age", 0, 100)
+        assert a.is_numeric
+        assert not a.is_categorical
+        assert (a.low, a.high) == (0, 100)
+
+    def test_categorical_shorthand(self):
+        a = categorical("elevel", range(5))
+        assert a.is_categorical
+        assert a.values == (0, 1, 2, 3, 4)
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            Attribute("")
+
+    def test_inverted_domain_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            numeric("x", 10, 5)
+
+    def test_empty_categorical_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            categorical("x", ())
+
+    def test_duplicate_values_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            categorical("x", (1, 1, 2))
+
+
+class TestAttributeSpace:
+    def test_lookup(self):
+        space = AttributeSpace((numeric("a"), categorical("b", (1, 2))))
+        assert space.attribute("a").name == "a"
+        assert space.index_of("b") == 1
+        assert space.names == ("a", "b")
+        assert space.n_attributes == 2
+
+    def test_unknown_attribute_raises(self):
+        space = AttributeSpace((numeric("a"),))
+        with pytest.raises(SchemaError):
+            space.attribute("ghost")
+        with pytest.raises(SchemaError):
+            space.index_of("ghost")
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            AttributeSpace((numeric("a"), numeric("a")))
+
+    def test_class_labels(self):
+        space = AttributeSpace((numeric("a"),), class_labels=(0, 1))
+        assert space.n_classes == 2
+
+    def test_compatibility(self):
+        s1 = AttributeSpace((numeric("a", 0, 1),), (0, 1))
+        s2 = AttributeSpace((numeric("a", 0, 1),), (0, 1))
+        s3 = AttributeSpace((numeric("a", 0, 2),), (0, 1))
+        assert s1.compatible_with(s2)
+        assert not s1.compatible_with(s3)

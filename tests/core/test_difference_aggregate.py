@@ -1,0 +1,92 @@
+"""Tests for difference functions (f_a, f_s, chi-squared) and aggregates."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.aggregate import AGGREGATE_FUNCTIONS, MAX, SUM
+from repro.core.difference import (
+    ABSOLUTE,
+    DIFFERENCE_FUNCTIONS,
+    SCALED,
+    chi_squared_difference,
+)
+
+
+class TestAbsoluteDifference:
+    def test_definition(self):
+        out = ABSOLUTE(np.array([50]), np.array([55]), 100, 100)
+        assert out[0] == pytest.approx(0.05)
+
+    def test_different_sizes_normalised(self):
+        out = ABSOLUTE(np.array([50]), np.array([110]), 100, 200)
+        assert out[0] == pytest.approx(abs(0.5 - 0.55))
+
+    def test_symmetry(self):
+        a = ABSOLUTE(np.array([30]), np.array([70]), 100, 200)
+        b = ABSOLUTE(np.array([70]), np.array([30]), 200, 100)
+        assert a[0] == pytest.approx(b[0])
+
+    def test_zero_for_equal_selectivities(self):
+        out = ABSOLUTE(np.array([10, 0]), np.array([20, 0]), 100, 200)
+        assert out.tolist() == [0.0, 0.0]
+
+    def test_empty_dataset_guard(self):
+        out = ABSOLUTE(np.array([0]), np.array([5]), 0, 100)
+        assert out[0] == pytest.approx(0.05)
+
+
+class TestScaledDifference:
+    def test_promotes_small_regions(self):
+        """Section 3.3.2: 0% -> 5% is more significant than 50% -> 55%."""
+        big = SCALED(np.array([50]), np.array([55]), 100, 100)[0]
+        small = SCALED(np.array([0]), np.array([5]), 100, 100)[0]
+        assert small > big
+        assert small == pytest.approx(2.0)  # |0-.05| / (.025)
+
+    def test_zero_when_both_absent(self):
+        out = SCALED(np.array([0]), np.array([0]), 100, 100)
+        assert out[0] == 0.0
+
+    def test_matches_formula(self):
+        s1, s2 = 0.5, 0.55
+        out = SCALED(np.array([50]), np.array([55]), 100, 100)[0]
+        assert out == pytest.approx(abs(s1 - s2) / ((s1 + s2) / 2))
+
+
+class TestChiSquaredDifference:
+    def test_matches_textbook_cell_formula(self):
+        f = chi_squared_difference(c=0.5)
+        # E = sigma1 * |D2|, O = sigma2 * |D2|; term = (O - E)^2 / E.
+        nu1, nu2, n1, n2 = 30, 45, 100, 150
+        s1, s2 = nu1 / n1, nu2 / n2
+        expected = n2 * (s1 - s2) ** 2 / s1
+        assert f(np.array([nu1]), np.array([nu2]), n1, n2)[0] == pytest.approx(
+            expected
+        )
+
+    def test_constant_for_empty_expected_cell(self):
+        f = chi_squared_difference(c=0.25)
+        assert f(np.array([0]), np.array([10]), 100, 100)[0] == 0.25
+
+    def test_zero_when_observed_matches_expected(self):
+        f = chi_squared_difference()
+        assert f(np.array([40]), np.array([40]), 100, 100)[0] == pytest.approx(0.0)
+
+
+class TestAggregates:
+    def test_sum_and_max(self):
+        values = np.array([0.1, 0.4, 0.2])
+        assert SUM(values) == pytest.approx(0.7)
+        assert MAX(values) == pytest.approx(0.4)
+
+    def test_empty_input_is_zero(self):
+        assert SUM(np.array([])) == 0.0
+        assert MAX(np.array([])) == 0.0
+
+    def test_registries(self):
+        assert set(DIFFERENCE_FUNCTIONS) == {"f_a", "f_s"}
+        assert set(AGGREGATE_FUNCTIONS) == {"g_sum", "g_max"}
+        assert DIFFERENCE_FUNCTIONS["f_a"] is ABSOLUTE
+        assert AGGREGATE_FUNCTIONS["g_max"] is MAX

@@ -1,0 +1,105 @@
+"""Edge cases and failure injection across the deviation pipeline."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.deviation import deviation, deviation_over_structure
+from repro.core.lits import LitsModel
+from repro.core.model import LitsStructure
+from repro.core.upper_bound import upper_bound_deviation
+from repro.data.transactions import TransactionDataset
+from repro.errors import InvalidParameterError
+
+
+class TestDegenerateDatasets:
+    def test_deviation_against_empty_dataset(self, small_transactions):
+        """An empty dataset has selectivity 0 everywhere: delta is the sum
+        of the other model's supports."""
+        empty = TransactionDataset([], n_items=5)
+        m1 = LitsModel.mine(small_transactions, 0.3)
+        m_empty = LitsModel({}, 0.3, 5)
+        result = deviation(m1, m_empty, small_transactions, empty)
+        expected = sum(m1.supports.values())
+        assert result.value == pytest.approx(expected)
+
+    def test_two_empty_models(self, small_transactions):
+        m = LitsModel({}, 0.5, 5)
+        result = deviation(m, m, small_transactions, small_transactions)
+        assert result.value == 0.0
+        assert len(result.regions) == 0
+
+    def test_single_transaction_dataset(self):
+        d = TransactionDataset([(0, 1)], n_items=3)
+        m = LitsModel.mine(d, 0.5)
+        assert deviation(m, m, d, d).value == 0.0
+        assert set(m.itemsets) == {
+            frozenset({0}), frozenset({1}), frozenset({0, 1}),
+        }
+
+    def test_upper_bound_with_empty_models(self):
+        a = LitsModel({}, 0.5, 5)
+        b = LitsModel({frozenset({0}): 0.6}, 0.5, 5)
+        assert upper_bound_deviation(a, a).value == 0.0
+        assert upper_bound_deviation(a, b).value == pytest.approx(0.6)
+
+
+class TestModelValidation:
+    def test_lits_model_rejects_bad_threshold(self):
+        with pytest.raises(InvalidParameterError):
+            LitsModel({}, 0.0, 5)
+        with pytest.raises(InvalidParameterError):
+            LitsModel({}, 1.5, 5)
+
+    def test_lits_model_support_lookup(self, small_transactions):
+        m = LitsModel.mine(small_transactions, 0.3)
+        assert m.support({0}) is not None
+        assert m.support({4}) is None
+        assert m.support([0]) == m.support((0,))  # any iterable works
+
+
+class TestStructureEdgeCases:
+    def test_deviation_over_empty_structure(self, small_transactions):
+        structure = LitsStructure([])
+        result = deviation_over_structure(
+            structure, small_transactions, small_transactions
+        )
+        assert result.value == 0.0
+
+    def test_counts_with_duplicate_itemsets_collapsed(self, small_transactions):
+        structure = LitsStructure(
+            [frozenset({0}), frozenset({0}), frozenset({1})]
+        )
+        assert len(structure) == 2
+
+    def test_very_long_itemset_region(self, small_transactions):
+        structure = LitsStructure([frozenset(range(5))])
+        counts = structure.counts(small_transactions)
+        assert counts.tolist() == [0]
+
+
+class TestNumericRobustness:
+    def test_deviation_values_are_finite(self, basket_pair):
+        from repro.core.aggregate import MAX, SUM
+        from repro.core.difference import ABSOLUTE, SCALED
+
+        d1, d2 = basket_pair
+        m1 = LitsModel.mine(d1, 0.05)
+        m2 = LitsModel.mine(d2, 0.05)
+        for f in (ABSOLUTE, SCALED):
+            for g in (SUM, MAX):
+                value = deviation(m1, m2, d1, d2, f=f, g=g).value
+                assert np.isfinite(value)
+                assert value >= 0.0
+
+    def test_scaled_difference_bounded_by_two(self, basket_pair):
+        """|s1-s2| / ((s1+s2)/2) <= 2 always."""
+        from repro.core.aggregate import MAX
+        from repro.core.difference import SCALED
+
+        d1, d2 = basket_pair
+        m1 = LitsModel.mine(d1, 0.05)
+        m2 = LitsModel.mine(d2, 0.05)
+        value = deviation(m1, m2, d1, d2, f=SCALED, g=MAX).value
+        assert value <= 2.0 + 1e-12

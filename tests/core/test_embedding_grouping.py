@@ -1,0 +1,167 @@
+"""Tests for dataset embedding (delta* MDS) and deviation-based grouping."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.dtree_model import DtModel
+from repro.core.embedding import (
+    classical_mds,
+    deviation_matrix,
+    embed_models,
+    upper_bound_matrix,
+)
+from repro.core.grouping import agglomerate, group_stores
+from repro.core.lits import LitsModel
+from repro.data.quest_basket import build_pattern_pool, generate_basket
+from repro.errors import InvalidParameterError
+from repro.mining.tree.builder import TreeParams
+
+
+@pytest.fixture(scope="module")
+def store_fleet():
+    """Six stores: three from process A, three from process B."""
+    rng = np.random.default_rng(55)
+    pool_a = build_pattern_pool(rng, n_items=80, n_patterns=40, avg_pattern_len=3)
+    pool_b = build_pattern_pool(rng, n_items=80, n_patterns=40, avg_pattern_len=5)
+    datasets = []
+    for pool in (pool_a, pool_a, pool_a, pool_b, pool_b, pool_b):
+        datasets.append(
+            generate_basket(800, n_items=80, avg_transaction_len=6,
+                            rng=rng, pool=pool)
+        )
+    models = [LitsModel.mine(d, 0.03, max_len=2) for d in datasets]
+    return models, datasets
+
+
+class TestDistanceMatrices:
+    def test_upper_bound_matrix_properties(self, store_fleet):
+        models, _ = store_fleet
+        m = upper_bound_matrix(models)
+        assert m.shape == (6, 6)
+        assert np.allclose(m, m.T)
+        assert np.allclose(np.diag(m), 0.0)
+        # Triangle inequality (Theorem 4.2) over all triples.
+        for i in range(6):
+            for j in range(6):
+                for k in range(6):
+                    assert m[i, k] <= m[i, j] + m[j, k] + 1e-9
+
+    def test_within_process_closer_than_across(self, store_fleet):
+        models, _ = store_fleet
+        m = upper_bound_matrix(models)
+        within = [m[i, j] for i in range(3) for j in range(3) if i < j]
+        within += [m[i, j] for i in range(3, 6) for j in range(3, 6) if i < j]
+        across = [m[i, j] for i in range(3) for j in range(3, 6)]
+        assert max(within) < min(across)
+
+    def test_deviation_matrix_matches_pairwise_calls(self, store_fleet):
+        models, datasets = store_fleet
+        from repro.core.deviation import deviation
+
+        m = deviation_matrix(models[:3], datasets[:3])
+        direct = deviation(
+            models[0], models[1], datasets[0], datasets[1]
+        ).value
+        assert m[0, 1] == pytest.approx(direct)
+
+    def test_size_validation(self, store_fleet):
+        models, datasets = store_fleet
+        with pytest.raises(InvalidParameterError):
+            upper_bound_matrix(models[:1])
+        with pytest.raises(InvalidParameterError):
+            deviation_matrix(models[:2], datasets[:3])
+
+
+class TestClassicalMds:
+    def test_exact_recovery_of_planar_points(self):
+        points = np.array([[0.0, 0.0], [3.0, 0.0], [0.0, 4.0], [3.0, 4.0]])
+        distances = np.linalg.norm(
+            points[:, None, :] - points[None, :, :], axis=-1
+        )
+        embedded = classical_mds(distances, k=2)
+        rebuilt = np.linalg.norm(
+            embedded[:, None, :] - embedded[None, :, :], axis=-1
+        )
+        assert np.allclose(rebuilt, distances, atol=1e-8)
+
+    def test_embedding_separates_processes(self, store_fleet):
+        models, _ = store_fleet
+        coords = embed_models(models, k=2)
+        group_a = coords[:3].mean(axis=0)
+        group_b = coords[3:].mean(axis=0)
+        between = np.linalg.norm(group_a - group_b)
+        spread_a = max(np.linalg.norm(c - group_a) for c in coords[:3])
+        spread_b = max(np.linalg.norm(c - group_b) for c in coords[3:])
+        assert between > max(spread_a, spread_b)
+
+    def test_validation(self):
+        with pytest.raises(InvalidParameterError):
+            classical_mds(np.zeros((3, 4)), k=1)
+        with pytest.raises(InvalidParameterError):
+            classical_mds(np.array([[0.0, 1.0], [2.0, 0.0]]), k=1)  # asymmetric
+        with pytest.raises(InvalidParameterError):
+            classical_mds(np.zeros((3, 3)), k=3)  # k too large
+
+
+class TestGrouping:
+    def test_recovers_the_two_processes(self, store_fleet):
+        models, _ = store_fleet
+        m = upper_bound_matrix(models)
+        for linkage in ("single", "complete", "average"):
+            grouping = agglomerate(m, n_groups=2, linkage=linkage)
+            labels = grouping.labels
+            assert len(set(labels[:3])) == 1, linkage
+            assert len(set(labels[3:])) == 1, linkage
+            assert labels[0] != labels[3], linkage
+
+    def test_merge_history_recorded(self, store_fleet):
+        models, _ = store_fleet
+        m = upper_bound_matrix(models)
+        grouping = agglomerate(m, n_groups=1)
+        assert len(grouping.merges) == 5  # n - 1 merges to one cluster
+        assert grouping.n_groups == 1
+
+    def test_n_groups_equals_n_is_identity(self, store_fleet):
+        models, _ = store_fleet
+        m = upper_bound_matrix(models)
+        grouping = agglomerate(m, n_groups=6)
+        assert grouping.n_groups == 6
+        assert not grouping.merges
+
+    def test_group_stores_with_names(self, store_fleet):
+        models, _ = store_fleet
+        m = upper_bound_matrix(models)
+        names = [f"store-{i}" for i in range(6)]
+        groups = group_stores(m, 2, names=names)
+        assert sorted(sum(groups.values(), [])) == sorted(names)
+        member_sets = sorted(tuple(sorted(v)) for v in groups.values())
+        assert member_sets == [
+            ("store-0", "store-1", "store-2"),
+            ("store-3", "store-4", "store-5"),
+        ]
+
+    def test_validation(self):
+        with pytest.raises(InvalidParameterError):
+            agglomerate(np.zeros((3, 3)), n_groups=0)
+        with pytest.raises(InvalidParameterError):
+            agglomerate(np.zeros((3, 3)), n_groups=2, linkage="median")
+        with pytest.raises(InvalidParameterError):
+            agglomerate(np.zeros((3, 4)), n_groups=2)
+
+
+class TestDtModelsInMatrices:
+    def test_deviation_matrix_for_trees(self):
+        from repro.data.quest_classify import generate_classification
+
+        datasets = [
+            generate_classification(800, function=f, seed=60 + f)
+            for f in (1, 1, 2)
+        ]
+        params = TreeParams(max_depth=4, min_leaf=25)
+        models = [DtModel.fit(d, params) for d in datasets]
+        m = deviation_matrix(models, datasets)
+        # The two F1 datasets are closer to each other than to the F2 one.
+        assert m[0, 1] < m[0, 2]
+        assert m[0, 1] < m[1, 2]

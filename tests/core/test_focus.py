@@ -1,0 +1,148 @@
+"""Tests for focussed deviations (Definitions 5.1/5.2, Theorem 5.1)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.aggregate import MAX, SUM
+from repro.core.deviation import deviation
+from repro.core.difference import ABSOLUTE, SCALED
+from repro.core.dtree_model import DtModel
+from repro.core.focus import (
+    box_focus,
+    focussed_deviation,
+    focussed_structure,
+    itemset_focus,
+)
+from repro.core.lits import LitsModel
+from repro.errors import IncompatibleModelsError, InvalidParameterError
+from repro.mining.tree.builder import TreeParams
+
+
+class TestBoxFocusBuilder:
+    def test_interval_spec(self):
+        region = box_focus(age=(None, 30))
+        constraint = region.predicate.constraints["age"]
+        assert constraint.hi == 30
+        assert constraint.lo == float("-inf")
+
+    def test_value_spec(self):
+        region = box_focus(elevel=[0, 1])
+        assert region.predicate.constraints["elevel"].values == frozenset({0, 1})
+
+    def test_class_only(self):
+        region = box_focus(class_label=1)
+        assert region.predicate.is_universal
+        assert region.class_label == 1
+
+    def test_bad_spec_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            box_focus(age=30)
+
+
+class TestLitsFocus:
+    @pytest.fixture
+    def mined(self, basket_pair):
+        d1, d2 = basket_pair
+        return LitsModel.mine(d1, 0.05), LitsModel.mine(d2, 0.05), d1, d2
+
+    def test_focus_unions_items(self, mined):
+        m1, _, _, _ = mined
+        focussed = focussed_structure(m1, itemset_focus({0}))
+        for itemset in focussed.itemsets:
+            assert 0 in itemset
+
+    def test_empty_focus_is_identity(self, mined):
+        m1, m2, d1, d2 = mined
+        whole = deviation(m1, m2, d1, d2).value
+        focussed = focussed_deviation(m1, m2, d1, d2, itemset_focus(set())).value
+        assert focussed == pytest.approx(whole)
+
+    def test_focussed_measures_are_union_supports(self, mined):
+        """Definition 5.1: sigma of a focussed region is the support of the
+        union itemset."""
+        m1, _, d1, _ = mined
+        focussed = focussed_structure(m1, itemset_focus({0}))
+        sels = focussed.selectivities(d1)
+        for itemset, sel in zip(focussed.itemsets, sels):
+            assert sel == pytest.approx(d1.itemset_selectivity(itemset))
+
+    def test_box_focus_on_lits_rejected(self, mined):
+        m1, m2, d1, d2 = mined
+        with pytest.raises(IncompatibleModelsError):
+            focussed_deviation(m1, m2, d1, d2, box_focus(age=(None, 30)))
+
+
+class TestDtFocus:
+    @pytest.fixture
+    def fitted(self, classify_pair):
+        d1, d2 = classify_pair
+        params = TreeParams(max_depth=4, min_leaf=30)
+        return DtModel.fit(d1, params), DtModel.fit(d2, params), d1, d2
+
+    def test_class_focus_decomposes_sum(self, fitted):
+        m1, m2, d1, d2 = fitted
+        whole = deviation(m1, m2, d1, d2).value
+        by_class = sum(
+            focussed_deviation(m1, m2, d1, d2, box_focus(class_label=c)).value
+            for c in (0, 1)
+        )
+        assert by_class == pytest.approx(whole)
+
+    def test_class_focus_monotone_under_fa(self, fitted):
+        """Sound monotonicity: a class region is a union of GCR regions, so
+        focussing on it selects a subset of the non-negative terms."""
+        m1, m2, d1, d2 = fitted
+        whole_sum = deviation(m1, m2, d1, d2, g=SUM).value
+        whole_max = deviation(m1, m2, d1, d2, g=MAX).value
+        for c in (0, 1):
+            focus = box_focus(class_label=c)
+            assert (
+                focussed_deviation(m1, m2, d1, d2, focus, g=SUM).value
+                <= whole_sum + 1e-12
+            )
+            assert (
+                focussed_deviation(m1, m2, d1, d2, focus, g=MAX).value
+                <= whole_max + 1e-12
+            )
+
+    def test_age_focus_monotone_on_this_data(self, fitted):
+        """Data-dependent check of the paper's monotonicity note; holds on
+        these fixtures (an arbitrary box can in principle break it -- see
+        repro.core.focus)."""
+        m1, m2, d1, d2 = fitted
+        wide = focussed_deviation(m1, m2, d1, d2, box_focus(age=(None, 60))).value
+        narrow = focussed_deviation(m1, m2, d1, d2, box_focus(age=(None, 40))).value
+        assert narrow <= wide + 1e-12
+
+    def test_scaled_focus_not_necessarily_monotone(self, fitted):
+        """The paper notes monotonicity fails for f_s -- just assert it runs
+        and is non-negative (no ordering guarantee)."""
+        m1, m2, d1, d2 = fitted
+        value = focussed_deviation(
+            m1, m2, d1, d2, box_focus(age=(None, 40)), f=SCALED
+        ).value
+        assert value >= 0.0
+
+    def test_disjoint_focus_zero(self, fitted):
+        """A focus region outside the data's support has zero deviation."""
+        m1, m2, d1, d2 = fitted
+        value = focussed_deviation(
+            m1, m2, d1, d2, box_focus(age=(2_000, 3_000))
+        ).value
+        assert value == 0.0
+
+    def test_nested_focus_composes(self, fitted):
+        m1, m2, d1, d2 = fitted
+        once = m1.structure.focussed(box_focus(age=(None, 40)))
+        twice = once.focussed(box_focus(salary=(50_000, None)))
+        both = m1.structure.focussed(
+            box_focus(age=(None, 40), salary=(50_000, None))
+        )
+        assert twice.counts(d1).sum() == both.counts(d1).sum()
+
+    def test_conflicting_nested_class_focus_rejected(self, fitted):
+        m1, _, _, _ = fitted
+        once = m1.structure.focussed(box_focus(class_label=0))
+        with pytest.raises(IncompatibleModelsError):
+            once.focussed(box_focus(class_label=1))

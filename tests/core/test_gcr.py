@@ -1,0 +1,124 @@
+"""Tests for greatest-common-refinement construction."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.dtree_model import DtModel
+from repro.core.gcr import gcr, gcr_lits, gcr_partition
+from repro.core.lits import LitsModel
+from repro.core.model import LitsStructure
+from repro.core.refinement import refines, verify_measure_additivity
+from repro.errors import IncompatibleModelsError
+from repro.mining.tree.builder import TreeParams
+
+
+def lits(*itemsets) -> LitsStructure:
+    return LitsStructure([frozenset(s) for s in itemsets])
+
+
+class TestLitsGcr:
+    def test_union(self):
+        s1 = lits({0}, {1}, {0, 1})
+        s2 = lits({1}, {2}, {1, 2})
+        g = gcr_lits(s1, s2)
+        assert set(g.itemsets) == {
+            frozenset({0}), frozenset({1}), frozenset({2}),
+            frozenset({0, 1}), frozenset({1, 2}),
+        }
+
+    def test_identical_structures_returned_as_is(self):
+        s1 = lits({0}, {1})
+        s2 = lits({1}, {0})
+        assert gcr(s1, s2) is s1
+
+    def test_gcr_refines_both(self):
+        s1 = lits({0}, {0, 1})
+        s2 = lits({2})
+        g = gcr(s1, s2)
+        assert refines(g, s1)
+        assert refines(g, s2)
+
+    def test_gcr_is_least_upper_refinement(self):
+        """Any common refinement refines the GCR (meet property)."""
+        s1 = lits({0})
+        s2 = lits({1})
+        g = gcr(s1, s2)
+        finer = lits({0}, {1}, {2}, {0, 1})
+        assert refines(finer, g)
+        # But the GCR does not refine the strictly finer structure.
+        assert not refines(g, finer)
+
+    def test_gcr_idempotent(self):
+        s1 = lits({0}, {1})
+        assert gcr(s1, s1).key == s1.key
+
+    def test_measure_additivity_on_data(self, small_transactions):
+        s1 = lits({0}, {0, 1})
+        s2 = lits({1}, {2})
+        g = gcr(s1, s2)
+        assert verify_measure_additivity(g, s1, small_transactions)
+        assert verify_measure_additivity(g, s2, small_transactions)
+
+
+class TestPartitionGcr:
+    @pytest.fixture
+    def two_models(self, classify_pair):
+        d1, d2 = classify_pair
+        params = TreeParams(max_depth=3, min_leaf=30)
+        return DtModel.fit(d1, params), DtModel.fit(d2, params), d1, d2
+
+    def test_overlay_cell_count(self, two_models):
+        m1, m2, _, _ = two_models
+        g = gcr_partition(m1.structure, m2.structure)
+        # At most the product of the two cell counts, at least the max.
+        n1, n2 = len(m1.structure.cells), len(m2.structure.cells)
+        assert max(n1, n2) <= len(g.cells) <= n1 * n2
+
+    def test_overlay_refines_both(self, two_models):
+        m1, m2, _, _ = two_models
+        g = gcr_partition(m1.structure, m2.structure)
+        assert refines(g, m1.structure)
+        assert refines(g, m2.structure)
+
+    def test_overlay_counts_partition_every_tuple(self, two_models):
+        """GCR counts over all (cell, class) regions sum to the dataset size."""
+        m1, m2, d1, _ = two_models
+        g = gcr_partition(m1.structure, m2.structure)
+        assert g.counts(d1).sum() == len(d1)
+
+    def test_overlay_measures_are_additive(self, two_models):
+        m1, m2, d1, _ = two_models
+        g = gcr_partition(m1.structure, m2.structure)
+        assert verify_measure_additivity(g, m1.structure, d1)
+        assert verify_measure_additivity(g, m2.structure, d1)
+
+    def test_composed_assigner_matches_predicates(self, two_models):
+        """The fast-path assigner agrees with evaluating cell predicates."""
+        m1, m2, d1, _ = two_models
+        g = gcr_partition(m1.structure, m2.structure)
+        assigned = g.assigner(d1)
+        for cell_idx in np.unique(assigned)[:10]:
+            cell = g.cells[cell_idx]
+            mask = d1.predicate_mask(cell)
+            assert np.array_equal(np.flatnonzero(assigned == cell_idx),
+                                  np.flatnonzero(mask))
+
+    def test_mismatched_kinds_raise(self, two_models):
+        m1, _, _, _ = two_models
+        with pytest.raises(IncompatibleModelsError):
+            gcr(m1.structure, lits({0}))
+
+
+class TestGcrOfMinedLitsModels:
+    def test_counts_against_other_dataset(self, basket_pair):
+        d1, d2 = basket_pair
+        m1 = LitsModel.mine(d1, 0.05)
+        m2 = LitsModel.mine(d2, 0.05)
+        g = gcr(m1.structure, m2.structure)
+        counts = g.counts(d2)
+        # Every itemset of m1 gets a (possibly zero) measure from d2.
+        assert len(counts) == len(g.itemsets)
+        assert (counts >= 0).all()
+        assert (counts <= len(d2)).all()

@@ -1,0 +1,120 @@
+"""Tests for the Structure implementations (LitsStructure, PartitionStructure)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.model import LitsStructure, PartitionStructure
+from repro.core.predicate import interval_constraint
+from repro.core.region import BoxRegion, ItemsetRegion
+from repro.errors import IncompatibleModelsError, InvalidParameterError
+
+
+class TestLitsStructure:
+    def test_canonical_ordering_and_dedup(self):
+        s = LitsStructure(
+            [frozenset({2}), frozenset({1}), frozenset({1}), frozenset({1, 2})]
+        )
+        assert s.itemsets == (
+            frozenset({1}), frozenset({2}), frozenset({1, 2}),
+        )
+
+    def test_key_is_order_insensitive(self):
+        a = LitsStructure([frozenset({1}), frozenset({2})])
+        b = LitsStructure([frozenset({2}), frozenset({1})])
+        assert a.key == b.key
+        assert a == b
+
+    def test_counts(self, small_transactions):
+        s = LitsStructure([frozenset({0}), frozenset({0, 1})])
+        counts = s.counts(small_transactions)
+        assert counts.tolist() == [6, 4]
+
+    def test_selectivities_empty_dataset(self):
+        from repro.data.transactions import TransactionDataset
+
+        s = LitsStructure([frozenset({0})])
+        empty = TransactionDataset([], n_items=2)
+        assert s.selectivities(empty).tolist() == [0.0]
+
+    def test_focussed_requires_itemset_region(self):
+        s = LitsStructure([frozenset({0})])
+        with pytest.raises(IncompatibleModelsError):
+            s.focussed(BoxRegion(interval_constraint("x", 0, 1)))
+
+    def test_len(self):
+        assert len(LitsStructure([frozenset({0}), frozenset({1})])) == 2
+
+
+def _two_cell_partition(space_names=("age",)):
+    """A partition of the age axis at 50, with classes (0, 1)."""
+    low = interval_constraint("age", hi=50)
+    high = interval_constraint("age", lo=50)
+
+    def assigner(dataset):
+        return (dataset.column("age") >= 50).astype(np.int64)
+
+    return PartitionStructure(
+        cells=(low, high), class_labels=(0, 1), assigner=assigner
+    )
+
+
+class TestPartitionStructure:
+    def test_regions_are_cells_times_classes(self):
+        s = _two_cell_partition()
+        assert len(s.regions) == 4
+        labels = [r.class_label for r in s.regions]
+        assert labels == [0, 1, 0, 1]
+
+    def test_counts_histogram(self, two_d_space):
+        from repro.data.tabular import TabularDataset
+
+        X = np.array([[20.0, 0.0], [60.0, 0.0], [70.0, 0.0]])
+        y = np.array([0, 1, 1])
+        data = TabularDataset(two_d_space, X, y)
+        s = _two_cell_partition()
+        # cells x classes: (low,0)=1, (low,1)=0, (high,0)=0, (high,1)=2.
+        assert s.counts(data).tolist() == [1, 0, 0, 2]
+
+    def test_counts_sum_to_n(self, small_tabular):
+        s = _two_cell_partition()
+        assert s.counts(small_tabular).sum() == len(small_tabular)
+
+    def test_unlabelled_dataset_with_class_regions_rejected(self, two_d_space):
+        from repro.core.attribute import AttributeSpace
+        from repro.data.tabular import TabularDataset
+
+        unlabelled_space = AttributeSpace(two_d_space.attributes, ())
+        data = TabularDataset(unlabelled_space, np.array([[1.0, 2.0]]))
+        s = _two_cell_partition()
+        with pytest.raises(IncompatibleModelsError):
+            s.counts(data)
+
+    def test_focus_predicate_restricts_counts(self, two_d_space):
+        from repro.data.tabular import TabularDataset
+
+        X = np.array([[20.0, 0.0], [60.0, 0.0], [70.0, 0.0]])
+        y = np.array([0, 1, 1])
+        data = TabularDataset(two_d_space, X, y)
+        s = _two_cell_partition().focussed(
+            BoxRegion(interval_constraint("age", hi=65))
+        )
+        # Only rows with age < 65 are counted.
+        assert s.counts(data).sum() == 2
+
+    def test_focus_class_collapses_regions(self, small_tabular):
+        s = _two_cell_partition().focussed(BoxRegion(class_label=1))
+        assert len(s.regions) == 2
+        assert all(r.class_label == 1 for r in s.regions)
+        y = small_tabular.y
+        assert s.counts(small_tabular).sum() == int((y == 1).sum())
+
+    def test_empty_cells_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            PartitionStructure(cells=(), class_labels=(), assigner=lambda d: None)
+
+    def test_itemset_focus_rejected(self):
+        s = _two_cell_partition()
+        with pytest.raises(IncompatibleModelsError):
+            s.focussed(ItemsetRegion({0}))

@@ -1,0 +1,98 @@
+"""Tests for the snapshot ChangeMonitor."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.lits import LitsModel
+from repro.core.monitor import ChangeMonitor
+from repro.data.quest_basket import build_pattern_pool, generate_basket
+from repro.errors import InvalidParameterError, NotFittedError
+
+
+def builder(dataset):
+    return LitsModel.mine(dataset, 0.05, max_len=2)
+
+
+@pytest.fixture(scope="module")
+def snapshots():
+    """Reference + two quiet snapshots + one drifted snapshot."""
+    rng = np.random.default_rng(71)
+    pool = build_pattern_pool(rng, n_items=60, n_patterns=40, avg_pattern_len=3)
+
+    def quiet():
+        return generate_basket(
+            700, n_items=60, avg_transaction_len=5, rng=rng, pool=pool
+        )
+
+    drifted = generate_basket(
+        700, n_items=60, avg_transaction_len=5, n_patterns=40,
+        avg_pattern_len=5, rng=rng,
+    )
+    return quiet(), quiet(), quiet(), drifted
+
+
+class TestChangeMonitor:
+    def test_quiet_then_drift(self, snapshots):
+        reference, quiet_1, quiet_2, drifted = snapshots
+        monitor = ChangeMonitor(
+            builder, n_boot=20, rng=np.random.default_rng(1)
+        ).fit(reference)
+
+        assert not monitor.observe(quiet_1).drifted
+        assert not monitor.observe(quiet_2).drifted
+        alarm = monitor.observe(drifted)
+        assert alarm.drifted
+        assert monitor.drift_points() == [alarm.index]
+
+    def test_history_and_indices(self, snapshots):
+        reference, quiet_1, quiet_2, _ = snapshots
+        monitor = ChangeMonitor(
+            builder, n_boot=10, rng=np.random.default_rng(2)
+        ).fit(reference)
+        monitor.observe(quiet_1)
+        monitor.observe(quiet_2)
+        assert [obs.index for obs in monitor.history] == [1, 2]
+        assert all(obs.reference_index == 0 for obs in monitor.history)
+
+    def test_reset_on_drift_policy(self, snapshots):
+        reference, quiet_1, _, drifted = snapshots
+        monitor = ChangeMonitor(
+            builder, n_boot=20, policy="reset_on_drift",
+            rng=np.random.default_rng(3),
+        ).fit(reference)
+        alarm = monitor.observe(drifted)
+        assert alarm.drifted
+        # Reference moved: the next snapshot is compared to the drifted one.
+        follow_up = monitor.observe(quiet_1)
+        assert follow_up.reference_index == alarm.index
+
+    def test_fixed_policy_keeps_reference(self, snapshots):
+        reference, _, _, drifted = snapshots
+        monitor = ChangeMonitor(
+            builder, n_boot=20, policy="fixed", rng=np.random.default_rng(4)
+        ).fit(reference)
+        alarm = monitor.observe(drifted)
+        assert alarm.reference_index == 0
+        assert monitor.observe(drifted).reference_index == 0
+
+    def test_observe_before_fit_rejected(self, snapshots):
+        monitor = ChangeMonitor(builder, n_boot=5)
+        with pytest.raises(NotFittedError):
+            monitor.observe(snapshots[0])
+
+    def test_parameter_validation(self):
+        with pytest.raises(InvalidParameterError):
+            ChangeMonitor(builder, policy="nonsense")
+        with pytest.raises(InvalidParameterError):
+            ChangeMonitor(builder, threshold=150.0)
+
+    def test_describe(self, snapshots):
+        reference, quiet_1, _, _ = snapshots
+        monitor = ChangeMonitor(
+            builder, n_boot=5, rng=np.random.default_rng(5)
+        ).fit(reference)
+        text = monitor.observe(quiet_1).describe()
+        assert "snapshot 1" in text
+        assert "delta=" in text

@@ -1,0 +1,102 @@
+"""Tests for change monitoring: ME and chi-squared as FOCUS instantiations."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.dtree_model import DtModel
+from repro.core.monitoring import (
+    chi_squared_statistic,
+    misclassification_error,
+    misclassification_error_via_focus,
+    predicted_dataset,
+)
+from repro.data.quest_classify import generate_classification
+from repro.mining.tree.builder import TreeParams
+
+
+@pytest.fixture(scope="module")
+def fitted():
+    d1 = generate_classification(1_500, function=1, seed=5)
+    d2 = generate_classification(1_500, function=2, seed=6)
+    model = DtModel.fit(d1, TreeParams(max_depth=5, min_leaf=30))
+    return model, d1, d2
+
+
+class TestPredictedDataset:
+    def test_labels_replaced_by_predictions(self, fitted):
+        model, _, d2 = fitted
+        predicted = predicted_dataset(model, d2)
+        assert np.array_equal(predicted.y, model.predict(d2))
+        assert np.array_equal(predicted.X, d2.X)
+
+    def test_model_never_misclassifies_its_predictions(self, fitted):
+        model, _, d2 = fitted
+        predicted = predicted_dataset(model, d2)
+        assert misclassification_error(model, predicted) == 0.0
+
+
+class TestTheorem52:
+    """ME_T(D2) = 1/2 * delta_(f_a,g_sum)(<T, D2>, <T, D2^T>)."""
+
+    def test_identity_on_cross_process_data(self, fitted):
+        model, _, d2 = fitted
+        direct = misclassification_error(model, d2)
+        via_focus = misclassification_error_via_focus(model, d2)
+        assert via_focus == pytest.approx(direct, abs=1e-12)
+
+    def test_identity_on_training_data(self, fitted):
+        model, d1, _ = fitted
+        assert misclassification_error_via_focus(model, d1) == pytest.approx(
+            misclassification_error(model, d1), abs=1e-12
+        )
+
+    def test_training_error_below_transfer_error(self, fitted):
+        model, d1, d2 = fitted
+        assert misclassification_error(model, d1) < misclassification_error(
+            model, d2
+        )
+
+
+class TestProposition51:
+    """X^2 over the tree's regions with expected from D1, observed from D2."""
+
+    def test_matches_direct_computation(self, fitted):
+        model, d1, d2 = fitted
+        result = chi_squared_statistic(model, d1, d2, c=0.5)
+        # Direct: sum over regions of (O - E)^2 / E with E = sigma1 * n2.
+        counts1 = model.structure.counts(d1)
+        counts2 = model.structure.counts(d2)
+        n1, n2 = len(d1), len(d2)
+        total = 0.0
+        for nu1, nu2 in zip(counts1, counts2):
+            if nu1 == 0:
+                total += 0.5
+                continue
+            e = (nu1 / n1) * n2
+            o = nu2
+            total += (o - e) ** 2 / e
+        assert result.value == pytest.approx(total, rel=1e-9)
+
+    def test_zero_statistic_for_identical_data(self, fitted):
+        model, d1, _ = fitted
+        result = chi_squared_statistic(model, d1, d1, c=0.5)
+        # Only empty-expected cells contribute (the constant c each).
+        empty_cells = int((model.structure.counts(d1) == 0).sum())
+        assert result.value == pytest.approx(0.5 * empty_cells)
+
+    def test_cross_process_statistic_is_large(self, fitted):
+        model, d1, d2 = fitted
+        same = chi_squared_statistic(model, d1, d1).value
+        cross = chi_squared_statistic(model, d1, d2).value
+        assert cross > same + 100  # grossly significant shift
+
+    def test_unlabelled_dataset_rejected(self, fitted):
+        from repro.errors import SchemaError
+
+        model, d1, _ = fitted
+        unlabelled_space = type(d1.space)(d1.space.attributes, ())
+        unlabelled = type(d1)(unlabelled_space, d1.X)
+        with pytest.raises(SchemaError):
+            misclassification_error(model, unlabelled)

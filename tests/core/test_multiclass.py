@@ -1,0 +1,119 @@
+"""Multi-class (k = 3) coverage: the paper's "k regions per leaf".
+
+Section 2.1: "each leaf node of a decision tree for k classes is
+associated with k regions". The two-class experiments never exercise
+the k > 2 code paths (one-vs-rest categorical splits, k-way region
+cross products), so this module does.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.attribute import AttributeSpace, categorical, numeric
+from repro.core.deviation import deviation
+from repro.core.dtree_model import DtModel
+from repro.core.focus import box_focus, focussed_deviation
+from repro.core.monitoring import (
+    misclassification_error,
+    misclassification_error_via_focus,
+)
+from repro.data.tabular import TabularDataset
+from repro.mining.tree.builder import TreeParams, build_tree
+from repro.mining.tree.splits import best_categorical_split
+
+SPACE = AttributeSpace(
+    attributes=(numeric("x", 0, 90), categorical("colour", (0, 1, 2, 3))),
+    class_labels=(0, 1, 2),
+)
+
+
+def three_class_dataset(n: int, seed: int, noise: float = 0.05) -> TabularDataset:
+    """Class = band of x (three 30-wide bands), with a little noise."""
+    rng = np.random.default_rng(seed)
+    x = rng.uniform(0, 90, n)
+    colour = rng.integers(0, 4, n).astype(np.float64)
+    y = (x // 30).astype(np.int64)
+    flip = rng.random(n) < noise
+    y = np.where(flip, (y + 1) % 3, y)
+    return TabularDataset(SPACE, np.column_stack([x, colour]), y)
+
+
+def colour_driven_dataset(n: int, seed: int) -> TabularDataset:
+    """Class determined by the categorical attribute (one value per class)."""
+    rng = np.random.default_rng(seed)
+    x = rng.uniform(0, 90, n)
+    colour = rng.integers(0, 4, n).astype(np.float64)
+    y = np.minimum(colour.astype(np.int64), 2)
+    return TabularDataset(SPACE, np.column_stack([x, colour]), y)
+
+
+class TestMultiClassSplits:
+    def test_one_vs_rest_categorical_split(self):
+        d = colour_driven_dataset(900, seed=1)
+        split = best_categorical_split(
+            SPACE.attribute("colour"), d.column("colour"),
+            d.y, n_classes=3, min_leaf=10,
+        )
+        assert split is not None
+        assert len(split.left_values) == 1  # one value vs the rest
+
+    def test_tree_learns_three_bands(self):
+        d = three_class_dataset(3_000, seed=2, noise=0.0)
+        tree = build_tree(d, TreeParams(max_depth=4, min_leaf=20))
+        assert tree.n_leaves == 3
+        assert (tree.predict(d) == d.y).all()
+
+    def test_tree_learns_colour_concept(self):
+        d = colour_driven_dataset(2_000, seed=3)
+        tree = build_tree(d, TreeParams(max_depth=5, min_leaf=20))
+        error = float(np.mean(tree.predict(d) != d.y))
+        assert error < 0.02
+
+
+class TestMultiClassDeviation:
+    @pytest.fixture(scope="class")
+    def fitted(self):
+        d1 = three_class_dataset(2_000, seed=4)
+        d2 = three_class_dataset(2_000, seed=5)
+        d3 = colour_driven_dataset(2_000, seed=6)
+        params = TreeParams(max_depth=4, min_leaf=25)
+        return (
+            DtModel.fit(d1, params), DtModel.fit(d2, params),
+            DtModel.fit(d3, params), d1, d2, d3,
+        )
+
+    def test_regions_are_three_per_cell(self, fitted):
+        m1, _, _, d1, _, _ = fitted
+        assert len(m1.structure.regions) == 3 * len(m1.structure.cells)
+
+    def test_counts_partition_all_rows(self, fitted):
+        m1, _, _, d1, _, _ = fitted
+        assert m1.structure.counts(d1).sum() == len(d1)
+
+    def test_same_process_below_cross_process(self, fitted):
+        m1, m2, m3, d1, d2, d3 = fitted
+        same = deviation(m1, m2, d1, d2).value
+        cross = deviation(m1, m3, d1, d3).value
+        assert same < cross
+
+    def test_class_focus_decomposes_three_ways(self, fitted):
+        m1, _, m3, d1, _, d3 = fitted
+        whole = deviation(m1, m3, d1, d3).value
+        per_class = [
+            focussed_deviation(m1, m3, d1, d3, box_focus(class_label=c)).value
+            for c in (0, 1, 2)
+        ]
+        assert sum(per_class) == pytest.approx(whole)
+
+    def test_theorem_5_2_holds_with_three_classes(self, fitted):
+        m1, _, _, _, _, d3 = fitted
+        assert misclassification_error_via_focus(m1, d3) == pytest.approx(
+            misclassification_error(m1, d3), abs=1e-12
+        )
+
+    def test_bounded_by_two(self, fitted):
+        """f_a/g_sum over a partition x classes stays <= 2 for any k."""
+        m1, _, m3, d1, _, d3 = fitted
+        assert deviation(m1, m3, d1, d3).value <= 2.0 + 1e-9

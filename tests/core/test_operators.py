@@ -1,0 +1,107 @@
+"""Tests for the structural and rank operators (Section 5)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.lits import LitsModel
+from repro.core.model import LitsStructure
+from repro.core.operators import (
+    bottom_n,
+    itemsets_over,
+    min_region,
+    rank,
+    region_set_union,
+    structural_difference,
+    structural_intersection,
+    structural_union,
+    top,
+    top_n,
+)
+from repro.core.region import ItemsetRegion
+
+
+def lits(*itemsets) -> LitsStructure:
+    return LitsStructure([frozenset(s) for s in itemsets])
+
+
+class TestStructuralOperators:
+    def test_union_is_gcr(self):
+        u = structural_union(lits({0}), lits({1}))
+        assert {r.items for r in u.regions} == {frozenset({0}), frozenset({1})}
+
+    def test_intersection(self):
+        common = structural_intersection(lits({0}, {1}), lits({1}, {2}))
+        assert {r.items for r in common} == {frozenset({1})}
+
+    def test_difference(self):
+        diff = structural_difference(lits({0}, {1}), lits({1}, {2}))
+        assert {r.items for r in diff} == {frozenset({0}), frozenset({2})}
+
+    def test_difference_of_identical_is_empty(self):
+        assert structural_difference(lits({0}), lits({0})) == ()
+
+    def test_region_set_union_dedupes(self):
+        a = [ItemsetRegion({0}), ItemsetRegion({1})]
+        b = [ItemsetRegion({1}), ItemsetRegion({2})]
+        u = region_set_union(a, b)
+        assert {r.items for r in u} == {
+            frozenset({0}), frozenset({1}), frozenset({2}),
+        }
+
+    def test_itemsets_over_department(self):
+        """The paper's P(I1) device: itemsets over one department's items."""
+        regions = [ItemsetRegion({0}), ItemsetRegion({0, 5}), ItemsetRegion({5})]
+        dept = itemsets_over(regions, items={0, 1, 2})
+        assert {r.items for r in dept} == {frozenset({0})}
+
+
+class TestRankOperator:
+    @pytest.fixture
+    def ranked(self, basket_pair):
+        d1, d2 = basket_pair
+        m1 = LitsModel.mine(d1, 0.05)
+        m2 = LitsModel.mine(d2, 0.05)
+        union = structural_union(m1.structure, m2.structure)
+        return rank(union.regions, d1, d2), d1, d2
+
+    def test_descending_order(self, ranked):
+        rr, _, _ = ranked
+        scores = [r.score for r in rr]
+        assert scores == sorted(scores, reverse=True)
+
+    def test_scores_match_selectivity_difference(self, ranked):
+        rr, d1, d2 = ranked
+        for r in rr[:5]:
+            expected = abs(
+                r.region.selectivity(d1) - r.region.selectivity(d2)
+            )
+            assert r.score == pytest.approx(expected, abs=1e-6)
+
+    def test_selectors(self, ranked):
+        rr, _, _ = ranked
+        assert top(rr) is rr[0]
+        assert top_n(rr, 3) == rr[:3]
+        assert min_region(rr) is rr[-1]
+        assert bottom_n(rr, 2) == rr[-2:]
+
+    def test_describe_is_printable(self, ranked):
+        rr, _, _ = ranked
+        text = rr[0].describe()
+        assert "score=" in text
+
+
+class TestRankOnDtRegions:
+    def test_rank_partition_regions(self, classify_pair):
+        from repro.core.dtree_model import DtModel
+        from repro.mining.tree.builder import TreeParams
+
+        d1, d2 = classify_pair
+        m1 = DtModel.fit(d1, TreeParams(max_depth=3, min_leaf=50))
+        m2 = DtModel.fit(d2, TreeParams(max_depth=3, min_leaf=50))
+        union = structural_union(m1.structure, m2.structure)
+        ranked = rank(union.regions, d1, d2)
+        assert len(ranked) == len(union.regions)
+        assert ranked[0].score >= ranked[-1].score
+        # The most changed region should show a real selectivity gap.
+        assert ranked[0].score > 0.0

@@ -1,0 +1,246 @@
+"""The paper's worked examples, reproduced end to end.
+
+Section 2 computes three deviations by hand:
+
+* the dt example of Figure 5: deviation over the class-C1 regions of the
+  GCR is 0.175, and focussed on ``age < 30`` it is 0.08;
+* the lits example of Figure 6: ``delta_(f_a,g_sum)(L1, L2)`` over the
+  GCR supports, and ``delta_(f_a,g_max) = 0.4``.
+
+Note on Figure 6's sum: the per-itemset terms are |0.5-0.1|, |0.4-0.3|,
+|0.1-0.5|, |0.25-0.05|, |0.05-0.2| = 0.4+0.1+0.4+0.2+0.15, which totals
+**1.25**; the paper prints 1.125 (an arithmetic slip in the text -- its
+own Section 4.1 lists the same five terms). We assert the correct sum.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.attribute import AttributeSpace, numeric
+from repro.core.deviation import deviation
+from repro.core.dtree_model import DtModel
+from repro.core.focus import box_focus, focussed_deviation
+from repro.core.lits import LitsModel
+from repro.core.upper_bound import upper_bound_deviation
+from repro.core.aggregate import MAX, SUM
+from repro.data.tabular import TabularDataset
+from repro.data.transactions import TransactionDataset
+from repro.mining.tree.splits import NumericSplit
+from repro.mining.tree.tree import DecisionTree, Node
+
+
+# --------------------------------------------------------------------- #
+# Figure 5: the dt-model example.
+# --------------------------------------------------------------------- #
+
+C1, C2 = 0, 1
+
+SPACE = AttributeSpace(
+    attributes=(numeric("age", 0, 100), numeric("salary", 0, 200_000)),
+    class_labels=(C1, C2),
+)
+
+# GCR cell geometry: age boundaries 30, 50; salary boundaries 80K, 100K.
+# (cell midpoint, C1 selectivity in D1, in D2, C2 selectivity in D1, in D2)
+CELLS = [
+    # (age, salary)            C1: D1, D2      C2: D1, D2
+    ((25, 50_000), 0.100, 0.14, 0.200, 0.20),  # age<30, sal<80K
+    ((25, 90_000), 0.000, 0.04, 0.100, 0.10),  # age<30, sal>=80K
+    ((40, 50_000), 0.000, 0.00, 0.200, 0.12),  # 30<=age<50, sal<80K
+    ((40, 90_000), 0.000, 0.00, 0.100, 0.10),  # 30<=age<50, 80K<=sal<100K
+    ((40, 110_000), 0.000, 0.00, 0.095, 0.10),  # 30<=age<50, sal>=100K
+    ((60, 90_000), 0.005, 0.10, 0.100, 0.05),  # age>=50, sal<100K
+    ((60, 110_000), 0.000, 0.00, 0.100, 0.05),  # age>=50, sal>=100K
+]
+
+
+def _build_dataset(column: str) -> TabularDataset:
+    """A 1000-tuple dataset realising the chosen cell selectivities exactly."""
+    n = 1000
+    rows, labels = [], []
+    for (age, salary), c1_d1, c1_d2, c2_d1, c2_d2 in CELLS:
+        c1_frac = c1_d1 if column == "D1" else c1_d2
+        c2_frac = c2_d1 if column == "D1" else c2_d2
+        rows.extend([[age, salary]] * round(c1_frac * n))
+        labels.extend([C1] * round(c1_frac * n))
+        rows.extend([[age, salary]] * round(c2_frac * n))
+        labels.extend([C2] * round(c2_frac * n))
+    assert len(rows) == n, f"selectivities must sum to 1, got {len(rows)}"
+    return TabularDataset(SPACE, np.array(rows, dtype=float), np.array(labels))
+
+
+def _leaf() -> Node:
+    return Node(class_counts=np.array([1, 1]))
+
+
+def _tree_t1() -> DecisionTree:
+    """T1 of Figure 5: split at age 30; right child splits at salary 100K."""
+    root = Node(
+        class_counts=np.array([2, 2]),
+        split=NumericSplit("age", 30.0, 1.0),
+        left=_leaf(),
+        right=Node(
+            class_counts=np.array([1, 1]),
+            split=NumericSplit("salary", 100_000.0, 1.0),
+            left=_leaf(),
+            right=_leaf(),
+        ),
+    )
+    return DecisionTree(space=SPACE, root=root)
+
+
+def _tree_t2() -> DecisionTree:
+    """T2 of Figure 5: split at age 50; left child splits at salary 80K."""
+    root = Node(
+        class_counts=np.array([2, 2]),
+        split=NumericSplit("age", 50.0, 1.0),
+        left=Node(
+            class_counts=np.array([1, 1]),
+            split=NumericSplit("salary", 80_000.0, 1.0),
+            left=_leaf(),
+            right=_leaf(),
+        ),
+        right=_leaf(),
+    )
+    return DecisionTree(space=SPACE, root=root)
+
+
+@pytest.fixture(scope="module")
+def dt_setup():
+    d1 = _build_dataset("D1")
+    d2 = _build_dataset("D2")
+    return DtModel(_tree_t1()), DtModel(_tree_t2()), d1, d2
+
+
+class TestFigure5:
+    def test_gcr_has_seven_cells_per_class(self, dt_setup):
+        m1, m2, d1, d2 = dt_setup
+        result = deviation(m1, m2, d1, d2)
+        # 7 overlay cells x 2 classes.
+        assert len(result.regions) == 14
+
+    def test_deviation_over_c1_regions_is_0_175(self, dt_setup):
+        m1, m2, d1, d2 = dt_setup
+        result = focussed_deviation(m1, m2, d1, d2, box_focus(class_label=C1))
+        assert result.value == pytest.approx(0.175)
+
+    def test_focussed_on_age_below_30_is_0_08(self, dt_setup):
+        m1, m2, d1, d2 = dt_setup
+        result = focussed_deviation(
+            m1, m2, d1, d2, box_focus(class_label=C1, age=(None, 30))
+        )
+        assert result.value == pytest.approx(0.08)
+
+    def test_full_deviation_adds_c2_contributions(self, dt_setup):
+        m1, m2, d1, d2 = dt_setup
+        full = deviation(m1, m2, d1, d2).value
+        c1 = focussed_deviation(m1, m2, d1, d2, box_focus(class_label=C1)).value
+        c2 = focussed_deviation(m1, m2, d1, d2, box_focus(class_label=C2)).value
+        assert full == pytest.approx(c1 + c2)
+        assert c2 == pytest.approx(0.08 + 0.005 + 0.05 + 0.05)
+
+    def test_exploratory_region_2_deviation(self, dt_setup):
+        """Region (2) of Section 5.1: age>=50, salary<100K, class C1 -> 0.095."""
+        m1, m2, d1, d2 = dt_setup
+        result = focussed_deviation(
+            m1, m2, d1, d2,
+            box_focus(class_label=C1, age=(50, None), salary=(None, 100_000)),
+        )
+        assert result.value == pytest.approx(0.095)
+
+
+# --------------------------------------------------------------------- #
+# Figure 6: the lits-model example.
+# --------------------------------------------------------------------- #
+
+A, B, C, D_ITEM, E_ITEM = 0, 1, 2, 3, 4
+
+
+def _basket(counts: dict[tuple[int, ...], int]) -> TransactionDataset:
+    txns: list[tuple[int, ...]] = []
+    for items, count in counts.items():
+        txns.extend([items] * count)
+    return TransactionDataset(txns, n_items=5)
+
+
+@pytest.fixture(scope="module")
+def lits_setup():
+    # D1: supp(a)=.5, supp(b)=.4, supp(ab)=.25, supp(c)=.1, supp(bc)=.05
+    d1 = _basket(
+        {
+            (A, B): 25,
+            (A,): 25,
+            (B, C): 5,
+            (B,): 10,
+            (C,): 5,
+            (D_ITEM,): 15,
+            (E_ITEM,): 15,
+        }
+    )
+    # D2: supp(b)=.3, supp(c)=.5, supp(bc)=.2, supp(a)=.1, supp(ab)=.05
+    d2 = _basket(
+        {
+            (A, B): 5,
+            (A,): 5,
+            (B, C): 20,
+            (B,): 5,
+            (C,): 30,
+            (D_ITEM,): 18,
+            (E_ITEM,): 17,
+        }
+    )
+    m1 = LitsModel.mine(d1, min_support=0.2)
+    m2 = LitsModel.mine(d2, min_support=0.2)
+    return m1, m2, d1, d2
+
+
+class TestFigure6:
+    def test_mined_models_match_figure(self, lits_setup):
+        m1, m2, _, _ = lits_setup
+        assert set(m1.itemsets) == {
+            frozenset({A}), frozenset({B}), frozenset({A, B}),
+        }
+        assert set(m2.itemsets) == {
+            frozenset({B}), frozenset({C}), frozenset({B, C}),
+        }
+        assert m1.support({A}) == pytest.approx(0.5)
+        assert m1.support({B}) == pytest.approx(0.4)
+        assert m1.support({A, B}) == pytest.approx(0.25)
+        assert m2.support({B}) == pytest.approx(0.3)
+        assert m2.support({C}) == pytest.approx(0.5)
+        assert m2.support({B, C}) == pytest.approx(0.2)
+
+    def test_gcr_is_union_of_itemsets(self, lits_setup):
+        m1, m2, d1, d2 = lits_setup
+        result = deviation(m1, m2, d1, d2)
+        gcr_itemsets = {r.items for r in result.regions}
+        assert gcr_itemsets == {
+            frozenset({A}), frozenset({B}), frozenset({C}),
+            frozenset({A, B}), frozenset({B, C}),
+        }
+
+    def test_sum_deviation(self, lits_setup):
+        """The five |.|-terms of Figure 6 sum to 1.25 (paper misprints 1.125)."""
+        m1, m2, d1, d2 = lits_setup
+        result = deviation(m1, m2, d1, d2, g=SUM)
+        assert result.value == pytest.approx(
+            abs(0.5 - 0.1) + abs(0.4 - 0.3) + abs(0.1 - 0.5)
+            + abs(0.25 - 0.05) + abs(0.05 - 0.2)
+        )
+        assert result.value == pytest.approx(1.25)
+
+    def test_max_deviation_is_0_4(self, lits_setup):
+        """Section 4.1: delta_(f_a, g_max)(L1, L2) = 0.4."""
+        m1, m2, d1, d2 = lits_setup
+        result = deviation(m1, m2, d1, d2, g=MAX)
+        assert result.value == pytest.approx(0.4)
+
+    def test_upper_bound_majorises(self, lits_setup):
+        m1, m2, d1, d2 = lits_setup
+        ub = upper_bound_deviation(m1, m2, g=SUM)
+        # a only in L1 (0.5), b both (0.1), c only in L2 (0.5),
+        # ab only in L1 (0.25), bc only in L2 (0.2).
+        assert ub.value == pytest.approx(0.5 + 0.1 + 0.5 + 0.25 + 0.2)
+        assert ub.value >= deviation(m1, m2, d1, d2, g=SUM).value

@@ -1,0 +1,180 @@
+"""Tests for the declarative predicate parser."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.parser import (
+    format_predicate,
+    format_region,
+    parse_predicate,
+    parse_region,
+)
+from repro.core.predicate import Conjunction, Interval, ValueSet
+from repro.core.region import BoxRegion
+from repro.errors import InvalidParameterError
+
+
+class TestParsePredicate:
+    def test_simple_less_than(self):
+        p = parse_predicate("age < 30")
+        constraint = p.constraints["age"]
+        assert isinstance(constraint, Interval)
+        assert constraint.hi == 30
+        assert constraint.lo == -math.inf
+
+    def test_all_operators(self):
+        assert parse_predicate("x < 5").constraints["x"].hi == 5
+        assert parse_predicate("x >= 5").constraints["x"].lo == 5
+        le = parse_predicate("x <= 5").constraints["x"]
+        assert le.contains(5) and not le.contains(5.0001)
+        gt = parse_predicate("x > 5").constraints["x"]
+        assert not gt.contains(5) and gt.contains(5.0001)
+        eq = parse_predicate("x = 5").constraints["x"]
+        assert eq.contains(5) and not eq.contains(5.0001)
+
+    def test_reversed_comparison(self):
+        p = parse_predicate("30 <= age")
+        assert p.constraints["age"].lo == 30
+        p = parse_predicate("30 > age")
+        assert p.constraints["age"].hi == 30
+
+    def test_conjunction(self):
+        p = parse_predicate("age < 30 and salary >= 100000")
+        assert set(p.constraints) == {"age", "salary"}
+
+    def test_value_set(self):
+        p = parse_predicate("elevel in {0, 1, 2}")
+        constraint = p.constraints["elevel"]
+        assert isinstance(constraint, ValueSet)
+        assert constraint.values == frozenset({0, 1, 2})
+
+    def test_repeated_attribute_intersects(self):
+        p = parse_predicate("age >= 20 and age < 30")
+        constraint = p.constraints["age"]
+        assert (constraint.lo, constraint.hi) == (20, 30)
+
+    def test_empty_string_is_true(self):
+        assert parse_predicate("").is_universal
+        assert parse_predicate("   ").is_universal
+
+    def test_scientific_notation_and_negative(self):
+        p = parse_predicate("x >= -1.5e3")
+        assert p.constraints["x"].lo == -1500.0
+
+    def test_evaluates_against_data(self, small_tabular):
+        p = parse_predicate("age < 50 and salary >= 100000")
+        mask = small_tabular.predicate_mask(p)
+        ages = small_tabular.column("age")
+        salaries = small_tabular.column("salary")
+        expected = (ages < 50) & (salaries >= 100_000)
+        assert np.array_equal(mask, expected)
+
+    def test_errors(self):
+        with pytest.raises(InvalidParameterError):
+            parse_predicate("age <")
+        with pytest.raises(InvalidParameterError):
+            parse_predicate("age < 30 and")
+        with pytest.raises(InvalidParameterError):
+            parse_predicate("and age < 30")
+        with pytest.raises(InvalidParameterError):
+            parse_predicate("elevel in {}")
+        with pytest.raises(InvalidParameterError):
+            parse_predicate("elevel in {1.5}")
+        with pytest.raises(InvalidParameterError):
+            parse_predicate("age ? 30")
+        with pytest.raises(InvalidParameterError):
+            parse_predicate("age < 30 and age in {1}")
+
+
+class TestParseRegion:
+    def test_plain_region(self):
+        region = parse_region("age < 30")
+        assert region.class_label is None
+        assert region.predicate.constraints["age"].hi == 30
+
+    def test_class_clause(self):
+        region = parse_region("age < 30 and class = 1")
+        assert region.class_label == 1
+        assert set(region.predicate.constraints) == {"age"}
+
+    def test_class_only(self):
+        region = parse_region("class = 0")
+        assert region.class_label == 0
+        assert region.predicate.is_universal
+
+    def test_empty_region_is_whole_space(self):
+        region = parse_region("")
+        assert region.class_label is None
+        assert region.predicate.is_universal
+
+    def test_duplicate_class_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            parse_region("class = 0 and class = 1")
+
+    def test_format_region_roundtrip(self):
+        region = parse_region("age < 30 and elevel in {0, 1} and class = 1")
+        assert parse_region(format_region(region)) == region
+
+    def test_usable_as_focus(self, classify_pair):
+        from repro.core.dtree_model import DtModel
+        from repro.core.focus import focussed_deviation
+        from repro.mining.tree.builder import TreeParams
+
+        d1, d2 = classify_pair
+        params = TreeParams(max_depth=3, min_leaf=50)
+        m1, m2 = DtModel.fit(d1, params), DtModel.fit(d2, params)
+        via_parser = focussed_deviation(
+            m1, m2, d1, d2, parse_region("age < 40 and class = 0")
+        ).value
+        from repro.core.focus import box_focus
+
+        via_builder = focussed_deviation(
+            m1, m2, d1, d2, box_focus(class_label=0, age=(None, 40))
+        ).value
+        assert via_parser == pytest.approx(via_builder)
+
+
+@st.composite
+def random_conjunctions(draw):
+    """Random predicates over a small attribute vocabulary."""
+    constraints = {}
+    for name in draw(
+        st.lists(st.sampled_from(["a", "b", "c"]), min_size=1, max_size=3,
+                 unique=True)
+    ):
+        if draw(st.booleans()):
+            lo = draw(st.one_of(st.none(), st.integers(-50, 50)))
+            hi_base = lo if lo is not None else 0
+            hi = draw(st.one_of(st.none(), st.integers(hi_base + 1, 100)))
+            if lo is None and hi is None:
+                continue
+            constraints[name] = Interval(
+                float(lo) if lo is not None else -float("inf"),
+                float(hi) if hi is not None else float("inf"),
+            )
+        else:
+            values = draw(
+                st.lists(st.integers(0, 9), min_size=1, max_size=4, unique=True)
+            )
+            constraints[name] = ValueSet(values)
+    return Conjunction(constraints)
+
+
+@settings(max_examples=60, deadline=None)
+@given(random_conjunctions())
+def test_format_parse_roundtrip_property(predicate):
+    """parse(format(p)) == p for arbitrary generated conjunctions."""
+    assert parse_predicate(format_predicate(predicate)) == predicate
+
+
+@settings(max_examples=40, deadline=None)
+@given(random_conjunctions(), st.one_of(st.none(), st.integers(0, 3)))
+def test_region_roundtrip_property(predicate, class_label):
+    region = BoxRegion(predicate, class_label)
+    assert parse_region(format_region(region)) == region

@@ -1,0 +1,158 @@
+"""Property-based tests for partition (dt-model) structures.
+
+Complements ``test_properties.py`` (lits-models) with the dt-model side:
+Theorem 4.3 (GCR least deviation under g_sum), overlay associativity,
+and the meet-semilattice properties of Proposition 4.2 -- all over
+randomly generated labelled datasets and the trees they induce.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.attribute import AttributeSpace, numeric
+from repro.core.deviation import deviation, deviation_over_structure
+from repro.core.dtree_model import DtModel
+from repro.core.gcr import gcr, gcr_partition
+from repro.core.model import PartitionStructure
+from repro.core.predicate import Conjunction, Interval
+from repro.core.refinement import refines, verify_measure_additivity
+from repro.data.tabular import TabularDataset
+from repro.mining.tree.builder import TreeParams, build_tree
+
+SPACE = AttributeSpace(
+    attributes=(numeric("x", 0, 100), numeric("y", 0, 100)),
+    class_labels=(0, 1),
+)
+
+
+@st.composite
+def labelled_datasets(draw, min_rows: int = 40, max_rows: int = 120):
+    """Random 2-D labelled datasets with a noisy linear-ish concept."""
+    n = draw(st.integers(min_rows, max_rows))
+    seed = draw(st.integers(0, 2**31 - 1))
+    slope = draw(st.floats(0.2, 3.0))
+    rng = np.random.default_rng(seed)
+    X = rng.uniform(0, 100, size=(n, 2))
+    noise = rng.random(n) < 0.15
+    y = ((X[:, 1] > slope * X[:, 0]) ^ noise).astype(np.int64)
+    return TabularDataset(SPACE, X, y)
+
+
+def fit(dataset: TabularDataset) -> DtModel:
+    return DtModel.fit(dataset, TreeParams(max_depth=3, min_leaf=5))
+
+
+def _axis_partition(cuts: tuple[float, ...], attr: str = "x") -> PartitionStructure:
+    """A 1-attribute partition at the given cut points."""
+    bounds = (-np.inf, *cuts, np.inf)
+    cells = tuple(
+        Conjunction({attr: Interval(lo, hi)})
+        for lo, hi in zip(bounds, bounds[1:])
+    )
+    cuts_arr = np.array(cuts)
+
+    def assigner(dataset):
+        return np.searchsorted(cuts_arr, dataset.column(attr), side="right")
+
+    return PartitionStructure(cells, (0, 1), assigner)
+
+
+@settings(max_examples=20, deadline=None)
+@given(labelled_datasets(), labelled_datasets())
+def test_partition_gcr_refines_both(d1, d2):
+    m1, m2 = fit(d1), fit(d2)
+    g = gcr(m1.structure, m2.structure)
+    assert refines(g, m1.structure)
+    assert refines(g, m2.structure)
+    assert verify_measure_additivity(g, m1.structure, d1)
+    assert verify_measure_additivity(g, m2.structure, d2)
+
+
+@settings(max_examples=15, deadline=None)
+@given(labelled_datasets(), labelled_datasets())
+def test_theorem_4_3_gcr_least_deviation_gsum(d1, d2):
+    """delta via the GCR <= delta_1 via a strictly finer refinement."""
+    from repro.core.difference import ABSOLUTE, SCALED
+    from repro.core.aggregate import SUM
+
+    m1, m2 = fit(d1), fit(d2)
+    g_struct = gcr(m1.structure, m2.structure)
+    # Refine further by overlaying an unrelated axis partition.
+    finer = gcr_partition(g_struct, _axis_partition((17.0, 53.0), "y"))
+    for f in (ABSOLUTE, SCALED):
+        via_gcr = deviation(m1, m2, d1, d2, f=f, g=SUM).value
+        via_finer = deviation_over_structure(finer, d1, d2, f=f, g=SUM).value
+        assert via_gcr <= via_finer + 1e-9
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    st.tuples(st.floats(10, 40), st.floats(50, 90)),
+    st.tuples(st.floats(20, 60),),
+    labelled_datasets(),
+)
+def test_overlay_associativity(cuts_a, cuts_b, dataset):
+    """gcr(gcr(a,b),c) and gcr(a,gcr(b,c)) have identical structure."""
+    a = _axis_partition(tuple(sorted(cuts_a)), "x")
+    b = _axis_partition(cuts_b, "y")
+    c = _axis_partition((33.0, 66.0), "x")
+    left = gcr_partition(gcr_partition(a, b), c)
+    right = gcr_partition(a, gcr_partition(b, c))
+    assert left.key == right.key
+    assert np.array_equal(
+        np.sort(left.counts(dataset)), np.sort(right.counts(dataset))
+    )
+
+
+@settings(max_examples=15, deadline=None)
+@given(labelled_datasets())
+def test_overlay_idempotent_and_commutative(dataset):
+    m = fit(dataset)
+    s = m.structure
+    assert gcr(s, s) is s
+    other = _axis_partition((25.0, 75.0), "x")
+    ab = gcr_partition(s, other)
+    ba = gcr_partition(other, s)
+    assert ab.key == ba.key
+
+
+@settings(max_examples=15, deadline=None)
+@given(labelled_datasets(), labelled_datasets())
+def test_meet_property_common_refinement_refines_gcr(d1, d2):
+    """Any common refinement of the two structures refines their GCR."""
+    m1, m2 = fit(d1), fit(d2)
+    g = gcr(m1.structure, m2.structure)
+    common = gcr_partition(g, _axis_partition((41.0,), "y"))
+    assert refines(common, m1.structure)
+    assert refines(common, m2.structure)
+    assert refines(common, g)
+
+
+@settings(max_examples=15, deadline=None)
+@given(labelled_datasets(), labelled_datasets())
+def test_dt_deviation_symmetry_and_identity(d1, d2):
+    m1, m2 = fit(d1), fit(d2)
+    assert deviation(m1, m1, d1, d1).value == pytest.approx(0.0, abs=1e-12)
+    assert deviation(m1, m2, d1, d2).value == pytest.approx(
+        deviation(m2, m1, d2, d1).value, abs=1e-9
+    )
+
+
+@settings(max_examples=15, deadline=None)
+@given(labelled_datasets())
+def test_theorem_5_2_me_identity_random_data(dataset):
+    from repro.core.monitoring import (
+        misclassification_error,
+        misclassification_error_via_focus,
+    )
+
+    rng = np.random.default_rng(0)
+    model = fit(dataset)
+    # Evaluate on a shuffled relabelling to get nonzero error.
+    other = dataset.relabel(rng.permutation(dataset.y))
+    assert misclassification_error_via_focus(model, other) == pytest.approx(
+        misclassification_error(model, other), abs=1e-12
+    )

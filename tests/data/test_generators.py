@@ -1,0 +1,160 @@
+"""Tests for the two IBM-style synthetic data generators."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data.quest_basket import build_pattern_pool, generate_basket
+from repro.data.quest_classify import (
+    CLASSIFICATION_FUNCTIONS,
+    GROUP_A,
+    GROUP_B,
+    assign_labels,
+    classification_space,
+    generate_classification,
+)
+from repro.errors import InvalidParameterError
+
+
+class TestBasketGenerator:
+    def test_deterministic_under_seed(self):
+        a = generate_basket(200, n_items=50, seed=7)
+        b = generate_basket(200, n_items=50, seed=7)
+        assert a.transactions == b.transactions
+
+    def test_different_seeds_differ(self):
+        a = generate_basket(200, n_items=50, seed=7)
+        b = generate_basket(200, n_items=50, seed=8)
+        assert a.transactions != b.transactions
+
+    def test_row_count_and_universe(self):
+        d = generate_basket(123, n_items=77, seed=1)
+        assert len(d) == 123
+        assert d.n_items == 77
+        assert all(0 <= i < 77 for t in d for i in t)
+
+    def test_average_length_tracks_parameter(self):
+        d = generate_basket(
+            2_000, n_items=200, avg_transaction_len=10, seed=3
+        )
+        assert 6 <= d.average_length() <= 14
+
+    def test_shared_pool_gives_same_process(self):
+        """Two datasets from one pool share frequent structure far more
+        than datasets from independent pools."""
+        rng = np.random.default_rng(5)
+        pool = build_pattern_pool(
+            rng, n_items=100, n_patterns=50, avg_pattern_len=4
+        )
+        d1 = generate_basket(1_500, n_items=100, rng=rng, pool=pool)
+        d2 = generate_basket(1_500, n_items=100, rng=rng, pool=pool)
+        d3 = generate_basket(1_500, n_items=100, seed=99, n_patterns=50,
+                             avg_pattern_len=4)
+        from repro.mining.apriori import apriori
+
+        f1 = set(apriori(d1, 0.02, max_len=2))
+        f2 = set(apriori(d2, 0.02, max_len=2))
+        f3 = set(apriori(d3, 0.02, max_len=2))
+        same = len(f1 & f2) / max(len(f1 | f2), 1)
+        cross = len(f1 & f3) / max(len(f1 | f3), 1)
+        assert same > cross
+
+    def test_pattern_pool_shapes(self):
+        rng = np.random.default_rng(0)
+        pool = build_pattern_pool(rng, n_items=50, n_patterns=20, avg_pattern_len=4)
+        assert len(pool.patterns) == 20
+        assert pool.weights.sum() == pytest.approx(1.0)
+        assert ((pool.corruption >= 0) & (pool.corruption <= 1)).all()
+        assert all(len(p) >= 1 for p in pool.patterns)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(InvalidParameterError):
+            generate_basket(-1)
+        with pytest.raises(InvalidParameterError):
+            generate_basket(10, avg_transaction_len=0)
+        with pytest.raises(InvalidParameterError):
+            build_pattern_pool(
+                np.random.default_rng(0), n_items=10, n_patterns=0,
+                avg_pattern_len=2,
+            )
+
+    def test_no_empty_transactions(self):
+        d = generate_basket(500, n_items=30, avg_transaction_len=2, seed=4)
+        assert all(len(t) >= 1 for t in d)
+
+
+class TestClassifyGenerator:
+    def test_deterministic_under_seed(self):
+        a = generate_classification(100, function=1, seed=7)
+        b = generate_classification(100, function=1, seed=7)
+        assert np.array_equal(a.X, b.X)
+        assert np.array_equal(a.y, b.y)
+
+    def test_attribute_domains(self):
+        d = generate_classification(2_000, function=1, seed=1)
+        space = d.space
+        for attribute in space.attributes:
+            col = d.column(attribute.name)
+            if attribute.is_numeric:
+                assert col.min() >= attribute.low
+                assert col.max() < attribute.high
+            else:
+                assert set(np.unique(col)).issubset(set(attribute.values))
+
+    def test_commission_rule(self):
+        d = generate_classification(2_000, function=1, seed=2)
+        salary = d.column("salary")
+        commission = d.column("commission")
+        assert (commission[salary >= 75_000] == 0).all()
+        low = commission[salary < 75_000]
+        assert (low >= 10_000).all() and (low < 75_000).all()
+
+    def test_hvalue_depends_on_zipcode(self):
+        d = generate_classification(5_000, function=1, seed=3)
+        zipcode = d.column("zipcode")
+        hvalue = d.column("hvalue")
+        k = zipcode + 1
+        assert (hvalue >= k * 50_000).all()
+        assert (hvalue < k * 150_000).all()
+
+    def test_f1_labels(self):
+        d = generate_classification(1_000, function=1, seed=4)
+        age = d.column("age")
+        expected = np.where((age < 40) | (age >= 60), GROUP_A, GROUP_B)
+        assert np.array_equal(d.y, expected)
+
+    def test_functions_1_to_8_produce_both_classes(self):
+        for fn in range(1, 9):
+            d = generate_classification(3_000, function=fn, seed=fn)
+            fractions = d.class_distribution()
+            assert 0.05 < fractions[GROUP_A] < 0.95, f"F{fn} degenerate"
+
+    def test_functions_9_and_10_skew_to_group_a(self):
+        """F9/F10's disposable-income formulas add the loan/equity terms,
+        skewing them to Group A -- a known property of the original
+        generator (and why the paper only uses F1-F4)."""
+        for fn in (9, 10):
+            d = generate_classification(3_000, function=fn, seed=fn)
+            assert d.class_distribution()[GROUP_A] > 0.9
+
+    def test_assign_labels_matches_generation(self):
+        d = generate_classification(500, function=3, seed=5)
+        assert np.array_equal(assign_labels(d.X, 3), d.y)
+
+    def test_label_noise(self):
+        clean = generate_classification(4_000, function=1, seed=6)
+        noisy = generate_classification(
+            4_000, function=1, seed=6, label_noise=0.2
+        )
+        flip_rate = float(np.mean(clean.y != noisy.y))
+        assert 0.1 < flip_rate < 0.3
+
+    def test_unknown_function_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            generate_classification(10, function=11)
+
+    def test_space_is_shared_and_labelled(self):
+        assert generate_classification(5, seed=0).space.compatible_with(
+            classification_space()
+        )

@@ -1,0 +1,104 @@
+"""Tests for model persistence (JSON round-trips)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.deviation import deviation
+from repro.core.dtree_model import DtModel
+from repro.core.lits import LitsModel
+from repro.core.upper_bound import upper_bound_deviation
+from repro.data.model_io import (
+    load_dt_model,
+    load_lits_model,
+    save_dt_model,
+    save_lits_model,
+)
+from repro.data.quest_classify import generate_classification
+from repro.errors import InvalidParameterError
+from repro.mining.tree.builder import TreeParams
+
+
+class TestLitsModelIo:
+    def test_roundtrip(self, small_transactions, tmp_path):
+        model = LitsModel.mine(small_transactions, 0.2)
+        path = tmp_path / "model.json"
+        save_lits_model(model, path)
+        loaded = load_lits_model(path)
+        assert loaded.min_support == model.min_support
+        assert loaded.n_items == model.n_items
+        assert dict(loaded.supports) == pytest.approx(dict(model.supports))
+
+    def test_loaded_model_usable_for_upper_bound(self, small_transactions, tmp_path):
+        """The delta* workflow: persist models, compare without data."""
+        m1 = LitsModel.mine(small_transactions, 0.2)
+        m2 = LitsModel.mine(small_transactions, 0.3)
+        save_lits_model(m1, tmp_path / "a.json")
+        save_lits_model(m2, tmp_path / "b.json")
+        l1 = load_lits_model(tmp_path / "a.json")
+        l2 = load_lits_model(tmp_path / "b.json")
+        assert upper_bound_deviation(l1, l2).value == pytest.approx(
+            upper_bound_deviation(m1, m2).value
+        )
+
+    def test_wrong_kind_rejected(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text('{"kind": "something-else"}')
+        with pytest.raises(InvalidParameterError):
+            load_lits_model(path)
+
+
+class TestDtModelIo:
+    @pytest.fixture(scope="class")
+    def fitted(self):
+        data = generate_classification(1_500, function=3, seed=51)
+        return DtModel.fit(data, TreeParams(max_depth=5, min_leaf=30)), data
+
+    def test_roundtrip_preserves_predictions(self, fitted, tmp_path):
+        model, data = fitted
+        path = tmp_path / "tree.json"
+        save_dt_model(model, path)
+        loaded = load_dt_model(path)
+        assert np.array_equal(loaded.predict(data), model.predict(data))
+        assert loaded.n_leaves == model.n_leaves
+
+    def test_roundtrip_preserves_structure(self, fitted, tmp_path):
+        model, data = fitted
+        path = tmp_path / "tree.json"
+        save_dt_model(model, path)
+        loaded = load_dt_model(path)
+        assert loaded.structure.key == model.structure.key
+        # Identical structure => zero deviation on the same data.
+        assert deviation(model, loaded, data, data).value == pytest.approx(0.0)
+
+    def test_roundtrip_with_categorical_splits(self, tmp_path):
+        """F3 trees use categorical (elevel) splits."""
+        data = generate_classification(2_500, function=3, seed=52)
+        model = DtModel.fit(data, TreeParams(max_depth=6, min_leaf=20))
+        from repro.mining.tree.splits import CategoricalSplit
+
+        def has_categorical(node):
+            if node.is_leaf:
+                return False
+            return isinstance(node.split, CategoricalSplit) or (
+                has_categorical(node.left) or has_categorical(node.right)
+            )
+
+        assert has_categorical(model.tree.root)
+        path = tmp_path / "tree.json"
+        save_dt_model(model, path)
+        loaded = load_dt_model(path)
+        assert np.array_equal(loaded.predict(data), model.predict(data))
+
+    def test_saving_raw_tree(self, fitted, tmp_path):
+        model, _ = fitted
+        path = tmp_path / "raw.json"
+        save_dt_model(model.tree, path)
+        assert load_dt_model(path).n_leaves == model.n_leaves
+
+    def test_wrong_kind_rejected(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text('{"kind": "lits-model"}')
+        with pytest.raises(InvalidParameterError):
+            load_dt_model(path)

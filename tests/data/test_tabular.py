@@ -1,0 +1,107 @@
+"""Unit tests for TabularDataset."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.attribute import AttributeSpace, numeric
+from repro.core.predicate import interval_constraint
+from repro.core.region import BoxRegion
+from repro.data.tabular import TabularDataset, from_rows
+from repro.errors import InvalidParameterError, SchemaError
+
+
+class TestConstruction:
+    def test_shape_validation(self, two_d_space):
+        with pytest.raises(InvalidParameterError):
+            TabularDataset(two_d_space, np.zeros(3), np.zeros(3, dtype=int))
+
+    def test_column_count_must_match(self, two_d_space):
+        with pytest.raises(SchemaError):
+            TabularDataset(two_d_space, np.zeros((3, 5)), np.zeros(3, dtype=int))
+
+    def test_labelled_space_requires_y(self, two_d_space):
+        with pytest.raises(SchemaError):
+            TabularDataset(two_d_space, np.zeros((3, 2)))
+
+    def test_y_without_class_labels_rejected(self):
+        space = AttributeSpace((numeric("a"),))
+        with pytest.raises(SchemaError):
+            TabularDataset(space, np.zeros((2, 1)), np.zeros(2, dtype=int))
+
+    def test_y_length_must_match(self, two_d_space):
+        with pytest.raises(SchemaError):
+            TabularDataset(
+                two_d_space, np.zeros((3, 2)), np.zeros(4, dtype=int)
+            )
+
+    def test_from_rows(self, two_d_space):
+        d = from_rows(two_d_space, [[1, 2], [3, 4]], [0, 1])
+        assert len(d) == 2
+        assert d.column("age").tolist() == [1.0, 3.0]
+
+
+class TestRegionEvaluation:
+    def test_box_selectivity(self, two_d_space):
+        d = from_rows(
+            two_d_space, [[10, 0], [20, 0], [30, 0], [40, 0]], [0, 0, 1, 1]
+        )
+        region = BoxRegion(interval_constraint("age", 15, 35))
+        assert d.box_selectivity(region) == pytest.approx(0.5)
+
+    def test_box_with_class(self, two_d_space):
+        d = from_rows(
+            two_d_space, [[10, 0], [20, 0], [30, 0], [40, 0]], [0, 0, 1, 1]
+        )
+        region = BoxRegion(interval_constraint("age", 15, 45), class_label=1)
+        assert d.box_count(region) == 2
+
+    def test_class_region_on_unlabelled_raises(self):
+        space = AttributeSpace((numeric("age"),))
+        d = TabularDataset(space, np.array([[1.0]]))
+        with pytest.raises(SchemaError):
+            d.box_count(BoxRegion(interval_constraint("age", 0, 2), class_label=0))
+
+    def test_empty_dataset_selectivity_zero(self, two_d_space):
+        d = from_rows(two_d_space, [], [])
+        assert d.box_selectivity(BoxRegion()) == 0.0
+
+
+class TestAlgebra:
+    def test_take_with_repeats(self, two_d_space):
+        d = from_rows(two_d_space, [[1, 2], [3, 4]], [0, 1])
+        taken = d.take(np.array([1, 1, 0]))
+        assert len(taken) == 3
+        assert taken.column("age").tolist() == [3.0, 3.0, 1.0]
+
+    def test_filter(self, two_d_space):
+        d = from_rows(two_d_space, [[1, 2], [3, 4], [5, 6]], [0, 1, 0])
+        kept = d.filter(d.column("age") > 2)
+        assert len(kept) == 2
+
+    def test_concat(self, two_d_space):
+        a = from_rows(two_d_space, [[1, 2]], [0])
+        b = from_rows(two_d_space, [[3, 4]], [1])
+        c = a.concat(b)
+        assert len(c) == 2
+        assert c.y.tolist() == [0, 1]
+
+    def test_concat_incompatible_spaces_rejected(self, two_d_space):
+        other_space = AttributeSpace((numeric("x"), numeric("y")), (0, 1))
+        a = from_rows(two_d_space, [[1, 2]], [0])
+        b = from_rows(other_space, [[3, 4]], [1])
+        with pytest.raises(SchemaError):
+            a.concat(b)
+
+    def test_relabel(self, two_d_space):
+        d = from_rows(two_d_space, [[1, 2], [3, 4]], [0, 1])
+        r = d.relabel(np.array([1, 0]))
+        assert r.y.tolist() == [1, 0]
+        assert np.array_equal(r.X, d.X)
+
+    def test_class_distribution(self, two_d_space):
+        d = from_rows(two_d_space, [[1, 2], [3, 4], [5, 6], [7, 8]], [0, 1, 1, 1])
+        dist = d.class_distribution()
+        assert dist[0] == pytest.approx(0.25)
+        assert dist[1] == pytest.approx(0.75)

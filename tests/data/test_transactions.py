@@ -1,0 +1,98 @@
+"""Unit tests for TransactionDataset and the packed bitmap index."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data.transactions import BitmapIndex, TransactionDataset
+from repro.errors import InvalidParameterError
+from repro.mining.itemsets import brute_force_support_count
+
+
+class TestConstruction:
+    def test_transactions_are_sorted_and_deduped(self):
+        d = TransactionDataset([(3, 1, 1, 2)], n_items=5)
+        assert d.transactions == [(1, 2, 3)]
+
+    def test_out_of_universe_items_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            TransactionDataset([(0, 7)], n_items=5)
+        with pytest.raises(InvalidParameterError):
+            TransactionDataset([(-1,)], n_items=5)
+
+    def test_empty_transactions_allowed(self):
+        d = TransactionDataset([(), (0,)], n_items=2)
+        assert len(d) == 2
+        assert d.support_count({0}) == 1
+
+    def test_zero_items_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            TransactionDataset([], n_items=0)
+
+
+class TestBitmapIndex:
+    def test_support_counts_match_brute_force(self, small_transactions):
+        for items in [{0}, {1}, {0, 1}, {0, 1, 2}, {4}, set()]:
+            assert small_transactions.support_count(items) == (
+                brute_force_support_count(small_transactions, items)
+            )
+
+    def test_item_support_counts_vector(self, small_transactions):
+        counts = small_transactions.index.item_support_counts()
+        expected = [
+            brute_force_support_count(small_transactions, {i}) for i in range(5)
+        ]
+        assert counts.tolist() == expected
+
+    def test_empty_itemset_support_is_n(self, small_transactions):
+        assert small_transactions.support_count(set()) == len(small_transactions)
+
+    def test_absent_item_has_zero_support(self, small_transactions):
+        assert small_transactions.support_count({4}) == 0
+
+    def test_index_is_cached_and_droppable(self, small_transactions):
+        idx1 = small_transactions.index
+        assert small_transactions.index is idx1
+        small_transactions.drop_index()
+        assert small_transactions.index is not idx1
+
+    def test_non_multiple_of_eight_sizes(self):
+        """Padding bits must never leak into popcounts."""
+        for n in (1, 7, 8, 9, 15, 16, 17):
+            txns = [(0,)] * n
+            d = TransactionDataset(txns, n_items=2)
+            assert d.support_count({0}) == n
+            assert d.support_count({1}) == 0
+            assert d.support_count(set()) == n
+
+    def test_standalone_index(self):
+        idx = BitmapIndex([(0, 1), (1,), (0,)], n_items=3)
+        assert idx.support_count({0}) == 2
+        assert idx.support_count({1}) == 2
+        assert idx.support_count({0, 1}) == 1
+        assert idx.support_count({2}) == 0
+
+
+class TestAlgebra:
+    def test_take(self, small_transactions):
+        taken = small_transactions.take(np.array([0, 0, 2]))
+        assert len(taken) == 3
+        assert taken.transactions[0] == taken.transactions[1] == (0, 1)
+
+    def test_concat(self, small_transactions):
+        doubled = small_transactions.concat(small_transactions)
+        assert len(doubled) == 2 * len(small_transactions)
+        assert doubled.support_count({0}) == 2 * small_transactions.support_count({0})
+
+    def test_concat_universe_mismatch_rejected(self, small_transactions):
+        other = TransactionDataset([(0,)], n_items=3)
+        with pytest.raises(InvalidParameterError):
+            small_transactions.concat(other)
+
+    def test_selectivity(self, small_transactions):
+        assert small_transactions.itemset_selectivity({0}) == pytest.approx(0.6)
+
+    def test_average_length(self):
+        d = TransactionDataset([(0,), (0, 1), (0, 1, 2)], n_items=3)
+        assert d.average_length() == pytest.approx(2.0)

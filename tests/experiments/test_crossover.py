@@ -1,0 +1,43 @@
+"""Tests for the row-count crossover study."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.config import Scale
+from repro.experiments.crossover import (
+    CrossoverRow,
+    fig14_crossover,
+    format_crossover,
+)
+
+
+class TestCrossoverMachinery:
+    def test_sweep_shapes(self):
+        rows = fig14_crossover((2_000, 5_000), n_boot=5)
+        assert [r.n_rows for r in rows] == [2_000, 5_000]
+        for row in rows:
+            assert len(row.block_sigs) == 3
+            assert 0 <= row.same_process_sig <= 100
+
+    def test_verdict_predicate(self):
+        good = CrossoverRow(10, 50.0, (99.0, 100.0, 96.0))
+        assert good.paper_verdicts_hold
+        bad_same = CrossoverRow(10, 99.0, (99.0, 100.0, 96.0))
+        assert not bad_same.paper_verdicts_hold
+        bad_block = CrossoverRow(10, 50.0, (99.0, 10.0, 96.0))
+        assert not bad_block.paper_verdicts_hold
+
+    def test_format(self):
+        rows = [CrossoverRow(1_000, 40.0, (10.0, 20.0, 30.0))]
+        text = format_crossover(rows)
+        assert "under-powered" in text
+        assert "1000" in text
+
+
+@pytest.mark.slow
+class TestCrossoverAtScale:
+    def test_verdicts_hold_by_100k_rows(self):
+        """The EXPERIMENTS.md claim, as an executable (slow) test."""
+        rows = fig14_crossover((100_000,), n_boot=15)
+        assert rows[0].paper_verdicts_hold

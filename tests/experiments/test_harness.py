@@ -1,0 +1,117 @@
+"""Integration tests: the experiment harness runs end to end at micro scale.
+
+These are deliberately tiny (seconds, not minutes); the benchmark suite
+exercises the ``tiny`` scale and EXPERIMENTS.md records a ``small`` run.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.config import Scale
+from repro.experiments.deviation_tables import figure_13, figure_14
+from repro.experiments.figures import dt_sd_family, lits_sd_family
+from repro.experiments.me_correlation import figure_15
+from repro.experiments.reporting import format_curves, format_table
+from repro.experiments.significance_tables import table_1, table_2
+
+
+@pytest.fixture(scope="module")
+def micro() -> Scale:
+    """Smaller than tiny: integration-test sized."""
+    return Scale(
+        name="micro",
+        base_transactions=600,
+        n_items=60,
+        avg_transaction_len=6,
+        n_patterns=60,
+        avg_pattern_len=3,
+        min_supports=(0.03, 0.02),
+        base_rows=800,
+        fractions=(0.1, 0.4, 0.8),
+        n_reps=3,
+        n_boot=5,
+        max_itemset_len=2,
+        tree_max_depth=4,
+        tree_min_leaf_frac=0.02,
+    )
+
+
+class TestSignificanceTables:
+    def test_table_1_shape(self, micro):
+        result = table_1(micro)
+        assert len(result.significances) == len(micro.fractions) - 1
+        assert all(0 <= s <= 100 for s in result.significances)
+        rows = result.rows()
+        assert rows[-1][1] == "-"
+
+    def test_table_2_shape(self, micro):
+        result = table_2(micro)
+        assert len(result.significances) == len(micro.fractions) - 1
+
+
+class TestCurveFamilies:
+    def test_lits_family(self, micro):
+        family = lits_sd_family(micro, micro.base_transactions, "Figure 7")
+        assert len(family.curves) == len(micro.min_supports)
+        for curve in family.curves:
+            # SD at the largest fraction is below SD at the smallest.
+            means = curve.means()
+            assert means[-1] < means[0]
+
+    def test_dt_family(self, micro):
+        family = dt_sd_family(
+            micro, micro.base_rows, "Figure 10", functions=(1, 2)
+        )
+        assert len(family.curves) == 2
+        assert family.figure == "Figure 10"
+
+
+class TestDeviationTables:
+    def test_figure_13_rows(self, micro):
+        rows = figure_13(micro, n_boot=5)
+        assert [r.label for r in rows] == [
+            "D(1)", "D(2)", "D(3)", "D(4)", "D+d(5)", "D+d(6)", "D+d(7)",
+        ]
+        for row in rows:
+            assert row.delta >= 0
+            assert row.delta_star >= row.delta - 1e-9  # Theorem 4.2
+            assert row.time_delta_star < row.time_delta  # models-only is faster
+        # Cross-process datasets deviate more than the same-process one.
+        assert rows[1].delta > rows[0].delta
+
+    def test_figure_14_rows(self, micro):
+        rows = figure_14(micro, n_boot=5)
+        assert len(rows) == 7
+        same = rows[0]
+        cross = rows[1:4]
+        assert all(r.delta > same.delta for r in cross)
+
+    def test_figure_15_correlation(self, micro):
+        result = figure_15(micro)
+        assert len(result.points) == 6
+        # strong positive correlation, as the paper reports
+        assert result.pearson_r > 0.8
+
+
+class TestReporting:
+    def test_format_table_aligns(self):
+        text = format_table(["a", "bb"], [[1, 2.5], ["xxx", 4]])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert lines[1].startswith("---")
+
+    def test_format_curves_renders(self):
+        text = format_curves(
+            [0.1, 0.5, 0.9],
+            [("up", [1.0, 2.0, 3.0]), ("down", [3.0, 2.0, 1.0])],
+        )
+        assert "* = up" in text
+        assert "o = down" in text
+
+    def test_format_curves_handles_empty(self):
+        assert format_curves([], []) == "(no data)"
+
+    def test_format_curves_constant_series(self):
+        text = format_curves([0.0, 1.0], [("flat", [1.0, 1.0])])
+        assert "flat" in text

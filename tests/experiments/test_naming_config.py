@@ -1,0 +1,89 @@
+"""Tests for dataset naming conventions and experiment scales."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import InvalidParameterError
+from repro.experiments.config import PAPER_FRACTIONS, Scale, get_scale
+from repro.experiments.naming import (
+    BasketSpec,
+    ClassifySpec,
+    parse_basket_name,
+    parse_classify_name,
+)
+
+
+class TestNaming:
+    def test_parse_paper_basket_name(self):
+        spec = parse_basket_name("1M.20L.1K.4000pats.4patlen")
+        assert spec.n_transactions == 1_000_000
+        assert spec.avg_transaction_len == 20
+        assert spec.n_items == 1_000
+        assert spec.n_patterns == 4_000
+        assert spec.avg_pattern_len == 4
+
+    def test_parse_thousands_pats_spelling(self):
+        spec = parse_basket_name("0.75M.20L.1K.4pats.4plen")
+        assert spec.n_transactions == 750_000
+        assert spec.n_patterns == 4_000
+
+    def test_basket_name_roundtrip(self):
+        spec = BasketSpec(500_000, 20, 1_000, 4_000, 4)
+        assert parse_basket_name(spec.name()) == spec
+
+    def test_parse_classify_name(self):
+        spec = parse_classify_name("1M.F1")
+        assert spec.n_rows == 1_000_000
+        assert spec.function == 1
+
+    def test_classify_name_roundtrip(self):
+        spec = ClassifySpec(20_000, 3)
+        assert spec.name() == "20K.F3"
+        assert parse_classify_name(spec.name()) == spec
+
+    def test_bad_names_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            parse_basket_name("not-a-name")
+        with pytest.raises(InvalidParameterError):
+            parse_classify_name("1M.G1")
+
+
+class TestScale:
+    def test_named_scales(self):
+        for name in ("tiny", "small", "paper"):
+            scale = get_scale(name)
+            assert scale.name == name
+
+    def test_unknown_scale_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            get_scale("enormous")
+
+    def test_paper_scale_matches_paper_parameters(self):
+        scale = Scale.paper()
+        assert scale.base_transactions == 1_000_000
+        assert scale.n_items == 1_000
+        assert scale.avg_transaction_len == 20
+        assert scale.n_patterns == 4_000
+        assert scale.min_supports == (0.01, 0.008, 0.006)
+        assert scale.fractions == PAPER_FRACTIONS
+        assert scale.n_reps == 50
+
+    def test_dataset_size_ratios(self):
+        scale = Scale.small()
+        a, b, c = scale.dataset_sizes()
+        assert b == pytest.approx(0.75 * a, abs=1)
+        assert c == pytest.approx(0.5 * a, abs=1)
+
+    def test_tree_min_leaf_floor(self):
+        scale = Scale.small()
+        assert scale.tree_min_leaf(100) == 10
+        assert scale.tree_min_leaf(100_000) == int(0.005 * 100_000)
+
+    def test_validation(self):
+        with pytest.raises(InvalidParameterError):
+            Scale(
+                name="bad", base_transactions=1, n_items=10,
+                avg_transaction_len=5, n_patterns=5, avg_pattern_len=2,
+                min_supports=(0.1,), base_rows=100,
+            )

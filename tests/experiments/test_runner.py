@@ -1,0 +1,65 @@
+"""Smoke tests for the experiment runner CLI (fast experiments only)."""
+
+from __future__ import annotations
+
+import io
+
+import pytest
+
+from repro.experiments.runner import EXPERIMENTS, main, run_all
+from repro.experiments.config import Scale
+
+
+class TestRunnerCli:
+    def test_experiment_registry_covers_every_table_and_figure(self):
+        assert set(EXPERIMENTS) == {
+            "table1", "table2", "fig7-9", "fig10-12", "fig13", "fig14",
+            "fig15",
+        }
+
+    def test_single_fast_experiment(self, capsys):
+        code = main(["--scale", "tiny", "--experiment", "table2"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Table 2" in out
+        assert "Significance" in out
+
+    def test_fig15_runs(self, capsys):
+        code = main(["--scale", "tiny", "--experiment", "fig15"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Pearson r" in out
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["--experiment", "fig99"])
+
+    def test_unknown_scale_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["--scale", "huge"])
+
+
+class TestRunAll:
+    def test_run_all_streams_output(self):
+        """run_all at a micro scale touches every experiment."""
+        micro = Scale(
+            name="micro",
+            base_transactions=400,
+            n_items=50,
+            avg_transaction_len=5,
+            n_patterns=40,
+            avg_pattern_len=3,
+            min_supports=(0.04,),
+            base_rows=500,
+            fractions=(0.2, 0.8),
+            n_reps=2,
+            n_boot=3,
+            max_itemset_len=2,
+            tree_max_depth=3,
+            tree_min_leaf_frac=0.05,
+        )
+        stream = io.StringIO()
+        run_all(micro, stream=stream)
+        text = stream.getvalue()
+        for name in EXPERIMENTS:
+            assert f"=== {name} " in text

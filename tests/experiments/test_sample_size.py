@@ -1,0 +1,101 @@
+"""Tests for the sample-deviation machinery (Section 6)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.lits import LitsModel
+from repro.data.quest_basket import generate_basket
+from repro.errors import InvalidParameterError
+from repro.experiments.sample_size import (
+    SampleDeviationCurve,
+    sample_deviation,
+    sample_deviation_curve,
+)
+
+
+def builder(dataset):
+    return LitsModel.mine(dataset, 0.05, max_len=2)
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return generate_basket(
+        1_000, n_items=60, avg_transaction_len=6, n_patterns=50,
+        avg_pattern_len=3, seed=17,
+    )
+
+
+class TestSampleDeviation:
+    def test_full_fraction_sample_has_small_sd(self, dataset):
+        rng = np.random.default_rng(1)
+        full_model = builder(dataset)
+        sd_small = np.mean([
+            sample_deviation(dataset, full_model, builder, 0.05, rng)
+            for _ in range(3)
+        ])
+        sd_large = np.mean([
+            sample_deviation(dataset, full_model, builder, 0.8, rng)
+            for _ in range(3)
+        ])
+        assert sd_large < sd_small
+
+    def test_without_replacement_full_sample_is_exact(self, dataset):
+        """A WOR sample of fraction 1.0 is a permutation: SD must be 0."""
+        rng = np.random.default_rng(2)
+        full_model = builder(dataset)
+        sd = sample_deviation(
+            dataset, full_model, builder, 1.0, rng, replace=False
+        )
+        assert sd == pytest.approx(0.0, abs=1e-12)
+
+
+class TestCurve:
+    def test_curve_shape(self, dataset):
+        rng = np.random.default_rng(3)
+        curve = sample_deviation_curve(
+            dataset, builder, fractions=(0.1, 0.4, 0.8), n_reps=4, rng=rng
+        )
+        assert curve.fractions == (0.1, 0.4, 0.8)
+        assert all(len(v) == 4 for v in curve.replicates.values())
+        assert len(curve.means()) == 3
+
+    def test_curve_decreases_on_average(self, dataset):
+        rng = np.random.default_rng(4)
+        curve = sample_deviation_curve(
+            dataset, builder, fractions=(0.05, 0.8), n_reps=5, rng=rng
+        )
+        means = curve.means()
+        assert means[-1] < means[0]
+
+    def test_significance_rows(self, dataset):
+        rng = np.random.default_rng(5)
+        curve = sample_deviation_curve(
+            dataset, builder, fractions=(0.05, 0.3, 0.8), n_reps=6, rng=rng
+        )
+        rows = curve.significance_of_decrease()
+        assert len(rows) == 2
+        assert rows[0][0] == 0.05
+        assert all(0.0 <= sig <= 100.0 for _, sig in rows)
+
+    def test_zero_reps_rejected(self, dataset):
+        with pytest.raises(InvalidParameterError):
+            sample_deviation_curve(
+                dataset, builder, fractions=(0.5,), n_reps=0,
+                rng=np.random.default_rng(0),
+            )
+
+    def test_curve_dataclass_helpers(self):
+        curve = SampleDeviationCurve(
+            fractions=(0.1, 0.2),
+            replicates={
+                0.1: np.array([1.0, 1.2]),
+                0.2: np.array([0.5, 0.6]),
+            },
+            label="demo",
+        )
+        assert curve.means().tolist() == [1.1, 0.55]
+        ((fraction, sig),) = curve.significance_of_decrease()
+        assert fraction == 0.1
+        assert sig > 50.0

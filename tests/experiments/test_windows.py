@@ -1,0 +1,115 @@
+"""Tests for windowed deviation series and change-point detection."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.lits import LitsModel
+from repro.data.quest_basket import build_pattern_pool, generate_basket
+from repro.errors import InvalidParameterError
+from repro.experiments.windows import (
+    DeviationSeries,
+    deviation_series,
+    sliding_windows,
+    tumbling_windows,
+)
+
+
+def builder(dataset):
+    return LitsModel.mine(dataset, 0.05, max_len=2)
+
+
+@pytest.fixture(scope="module")
+def stream_with_change():
+    """A temporally ordered dataset: 6 quiet periods, then 2 drifted ones."""
+    rng = np.random.default_rng(81)
+    pool_a = build_pattern_pool(rng, n_items=60, n_patterns=40, avg_pattern_len=3)
+    pool_b = build_pattern_pool(rng, n_items=60, n_patterns=40, avg_pattern_len=5)
+    quiet = [
+        generate_basket(400, n_items=60, avg_transaction_len=5, rng=rng,
+                        pool=pool_a)
+        for _ in range(6)
+    ]
+    drifted = [
+        generate_basket(400, n_items=60, avg_transaction_len=5, rng=rng,
+                        pool=pool_b)
+        for _ in range(2)
+    ]
+    stream = quiet[0]
+    for part in quiet[1:] + drifted:
+        stream = stream.concat(part)
+    return stream
+
+
+class TestWindowSlicing:
+    def test_tumbling_sizes(self, stream_with_change):
+        windows = tumbling_windows(stream_with_change, 400)
+        assert len(windows) == 8
+        assert all(len(w) == 400 for w in windows)
+
+    def test_tumbling_merges_short_tail(self):
+        from repro.data.transactions import TransactionDataset
+
+        d = TransactionDataset([(0,)] * 9, n_items=1)
+        windows = tumbling_windows(d, 4)
+        # 4 + 4 + 1: the 1-stub (under half a window) merges into window 2.
+        assert [len(w) for w in windows] == [4, 5]
+
+    def test_tumbling_keeps_half_size_tail(self):
+        from repro.data.transactions import TransactionDataset
+
+        d = TransactionDataset([(0,)] * 10, n_items=1)
+        windows = tumbling_windows(d, 4)
+        # A tail of exactly half the window size stands on its own.
+        assert [len(w) for w in windows] == [4, 4, 2]
+
+    def test_tumbling_empty_dataset(self):
+        from repro.data.transactions import TransactionDataset
+
+        assert tumbling_windows(TransactionDataset([], n_items=1), 5) == []
+
+    def test_sliding_overlap(self, stream_with_change):
+        windows = sliding_windows(stream_with_change, 800, 400)
+        assert len(windows) == 7
+        assert all(len(w) == 800 for w in windows)
+
+    def test_validation(self, stream_with_change):
+        with pytest.raises(InvalidParameterError):
+            tumbling_windows(stream_with_change, 0)
+        with pytest.raises(InvalidParameterError):
+            sliding_windows(stream_with_change, 10, 0)
+
+
+class TestDeviationSeries:
+    def test_consecutive_series_finds_the_change(self, stream_with_change):
+        windows = tumbling_windows(stream_with_change, 400)
+        series = deviation_series(windows, builder)
+        assert len(series.deviations) == 7
+        # The largest jump is at the quiet->drifted boundary (index 5).
+        assert series.argmax() == 5
+        assert 5 in series.change_points(z_threshold=3.0)
+
+    def test_baseline_series(self, stream_with_change):
+        windows = tumbling_windows(stream_with_change, 400)
+        series = deviation_series(windows, builder, baseline=0)
+        assert len(series.deviations) == 7
+        assert series.mode == "baseline"
+        # windows 6-7 (positions 5-6 after skipping the baseline) drifted:
+        quiet_max = max(series.deviations[:5])
+        assert min(series.deviations[5:]) > quiet_max
+
+    def test_change_points_empty_for_flat_series(self):
+        series = DeviationSeries((1.0, 1.0, 1.0, 1.0, 1.0), "consecutive")
+        assert series.change_points() == []
+
+    def test_change_points_need_four_windows(self):
+        series = DeviationSeries((1.0, 9.0), "consecutive")
+        assert series.change_points() == []
+
+    def test_validation(self, stream_with_change):
+        windows = tumbling_windows(stream_with_change, 400)
+        with pytest.raises(InvalidParameterError):
+            deviation_series(windows[:1], builder)
+        with pytest.raises(InvalidParameterError):
+            deviation_series(windows, builder, baseline=99)

@@ -1,0 +1,130 @@
+"""Tests for cost-complexity pruning."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.deviation import deviation
+from repro.core.dtree_model import DtModel
+from repro.data.quest_classify import generate_classification
+from repro.errors import InvalidParameterError
+from repro.mining.tree.builder import TreeParams, build_tree
+from repro.mining.tree.pruning import (
+    cost_complexity_path,
+    prune_by_validation,
+    prune_tree,
+)
+
+
+@pytest.fixture(scope="module")
+def noisy_tree():
+    """An overgrown tree on noisy data (10% flipped labels)."""
+    train = generate_classification(3_000, function=2, seed=41, label_noise=0.1)
+    tree = build_tree(train, TreeParams(max_depth=10, min_leaf=10))
+    return tree, train
+
+
+class TestCostComplexityPath:
+    def test_sequence_shrinks_to_root(self, noisy_tree):
+        tree, _ = noisy_tree
+        steps = cost_complexity_path(tree)
+        assert steps[0].n_leaves == tree.n_leaves
+        assert steps[-1].n_leaves == 1
+        leaves = [s.n_leaves for s in steps]
+        assert leaves == sorted(leaves, reverse=True)
+        # Each pruning step strictly removes at least one leaf.
+        assert all(a > b for a, b in zip(leaves, leaves[1:]))
+
+    def test_alphas_non_negative(self, noisy_tree):
+        tree, _ = noisy_tree
+        steps = cost_complexity_path(tree)
+        assert all(s.alpha >= 0 for s in steps)
+
+    def test_training_error_weakly_increases(self, noisy_tree):
+        tree, _ = noisy_tree
+        steps = cost_complexity_path(tree)
+        errors = [s.training_error for s in steps]
+        assert all(b >= a - 1e-12 for a, b in zip(errors, errors[1:]))
+
+    def test_original_tree_untouched(self, noisy_tree):
+        tree, _ = noisy_tree
+        before = tree.n_leaves
+        cost_complexity_path(tree)
+        assert tree.n_leaves == before
+
+
+class TestPruneTree:
+    def test_alpha_zero_only_removes_useless_splits(self, noisy_tree):
+        tree, train = noisy_tree
+        pruned = prune_tree(tree, 0.0)
+        # alpha=0 collapses only zero-gain links: training error unchanged.
+        assert float(np.mean(pruned.predict(train) != train.y)) == pytest.approx(
+            float(np.mean(tree.predict(train) != train.y))
+        )
+
+    def test_huge_alpha_collapses_to_root(self, noisy_tree):
+        tree, _ = noisy_tree
+        pruned = prune_tree(tree, 1e9)
+        assert pruned.n_leaves == 1
+
+    def test_leaves_decrease_with_alpha(self, noisy_tree):
+        tree, _ = noisy_tree
+        sizes = [prune_tree(tree, a).n_leaves for a in (0.0, 0.001, 0.01, 0.1)]
+        assert sizes == sorted(sizes, reverse=True)
+
+    def test_negative_alpha_rejected(self, noisy_tree):
+        tree, _ = noisy_tree
+        with pytest.raises(InvalidParameterError):
+            prune_tree(tree, -0.1)
+
+
+class TestValidationPruning:
+    def test_pruned_tree_generalises_at_least_as_well(self, noisy_tree):
+        tree, _ = noisy_tree
+        validation = generate_classification(
+            2_000, function=2, seed=42, label_noise=0.1
+        )
+        pruned = prune_by_validation(tree, validation)
+        holdout = generate_classification(
+            2_000, function=2, seed=43, label_noise=0.1
+        )
+        full_err = float(np.mean(tree.predict(holdout) != holdout.y))
+        pruned_err = float(np.mean(pruned.predict(holdout) != holdout.y))
+        assert pruned.n_leaves <= tree.n_leaves
+        assert pruned_err <= full_err + 0.02  # no material degradation
+
+    def test_unlabelled_validation_rejected(self, noisy_tree):
+        from repro.core.attribute import AttributeSpace
+        from repro.data.tabular import TabularDataset
+
+        tree, train = noisy_tree
+        space = AttributeSpace(train.space.attributes, ())
+        unlabelled = TabularDataset(space, train.X)
+        with pytest.raises(InvalidParameterError):
+            prune_by_validation(tree, unlabelled)
+
+
+class TestPrunedModelsInFocus:
+    def test_pruned_tree_is_a_valid_dt_model(self, noisy_tree):
+        """Pruning coarsens the structural component; FOCUS still works."""
+        tree, train = noisy_tree
+        other = generate_classification(2_000, function=3, seed=44)
+        pruned_model = DtModel(prune_tree(tree, 0.01))
+        other_model = DtModel.fit(other, TreeParams(max_depth=5, min_leaf=30))
+        result = deviation(pruned_model, other_model, train, other)
+        assert result.value >= 0
+        assert len(result.regions) >= 2
+
+    def test_pruning_coarsens_the_structure(self, noisy_tree):
+        tree, train = noisy_tree
+        from repro.core.refinement import refines
+
+        full = DtModel(tree)
+        pruned = DtModel(prune_tree(tree, 0.05))
+        # The full tree's partition refines the pruned tree's partition.
+        assert refines(full.structure, pruned.structure)
+        assert not (
+            pruned.structure.key != full.structure.key
+            and refines(pruned.structure, full.structure)
+        )

@@ -1,0 +1,187 @@
+"""Tests for the CART-style decision tree: splits, building, prediction."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.attribute import AttributeSpace, categorical, numeric
+from repro.data.quest_classify import generate_classification
+from repro.data.tabular import TabularDataset, from_rows
+from repro.errors import InvalidParameterError, SchemaError
+from repro.mining.tree.builder import TreeParams, build_tree
+from repro.mining.tree.splits import (
+    best_categorical_split,
+    best_numeric_split,
+    entropy,
+    gini,
+)
+
+
+class TestImpurities:
+    def test_gini_pure_is_zero(self):
+        assert gini(np.array([10, 0])) == 0.0
+
+    def test_gini_balanced_binary(self):
+        assert gini(np.array([5, 5])) == pytest.approx(0.5)
+
+    def test_gini_empty(self):
+        assert gini(np.array([0, 0])) == 0.0
+
+    def test_entropy_balanced_binary_is_one_bit(self):
+        assert entropy(np.array([8, 8])) == pytest.approx(1.0)
+
+    def test_entropy_pure_is_zero(self):
+        assert entropy(np.array([7, 0])) == 0.0
+
+
+class TestNumericSplit:
+    def test_finds_perfect_threshold(self):
+        col = np.array([1.0, 2.0, 3.0, 10.0, 11.0, 12.0])
+        y = np.array([0, 0, 0, 1, 1, 1])
+        split = best_numeric_split("x", col, y, 2, min_leaf=1)
+        assert split is not None
+        assert 3.0 < split.threshold <= 10.0
+        assert split.gain == pytest.approx(0.5)
+
+    def test_constant_column_unsplittable(self):
+        col = np.ones(6)
+        y = np.array([0, 1, 0, 1, 0, 1])
+        assert best_numeric_split("x", col, y, 2, min_leaf=1) is None
+
+    def test_respects_min_leaf(self):
+        col = np.array([1.0, 2.0, 3.0, 4.0])
+        y = np.array([0, 1, 1, 1])
+        # Perfect split at 1.5 leaves one tuple on the left: illegal.
+        split = best_numeric_split("x", col, y, 2, min_leaf=2)
+        assert split is None or (
+            (col < split.threshold).sum() >= 2
+            and (col >= split.threshold).sum() >= 2
+        )
+
+    def test_no_gain_means_no_split(self):
+        col = np.array([1.0, 2.0, 3.0, 4.0])
+        y = np.array([0, 1, 0, 1])
+        split = best_numeric_split("x", col, y, 2, min_leaf=1)
+        if split is not None:
+            assert split.gain > 0
+
+
+class TestCategoricalSplit:
+    def test_two_class_prefix_split_is_optimal(self):
+        attribute = categorical("c", (0, 1, 2))
+        col = np.array([0.0] * 5 + [1.0] * 5 + [2.0] * 5)
+        y = np.array([0] * 5 + [1] * 5 + [0] * 5)
+        split = best_categorical_split(attribute, col, y, 2, min_leaf=1)
+        assert split is not None
+        # Separating value 1 from {0, 2} is the pure split.
+        assert split.left_values in (frozenset({1}), frozenset({0, 2}))
+        assert split.gain == pytest.approx(gini(np.array([10, 5])))
+
+    def test_single_value_unsplittable(self):
+        attribute = categorical("c", (0, 1))
+        col = np.zeros(6)
+        y = np.array([0, 1, 0, 1, 0, 1])
+        assert best_categorical_split(attribute, col, y, 2, min_leaf=1) is None
+
+
+class TestBuildTree:
+    def test_learns_f1_exactly(self):
+        """F1 is a pure function of age with cuts at 40 and 60: the tree
+        should recover a 3-leaf structure with zero training error."""
+        d = generate_classification(5_000, function=1, seed=1)
+        tree = build_tree(d, TreeParams(max_depth=4, min_leaf=20))
+        assert tree.n_leaves == 3
+        assert (tree.predict(d) == d.y).all()
+
+    def test_leaf_partition_covers_every_row_once(self):
+        d = generate_classification(2_000, function=2, seed=2)
+        tree = build_tree(d, TreeParams(max_depth=5, min_leaf=30))
+        predicates = tree.leaf_predicates()
+        assignments = tree.assign_dataset(d)
+        coverage = np.zeros(len(d), dtype=int)
+        for leaf_id, predicate in enumerate(predicates):
+            mask = d.predicate_mask(predicate)
+            coverage += mask
+            # predicate membership must agree with the tree descent
+            assert np.array_equal(mask, assignments == leaf_id)
+        assert (coverage == 1).all()
+
+    def test_predictions_match_leaf_majorities(self):
+        d = generate_classification(1_000, function=3, seed=3)
+        tree = build_tree(d, TreeParams(max_depth=4, min_leaf=25))
+        assignments = tree.assign_dataset(d)
+        predictions = tree.predict(d)
+        for leaf in tree.leaves:
+            mask = assignments == leaf.leaf_id
+            if mask.any():
+                assert (predictions[mask] == leaf.prediction).all()
+
+    def test_max_depth_zero_gives_single_leaf(self):
+        d = generate_classification(500, function=1, seed=4)
+        tree = build_tree(d, TreeParams(max_depth=0, min_leaf=10))
+        assert tree.n_leaves == 1
+        assert tree.depth == 0
+
+    def test_min_leaf_respected(self):
+        d = generate_classification(1_000, function=2, seed=5)
+        params = TreeParams(max_depth=8, min_leaf=100)
+        tree = build_tree(d, params)
+        counts = np.bincount(tree.assign_dataset(d), minlength=tree.n_leaves)
+        assert (counts >= params.min_leaf).all()
+
+    def test_unlabelled_dataset_rejected(self, two_d_space):
+        space = AttributeSpace(two_d_space.attributes, ())
+        d = TabularDataset(space, np.zeros((10, 2)))
+        with pytest.raises(SchemaError):
+            build_tree(d)
+
+    def test_empty_dataset_rejected(self, two_d_space):
+        d = from_rows(two_d_space, [], [])
+        with pytest.raises(InvalidParameterError):
+            build_tree(d)
+
+    def test_invalid_params_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            TreeParams(max_depth=-1)
+        with pytest.raises(InvalidParameterError):
+            TreeParams(min_leaf=0)
+        with pytest.raises(InvalidParameterError):
+            TreeParams(impurity="nonsense")
+
+    def test_entropy_impurity_also_works(self):
+        d = generate_classification(1_000, function=1, seed=6)
+        tree = build_tree(d, TreeParams(max_depth=4, min_leaf=20, impurity="entropy"))
+        error = float(np.mean(tree.predict(d) != d.y))
+        assert error < 0.05
+
+    def test_categorical_split_in_tree(self):
+        """F3 depends on elevel: the tree must use the categorical attribute."""
+        d = generate_classification(4_000, function=3, seed=7)
+        tree = build_tree(d, TreeParams(max_depth=6, min_leaf=20))
+        error = float(np.mean(tree.predict(d) != d.y))
+        assert error < 0.05
+        from repro.mining.tree.splits import CategoricalSplit
+
+        def has_categorical(node):
+            if node.is_leaf:
+                return False
+            if isinstance(node.split, CategoricalSplit):
+                return True
+            return has_categorical(node.left) or has_categorical(node.right)
+
+        assert has_categorical(tree.root)
+
+    def test_describe_renders(self):
+        d = generate_classification(500, function=1, seed=8)
+        tree = build_tree(d, TreeParams(max_depth=3, min_leaf=20))
+        text = tree.describe()
+        assert "leaf#" in text
+        assert "if " in text
+
+    def test_leaf_class_fractions_sum_to_one(self):
+        d = generate_classification(800, function=2, seed=9)
+        tree = build_tree(d, TreeParams(max_depth=4, min_leaf=20))
+        fractions = tree.leaf_class_fractions()
+        assert fractions.shape == (tree.n_leaves, 2)
+        assert fractions.sum() == pytest.approx(1.0)

@@ -1,0 +1,160 @@
+"""Tests for the bootstrap qualification procedure (Section 3.4)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.lits import LitsModel
+from repro.data.quest_basket import build_pattern_pool, generate_basket
+from repro.errors import InvalidParameterError
+from repro.stats.bootstrap import (
+    BootstrapResult,
+    deviation_significance,
+    significance_of_statistic,
+)
+
+
+def lits_builder(dataset):
+    return LitsModel.mine(dataset, 0.05, max_len=2)
+
+
+@pytest.fixture(scope="module")
+def same_process_pair():
+    rng = np.random.default_rng(21)
+    pool = build_pattern_pool(rng, n_items=60, n_patterns=40, avg_pattern_len=3)
+    d1 = generate_basket(600, n_items=60, avg_transaction_len=5, rng=rng, pool=pool)
+    d2 = generate_basket(600, n_items=60, avg_transaction_len=5, rng=rng, pool=pool)
+    return d1, d2
+
+
+@pytest.fixture(scope="module")
+def cross_process_pair():
+    d1 = generate_basket(
+        600, n_items=60, avg_transaction_len=5, n_patterns=40,
+        avg_pattern_len=3, seed=31,
+    )
+    d2 = generate_basket(
+        600, n_items=60, avg_transaction_len=5, n_patterns=40,
+        avg_pattern_len=5, seed=32,
+    )
+    return d1, d2
+
+
+class TestBootstrapResult:
+    def test_significance_is_percentile(self):
+        result = BootstrapResult(
+            observed=5.0, null_values=np.array([1.0, 2.0, 6.0, 7.0])
+        )
+        assert result.significance_percent == pytest.approx(50.0)
+        assert result.p_value == pytest.approx(0.5)
+
+    def test_extremes(self):
+        low = BootstrapResult(observed=0.0, null_values=np.array([1.0, 2.0]))
+        high = BootstrapResult(observed=9.0, null_values=np.array([1.0, 2.0]))
+        assert low.significance_percent == 0.0
+        assert high.significance_percent == 100.0
+        assert high.p_value == 0.0
+
+    def test_empty_null(self):
+        empty = BootstrapResult(observed=1.0, null_values=np.array([]))
+        assert empty.significance_percent == 0.0
+        assert empty.p_value == 1.0
+
+
+class TestSignificanceOfStatistic:
+    def test_null_preserving_statistic_is_insignificant(self, same_process_pair):
+        """A constant statistic can never look significant."""
+        d1, d2 = same_process_pair
+        result = significance_of_statistic(
+            d1, d2, lambda a, b: 1.0, n_boot=10, rng=np.random.default_rng(1)
+        )
+        assert result.significance_percent == 0.0
+
+    def test_n_boot_validation(self, same_process_pair):
+        d1, d2 = same_process_pair
+        with pytest.raises(InvalidParameterError):
+            significance_of_statistic(d1, d2, lambda a, b: 1.0, n_boot=0)
+
+    def test_null_sample_size(self, same_process_pair):
+        d1, d2 = same_process_pair
+        result = significance_of_statistic(
+            d1, d2, lambda a, b: float(len(a)), n_boot=7,
+            rng=np.random.default_rng(2),
+        )
+        assert len(result.null_values) == 7
+
+
+class TestDeviationSignificance:
+    @pytest.mark.parametrize("refit", [False, True])
+    def test_same_process_insignificant(self, same_process_pair, refit):
+        d1, d2 = same_process_pair
+        result = deviation_significance(
+            d1, d2, lits_builder, n_boot=20, rng=np.random.default_rng(3),
+            refit_models=refit,
+        )
+        assert result.significance_percent < 95.0
+
+    @pytest.mark.parametrize("refit", [False, True])
+    def test_cross_process_significant(self, cross_process_pair, refit):
+        d1, d2 = cross_process_pair
+        result = deviation_significance(
+            d1, d2, lits_builder, n_boot=20, rng=np.random.default_rng(4),
+            refit_models=refit,
+        )
+        assert result.significance_percent >= 95.0
+
+    def test_reproducible_with_seeded_rng(self, cross_process_pair):
+        d1, d2 = cross_process_pair
+        a = deviation_significance(
+            d1, d2, lits_builder, n_boot=8, rng=np.random.default_rng(5)
+        )
+        b = deviation_significance(
+            d1, d2, lits_builder, n_boot=8, rng=np.random.default_rng(5)
+        )
+        assert np.array_equal(a.null_values, b.null_values)
+        assert a.observed == b.observed
+
+    def test_fixed_structure_observed_matches_full_deviation(
+        self, cross_process_pair
+    ):
+        """With refit_models=False the observed statistic is still the
+        full GCR deviation of the two observed models."""
+        from repro.core.deviation import deviation
+
+        d1, d2 = cross_process_pair
+        result = deviation_significance(
+            d1, d2, lits_builder, n_boot=3, rng=np.random.default_rng(6)
+        )
+        m1, m2 = lits_builder(d1), lits_builder(d2)
+        assert result.observed == pytest.approx(
+            deviation(m1, m2, d1, d2).value
+        )
+
+
+class TestBlockExtensionCrossover:
+    """The Figure 14 block rows: a 5% block extension of a large dataset
+    is detected by the fixed-structure bootstrap (the paper's 99%-rows),
+    while the same comparison at small row counts drowns in measure
+    noise -- the crossover EXPERIMENTS.md documents."""
+
+    def test_block_detected_at_large_n(self):
+        from repro.data.quest_classify import generate_classification
+        from repro.core.dtree_model import DtModel
+        from repro.mining.tree.builder import TreeParams
+
+        n = 100_000
+        rng = np.random.default_rng(4000)
+        base = generate_classification(n, function=1, rng=rng)
+        block = generate_classification(int(0.05 * n), function=3, rng=rng)
+        extended = base.concat(block)
+
+        def builder(d):
+            return DtModel.fit(
+                d, TreeParams(max_depth=8, min_leaf=max(10, len(d) // 200))
+            )
+
+        result = deviation_significance(
+            base, extended, builder, n_boot=15, rng=rng
+        )
+        assert result.significance_percent >= 95.0

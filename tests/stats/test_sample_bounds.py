@@ -1,0 +1,90 @@
+"""Tests for the Hoeffding sample-size bounds."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data.quest_basket import generate_basket
+from repro.errors import InvalidParameterError
+from repro.stats.sample_bounds import (
+    failure_probability,
+    required_sample_size,
+    sd_bound_sum,
+    support_error_bound,
+)
+
+
+class TestFormulas:
+    def test_inverse_relationship(self):
+        """required_sample_size and support_error_bound are inverses."""
+        n = required_sample_size(0.02, 0.05, n_itemsets=10)
+        eps = support_error_bound(n, 0.05, n_itemsets=10)
+        assert eps <= 0.02
+        assert support_error_bound(n - 1, 0.05, n_itemsets=10) > 0.0199
+
+    def test_monotonicity(self):
+        assert required_sample_size(0.01, 0.05) > required_sample_size(0.02, 0.05)
+        assert required_sample_size(0.02, 0.01) > required_sample_size(0.02, 0.05)
+        assert required_sample_size(0.02, 0.05, 100) > required_sample_size(
+            0.02, 0.05, 1
+        )
+        assert support_error_bound(1_000, 0.05) > support_error_bound(10_000, 0.05)
+
+    def test_failure_probability(self):
+        assert failure_probability(10, 0.01) == 1.0  # capped
+        assert failure_probability(100_000, 0.05) < 1e-100
+        # More itemsets, more chances to fail.
+        assert failure_probability(1_000, 0.05, 100) > failure_probability(
+            1_000, 0.05, 1
+        )
+
+    def test_classic_value(self):
+        """ln(2/0.05)/(2*0.05^2) ~ 738: the textbook Hoeffding number."""
+        assert required_sample_size(0.05, 0.05) == 738
+
+    def test_validation(self):
+        with pytest.raises(InvalidParameterError):
+            required_sample_size(0.0, 0.05)
+        with pytest.raises(InvalidParameterError):
+            required_sample_size(0.05, 1.5)
+        with pytest.raises(InvalidParameterError):
+            support_error_bound(0, 0.05)
+        with pytest.raises(InvalidParameterError):
+            failure_probability(10, 2.0)
+        with pytest.raises(InvalidParameterError):
+            sd_bound_sum(0, 0.05, 3)
+
+
+class TestEmpiricalCoverage:
+    def test_bound_holds_on_sampled_supports(self):
+        """Sampled single-item supports stay within the Hoeffding epsilon."""
+        dataset = generate_basket(
+            5_000, n_items=50, avg_transaction_len=6, n_patterns=40,
+            avg_pattern_len=3, seed=91,
+        )
+        rng = np.random.default_rng(92)
+        items = list(range(20))
+        true_supports = np.array(
+            [dataset.itemset_selectivity({i}) for i in items]
+        )
+
+        n_sample = 1_500
+        eps = support_error_bound(n_sample, delta=0.05, n_itemsets=len(items))
+        violations = 0
+        trials = 20
+        for _ in range(trials):
+            sample = dataset.take(rng.choice(len(dataset), n_sample))
+            sampled = np.array(
+                [sample.itemset_selectivity({i}) for i in items]
+            )
+            if np.any(np.abs(sampled - true_supports) > eps):
+                violations += 1
+        # delta = 0.05: expect ~1 violating trial in 20; allow slack.
+        assert violations <= 3
+
+    def test_sd_bound_envelope(self):
+        """The analytic SD bound shrinks like 1/sqrt(n)."""
+        bounds = [sd_bound_sum(n, 0.05, 200) for n in (1_000, 4_000, 16_000)]
+        assert bounds[0] / bounds[1] == pytest.approx(2.0, rel=0.01)
+        assert bounds[1] / bounds[2] == pytest.approx(2.0, rel=0.01)

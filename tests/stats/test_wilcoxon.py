@@ -1,0 +1,92 @@
+"""Tests for the Wilcoxon rank-sum test (cross-checked against scipy)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import InvalidParameterError
+from repro.stats.wilcoxon import WilcoxonResult, _midranks, rank_sum_test
+
+scipy_stats = pytest.importorskip("scipy.stats")
+
+
+class TestMidranks:
+    def test_no_ties(self):
+        ranks = _midranks(np.array([30.0, 10.0, 20.0]))
+        assert ranks.tolist() == [3.0, 1.0, 2.0]
+
+    def test_ties_get_average_rank(self):
+        ranks = _midranks(np.array([1.0, 2.0, 2.0, 3.0]))
+        assert ranks.tolist() == [1.0, 2.5, 2.5, 4.0]
+
+    def test_matches_scipy_rankdata(self, rng):
+        values = rng.integers(0, 10, 50).astype(float)
+        ours = _midranks(values)
+        scipys = scipy_stats.rankdata(values)
+        assert np.allclose(ours, scipys)
+
+
+class TestRankSum:
+    def test_clearly_smaller_sample(self, rng):
+        x = rng.normal(0, 1, 40)
+        y = rng.normal(3, 1, 40)
+        result = rank_sum_test(x, y, alternative="less")
+        assert result.p_value < 1e-6
+        assert result.significance_percent > 99.99
+
+    def test_identical_distributions_not_significant(self, rng):
+        x = rng.normal(0, 1, 50)
+        y = rng.normal(0, 1, 50)
+        result = rank_sum_test(x, y, alternative="less")
+        assert result.p_value > 0.01
+
+    def test_matches_scipy_mannwhitneyu(self, rng):
+        for _ in range(10):
+            x = rng.normal(0, 1, 25)
+            y = rng.normal(0.5, 1, 30)
+            ours = rank_sum_test(x, y, alternative="less")
+            scipys = scipy_stats.mannwhitneyu(
+                x, y, alternative="less", method="asymptotic"
+            )
+            assert ours.p_value == pytest.approx(scipys.pvalue, abs=1e-6)
+
+    def test_matches_scipy_with_ties(self, rng):
+        x = rng.integers(0, 5, 30).astype(float)
+        y = rng.integers(1, 6, 30).astype(float)
+        ours = rank_sum_test(x, y, alternative="less")
+        scipys = scipy_stats.mannwhitneyu(
+            x, y, alternative="less", method="asymptotic"
+        )
+        assert ours.p_value == pytest.approx(scipys.pvalue, abs=1e-6)
+
+    def test_two_sided_matches_scipy(self, rng):
+        x = rng.normal(0, 1, 30)
+        y = rng.normal(1, 1, 30)
+        ours = rank_sum_test(x, y, alternative="two-sided")
+        scipys = scipy_stats.mannwhitneyu(
+            x, y, alternative="two-sided", method="asymptotic"
+        )
+        assert ours.p_value == pytest.approx(scipys.pvalue, abs=1e-6)
+
+    def test_greater_alternative(self, rng):
+        x = rng.normal(3, 1, 30)
+        y = rng.normal(0, 1, 30)
+        assert rank_sum_test(x, y, alternative="greater").p_value < 1e-6
+
+    def test_all_identical_values(self):
+        result = rank_sum_test([1.0] * 10, [1.0] * 10)
+        assert result.p_value == 1.0
+        assert result.z == 0.0
+
+    def test_empty_sample_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            rank_sum_test([], [1.0])
+
+    def test_unknown_alternative_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            rank_sum_test([1.0], [2.0], alternative="weird")
+
+    def test_significance_percent(self):
+        result = WilcoxonResult(statistic=0, z=0, p_value=0.05, alternative="less")
+        assert result.significance_percent == pytest.approx(95.0)

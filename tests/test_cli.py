@@ -1,0 +1,124 @@
+"""End-to-end tests for the command-line interface."""
+
+from __future__ import annotations
+
+import io
+
+import pytest
+
+from repro.cli import main
+
+
+def run_cli(argv) -> str:
+    out = io.StringIO()
+    code = main(argv, out=out)
+    assert code == 0
+    return out.getvalue()
+
+
+class TestGenerate:
+    def test_generate_basket(self, tmp_path):
+        path = tmp_path / "txns.txt"
+        text = run_cli(
+            ["generate-basket", "--out", str(path), "--n", "200",
+             "--items", "50", "--seed", "1"]
+        )
+        assert "200 transactions" in text
+        assert path.exists()
+
+    def test_generate_classify(self, tmp_path):
+        path = tmp_path / "people.npz"
+        text = run_cli(
+            ["generate-classify", "--out", str(path), "--n", "300",
+             "--function", "2", "--seed", "1"]
+        )
+        assert "300 tuples" in text
+        assert path.exists()
+
+
+class TestMineAndCompare:
+    @pytest.fixture
+    def basket_files(self, tmp_path):
+        a = tmp_path / "a.txt"
+        b = tmp_path / "b.txt"
+        run_cli(["generate-basket", "--out", str(a), "--n", "400",
+                 "--items", "60", "--patterns", "40", "--avg-len", "6",
+                 "--seed", "1"])
+        run_cli(["generate-basket", "--out", str(b), "--n", "400",
+                 "--items", "60", "--patterns", "40", "--avg-len", "6",
+                 "--pattern-len", "6", "--seed", "2"])
+        return a, b
+
+    def test_mine(self, basket_files):
+        a, _ = basket_files
+        text = run_cli(
+            ["mine", "--data", str(a), "--min-support", "0.05", "--top", "5"]
+        )
+        assert "frequent itemsets" in text
+
+    def test_compare_lits(self, basket_files):
+        a, b = basket_files
+        text = run_cli(
+            ["compare-lits", "--data1", str(a), "--data2", str(b),
+             "--min-support", "0.05", "--max-len", "2"]
+        )
+        assert "delta  =" in text
+        assert "delta* =" in text
+
+    def test_compare_lits_with_bootstrap(self, basket_files):
+        a, b = basket_files
+        text = run_cli(
+            ["compare-lits", "--data1", str(a), "--data2", str(b),
+             "--min-support", "0.05", "--max-len", "2",
+             "--boot", "5", "--seed", "3"]
+        )
+        assert "significance =" in text
+
+    def test_compare_dt(self, tmp_path):
+        a = tmp_path / "a.npz"
+        b = tmp_path / "b.npz"
+        run_cli(["generate-classify", "--out", str(a), "--n", "600",
+                 "--function", "1", "--seed", "1"])
+        run_cli(["generate-classify", "--out", str(b), "--n", "600",
+                 "--function", "2", "--seed", "2"])
+        text = run_cli(
+            ["compare-dt", "--data1", str(a), "--data2", str(b),
+             "--max-depth", "4", "--min-leaf", "30", "--boot", "4",
+             "--seed", "5"]
+        )
+        assert "delta =" in text
+        assert "significance =" in text
+
+
+class TestModelWorkflow:
+    def test_mine_save_then_compare_models(self, tmp_path):
+        """Mine once, persist the models, compare via delta* -- no data."""
+        a = tmp_path / "a.txt"
+        b = tmp_path / "b.txt"
+        run_cli(["generate-basket", "--out", str(a), "--n", "400",
+                 "--items", "60", "--patterns", "40", "--avg-len", "6",
+                 "--seed", "1"])
+        run_cli(["generate-basket", "--out", str(b), "--n", "400",
+                 "--items", "60", "--patterns", "40", "--avg-len", "6",
+                 "--pattern-len", "6", "--seed", "2"])
+        ma = tmp_path / "a.model.json"
+        mb = tmp_path / "b.model.json"
+        text = run_cli(["mine", "--data", str(a), "--min-support", "0.05",
+                        "--max-len", "2", "--save", str(ma)])
+        assert "saved model" in text
+        run_cli(["mine", "--data", str(b), "--min-support", "0.05",
+                 "--max-len", "2", "--save", str(mb)])
+        text = run_cli(
+            ["compare-models", "--model1", str(ma), "--model2", str(mb)]
+        )
+        assert "delta* =" in text
+
+
+class TestParser:
+    def test_unknown_command_exits(self):
+        with pytest.raises(SystemExit):
+            main(["no-such-command"])
+
+    def test_missing_required_arg_exits(self):
+        with pytest.raises(SystemExit):
+            main(["mine"])

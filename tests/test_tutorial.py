@@ -1,0 +1,20 @@
+"""docs/TUTORIAL.md stays executable: run every python snippet in order."""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+
+import pytest
+
+TUTORIAL = Path(__file__).resolve().parent.parent / "docs" / "TUTORIAL.md"
+
+
+@pytest.mark.slow
+def test_tutorial_snippets_execute():
+    text = TUTORIAL.read_text()
+    snippets = re.findall(r"```python\n(.*?)```", text, re.S)
+    assert len(snippets) >= 8
+    namespace: dict = {}
+    for i, code in enumerate(snippets):
+        exec(compile(code, f"<tutorial-{i}>", "exec"), namespace)
