@@ -38,10 +38,13 @@ from repro.core import (
     box_focus,
     chi_squared_difference,
     chi_squared_statistic,
+    chi_squared_statistics,
     classical_mds,
     deviation,
+    deviation_many,
     deviation_matrix,
     deviation_over_structure,
+    deviation_over_structure_many,
     embed_models,
     focussed_deviation,
     gcr,
@@ -49,6 +52,7 @@ from repro.core import (
     itemset_focus,
     misclassification_error,
     misclassification_error_via_focus,
+    misclassification_errors,
     parse_predicate,
     parse_region,
     predicted_dataset,
@@ -114,10 +118,13 @@ __all__ = [
     "box_focus",
     "chi_squared_difference",
     "chi_squared_statistic",
+    "chi_squared_statistics",
     "classical_mds",
     "deviation",
+    "deviation_many",
     "deviation_matrix",
     "deviation_over_structure",
+    "deviation_over_structure_many",
     "deviation_significance",
     "embed_models",
     "focussed_deviation",
@@ -128,6 +135,7 @@ __all__ = [
     "itemset_focus",
     "misclassification_error",
     "misclassification_error_via_focus",
+    "misclassification_errors",
     "parse_predicate",
     "parse_region",
     "predicted_dataset",

@@ -13,7 +13,9 @@ from repro.core.deviation import (
     DeviationResult,
     RegionDeviation,
     deviation,
+    deviation_many,
     deviation_over_structure,
+    deviation_over_structure_many,
 )
 from repro.core.difference import (
     ABSOLUTE,
@@ -42,9 +44,11 @@ from repro.core.model import LitsStructure, Model, PartitionStructure, Structure
 from repro.core.monitor import ChangeMonitor, Observation
 from repro.core.monitoring import (
     chi_squared_statistic,
+    chi_squared_statistics,
     misclassification_error,
     misclassification_error_focus,
     misclassification_error_via_focus,
+    misclassification_errors,
     predicted_dataset,
 )
 from repro.core.operators import (
@@ -117,10 +121,13 @@ __all__ = [
     "categorical",
     "chi_squared_difference",
     "chi_squared_statistic",
+    "chi_squared_statistics",
     "classical_mds",
     "deviation",
+    "deviation_many",
     "deviation_matrix",
     "deviation_over_structure",
+    "deviation_over_structure_many",
     "embed_models",
     "format_predicate",
     "format_region",
@@ -135,6 +142,7 @@ __all__ = [
     "misclassification_error",
     "misclassification_error_focus",
     "misclassification_error_via_focus",
+    "misclassification_errors",
     "numeric",
     "parse_predicate",
     "parse_region",

@@ -17,11 +17,14 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from typing import Sequence
+
 from repro.core.aggregate import SUM, AggregateFunction
 from repro.core.difference import ABSOLUTE, DifferenceFunction
 from repro.core.gcr import gcr
-from repro.core.model import Model, Structure
+from repro.core.model import LitsStructure, Model, Structure
 from repro.core.region import Region
+from repro.errors import InvalidParameterError
 
 
 @dataclass(frozen=True)
@@ -87,9 +90,14 @@ class DeviationResult:
         ]
 
     def top_regions(self, k: int = 5) -> list[RegionDeviation]:
-        """The ``k`` regions with the largest contributions, descending."""
+        """The ``k`` regions contributing the most, by magnitude.
+
+        Ranking uses ``abs(value)`` so that signed difference functions
+        surface large negative contributions too; each returned
+        :class:`RegionDeviation` keeps its signed value.
+        """
         contributions = self.region_deviations()
-        contributions.sort(key=lambda rd: -rd.value)
+        contributions.sort(key=lambda rd: -abs(rd.value))
         return contributions[:k]
 
 
@@ -103,18 +111,8 @@ def deviation_over_structure(
     """``delta_1``: deviation over an already-common structural component."""
     counts1 = structure.counts(dataset1)
     counts2 = structure.counts(dataset2)
-    n1, n2 = len(dataset1), len(dataset2)
-    per_region = f(counts1, counts2, n1, n2)
-    return DeviationResult(
-        value=g(per_region),
-        f_name=f.name,
-        g_name=g.name,
-        regions=structure.regions,
-        per_region=per_region,
-        counts1=np.asarray(counts1),
-        counts2=np.asarray(counts2),
-        n1=n1,
-        n2=n2,
+    return _result(
+        structure, counts1, counts2, len(dataset1), len(dataset2), f, g
     )
 
 
@@ -150,19 +148,138 @@ def deviation(
     fast = _counts_from_models(model1, model2, structure, len(dataset1), len(dataset2))
     if fast is not None:
         counts1, counts2 = fast
-        per_region = f(counts1, counts2, len(dataset1), len(dataset2))
-        return DeviationResult(
-            value=g(per_region),
-            f_name=f.name,
-            g_name=g.name,
-            regions=structure.regions,
-            per_region=per_region,
-            counts1=counts1,
-            counts2=counts2,
-            n1=len(dataset1),
-            n2=len(dataset2),
+        return _result(
+            structure, counts1, counts2, len(dataset1), len(dataset2), f, g
         )
     return deviation_over_structure(structure, dataset1, dataset2, f, g)
+
+
+def _result(
+    structure: Structure,
+    counts1: np.ndarray,
+    counts2: np.ndarray,
+    n1: int,
+    n2: int,
+    f: DifferenceFunction,
+    g: AggregateFunction,
+) -> DeviationResult:
+    """Assemble a :class:`DeviationResult` from already-measured counts."""
+    per_region = f(counts1, counts2, n1, n2)
+    return DeviationResult(
+        value=g(per_region),
+        f_name=f.name,
+        g_name=g.name,
+        regions=structure.regions,
+        per_region=per_region,
+        counts1=np.asarray(counts1),
+        counts2=np.asarray(counts2),
+        n1=n1,
+        n2=n2,
+    )
+
+
+def deviation_over_structure_many(
+    structure: Structure,
+    dataset1,
+    datasets: Sequence,
+    f: DifferenceFunction = ABSOLUTE,
+    g: AggregateFunction = SUM,
+) -> list[DeviationResult]:
+    """``delta_1`` of one reference dataset against many snapshots.
+
+    The reference dataset is measured over ``structure`` exactly once;
+    each snapshot is then measured with a single scan of its own, so a
+    series of ``W`` windows costs ``W + 1`` scans instead of ``2W``.
+    """
+    counts1 = np.asarray(structure.counts(dataset1))
+    n1 = len(dataset1)
+    return [
+        _result(
+            structure, counts1, np.asarray(structure.counts(d)), n1, len(d), f, g
+        )
+        for d in datasets
+    ]
+
+
+def deviation_many(
+    model1: Model,
+    models: Sequence[Model],
+    dataset1,
+    datasets: Sequence,
+    f: DifferenceFunction = ABSOLUTE,
+    g: AggregateFunction = SUM,
+    focus: Region | None = None,
+) -> list[DeviationResult]:
+    """``delta`` of one model against a fleet of models, batched.
+
+    Computes ``deviation(model1, models[i], dataset1, datasets[i])`` for
+    every ``i`` while scanning each dataset once:
+
+    * pairs whose measures are all stored in the two models are answered
+      without touching either dataset (the Section 7.1 fast path);
+    * for lits-models, the reference dataset is counted in **one**
+      batched support-counting pass over the union of every pair's GCR
+      itemsets, and each fleet dataset is counted in one batched pass
+      over its own GCR's itemsets -- one scan per window, not one scan
+      per window per itemset;
+    * other model classes fall back to the per-pair scan.
+
+    Returns the :class:`DeviationResult` list aligned with ``models``.
+    The fleet (``models[i]`` vs ``datasets[i]``) must be aligned; this is
+    exactly the store-fleet and windowed-stream access pattern.
+    """
+    if len(models) != len(datasets):
+        raise InvalidParameterError(
+            f"models and datasets must align: {len(models)} vs {len(datasets)}"
+        )
+    structures: list[Structure] = []
+    for m in models:
+        s = gcr(model1.structure, m.structure)
+        if focus is not None:
+            s = s.focussed(focus)
+        structures.append(s)
+    n1 = len(dataset1)
+
+    # Pairs answerable from the stored model measures alone.
+    model_fast: dict[int, tuple[np.ndarray, np.ndarray]] = {}
+    for i, (m, s) in enumerate(zip(models, structures)):
+        pair = _counts_from_models(model1, m, s, n1, len(datasets[i]))
+        if pair is not None:
+            model_fast[i] = pair
+
+    # One batched pass over dataset1 for every remaining lits pair.
+    batched = {
+        i
+        for i, s in enumerate(structures)
+        if i not in model_fast
+        and isinstance(s, LitsStructure)
+        and hasattr(dataset1, "index")
+        and hasattr(datasets[i], "index")
+    }
+    counts1_of: dict[frozenset[int], int] = {}
+    if batched:
+        union: dict[frozenset[int], None] = {}
+        for i in sorted(batched):
+            union.update(dict.fromkeys(structures[i].itemsets))
+        union_list = list(union)
+        union_counts = dataset1.index.support_counts(union_list)
+        counts1_of = dict(zip(union_list, union_counts))
+
+    results: list[DeviationResult] = []
+    for i, s in enumerate(structures):
+        n2 = len(datasets[i])
+        if i in model_fast:
+            counts1, counts2 = model_fast[i]
+        elif i in batched:
+            counts1 = np.array(
+                [counts1_of[it] for it in s.itemsets], dtype=np.int64
+            )
+            counts2 = datasets[i].index.support_counts(s.itemsets)
+        else:
+            counts1 = np.asarray(s.counts(dataset1))
+            counts2 = np.asarray(s.counts(datasets[i]))
+        results.append(_result(s, counts1, counts2, n1, n2, f, g))
+    return results
 
 
 def _counts_from_models(

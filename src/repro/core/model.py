@@ -94,6 +94,13 @@ class LitsStructure(Structure):
         return ("lits", frozenset(self._itemsets))
 
     def counts(self, dataset) -> np.ndarray:
+        """All itemset supports in one batched pass over the bitmap index.
+
+        The whole structural component is measured by the batched
+        support-counting engine (stacked ``bitwise_and`` stripes plus a
+        single popcount pass), so extending to a GCR and measuring both
+        datasets stays a constant number of vectorised scans.
+        """
         return dataset.index.support_counts(self._itemsets)
 
     def focussed(self, region: Region) -> "LitsStructure":

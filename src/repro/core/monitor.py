@@ -25,7 +25,7 @@ from typing import Callable
 import numpy as np
 
 from repro.core.aggregate import SUM, AggregateFunction
-from repro.core.deviation import deviation
+from repro.core.deviation import deviation, deviation_many
 from repro.core.difference import ABSOLUTE, DifferenceFunction
 from repro.errors import InvalidParameterError, NotFittedError
 from repro.stats.bootstrap import deviation_significance
@@ -113,22 +113,10 @@ class ChangeMonitor:
         self._next_index += 1
         return self
 
-    def observe(self, snapshot) -> Observation:
-        """Qualify one new snapshot against the current reference."""
-        if not self.is_fitted:
-            raise NotFittedError("call fit(reference) before observe()")
+    def _qualify(self, snapshot, delta: float) -> Observation:
+        """Bootstrap-qualify one snapshot's deviation and record it."""
         index = self._next_index
         self._next_index += 1
-
-        model = self.model_builder(snapshot)
-        delta = deviation(
-            self._reference_model,
-            model,
-            self._reference_dataset,
-            snapshot,
-            f=self.f,
-            g=self.g,
-        ).value
         significance = deviation_significance(
             self._reference_dataset,
             snapshot,
@@ -139,22 +127,69 @@ class ChangeMonitor:
             rng=self.rng,
             refit_models=self.refit_models,
         ).significance_percent
-        drifted = significance >= self.threshold
-
         observation = Observation(
             index=index,
             deviation=delta,
             significance=significance,
-            drifted=drifted,
+            drifted=significance >= self.threshold,
             reference_index=self._reference_index,
         )
         self.history.append(observation)
+        return observation
 
-        if drifted and self.policy == "reset_on_drift":
+    def observe(self, snapshot) -> Observation:
+        """Qualify one new snapshot against the current reference."""
+        if not self.is_fitted:
+            raise NotFittedError("call fit(reference) before observe()")
+        model = self.model_builder(snapshot)
+        delta = deviation(
+            self._reference_model,
+            model,
+            self._reference_dataset,
+            snapshot,
+            f=self.f,
+            g=self.g,
+        ).value
+        observation = self._qualify(snapshot, delta)
+
+        if observation.drifted and self.policy == "reset_on_drift":
             self._reference_dataset = snapshot
             self._reference_model = model
-            self._reference_index = index
+            self._reference_index = observation.index
         return observation
+
+    def observe_many(self, snapshots) -> list[Observation]:
+        """Qualify a whole batch of snapshots in one pass.
+
+        Produces exactly the observations a sequence of
+        :meth:`observe` calls would, but under the ``"fixed"`` policy
+        the deviations against the shared reference are computed with
+        :func:`repro.core.deviation.deviation_many`: the reference
+        dataset is support-counted once over the union of every
+        snapshot's GCR itemsets, and each snapshot is scanned once.
+
+        Under ``"reset_on_drift"`` the reference can change mid-batch,
+        so the snapshots are simply observed sequentially.
+        """
+        if not self.is_fitted:
+            raise NotFittedError("call fit(reference) before observe_many()")
+        snapshots = list(snapshots)
+        if self.policy != "fixed" or len(snapshots) < 2:
+            return [self.observe(s) for s in snapshots]
+
+        models = [self.model_builder(s) for s in snapshots]
+        deltas = deviation_many(
+            self._reference_model,
+            models,
+            self._reference_dataset,
+            snapshots,
+            f=self.f,
+            g=self.g,
+        )
+        return [
+            self._qualify(snapshot, delta.value)
+            for snapshot, delta in zip(snapshots, deltas)
+        ]
 
     def drift_points(self) -> list[int]:
         """Indices of the snapshots flagged as drifted so far."""

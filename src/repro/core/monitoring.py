@@ -21,8 +21,14 @@ from __future__ import annotations
 
 import numpy as np
 
+from typing import Sequence
+
 from repro.core.aggregate import SUM
-from repro.core.deviation import DeviationResult, deviation_over_structure
+from repro.core.deviation import (
+    DeviationResult,
+    deviation_over_structure,
+    deviation_over_structure_many,
+)
 from repro.core.difference import ABSOLUTE, chi_squared_difference
 from repro.core.dtree_model import DtModel
 from repro.data.tabular import TabularDataset
@@ -81,3 +87,27 @@ def chi_squared_statistic(
     return deviation_over_structure(
         model.structure, dataset1, dataset2, f=chi_squared_difference(c), g=SUM
     )
+
+
+def chi_squared_statistics(
+    model: DtModel,
+    dataset1: TabularDataset,
+    datasets: Sequence[TabularDataset],
+    c: float = 0.5,
+) -> list[DeviationResult]:
+    """The X^2 statistic of many snapshots against one expected dataset.
+
+    The monitoring loop's batched form: the expected measures (from
+    ``dataset1``) are histogrammed over the tree's regions exactly once
+    and reused for every snapshot, so ``W`` windows cost ``W + 1`` scans.
+    """
+    return deviation_over_structure_many(
+        model.structure, dataset1, datasets, f=chi_squared_difference(c), g=SUM
+    )
+
+
+def misclassification_errors(
+    model: DtModel, datasets: Sequence[TabularDataset]
+) -> list[float]:
+    """The scalar ME of many snapshots, via the Theorem 5.2 identity."""
+    return [misclassification_error_via_focus(model, d) for d in datasets]

@@ -21,7 +21,7 @@ from typing import Callable, Sequence
 import numpy as np
 
 from repro.core.aggregate import SUM, AggregateFunction
-from repro.core.deviation import deviation
+from repro.core.deviation import deviation, deviation_many
 from repro.core.difference import ABSOLUTE, DifferenceFunction
 from repro.errors import InvalidParameterError
 
@@ -127,13 +127,16 @@ def deviation_series(
         raise InvalidParameterError(
             f"baseline must be in [0, {len(windows) - 1}]"
         )
-    for i in range(len(windows)):
-        if i == baseline:
-            continue
-        values.append(
-            deviation(
-                models[baseline], models[i], windows[baseline], windows[i],
-                f=f, g=g,
-            ).value
-        )
+    # One model against the window fleet: the batched engine scans the
+    # baseline window once for all comparisons and each window once.
+    others = [i for i in range(len(windows)) if i != baseline]
+    results = deviation_many(
+        models[baseline],
+        [models[i] for i in others],
+        windows[baseline],
+        [windows[i] for i in others],
+        f=f,
+        g=g,
+    )
+    values = [r.value for r in results]
     return DeviationSeries(tuple(values), "baseline")

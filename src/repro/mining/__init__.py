@@ -5,6 +5,7 @@ from repro.mining.fpgrowth import fpgrowth
 from repro.mining.itemsets import (
     brute_force_frequent,
     brute_force_support_count,
+    frequent_items,
     sort_itemsets,
     support_counts,
     supports,
@@ -15,6 +16,7 @@ __all__ = [
     "brute_force_frequent",
     "brute_force_support_count",
     "fpgrowth",
+    "frequent_items",
     "sort_itemsets",
     "support_counts",
     "supports",

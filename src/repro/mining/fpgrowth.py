@@ -20,6 +20,7 @@ import numpy as np
 
 from repro.data.transactions import TransactionDataset
 from repro.errors import InvalidParameterError
+from repro.mining.itemsets import frequent_items
 
 
 @dataclass
@@ -165,11 +166,9 @@ def fpgrowth(
         return {}
     min_count = max(int(np.ceil(min_support * n)), 1)
 
-    # Pass 1: frequent single items, in descending frequency order.
-    counts = dataset.index.item_support_counts()
-    frequent = {
-        item: int(c) for item, c in enumerate(counts) if c >= min_count
-    }
+    # Pass 1: frequent single items (shared batched pass with Apriori),
+    # in descending frequency order.
+    frequent = frequent_items(dataset, min_count)
     if not frequent:
         return {}
     order = {

@@ -31,8 +31,19 @@ def sort_itemsets(itemsets: Iterable[frozenset[int]]) -> list[frozenset[int]]:
 def support_counts(
     dataset: TransactionDataset, itemsets: Sequence[frozenset[int]]
 ) -> np.ndarray:
-    """Absolute support counts of ``itemsets`` using the dataset's bitmap index."""
+    """Absolute support counts of ``itemsets`` in one batched index pass."""
     return dataset.index.support_counts(itemsets)
+
+
+def frequent_items(dataset: TransactionDataset, min_count: int) -> dict[int, int]:
+    """Items meeting ``min_count``, from one vectorised popcount pass.
+
+    The shared pass-1 of both level-wise miners (Apriori, FP-growth).
+    """
+    counts = dataset.index.item_support_counts()
+    return {
+        item: int(c) for item, c in enumerate(counts) if c >= min_count
+    }
 
 
 def supports(

@@ -1,0 +1,185 @@
+"""Tests for the batched deviation engine and its consumers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.deviation import (
+    deviation,
+    deviation_many,
+    deviation_over_structure,
+    deviation_over_structure_many,
+)
+from repro.core.difference import DifferenceFunction
+from repro.core.dtree_model import DtModel
+from repro.core.lits import LitsModel
+from repro.core.monitor import ChangeMonitor
+from repro.core.region import ItemsetRegion
+from repro.data.quest_basket import generate_basket
+from repro.data.quest_classify import generate_classification
+from repro.errors import InvalidParameterError
+from repro.mining.tree.builder import TreeParams
+
+#: A signed difference function: positive where dataset 2 gained
+#: selectivity, negative where it lost it.
+SIGNED = DifferenceFunction(
+    "f_signed",
+    lambda nu1, nu2, n1, n2: (nu2 / n2 if n2 else nu2) - (nu1 / n1 if n1 else nu1),
+)
+
+
+@pytest.fixture(scope="module")
+def fleet():
+    datasets = [
+        generate_basket(
+            400, n_items=30, avg_transaction_len=5, n_patterns=25,
+            avg_pattern_len=3 + (s % 2), seed=100 + s,
+        )
+        for s in range(5)
+    ]
+    models = [LitsModel.mine(d, 0.04, max_len=3) for d in datasets]
+    return datasets, models
+
+
+class TestDeviationMany:
+    def test_matches_per_pair_deviation(self, fleet):
+        datasets, models = fleet
+        results = deviation_many(models[0], models[1:], datasets[0], datasets[1:])
+        assert len(results) == 4
+        for model, dataset, result in zip(models[1:], datasets[1:], results):
+            single = deviation(models[0], model, datasets[0], dataset)
+            assert result.value == pytest.approx(single.value, abs=1e-12)
+            assert result.counts1.tolist() == single.counts1.tolist()
+            assert result.counts2.tolist() == single.counts2.tolist()
+            assert result.regions == single.regions
+
+    def test_reference_dataset_scanned_once(self, fleet, monkeypatch):
+        """One batched counting call on the reference, one per window."""
+        from repro.data.transactions import BitmapIndex
+
+        datasets, models = fleet
+        calls = []
+        original = BitmapIndex.support_counts
+
+        def counting(self, itemsets, **kwargs):
+            calls.append(id(self))
+            return original(self, itemsets, **kwargs)
+
+        monkeypatch.setattr(BitmapIndex, "support_counts", counting)
+        deviation_many(models[0], models[1:], datasets[0], datasets[1:])
+        # 1 union pass over the reference + 1 pass per fleet window; no
+        # index is counted more than once.
+        assert len(calls) == len(datasets)
+        assert len(set(calls)) == len(calls)
+
+    def test_focus_applies_to_every_pair(self, fleet):
+        datasets, models = fleet
+        focus = ItemsetRegion(frozenset({0}))
+        results = deviation_many(
+            models[0], models[1:3], datasets[0], datasets[1:3], focus=focus
+        )
+        for model, dataset, result in zip(models[1:3], datasets[1:3], results):
+            single = deviation(
+                models[0], model, datasets[0], dataset, focus=focus
+            )
+            assert result.value == pytest.approx(single.value, abs=1e-12)
+
+    def test_identical_structure_pairs_need_no_scan(self, fleet):
+        datasets, models = fleet
+        reference = models[0]
+        sels = reference.structure.selectivities(datasets[1])
+        clone = LitsModel(
+            dict(zip(reference.structure.itemsets, sels)), 0.04,
+            datasets[1].n_items,
+        )
+        batch = deviation_many(reference, [clone], datasets[0], [datasets[1]])[0]
+        single = deviation(reference, clone, datasets[0], datasets[1])
+        assert batch.value == pytest.approx(single.value, abs=1e-12)
+
+    def test_partition_models_fall_back_per_pair(self):
+        params = TreeParams(max_depth=3, min_leaf=25)
+        datasets = [
+            generate_classification(500, function=1 + (s % 2), seed=50 + s)
+            for s in range(3)
+        ]
+        models = [DtModel.fit(d, params) for d in datasets]
+        results = deviation_many(models[0], models[1:], datasets[0], datasets[1:])
+        for model, dataset, result in zip(models[1:], datasets[1:], results):
+            single = deviation(models[0], model, datasets[0], dataset)
+            assert result.value == pytest.approx(single.value, abs=1e-12)
+
+    def test_misaligned_fleet_rejected(self, fleet):
+        datasets, models = fleet
+        with pytest.raises(InvalidParameterError):
+            deviation_many(models[0], models[1:], datasets[0], datasets[1:3])
+
+    def test_empty_fleet(self, fleet):
+        datasets, models = fleet
+        assert deviation_many(models[0], [], datasets[0], []) == []
+
+
+class TestDeviationOverStructureMany:
+    def test_matches_per_snapshot(self, fleet):
+        datasets, models = fleet
+        structure = models[0].structure
+        results = deviation_over_structure_many(structure, datasets[0], datasets[1:])
+        for dataset, result in zip(datasets[1:], results):
+            single = deviation_over_structure(structure, datasets[0], dataset)
+            assert result.value == pytest.approx(single.value, abs=1e-12)
+
+
+class TestTopRegionsSigned:
+    def test_signed_f_ranks_by_magnitude(self, fleet):
+        datasets, models = fleet
+        result = deviation(
+            models[0], models[1], datasets[0], datasets[1], f=SIGNED
+        )
+        per_region = result.per_region
+        assert (per_region < 0).any(), "fixture should produce losses too"
+        tops = result.top_regions(5)
+        magnitudes = [abs(t.value) for t in tops]
+        # ranked by magnitude, descending ...
+        assert magnitudes == sorted(magnitudes, reverse=True)
+        assert magnitudes[0] == pytest.approx(np.abs(per_region).max())
+        # ... while the signed values are preserved in the breakdown.
+        biggest_loss = float(per_region.min())
+        k_all = result.top_regions(len(per_region))
+        assert any(t.value == pytest.approx(biggest_loss) for t in k_all)
+
+
+class TestObserveMany:
+    def test_fixed_policy_matches_sequential(self, fleet):
+        datasets, models = fleet
+
+        def builder(d):
+            return LitsModel.mine(d, 0.04, max_len=3)
+
+        batch_monitor = ChangeMonitor(
+            builder, n_boot=8, rng=np.random.default_rng(5)
+        ).fit(datasets[0])
+        seq_monitor = ChangeMonitor(
+            builder, n_boot=8, rng=np.random.default_rng(5)
+        ).fit(datasets[0])
+
+        batched = batch_monitor.observe_many(datasets[1:])
+        sequential = [seq_monitor.observe(d) for d in datasets[1:]]
+        assert [o.index for o in batched] == [o.index for o in sequential]
+        for b, s in zip(batched, sequential):
+            assert b.deviation == pytest.approx(s.deviation, abs=1e-12)
+            assert b.significance == pytest.approx(s.significance)
+            assert b.drifted == s.drifted
+        assert batch_monitor.history == batched
+
+    def test_reset_on_drift_falls_back_to_sequential(self, fleet):
+        datasets, _ = fleet
+
+        def builder(d):
+            return LitsModel.mine(d, 0.04, max_len=3)
+
+        monitor = ChangeMonitor(
+            builder, n_boot=8, policy="reset_on_drift",
+            rng=np.random.default_rng(5),
+        ).fit(datasets[0])
+        observations = monitor.observe_many(datasets[1:])
+        assert [o.index for o in observations] == [1, 2, 3, 4]

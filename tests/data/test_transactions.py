@@ -66,6 +66,29 @@ class TestBitmapIndex:
             assert d.support_count({1}) == 0
             assert d.support_count(set()) == n
 
+    def test_empty_itemset_intersection_bits_mask_padding(self):
+        """intersection_bits(()) must zero the padding bits past n.
+
+        Any popcount consumer of the packed vector would over-count the
+        empty itemset by up to 7 transactions otherwise.
+        """
+        from repro.data.transactions import POPCOUNT
+
+        for n in (1, 3, 5, 7, 8, 9, 12, 15, 16, 17):
+            idx = BitmapIndex([(0,)] * n, n_items=1)
+            bits = idx.intersection_bits(())
+            assert int(POPCOUNT[bits].sum()) == n
+            # every padding bit in the final byte is zero
+            tail = int(bits[-1])
+            valid_in_tail = n - 8 * (len(bits) - 1)
+            assert tail == (0xFF << (8 - valid_in_tail)) & 0xFF
+
+    def test_empty_itemset_intersection_bits_empty_dataset(self):
+        idx = BitmapIndex([], n_items=2)
+        from repro.data.transactions import POPCOUNT
+
+        assert int(POPCOUNT[idx.intersection_bits(())].sum()) == 0
+
     def test_standalone_index(self):
         idx = BitmapIndex([(0, 1), (1,), (0,)], n_items=3)
         assert idx.support_count({0}) == 2
