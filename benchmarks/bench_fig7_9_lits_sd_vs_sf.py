@@ -8,7 +8,6 @@ support level the more difficult it is to estimate the model");
 
 from __future__ import annotations
 
-import numpy as np
 from conftest import once
 
 from repro.experiments.figures import figures_7_to_9

@@ -2,10 +2,17 @@
 
 The related work the paper cites tracks *single* patterns over time;
 FOCUS detects "variations at levels higher than that of a single
-pattern". This script slices a temporally ordered transaction log into
-tumbling windows, computes the deviation series between consecutive
-windows, and locates the change point where the whole buying process
-shifted -- even though no single tracked itemset need have moved much.
+pattern". This script treats a temporally ordered transaction log as a
+*stream*: chunks flow through a :class:`~repro.stream.windows.WindowManager`
+(tumbling policy), each emitted window induces a model, and the
+deviation series between consecutive windows locates the change point
+where the whole buying process shifted -- even though no single tracked
+itemset need have moved much.
+
+The window manager also maintains a support sketch per window over a
+fixed probe collection -- each stream row is scanned exactly once for
+that -- which is the measure-maintenance discipline the streaming
+subsystem scales up.
 
 Run:  python examples/transaction_stream_windows.py
 """
@@ -14,13 +21,15 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro import LitsModel
+from repro import LitsModel, WindowManager
 from repro.data.quest_basket import build_pattern_pool, generate_basket
 from repro.experiments.reporting import format_curves
-from repro.experiments.windows import deviation_series, tumbling_windows
+from repro.experiments.windows import deviation_series
+from repro.stream.chunks import iter_chunks
 
 MIN_SUPPORT = 0.03
 WINDOW = 600
+CHUNK = 200  # stream arrival granularity: 3 chunks per window
 
 
 def build_stream(rng) -> tuple:
@@ -48,7 +57,16 @@ def main(seed: int = 29) -> dict:
     print(f"stream: {len(stream)} transactions; "
           f"true process change at window {true_change}")
 
-    windows = tumbling_windows(stream, WINDOW)
+    # Probe itemsets for the per-window sketches: the head's single items.
+    probes = [(i,) for i in range(100)]
+    manager = WindowManager(
+        probes, n_items=100, window_chunks=WINDOW // CHUNK, policy="tumbling"
+    )
+    emitted = list(manager.push_many(iter_chunks(stream, CHUNK)))
+    windows = [w.to_dataset() for w in emitted]
+    assert manager.rows_sketched == len(stream)  # one scan per row
+    print(f"window manager emitted {len(windows)} tumbling windows "
+          f"({manager.rows_sketched} rows sketched once each)")
 
     def builder(d):
         return LitsModel.mine(d, MIN_SUPPORT, max_len=2)

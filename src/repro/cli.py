@@ -7,9 +7,14 @@ Subcommands::
     mine              --data txns.txt --min-support 0.01
     compare-lits      --data1 a.txt --data2 b.txt --min-support 0.01 [--boot 50]
     compare-dt        --data1 a.npz --data2 b.npz [--boot 50]
+    monitor-stream    --data txns.txt --window 1000 [--step 250 --boot 8]
 
 ``compare-*`` prints delta, (for lits) delta*, and the bootstrap
 significance -- the full Section 3 pipeline from flat files.
+``monitor-stream`` treats the file as a temporally ordered stream: the
+first window becomes the reference, every later window is maintained
+incrementally (mergeable sketches; no rescan of surviving rows) and
+qualified, and drifted windows are flagged as they complete.
 """
 
 from __future__ import annotations
@@ -94,6 +99,34 @@ def _add_compare_dt(sub) -> None:
     p.add_argument("--seed", type=int, default=None)
 
 
+def _add_monitor_stream(sub) -> None:
+    p = sub.add_parser(
+        "monitor-stream",
+        help="online drift monitoring over a transactions file",
+    )
+    p.add_argument("--data", required=True)
+    p.add_argument("--window", type=int, default=1_000, help="rows per window")
+    p.add_argument(
+        "--step", type=int, default=None,
+        help="rows between windows (default: window, i.e. tumbling)",
+    )
+    p.add_argument("--min-support", type=float, default=0.02)
+    p.add_argument("--max-len", type=int, default=2)
+    p.add_argument("--boot", type=int, default=8, help="bootstrap resamples; "
+                   "0 = threshold on the deviation itself")
+    p.add_argument("--threshold", type=float, default=95.0,
+                   help="significance %% that counts as drift")
+    p.add_argument("--delta-threshold", type=float, default=None,
+                   help="deviation cut-off when --boot 0")
+    p.add_argument("--policy", choices=("fixed", "reset_on_drift"),
+                   default="fixed")
+    p.add_argument("--executor", choices=("serial", "thread", "process"),
+                   default="serial")
+    p.add_argument("--shards", type=int, default=1,
+                   help="map-merge shards per chunk")
+    p.add_argument("--seed", type=int, default=None)
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(prog="focus-repro", description=__doc__)
     sub = parser.add_subparsers(dest="command", required=True)
@@ -103,6 +136,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_compare_lits(sub)
     _add_compare_dt(sub)
     _add_compare_models(sub)
+    _add_monitor_stream(sub)
     return parser
 
 
@@ -202,6 +236,47 @@ def _cmd_compare_dt(args, out) -> int:
     return 0
 
 
+def _cmd_monitor_stream(args, out) -> int:
+    from repro.stream import OnlineChangeMonitor, stream_transaction_chunks
+
+    n_items, chunks = stream_transaction_chunks(
+        args.data, args.step or args.window
+    )
+
+    def builder(d):
+        return LitsModel.mine(d, args.min_support, max_len=args.max_len)
+
+    monitor = OnlineChangeMonitor(
+        builder,
+        n_items,
+        window_size=args.window,
+        step=args.step,
+        n_boot=args.boot,
+        threshold=args.threshold,
+        delta_threshold=args.delta_threshold,
+        policy=args.policy,
+        rng=np.random.default_rng(args.seed),
+        executor=args.executor,
+        n_shards=args.shards,
+    )
+    n_drifted = 0
+    for observation in monitor.monitor_stream(chunks):
+        n_drifted += observation.drifted
+        print(observation.describe(), file=out)
+    if monitor.is_warming_up:
+        print(
+            f"stream ended during warm-up: fewer than {args.window} rows",
+            file=out,
+        )
+        return 0
+    print(
+        f"{len(monitor.history)} windows monitored, {n_drifted} drifted; "
+        f"{monitor.rows_sketched} rows sketched incrementally",
+        file=out,
+    )
+    return 0
+
+
 COMMANDS = {
     "generate-basket": _cmd_generate_basket,
     "generate-classify": _cmd_generate_classify,
@@ -209,6 +284,7 @@ COMMANDS = {
     "compare-lits": _cmd_compare_lits,
     "compare-dt": _cmd_compare_dt,
     "compare-models": _cmd_compare_models,
+    "monitor-stream": _cmd_monitor_stream,
 }
 
 

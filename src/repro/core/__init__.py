@@ -13,6 +13,7 @@ from repro.core.deviation import (
     DeviationResult,
     RegionDeviation,
     deviation,
+    deviation_from_counts,
     deviation_many,
     deviation_over_structure,
     deviation_over_structure_many,
@@ -124,6 +125,7 @@ __all__ = [
     "chi_squared_statistics",
     "classical_mds",
     "deviation",
+    "deviation_from_counts",
     "deviation_many",
     "deviation_matrix",
     "deviation_over_structure",

@@ -154,6 +154,26 @@ def deviation(
     return deviation_over_structure(structure, dataset1, dataset2, f, g)
 
 
+def deviation_from_counts(
+    structure: Structure,
+    counts1: np.ndarray,
+    counts2: np.ndarray,
+    n1: int,
+    n2: int,
+    f: DifferenceFunction = ABSOLUTE,
+    g: AggregateFunction = SUM,
+) -> DeviationResult:
+    """``delta_1`` from already-measured region counts (no dataset scan).
+
+    The streaming layer measures structures out-of-band -- reference
+    counts come from a stored model's measure component, window counts
+    from a mergeable :class:`~repro.stream.sketch.SupportSketch` -- and
+    only needs the difference/aggregate step applied. ``counts1`` and
+    ``counts2`` must align with ``structure.regions``.
+    """
+    return _result(structure, counts1, counts2, n1, n2, f, g)
+
+
 def _result(
     structure: Structure,
     counts1: np.ndarray,

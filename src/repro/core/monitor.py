@@ -64,9 +64,17 @@ class ChangeMonitor:
     f, g:
         Difference and aggregate functions for the deviation.
     n_boot:
-        Bootstrap resamples per qualification.
+        Bootstrap resamples per qualification. ``0`` disables the
+        bootstrap entirely: the drift decision falls back to comparing
+        the raw deviation against ``delta_threshold`` (the streaming
+        monitor's cheap mode, where a full resampling pass per window
+        would defeat incremental maintenance).
     threshold:
         Significance percentage above which a snapshot counts as drifted.
+    delta_threshold:
+        Deviation cut-off used only when ``n_boot == 0``; required then,
+        ignored otherwise. Recorded significance degenerates to 100/0
+        for drifted/quiet snapshots in that mode.
     policy:
         ``"fixed"`` or ``"reset_on_drift"`` (see module docstring).
     rng:
@@ -82,6 +90,7 @@ class ChangeMonitor:
     g: AggregateFunction = SUM
     n_boot: int = 50
     threshold: float = 95.0
+    delta_threshold: float | None = None
     policy: str = "fixed"
     rng: np.random.Generator | None = None
     refit_models: bool = False
@@ -98,6 +107,13 @@ class ChangeMonitor:
             )
         if not 0.0 <= self.threshold <= 100.0:
             raise InvalidParameterError("threshold must be in [0, 100]")
+        if self.n_boot < 0:
+            raise InvalidParameterError("n_boot must be >= 0")
+        if self.n_boot == 0 and self.delta_threshold is None:
+            raise InvalidParameterError(
+                "n_boot=0 disables the bootstrap; provide delta_threshold "
+                "for the drift decision"
+            )
         if self.rng is None:
             self.rng = np.random.default_rng()
 
@@ -117,21 +133,26 @@ class ChangeMonitor:
         """Bootstrap-qualify one snapshot's deviation and record it."""
         index = self._next_index
         self._next_index += 1
-        significance = deviation_significance(
-            self._reference_dataset,
-            snapshot,
-            self.model_builder,
-            f=self.f,
-            g=self.g,
-            n_boot=self.n_boot,
-            rng=self.rng,
-            refit_models=self.refit_models,
-        ).significance_percent
+        if self.n_boot == 0:
+            drifted = delta >= self.delta_threshold
+            significance = 100.0 if drifted else 0.0
+        else:
+            significance = deviation_significance(
+                self._reference_dataset,
+                snapshot,
+                self.model_builder,
+                f=self.f,
+                g=self.g,
+                n_boot=self.n_boot,
+                rng=self.rng,
+                refit_models=self.refit_models,
+            ).significance_percent
+            drifted = significance >= self.threshold
         observation = Observation(
             index=index,
             deviation=delta,
             significance=significance,
-            drifted=significance >= self.threshold,
+            drifted=drifted,
             reference_index=self._reference_index,
         )
         self.history.append(observation)
@@ -150,11 +171,36 @@ class ChangeMonitor:
             f=self.f,
             g=self.g,
         ).value
-        observation = self._qualify(snapshot, delta)
+        return self._record(snapshot, delta, model)
 
+    def observe_precomputed(
+        self, snapshot, delta: float, model=None
+    ) -> Observation:
+        """Qualify a snapshot whose deviation was computed out-of-band.
+
+        The streaming layer maintains per-window deviations
+        incrementally (mergeable sketches over the reference structure)
+        and only needs the monitor for what it owns: bootstrap
+        qualification, the drift decision, the history, and the
+        reference policy. ``model`` (the snapshot's own model, if one
+        was induced) is only used when a ``reset_on_drift`` reset makes
+        the snapshot the new reference; left ``None``, the reset
+        re-induces it with ``model_builder``.
+        """
+        if not self.is_fitted:
+            raise NotFittedError(
+                "call fit(reference) before observe_precomputed()"
+            )
+        return self._record(snapshot, float(delta), model)
+
+    def _record(self, snapshot, delta: float, model) -> Observation:
+        """Qualify, append to history, and apply the reference policy."""
+        observation = self._qualify(snapshot, delta)
         if observation.drifted and self.policy == "reset_on_drift":
             self._reference_dataset = snapshot
-            self._reference_model = model
+            self._reference_model = (
+                model if model is not None else self.model_builder(snapshot)
+            )
             self._reference_index = observation.index
         return observation
 
@@ -192,5 +238,18 @@ class ChangeMonitor:
         ]
 
     def drift_points(self) -> list[int]:
-        """Indices of the snapshots flagged as drifted so far."""
-        return [obs.index for obs in self.history if obs.drifted]
+        """Indices of the snapshots flagged as drifted so far.
+
+        Snapshot indices are assigned at qualification time, so the
+        result is identical whether snapshots arrived through
+        :meth:`observe`, :meth:`observe_many`, or any interleaving of
+        the two, and is always sorted ascending. Asking an unfitted
+        monitor is a usage error (it cannot have observed anything), and
+        raises instead of returning a misleading empty list.
+        """
+        if not self.is_fitted:
+            raise NotFittedError(
+                "drift_points() on an unfitted monitor: call fit(reference) "
+                "and observe snapshots first"
+            )
+        return sorted(obs.index for obs in self.history if obs.drifted)

@@ -29,7 +29,11 @@ from repro.data.sampling import (
     split_halves,
 )
 from repro.data.tabular import TabularDataset, from_rows
-from repro.data.transactions import BitmapIndex, TransactionDataset
+from repro.data.transactions import (
+    BitmapIndex,
+    SupportCountingPlan,
+    TransactionDataset,
+)
 
 __all__ = [
     "BitmapIndex",
@@ -37,6 +41,7 @@ __all__ = [
     "GROUP_A",
     "GROUP_B",
     "PatternPool",
+    "SupportCountingPlan",
     "TabularDataset",
     "TransactionDataset",
     "assign_labels",

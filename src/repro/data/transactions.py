@@ -59,30 +59,93 @@ def _popcount_rows(matrix: np.ndarray) -> np.ndarray:
 
 
 class BitmapIndex:
-    """Packed bit matrix: row per item, bit per transaction."""
+    """Packed bit matrix: row per item, bit per transaction.
 
-    def __init__(self, transactions: Sequence[tuple[int, ...]], n_items: int) -> None:
+    The index is *incremental*: :meth:`append` extends every item stripe
+    in amortized O(new rows) by writing into spare capacity, so a
+    streaming window advance never rebuilds the index from scratch. The
+    stripe buffer doubles when full (like a growable vector); ``_bits``
+    is always the view of the occupied prefix.
+    """
+
+    def __init__(
+        self,
+        transactions: Sequence[tuple[int, ...]],
+        n_items: int,
+        *,
+        max_cache_entries: int = _MAX_CACHE_ENTRIES,
+    ) -> None:
         n = len(transactions)
         self.n_transactions = n
         self.n_items = n_items
+        self.max_cache_entries = max_cache_entries
         n_bytes = (n + 7) // 8
-        bits = np.zeros((n_items, n_bytes), dtype=np.uint8)
-        # Set bit (MSB-first within each byte) for each (item, tid) pair.
+        self._buf = np.zeros((n_items, n_bytes), dtype=np.uint8)
+        self._bits = self._buf[:, :n_bytes]
         if n:
-            tids: list[int] = []
-            items: list[int] = []
-            for tid, t in enumerate(transactions):
-                for item in t:
-                    items.append(item)
-                    tids.append(tid)
-            items_arr = np.array(items, dtype=np.int64)
-            tids_arr = np.array(tids, dtype=np.int64)
-            byte_idx = tids_arr >> 3
-            bit_val = (np.uint8(128) >> (tids_arr & 7)).astype(np.uint8)
-            np.bitwise_or.at(bits, (items_arr, byte_idx), bit_val)
-        self._bits = bits
+            self._scatter(transactions, tid_offset=0)
         # Intersection-bits memo: sorted itemset tuple -> packed vector.
         self._prefix_cache: dict[tuple[int, ...], np.ndarray] = {}
+
+    def _scatter(
+        self, transactions: Sequence[tuple[int, ...]], tid_offset: int
+    ) -> None:
+        """OR the (item, tid) bits of ``transactions`` into the buffer.
+
+        Bits are MSB-first within each byte; ``tid_offset`` is the row id
+        of the first transaction. The occupied view must already cover
+        the target rows.
+        """
+        tids: list[int] = []
+        items: list[int] = []
+        for tid, t in enumerate(transactions, start=tid_offset):
+            for item in t:
+                items.append(item)
+                tids.append(tid)
+        if not items:
+            return
+        items_arr = np.array(items, dtype=np.int64)
+        if items_arr.min() < 0 or items_arr.max() >= self.n_items:
+            raise InvalidParameterError(
+                f"transaction items outside [0, {self.n_items})"
+            )
+        tids_arr = np.array(tids, dtype=np.int64)
+        byte_idx = tids_arr >> 3
+        bit_val = (np.uint8(128) >> (tids_arr & 7)).astype(np.uint8)
+        np.bitwise_or.at(self._buf, (items_arr, byte_idx), bit_val)
+
+    def append(self, transactions: Sequence[Iterable[int]]) -> None:
+        """Extend the index with new transactions, amortized O(new rows).
+
+        Item stripes grow into pre-allocated spare capacity; when the
+        packed width would overflow, the buffer capacity doubles (so a
+        long stream of appends costs O(total rows) in bit writes plus
+        O(log total) reallocations). Appending invalidates the
+        intersection-bits memo: cached vectors describe the old width.
+
+        Rows need no canonical form: the bit scatter is an OR, so
+        duplicate or unsorted items within a row are harmless
+        (out-of-universe items still raise).
+        """
+        transactions = (
+            transactions
+            if isinstance(transactions, (list, tuple))
+            else list(transactions)
+        )
+        if not transactions:
+            return
+        n_new = self.n_transactions + len(transactions)
+        need_bytes = (n_new + 7) // 8
+        cap_bytes = self._buf.shape[1]
+        if need_bytes > cap_bytes:
+            new_cap = max(need_bytes, 2 * cap_bytes, 8)
+            grown = np.zeros((self.n_items, new_cap), dtype=np.uint8)
+            grown[:, :cap_bytes] = self._buf
+            self._buf = grown
+        self._scatter(transactions, tid_offset=self.n_transactions)
+        self.n_transactions = n_new
+        self._bits = self._buf[:, :need_bytes]
+        self._prefix_cache.clear()
 
     def item_bits(self, item: int) -> np.ndarray:
         """The packed occurrence vector of a single item."""
@@ -132,6 +195,11 @@ class BitmapIndex:
             Level-wise miners (Apriori) turn this on: level-``k``
             candidates share their level-``(k-1)`` prefix, so each level
             reuses the previous level's bitmaps.
+
+        Counting the *same* collection against many indexes (the
+        streaming shape) should go through a precompiled
+        :class:`SupportCountingPlan` instead, which hoists this per-call
+        canonicalisation and grouping out of the loop.
         """
         canon = [tuple(sorted({int(i) for i in s})) for s in itemsets]
         out = np.empty(len(canon), dtype=np.int64)
@@ -218,9 +286,9 @@ class BitmapIndex:
                     stripes = self._bits[ids[start : start + chunk]]
                     acc[rows] = np.bitwise_and.reduce(stripes, axis=1)
 
-        if cache and len(group) <= _MAX_CACHE_ENTRIES:
+        if cache and len(group) <= self.max_cache_entries:
             memo = self._prefix_cache
-            if len(memo) + len(group) > _MAX_CACHE_ENTRIES:
+            if len(memo) + len(group) > self.max_cache_entries:
                 memo.clear()
             for row, t in enumerate(group):
                 memo[t] = acc[row]
@@ -248,6 +316,10 @@ class BitmapIndex:
         """Drop every memoised intersection vector."""
         self._prefix_cache.clear()
 
+    def cache_size(self) -> int:
+        """Number of memoised intersection vectors currently held."""
+        return len(self._prefix_cache)
+
     def intersection_bits(self, items: Iterable[int]) -> np.ndarray:
         """Packed membership vector of transactions containing ``items``.
 
@@ -268,6 +340,64 @@ class BitmapIndex:
         for item in items[1:]:
             np.bitwise_and(acc, self._bits[item], out=acc)
         return acc
+
+
+class SupportCountingPlan:
+    """Precompiled batched counting for a *fixed* itemset collection.
+
+    :meth:`BitmapIndex.support_counts` pays a per-call canonicalisation
+    and length-grouping pass over the itemset collection. A streaming
+    workload counts the *same* collection against hundreds of small
+    chunk indexes, so the plan hoists all of that out: itemsets are
+    canonicalised, grouped by length, and laid out as gather-index
+    matrices once; :meth:`count` then reduces to pure numpy work
+    (stripe gather, stacked ``bitwise_and``, one popcount pass) per
+    length group.
+
+    A plan is index-independent: it can be executed against any
+    :class:`BitmapIndex` whose item universe covers the plan's items --
+    every per-shard and per-chunk index of the same stream.
+    """
+
+    def __init__(self, itemsets: Sequence[Iterable[int]]) -> None:
+        canon = [tuple(sorted({int(i) for i in s})) for s in itemsets]
+        self.n_itemsets = len(canon)
+        self.max_item = max((t[-1] for t in canon if t), default=-1)
+        by_len: dict[int, list[int]] = {}
+        for pos, t in enumerate(canon):
+            by_len.setdefault(len(t), []).append(pos)
+        self._empty = np.array(by_len.pop(0, []), dtype=np.intp)
+        self._groups: list[tuple[np.ndarray, np.ndarray]] = []
+        for length, positions in sorted(by_len.items()):
+            pos_arr = np.array(positions, dtype=np.intp)
+            ids = np.array([canon[p] for p in positions], dtype=np.int64)
+            self._groups.append((pos_arr, ids))
+
+    def count(self, index: BitmapIndex) -> np.ndarray:
+        """Support counts of the planned itemsets over ``index``."""
+        if self.max_item >= index.n_items:
+            raise InvalidParameterError(
+                f"plan references item {self.max_item} outside the index's "
+                f"universe [0, {index.n_items})"
+            )
+        out = np.empty(self.n_itemsets, dtype=np.int64)
+        if self._empty.size:
+            out[self._empty] = index.n_transactions
+        bits = index._bits
+        n_bytes = bits.shape[1]
+        padded = n_bytes + (-n_bytes) % 8 if _HAS_BITWISE_COUNT else n_bytes
+        for pos_arr, ids in self._groups:
+            length = ids.shape[1]
+            full = np.zeros((len(pos_arr), padded), dtype=np.uint8)
+            acc = full[:, :n_bytes]
+            chunk = max(1, _MAX_STRIPE_BYTES // max(1, length * n_bytes))
+            for start in range(0, len(pos_arr), chunk):
+                stripes = bits[ids[start : start + chunk]]
+                acc[start : start + chunk] = np.bitwise_and.reduce(
+                    stripes, axis=1
+                )
+            out[pos_arr] = _popcount_rows(full)
+        return out
 
 
 class TransactionDataset:

@@ -1,6 +1,6 @@
 """Mining substrates: Apriori, FP-growth, decision trees, and clustering."""
 
-from repro.mining.apriori import apriori
+from repro.mining.apriori import apriori, apriori_from_index
 from repro.mining.fpgrowth import fpgrowth
 from repro.mining.itemsets import (
     brute_force_frequent,
@@ -13,6 +13,7 @@ from repro.mining.itemsets import (
 
 __all__ = [
     "apriori",
+    "apriori_from_index",
     "brute_force_frequent",
     "brute_force_support_count",
     "fpgrowth",

@@ -14,18 +14,19 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.data.transactions import TransactionDataset
+from repro.data.transactions import BitmapIndex, TransactionDataset
 from repro.errors import InvalidParameterError
-from repro.mining.itemsets import frequent_items
 
 
 def _frequent_singletons(
-    dataset: TransactionDataset, min_count: int
+    index: BitmapIndex, min_count: int
 ) -> dict[frozenset[int], int]:
     """Counts of all single items meeting the support threshold."""
+    counts = index.item_support_counts()
     return {
-        frozenset((item,)): count
-        for item, count in frequent_items(dataset, min_count).items()
+        frozenset((item,)): int(c)
+        for item, c in enumerate(counts)
+        if c >= min_count
     }
 
 
@@ -69,7 +70,9 @@ def apriori(
     Parameters
     ----------
     dataset:
-        The transaction dataset.
+        The transaction dataset (anything exposing ``len`` and a bitmap
+        ``index`` -- an immutable :class:`TransactionDataset` or a
+        growing :class:`repro.stream.chunks.TransactionLog`).
     min_support:
         Relative minimum support in ``(0, 1]`` (the paper's ``ms``).
     max_len:
@@ -80,11 +83,32 @@ def apriori(
     dict
         Mapping itemset -> relative support. Empty for an empty dataset.
     """
+    if len(dataset) == 0:
+        if not 0.0 < min_support <= 1.0:
+            raise InvalidParameterError(
+                f"min_support must be in (0, 1], got {min_support}"
+            )
+        return {}
+    return apriori_from_index(dataset.index, min_support, max_len=max_len)
+
+
+def apriori_from_index(
+    index: BitmapIndex,
+    min_support: float,
+    max_len: int | None = None,
+) -> dict[frozenset[int], float]:
+    """Level-wise mining straight off a (possibly incremental) index.
+
+    The streaming layer keeps one :class:`BitmapIndex` alive and
+    appends to it as rows arrive; re-mining after an append runs over
+    the extended stripes without any rebuild, so this entry point takes
+    the index itself rather than a dataset.
+    """
     if not 0.0 < min_support <= 1.0:
         raise InvalidParameterError(
             f"min_support must be in (0, 1], got {min_support}"
         )
-    n = len(dataset)
+    n = index.n_transactions
     if n == 0:
         return {}
     # A set is frequent iff count/n >= min_support, i.e. count >= ceil(ms*n).
@@ -92,11 +116,10 @@ def apriori(
     min_count = max(min_count, 1)
 
     result_counts: dict[frozenset[int], int] = {}
-    level = _frequent_singletons(dataset, min_count)
+    level = _frequent_singletons(index, min_count)
     result_counts.update(level)
 
     k = 1
-    index = dataset.index
     try:
         while level and (max_len is None or k < max_len):
             frequent_k = [tuple(sorted(s)) for s in level]

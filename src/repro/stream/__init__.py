@@ -1,0 +1,57 @@
+"""Streaming deviation measurement: incremental, mergeable, online.
+
+The paper's motivating loop -- "analyze the data thoroughly only if the
+current snapshot differs significantly" -- is a *streaming* workload:
+data arrives continuously and every window of it needs a deviation
+verdict against a reference. This subsystem makes that loop incremental
+end to end:
+
+* :mod:`repro.stream.chunks` -- chunked stream sources and the
+  appendable :class:`TransactionLog` over the incremental bitmap index;
+* :mod:`repro.stream.sketch` -- :class:`SupportSketch`, per-shard
+  support counts for a fixed itemset collection that merge with ``+``
+  (and subtract, for window retirement);
+* :mod:`repro.stream.executor` -- serial / thread / process map-merge
+  backends for shard-parallel counting;
+* :mod:`repro.stream.windows` -- :class:`WindowManager`, tumbling and
+  sliding window maintenance with no rescan of surviving rows;
+* :mod:`repro.stream.monitor` -- :class:`OnlineChangeMonitor`, the
+  drift loop over a live stream, layered on
+  :class:`repro.core.monitor.ChangeMonitor`.
+"""
+
+from repro.stream.chunks import (
+    TransactionLog,
+    iter_chunks,
+    stream_transaction_chunks,
+)
+from repro.stream.executor import (
+    ProcessExecutor,
+    SerialExecutor,
+    ThreadExecutor,
+    get_executor,
+    shard_transactions,
+    sharded_support_sketch,
+    sketch_shards,
+)
+from repro.stream.monitor import OnlineChangeMonitor
+from repro.stream.sketch import SupportSketch, canonical_itemsets
+from repro.stream.windows import Window, WindowManager
+
+__all__ = [
+    "OnlineChangeMonitor",
+    "ProcessExecutor",
+    "SerialExecutor",
+    "SupportSketch",
+    "ThreadExecutor",
+    "TransactionLog",
+    "Window",
+    "WindowManager",
+    "canonical_itemsets",
+    "get_executor",
+    "iter_chunks",
+    "shard_transactions",
+    "sharded_support_sketch",
+    "sketch_shards",
+    "stream_transaction_chunks",
+]

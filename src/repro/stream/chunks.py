@@ -1,0 +1,156 @@
+"""Chunked transaction streams and the appendable ``TransactionLog``.
+
+Streaming sources arrive as *chunks* -- batches of transactions in time
+order. :func:`iter_chunks` slices any transaction iterable into
+fixed-size chunks without materialising the whole stream, and
+:func:`stream_transaction_chunks` does the same over the flat text
+format of :mod:`repro.data.io` (one line per transaction, ``# n_items=``
+header) so the CLI can monitor a file far larger than memory-comfortable
+in one go.
+
+:class:`TransactionLog` is the growable counterpart of the immutable
+:class:`~repro.data.transactions.TransactionDataset`: it maintains the
+incremental :class:`~repro.data.transactions.BitmapIndex` as rows are
+appended, so support queries -- and therefore Apriori via
+:func:`repro.mining.apriori.apriori` -- run over the *live* log without
+ever rebuilding the index. A window advance appends the entering rows
+in amortized O(entering rows).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Iterable, Iterator, Sequence
+
+import numpy as np
+
+from repro.data.transactions import BitmapIndex, TransactionDataset
+from repro.errors import InvalidParameterError
+
+
+def iter_chunks(
+    transactions: Iterable[Iterable[int]], chunk_size: int
+) -> Iterator[list[tuple[int, ...]]]:
+    """Yield consecutive chunks of ``chunk_size`` transactions.
+
+    The final chunk may be shorter. Rows pass through as plain tuples;
+    canonicalisation (sort/dedup) is left to the consumer that needs it
+    -- the bitmap scatter is an OR and does not.
+    """
+    if chunk_size < 1:
+        raise InvalidParameterError("chunk_size must be >= 1")
+    chunk: list[tuple[int, ...]] = []
+    for t in transactions:
+        chunk.append(tuple(t))
+        if len(chunk) == chunk_size:
+            yield chunk
+            chunk = []
+    if chunk:
+        yield chunk
+
+
+def stream_transaction_chunks(
+    path: str | Path, chunk_size: int
+) -> tuple[int, Iterator[list[tuple[int, ...]]]]:
+    """Open a transactions file as ``(n_items, chunk iterator)``.
+
+    The file uses the :func:`repro.data.io.save_transactions` format;
+    only ``chunk_size`` transactions are ever held at once.
+    """
+    path = Path(path)
+    n_items: int | None = None
+    with path.open() as f:
+        for line in f:
+            line = line.strip()
+            if line.startswith("#") and "n_items=" in line:
+                n_items = int(line.split("n_items=")[1])
+                break
+            if line and not line.startswith("#"):
+                break
+    if n_items is None:
+        raise InvalidParameterError(f"{path} lacks the '# n_items=' header")
+
+    def lines() -> Iterator[tuple[int, ...]]:
+        with path.open() as f:
+            for line in f:
+                line = line.strip()
+                if line.startswith("#"):
+                    continue
+                yield tuple(int(tok) for tok in line.split()) if line else ()
+
+    return n_items, iter_chunks(lines(), chunk_size)
+
+
+class TransactionLog:
+    """An appendable transaction store with a live incremental index.
+
+    Unlike :class:`TransactionDataset` (immutable; index built once from
+    the full data), a log grows: :meth:`append` adds a chunk of rows and
+    extends the bitmap index in place via
+    :meth:`BitmapIndex.append` -- amortized O(new rows), never a rebuild.
+    The log quacks like a dataset (``len``, ``.index``, ``.n_items``,
+    ``.take``), so the miners and the deviation engine consume it
+    directly: ``apriori(log, ms)`` after every append re-mines over all
+    rows seen so far without re-scattering a single old bit.
+    """
+
+    def __init__(
+        self,
+        n_items: int,
+        transactions: Iterable[Iterable[int]] = (),
+    ) -> None:
+        if n_items <= 0:
+            raise InvalidParameterError("n_items must be positive")
+        self.n_items = n_items
+        self._transactions: list[tuple[int, ...]] = []
+        self._index = BitmapIndex([], n_items)
+        if transactions:
+            self.append(transactions)
+
+    def append(self, transactions: Iterable[Iterable[int]]) -> "TransactionLog":
+        """Append a chunk of transactions; returns ``self`` for chaining."""
+        cleaned: list[tuple[int, ...]] = []
+        for t in transactions:
+            items = tuple(sorted({int(i) for i in t}))
+            if items and (items[0] < 0 or items[-1] >= self.n_items):
+                raise InvalidParameterError(
+                    f"transaction {items} has items outside [0, {self.n_items})"
+                )
+            cleaned.append(items)
+        self._index.append(cleaned)
+        self._transactions.extend(cleaned)
+        return self
+
+    # ------------------------------------------------------------------ #
+    # Dataset protocol
+    # ------------------------------------------------------------------ #
+
+    def __len__(self) -> int:
+        return len(self._transactions)
+
+    def __iter__(self):
+        return iter(self._transactions)
+
+    @property
+    def transactions(self) -> list[tuple[int, ...]]:
+        return self._transactions
+
+    @property
+    def index(self) -> BitmapIndex:
+        """The live incremental index (kept current by :meth:`append`)."""
+        return self._index
+
+    def support_count(self, items: Iterable[int]) -> int:
+        return self._index.support_count(items)
+
+    def take(self, indices: np.ndarray | Sequence[int]) -> TransactionDataset:
+        """An immutable snapshot of the rows at ``indices``."""
+        txns = [self._transactions[int(i)] for i in np.asarray(indices)]
+        return TransactionDataset(txns, self.n_items)
+
+    def to_dataset(self) -> TransactionDataset:
+        """An immutable snapshot of the whole log."""
+        return TransactionDataset(self._transactions, self.n_items)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"TransactionLog(n={len(self)}, items={self.n_items})"

@@ -1,0 +1,260 @@
+"""Online change monitoring over a live transaction stream.
+
+:class:`OnlineChangeMonitor` is the streaming layer over
+:class:`repro.core.monitor.ChangeMonitor`: rather than comparing
+pre-materialised snapshot datasets (each a full rescan), it consumes raw
+transactions as they arrive, forms windows incrementally, and lets the
+inner monitor own what it always owned -- qualification, the drift
+decision, the history, and the reference policy.
+
+Division of labour per emitted window:
+
+* the **reference measures** come straight from the reference model's
+  measure component (no scan; the paper's Section 7.1 observation);
+* the **window measures** come from the
+  :class:`~repro.stream.windows.WindowManager`'s mergeable sketch --
+  each arriving chunk is scanned exactly once, and a sliding advance is
+  two vector ops;
+* the deviation between them is assembled by
+  :func:`repro.core.deviation.deviation_from_counts` over the reference
+  model's structural component (``delta_1``);
+* qualification is delegated to
+  :meth:`ChangeMonitor.observe_precomputed`: either the full bootstrap
+  (``n_boot > 0``; the window is materialised for resampling) or the
+  cheap ``delta_threshold`` cut-off (``n_boot == 0``; nothing is
+  materialised and the whole pipeline stays incremental).
+
+The reference is fitted *lazily*: the first ``window_size`` rows are
+buffered untouched, and mining only happens when the first monitored
+chunk arrives (or again when a ``reset_on_drift`` reset promotes a
+drifted window -- the one case where the buffered chunks are re-sketched
+for the new reference's itemsets).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Iterator
+
+import numpy as np
+
+from repro.core.aggregate import SUM, AggregateFunction
+from repro.core.deviation import deviation_from_counts
+from repro.core.difference import ABSOLUTE, DifferenceFunction
+from repro.core.monitor import ChangeMonitor, Observation
+from repro.data.transactions import TransactionDataset
+from repro.errors import InvalidParameterError
+from repro.stream.windows import Window, WindowManager
+
+
+class OnlineChangeMonitor:
+    """Consume a transaction stream; yield drift-flagged observations.
+
+    Parameters
+    ----------
+    model_builder:
+        ``dataset -> model`` with a lits structural component (the
+        tracked itemsets come from the reference model's structure).
+    n_items:
+        Item universe size of the stream.
+    window_size:
+        Rows per monitored window (and per reference window).
+    step:
+        Rows between consecutive windows; defaults to ``window_size``
+        (tumbling). Must divide ``window_size``; smaller steps give
+        sliding windows maintained by sketch add/subtract.
+    f, g, n_boot, threshold, delta_threshold, policy, rng, refit_models:
+        Forwarded to the inner :class:`ChangeMonitor` (see there;
+        ``n_boot=0`` plus ``delta_threshold`` is the cheap fully
+        incremental mode).
+    executor, n_shards:
+        How each chunk is counted (see :mod:`repro.stream.executor`).
+    """
+
+    def __init__(
+        self,
+        model_builder: Callable,
+        n_items: int,
+        window_size: int,
+        step: int | None = None,
+        *,
+        f: DifferenceFunction = ABSOLUTE,
+        g: AggregateFunction = SUM,
+        n_boot: int = 16,
+        threshold: float = 95.0,
+        delta_threshold: float | None = None,
+        policy: str = "fixed",
+        rng: np.random.Generator | None = None,
+        refit_models: bool = False,
+        executor="serial",
+        n_shards: int = 1,
+    ) -> None:
+        if n_items <= 0:
+            raise InvalidParameterError("n_items must be positive")
+        if window_size < 1:
+            raise InvalidParameterError("window_size must be >= 1")
+        step = window_size if step is None else step
+        if step < 1 or window_size % step:
+            raise InvalidParameterError(
+                f"step must be >= 1 and divide window_size "
+                f"({step} vs {window_size})"
+            )
+        self.n_items = n_items
+        self.window_size = window_size
+        self.step = step
+        self.executor = executor
+        self.n_shards = n_shards
+        self.monitor = ChangeMonitor(
+            model_builder,
+            f=f,
+            g=g,
+            n_boot=n_boot,
+            threshold=threshold,
+            delta_threshold=delta_threshold,
+            policy=policy,
+            rng=rng,
+            refit_models=refit_models,
+        )
+        self._buffer: list[tuple[int, ...]] = []
+        self._reference_rows: list[tuple[int, ...]] | None = None
+        self._windows: WindowManager | None = None
+        self._ref_counts: np.ndarray | None = None
+
+    # ------------------------------------------------------------------ #
+    # Stream consumption
+    # ------------------------------------------------------------------ #
+
+    def push(self, transactions: Iterable[Iterable[int]]) -> list[Observation]:
+        """Feed transactions; return observations for windows completed.
+
+        Arriving rows are buffered until they form the reference window
+        (the first ``window_size`` rows) and thereafter ``step``-row
+        chunks; each completed chunk advances the window manager and, if
+        a window completes, produces one qualified observation.
+        """
+        self._buffer.extend(tuple(t) for t in transactions)
+        observations: list[Observation] = []
+        while True:
+            if self._reference_rows is None:
+                if len(self._buffer) < self.window_size:
+                    break
+                self._reference_rows = self._buffer[: self.window_size]
+                del self._buffer[: self.window_size]
+            elif len(self._buffer) >= self.step:
+                chunk = self._buffer[: self.step]
+                del self._buffer[: self.step]
+                observation = self._observe_chunk(chunk)
+                if observation is not None:
+                    observations.append(observation)
+            else:
+                break
+        return observations
+
+    def monitor_stream(
+        self, chunks: Iterable[Iterable[Iterable[int]]]
+    ) -> Iterator[Observation]:
+        """Drive the monitor from any chunked source, yielding verdicts."""
+        for chunk in chunks:
+            yield from self.push(chunk)
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+
+    @property
+    def is_warming_up(self) -> bool:
+        """True until the reference window has fully arrived."""
+        return self._reference_rows is None
+
+    @property
+    def history(self) -> list[Observation]:
+        return self.monitor.history
+
+    def drift_points(self) -> list[int]:
+        return self.monitor.drift_points()
+
+    @property
+    def rows_sketched(self) -> int:
+        """Rows scanned by the sketch layer so far (excludes reference)."""
+        return 0 if self._windows is None else self._windows.rows_sketched
+
+    # ------------------------------------------------------------------ #
+    # Internals
+    # ------------------------------------------------------------------ #
+
+    def _lazy_start(self) -> None:
+        """Mine the reference and build the window manager, first use."""
+        if self._windows is not None:
+            return
+        reference = TransactionDataset(self._reference_rows, self.n_items)
+        self.monitor.fit(reference)
+        self._track_reference_structure()
+        self._windows = self._new_window_manager()
+
+    def _new_window_manager(self) -> WindowManager:
+        return WindowManager(
+            self.monitor._reference_model.structure.itemsets,
+            self.n_items,
+            window_chunks=self.window_size // self.step,
+            policy="tumbling" if self.step == self.window_size else "sliding",
+            executor=self.executor,
+            n_shards=self.n_shards,
+        )
+
+    def _track_reference_structure(self) -> None:
+        """Cache the reference structure's measure vector as counts."""
+        model = self.monitor._reference_model
+        if not hasattr(model, "supports") or not hasattr(
+            model.structure, "itemsets"
+        ):
+            raise InvalidParameterError(
+                "OnlineChangeMonitor requires a model_builder producing "
+                "lits-models (a structure of itemsets with stored supports); "
+                f"got {type(model).__name__}"
+            )
+        structure = model.structure
+        n_ref = len(self.monitor._reference_dataset)
+        self._ref_counts = np.array(
+            [round(model.supports[s] * n_ref) for s in structure.itemsets],
+            dtype=np.int64,
+        )
+
+    def _observe_chunk(self, chunk: list[tuple[int, ...]]) -> Observation | None:
+        self._lazy_start()
+        window = self._windows.push(chunk)
+        if window is None:
+            return None
+        return self._qualify_window(window)
+
+    def _qualify_window(self, window: Window) -> Observation:
+        monitor = self.monitor
+        structure = monitor._reference_model.structure
+        result = deviation_from_counts(
+            structure,
+            self._ref_counts,
+            window.sketch.counts,
+            len(monitor._reference_dataset),
+            len(window),
+            f=monitor.f,
+            g=monitor.g,
+        )
+        # The bootstrap resamples rows and a reference reset adopts the
+        # snapshot, so those paths need the window materialised; the
+        # cheap fixed-policy mode never touches it.
+        needs_rows = monitor.n_boot > 0 or monitor.policy == "reset_on_drift"
+        snapshot = window.to_dataset() if needs_rows else window
+        before = monitor._reference_index
+        observation = monitor.observe_precomputed(snapshot, result.value)
+        if monitor._reference_index != before:
+            # reset_on_drift promoted this window: re-track the new
+            # reference structure and re-sketch the buffered chunks (the
+            # one place a surviving row is scanned twice).
+            self._track_reference_structure()
+            buffered = self._windows.buffered_chunks
+            scanned_before = self._windows.rows_sketched
+            self._windows = self._new_window_manager()
+            for chunk in buffered:
+                self._windows.push(chunk)
+            # carry the lifetime scan count across the rebuild (the
+            # re-fed chunks count again: they really were re-scanned)
+            self._windows.rows_sketched += scanned_before
+        return observation

@@ -1,0 +1,264 @@
+"""Mergeable support sketches: per-shard counts that combine with ``+``.
+
+A :class:`SupportSketch` holds the absolute support counts of a *fixed*
+itemset collection over some bag of transactions. Because supports are
+plain counts, sketches over disjoint transaction bags are **additive**:
+
+``sketch(A + B) == sketch(A) + sketch(B)``
+
+which buys two things the streaming layer is built on:
+
+* *map-merge counting* -- shard a dataset, count every shard
+  independently (serially, on a thread pool, or on a process pool; see
+  :mod:`repro.stream.executor`), and sum the shard sketches. The merged
+  sketch equals a single-scan count of the whole dataset.
+* *window maintenance by difference* -- sketches also subtract, so a
+  sliding window advances by adding the entering chunk's sketch and
+  subtracting the leaving one. No transaction surviving in the window is
+  ever rescanned (:class:`repro.stream.windows.WindowManager`).
+
+The itemset collection is canonicalised exactly like
+:class:`repro.core.model.LitsStructure` orders its regions, so a
+sketch's counts vector aligns 1:1 with the structure built from the same
+itemsets -- the deviation engine can consume it directly.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.data.transactions import BitmapIndex, SupportCountingPlan
+from repro.errors import IncompatibleModelsError, InvalidParameterError
+
+
+class _Canonical(tuple):
+    """Marker type: a tuple of frozensets already in canonical order.
+
+    :func:`canonical_itemsets` returns (and short-circuits on) this type
+    so the canonicalisation cost is paid once per itemset collection,
+    not once per sketch construction -- the streaming hot path builds
+    hundreds of sketches over the same collection. The sorted-tuple form
+    the bitmap index consumes is cached for the same reason.
+    """
+
+    # no __slots__: variable-length tuple subtypes cannot declare them;
+    # the per-collection __dict__ holds the lazily cached counting plan.
+
+    def plan(self) -> SupportCountingPlan:
+        """The precompiled counting plan for this collection, built once
+        and reused by every sketch (hence every chunk) over it."""
+        try:
+            return self._plan
+        except AttributeError:
+            self._plan = SupportCountingPlan(self)
+            return self._plan
+
+
+def canonical_itemsets(
+    itemsets: Iterable[Iterable[int]],
+) -> tuple[frozenset[int], ...]:
+    """The deduplicated itemsets in LitsStructure order (size, then lex)."""
+    if isinstance(itemsets, _Canonical):
+        return itemsets
+    unique = {frozenset(int(i) for i in s) for s in itemsets}
+    return _Canonical(sorted(unique, key=lambda s: (len(s), tuple(sorted(s)))))
+
+
+class SupportSketch:
+    """Support counts of a fixed itemset collection over a transaction bag.
+
+    Parameters
+    ----------
+    itemsets:
+        The tracked collection; deduplicated and canonically ordered.
+    counts:
+        Absolute support count per itemset, aligned with ``itemsets``.
+    n_transactions:
+        Size of the underlying transaction bag.
+    n_items:
+        Size of the item universe (sketches over different universes
+        never merge).
+    """
+
+    __slots__ = ("itemsets", "counts", "n_transactions", "n_items")
+
+    def __init__(
+        self,
+        itemsets: Iterable[Iterable[int]],
+        counts: np.ndarray,
+        n_transactions: int,
+        n_items: int,
+    ) -> None:
+        self.itemsets = canonical_itemsets(itemsets)
+        counts = np.asarray(counts, dtype=np.int64)
+        if counts.shape != (len(self.itemsets),):
+            raise InvalidParameterError(
+                f"counts must align with the {len(self.itemsets)} itemsets, "
+                f"got shape {counts.shape}"
+            )
+        if n_transactions < 0:
+            raise InvalidParameterError("n_transactions must be >= 0")
+        self.counts = counts
+        self.n_transactions = int(n_transactions)
+        self.n_items = int(n_items)
+
+    # ------------------------------------------------------------------ #
+    # Construction
+    # ------------------------------------------------------------------ #
+
+    @classmethod
+    def _from_canonical(
+        cls,
+        itemsets: tuple[frozenset[int], ...],
+        counts: np.ndarray,
+        n_transactions: int,
+        n_items: int,
+    ) -> "SupportSketch":
+        """Internal fast path: trusted canonical itemsets, aligned counts."""
+        self = object.__new__(cls)
+        self.itemsets = itemsets
+        self.counts = counts
+        self.n_transactions = n_transactions
+        self.n_items = n_items
+        return self
+
+    @classmethod
+    def empty(
+        cls, itemsets: Iterable[Iterable[int]], n_items: int
+    ) -> "SupportSketch":
+        """The additive identity: zero counts over zero transactions."""
+        canon = canonical_itemsets(itemsets)
+        return cls._from_canonical(
+            canon, np.zeros(len(canon), dtype=np.int64), 0, n_items
+        )
+
+    @classmethod
+    def from_transactions(
+        cls,
+        transactions: Sequence[Iterable[int]],
+        itemsets: Iterable[Iterable[int]],
+        n_items: int,
+    ) -> "SupportSketch":
+        """Count ``itemsets`` over raw transactions (one bitmap scan).
+
+        Transactions need no canonical form here: the bitmap scatter is
+        an OR, so duplicate or unsorted items within a row are harmless
+        (out-of-universe items still raise).
+        """
+        canon = canonical_itemsets(itemsets)
+        transactions = list(transactions)
+        index = BitmapIndex(transactions, n_items)
+        return cls._from_canonical(
+            canon, canon.plan().count(index), len(transactions), n_items
+        )
+
+    @classmethod
+    def from_dataset(cls, dataset, itemsets: Iterable[Iterable[int]]) -> "SupportSketch":
+        """Count ``itemsets`` over an (indexed) dataset-like object."""
+        canon = canonical_itemsets(itemsets)
+        return cls._from_canonical(
+            canon,
+            canon.plan().count(dataset.index),
+            len(dataset),
+            dataset.n_items,
+        )
+
+    # ------------------------------------------------------------------ #
+    # Merge algebra
+    # ------------------------------------------------------------------ #
+
+    @property
+    def key(self):
+        """Merge-compatibility identity: same itemsets, same universe."""
+        return (frozenset(self.itemsets), self.n_items)
+
+    def _check_mergeable(self, other: "SupportSketch") -> None:
+        if not isinstance(other, SupportSketch):
+            raise IncompatibleModelsError(
+                f"cannot combine SupportSketch with {type(other).__name__}"
+            )
+        # Canonical ordering makes tuple equality set equality; the `is`
+        # test makes the streaming hot path (every chunk sketch shares
+        # one canonical tuple) constant-time.
+        if self.n_items != other.n_items or (
+            self.itemsets is not other.itemsets
+            and self.itemsets != other.itemsets
+        ):
+            raise IncompatibleModelsError(
+                "sketches track different itemset collections or item "
+                "universes and cannot be combined"
+            )
+
+    def __add__(self, other) -> "SupportSketch":
+        if isinstance(other, int) and other == 0:
+            return self  # so sum(sketches) works with its default start
+        self._check_mergeable(other)
+        return SupportSketch._from_canonical(
+            self.itemsets,
+            self.counts + other.counts,
+            self.n_transactions + other.n_transactions,
+            self.n_items,
+        )
+
+    def __radd__(self, other) -> "SupportSketch":
+        return self.__add__(other)
+
+    def __sub__(self, other: "SupportSketch") -> "SupportSketch":
+        self._check_mergeable(other)
+        n = self.n_transactions - other.n_transactions
+        if n < 0:
+            raise InvalidParameterError(
+                "cannot subtract a sketch over more transactions than this one"
+            )
+        return SupportSketch._from_canonical(
+            self.itemsets, self.counts - other.counts, n, self.n_items
+        )
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, SupportSketch):
+            return NotImplemented
+        return (
+            self.n_items == other.n_items
+            and self.n_transactions == other.n_transactions
+            and (
+                self.itemsets is other.itemsets
+                or self.itemsets == other.itemsets
+            )
+            and np.array_equal(self.counts, other.counts)
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.key, self.n_transactions, self.counts.tobytes()))
+
+    # ------------------------------------------------------------------ #
+    # Reads
+    # ------------------------------------------------------------------ #
+
+    def supports(self) -> np.ndarray:
+        """Relative supports (selectivities); zeros over zero transactions."""
+        if self.n_transactions == 0:
+            return np.zeros(len(self.itemsets))
+        return self.counts / self.n_transactions
+
+    def count_of(self, itemset: Iterable[int]) -> int:
+        """The absolute count of one tracked itemset."""
+        target = frozenset(int(i) for i in itemset)
+        try:
+            pos = self.itemsets.index(target)
+        except ValueError:
+            raise InvalidParameterError(
+                f"itemset {sorted(target)} is not tracked by this sketch"
+            ) from None
+        return int(self.counts[pos])
+
+    def as_dict(self) -> dict[frozenset[int], int]:
+        """Itemset -> absolute count mapping."""
+        return {s: int(c) for s, c in zip(self.itemsets, self.counts)}
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"SupportSketch(itemsets={len(self.itemsets)}, "
+            f"n={self.n_transactions}, items={self.n_items})"
+        )

@@ -6,7 +6,6 @@ import pytest
 
 from repro.core.attribute import (
     Attribute,
-    AttributeKind,
     AttributeSpace,
     categorical,
     numeric,

@@ -6,7 +6,7 @@ import pytest
 
 from repro.core.aggregate import MAX, SUM
 from repro.core.deviation import deviation
-from repro.core.difference import ABSOLUTE, SCALED
+from repro.core.difference import SCALED
 from repro.core.dtree_model import DtModel
 from repro.core.focus import (
     box_focus,

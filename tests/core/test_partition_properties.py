@@ -20,7 +20,7 @@ from repro.core.model import PartitionStructure
 from repro.core.predicate import Conjunction, Interval
 from repro.core.refinement import refines, verify_measure_additivity
 from repro.data.tabular import TabularDataset
-from repro.mining.tree.builder import TreeParams, build_tree
+from repro.mining.tree.builder import TreeParams
 
 SPACE = AttributeSpace(
     attributes=(numeric("x", 0, 100), numeric("y", 0, 100)),

@@ -7,7 +7,6 @@ import pytest
 
 from repro.data.quest_basket import build_pattern_pool, generate_basket
 from repro.data.quest_classify import (
-    CLASSIFICATION_FUNCTIONS,
     GROUP_A,
     GROUP_B,
     assign_labels,

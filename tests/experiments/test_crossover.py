@@ -4,7 +4,6 @@ from __future__ import annotations
 
 import pytest
 
-from repro.experiments.config import Scale
 from repro.experiments.crossover import (
     CrossoverRow,
     fig14_crossover,

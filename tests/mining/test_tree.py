@@ -5,7 +5,7 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from repro.core.attribute import AttributeSpace, categorical, numeric
+from repro.core.attribute import AttributeSpace, categorical
 from repro.data.quest_classify import generate_classification
 from repro.data.tabular import TabularDataset, from_rows
 from repro.errors import InvalidParameterError, SchemaError

@@ -1,0 +1,112 @@
+"""Chunked sources and the appendable TransactionLog."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data.io import save_transactions
+from repro.data.transactions import TransactionDataset
+from repro.errors import InvalidParameterError
+from repro.mining.apriori import apriori, apriori_from_index
+from repro.stream.chunks import (
+    TransactionLog,
+    iter_chunks,
+    stream_transaction_chunks,
+)
+
+TXNS = [(0, 1), (1, 2), (2,), (), (0, 1, 2), (1,), (0,)]
+
+
+class TestIterChunks:
+    def test_exact_and_partial_chunks(self):
+        chunks = list(iter_chunks(TXNS, 3))
+        assert [len(c) for c in chunks] == [3, 3, 1]
+        assert [t for c in chunks for t in c] == TXNS
+
+    def test_rows_pass_through_as_tuples(self):
+        chunks = list(iter_chunks([[2, 1, 1], [0]], 10))
+        assert chunks == [[(2, 1, 1), (0,)]]
+
+    def test_bad_chunk_size(self):
+        with pytest.raises(InvalidParameterError):
+            list(iter_chunks(TXNS, 0))
+
+    def test_lazy_over_generators(self):
+        def infinite():
+            i = 0
+            while True:
+                yield (i % 5,)
+                i += 1
+
+        chunks = iter_chunks(infinite(), 4)
+        assert len(next(chunks)) == 4  # does not exhaust the source
+
+
+class TestStreamTransactionChunks:
+    def test_round_trips_saved_file(self, tmp_path):
+        dataset = TransactionDataset(TXNS, 3)
+        path = tmp_path / "txns.txt"
+        save_transactions(dataset, path)
+        n_items, chunks = stream_transaction_chunks(path, 2)
+        assert n_items == 3
+        rows = [t for c in chunks for t in c]
+        assert rows == list(dataset)
+
+    def test_missing_header_rejected(self, tmp_path):
+        path = tmp_path / "raw.txt"
+        path.write_text("0 1\n2\n")
+        with pytest.raises(InvalidParameterError):
+            stream_transaction_chunks(path, 2)
+
+
+class TestTransactionLog:
+    def test_append_matches_immutable_dataset(self):
+        log = TransactionLog(3)
+        log.append(TXNS[:3]).append(TXNS[3:])
+        dataset = TransactionDataset(TXNS, 3)
+        assert len(log) == len(dataset)
+        assert list(log) == list(dataset)
+        probes = [(0,), (1, 2), ()]
+        for probe in probes:
+            assert log.support_count(probe) == dataset.support_count(probe)
+
+    def test_incremental_mining_never_rebuilds(self):
+        rng = np.random.default_rng(3)
+        txns = [
+            tuple(sorted(set(rng.integers(0, 10, size=4).tolist())))
+            for _ in range(300)
+        ]
+        log = TransactionLog(10)
+        index_id = id(log.index)
+        for start in range(0, 300, 100):
+            log.append(txns[start : start + 100])
+            mined = apriori(log, 0.1, max_len=2)
+            oracle = apriori(
+                TransactionDataset(txns[: start + 100], 10), 0.1, max_len=2
+            )
+            assert mined == oracle
+        assert id(log.index) == index_id  # same index object throughout
+
+    def test_apriori_from_index_directly(self):
+        log = TransactionLog(3, TXNS)
+        assert apriori_from_index(log.index, 0.2) == apriori(
+            TransactionDataset(TXNS, 3), 0.2
+        )
+
+    def test_out_of_range_items_rejected(self):
+        log = TransactionLog(3)
+        with pytest.raises(InvalidParameterError):
+            log.append([(5,)])
+
+    def test_take_and_to_dataset_snapshots(self):
+        log = TransactionLog(3, TXNS)
+        snap = log.to_dataset()
+        assert isinstance(snap, TransactionDataset)
+        assert list(snap) == list(log)
+        picked = log.take(np.array([0, 2, 4]))
+        assert list(picked) == [TXNS[0], TXNS[2], TXNS[4]]
+
+    def test_invalid_universe(self):
+        with pytest.raises(InvalidParameterError):
+            TransactionLog(0)

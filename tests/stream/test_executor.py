@@ -1,0 +1,76 @@
+"""Executor backends: identical merged sketches on every backend."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import InvalidParameterError
+from repro.stream.executor import (
+    ProcessExecutor,
+    SerialExecutor,
+    ThreadExecutor,
+    get_executor,
+    shard_transactions,
+    sharded_support_sketch,
+)
+from repro.stream.sketch import SupportSketch
+
+TXNS = [
+    (0, 1), (1, 2), (0, 2, 3), (3,), (0, 1, 2, 3), (2,), (1,), (0, 3),
+] * 5
+ITEMSETS = [(), (0,), (1, 2), (0, 3), (0, 1, 2)]
+
+
+class TestShardTransactions:
+    def test_even_split_covers_everything(self):
+        shards = shard_transactions(TXNS, 3)
+        assert sum(len(s) for s in shards) == len(TXNS)
+        assert [t for s in shards for t in s] == list(TXNS)
+        assert max(len(s) for s in shards) - min(len(s) for s in shards) <= 1
+
+    def test_more_shards_than_rows_gives_empty_shards(self):
+        shards = shard_transactions(TXNS[:2], 5)
+        assert len(shards) == 5
+        assert sum(len(s) for s in shards) == 2
+
+    def test_invalid_shard_count(self):
+        with pytest.raises(InvalidParameterError):
+            shard_transactions(TXNS, 0)
+
+
+class TestGetExecutor:
+    def test_names_resolve(self):
+        assert isinstance(get_executor("serial"), SerialExecutor)
+        assert isinstance(get_executor("thread"), ThreadExecutor)
+        assert isinstance(get_executor("process"), ProcessExecutor)
+
+    def test_instance_passthrough(self):
+        ex = ThreadExecutor(max_workers=2)
+        assert get_executor(ex) is ex
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            get_executor("gpu")
+        with pytest.raises(InvalidParameterError):
+            get_executor(42)
+
+
+class TestBackendEquivalence:
+    @pytest.fixture(scope="class")
+    def single_scan(self):
+        return SupportSketch.from_transactions(TXNS, ITEMSETS, 4)
+
+    @pytest.mark.parametrize("backend", ["serial", "thread"])
+    def test_backend_matches_single_scan(self, backend, single_scan):
+        merged = sharded_support_sketch(
+            TXNS, ITEMSETS, 4, n_shards=4, executor=backend
+        )
+        assert merged == single_scan
+
+    @pytest.mark.slow
+    def test_process_backend_matches_single_scan(self, single_scan):
+        merged = sharded_support_sketch(
+            TXNS, ITEMSETS, 4, n_shards=2,
+            executor=ProcessExecutor(max_workers=2),
+        )
+        assert merged == single_scan

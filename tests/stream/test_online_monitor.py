@@ -1,0 +1,199 @@
+"""OnlineChangeMonitor: streaming drift detection over raw transactions."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.deviation import deviation_over_structure
+from repro.core.lits import LitsModel
+from repro.data.quest_basket import build_pattern_pool, generate_basket
+from repro.data.transactions import TransactionDataset
+from repro.errors import InvalidParameterError
+from repro.stream.chunks import iter_chunks
+from repro.stream.monitor import OnlineChangeMonitor
+
+N_ITEMS = 50
+
+
+def builder(dataset):
+    return LitsModel.mine(dataset, 0.05, max_len=2)
+
+
+@pytest.fixture(scope="module")
+def drifting_stream():
+    """3000 quiet rows, then 1500 rows from a shifted process."""
+    rng = np.random.default_rng(5)
+    pool = build_pattern_pool(
+        rng, n_items=N_ITEMS, n_patterns=30, avg_pattern_len=3
+    )
+    quiet = generate_basket(
+        3_000, n_items=N_ITEMS, avg_transaction_len=5, rng=rng, pool=pool
+    )
+    shifted = generate_basket(
+        1_500, n_items=N_ITEMS, avg_transaction_len=5, n_patterns=30,
+        avg_pattern_len=5, rng=rng,
+    )
+    return list(quiet) + list(shifted), 3_000
+
+
+class TestCheapMode:
+    """n_boot=0: drift by deviation threshold, fully incremental."""
+
+    def test_detects_the_process_change(self, drifting_stream):
+        stream, change_row = drifting_stream
+        monitor = OnlineChangeMonitor(
+            builder, N_ITEMS, window_size=1_000, step=250,
+            n_boot=0, delta_threshold=3.0,
+        )
+        observations = monitor.push(stream)
+        assert len(observations) == (len(stream) - 1_000) // 250 - 3
+        drifted = [o for o in observations if o.drifted]
+        assert drifted, "the shifted process must be flagged"
+        # No window fully before the change may drift; every window fully
+        # after it must.
+        quiet_windows = [o for o in observations if not o.drifted]
+        assert all(o.deviation < 3.0 for o in quiet_windows)
+        assert observations[-1].drifted
+
+    def test_push_in_dribbles_equals_one_push(self, drifting_stream):
+        stream, _ = drifting_stream
+        kwargs = dict(
+            window_size=1_000, step=500, n_boot=0, delta_threshold=3.0
+        )
+        all_at_once = OnlineChangeMonitor(builder, N_ITEMS, **kwargs)
+        dribbled = OnlineChangeMonitor(builder, N_ITEMS, **kwargs)
+        expected = all_at_once.push(stream)
+        got = []
+        for chunk in iter_chunks(stream, 333):
+            got.extend(dribbled.push(chunk))
+        assert [(o.index, o.deviation, o.drifted) for o in got] == [
+            (o.index, o.deviation, o.drifted) for o in expected
+        ]
+
+    def test_deviation_matches_offline_delta1(self, drifting_stream):
+        """The sketch-maintained delta equals deviation_over_structure on
+        materialised datasets (reference structure, same f and g)."""
+        stream, _ = drifting_stream
+        monitor = OnlineChangeMonitor(
+            builder, N_ITEMS, window_size=1_000, step=500,
+            n_boot=0, delta_threshold=3.0,
+        )
+        observations = monitor.push(stream[:3_000])
+        reference = TransactionDataset(stream[:1_000], N_ITEMS)
+        structure = builder(reference).structure
+        for i, obs in enumerate(observations):
+            start = 1_000 + i * 500
+            window = TransactionDataset(
+                stream[start : start + 1_000], N_ITEMS
+            )
+            offline = deviation_over_structure(structure, reference, window)
+            assert obs.deviation == pytest.approx(offline.value, abs=1e-6)
+
+    def test_no_observation_before_first_window(self, drifting_stream):
+        stream, _ = drifting_stream
+        monitor = OnlineChangeMonitor(
+            builder, N_ITEMS, window_size=1_000, step=500,
+            n_boot=0, delta_threshold=3.0,
+        )
+        assert monitor.push(stream[:999]) == []
+        assert monitor.is_warming_up
+        assert monitor.push(stream[999:1_999]) == []  # window forming
+        assert not monitor.is_warming_up
+        assert len(monitor.push(stream[1_999:2_000])) == 1
+
+    def test_rows_sketched_counts_each_row_once(self, drifting_stream):
+        stream, _ = drifting_stream
+        monitor = OnlineChangeMonitor(
+            builder, N_ITEMS, window_size=1_000, step=250,
+            n_boot=0, delta_threshold=3.0,
+        )
+        monitor.push(stream)
+        monitored_rows = len(stream) - 1_000  # reference is not sketched
+        assert monitor.rows_sketched == monitored_rows - monitored_rows % 250
+
+
+class TestBootstrapMode:
+    def test_quiet_then_drift_with_significance(self, drifting_stream):
+        stream, _ = drifting_stream
+        monitor = OnlineChangeMonitor(
+            builder, N_ITEMS, window_size=1_000, step=1_000,
+            n_boot=12, rng=np.random.default_rng(8),
+        )
+        observations = monitor.push(stream[:4_000])
+        assert len(observations) == 3
+        assert not observations[0].drifted  # quiet window
+        assert observations[-1].drifted  # fully shifted window
+        assert observations[-1].significance >= 95.0
+        assert monitor.drift_points() == [
+            o.index for o in observations if o.drifted
+        ]
+
+
+class TestResetOnDrift:
+    def test_reference_moves_and_windows_retrack(self, drifting_stream):
+        stream, _ = drifting_stream
+        monitor = OnlineChangeMonitor(
+            builder, N_ITEMS, window_size=1_000, step=500,
+            n_boot=0, delta_threshold=3.0, policy="reset_on_drift",
+        )
+        observations = monitor.push(stream)
+        first_drift = next(o for o in observations if o.drifted)
+        after = [o for o in observations if o.index > first_drift.index]
+        assert after, "stream continues past the reset"
+        # the observation right after a drift compares to the promoted window
+        assert after[0].reference_index == first_drift.index
+        # the reference is only ever the initial one or a drifted snapshot
+        drifted_indices = {o.index for o in observations if o.drifted} | {0}
+        assert all(o.reference_index in drifted_indices for o in observations)
+        # the tail (same shifted process as its reference) is quiet again
+        assert not after[-1].drifted
+        # the lifetime scan count survives the window-manager rebuilds:
+        # every monitored row once, plus one window re-sketch per reset
+        monitored = len(stream) - 1_000
+        n_resets = sum(o.drifted for o in observations)
+        assert monitor.rows_sketched == monitored + n_resets * 1_000
+
+
+class TestValidation:
+    def test_step_must_divide_window(self):
+        with pytest.raises(InvalidParameterError):
+            OnlineChangeMonitor(
+                builder, N_ITEMS, window_size=1_000, step=300,
+                n_boot=0, delta_threshold=1.0,
+            )
+
+    def test_cheap_mode_needs_delta_threshold(self):
+        with pytest.raises(InvalidParameterError):
+            OnlineChangeMonitor(builder, N_ITEMS, window_size=100, n_boot=0)
+
+    def test_bad_universe_and_window(self):
+        with pytest.raises(InvalidParameterError):
+            OnlineChangeMonitor(builder, 0, window_size=100)
+        with pytest.raises(InvalidParameterError):
+            OnlineChangeMonitor(builder, N_ITEMS, window_size=0)
+
+    def test_non_lits_builder_rejected_at_start(self, drifting_stream):
+        stream, _ = drifting_stream
+
+        class NotALitsModel:
+            pass
+
+        monitor = OnlineChangeMonitor(
+            lambda d: NotALitsModel(), N_ITEMS, window_size=500, step=500,
+            n_boot=0, delta_threshold=1.0,
+        )
+        with pytest.raises(InvalidParameterError):
+            monitor.push(stream[:1_000])
+
+    def test_monitor_stream_generator(self, drifting_stream):
+        stream, _ = drifting_stream
+        monitor = OnlineChangeMonitor(
+            builder, N_ITEMS, window_size=500, step=500,
+            n_boot=0, delta_threshold=3.0,
+        )
+        observations = list(
+            monitor.monitor_stream(iter_chunks(stream[:2_000], 250))
+        )
+        assert len(observations) == 3
+        assert [o.index for o in observations] == [1, 2, 3]

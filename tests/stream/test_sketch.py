@@ -1,0 +1,119 @@
+"""Unit tests for the mergeable SupportSketch."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import IncompatibleModelsError, InvalidParameterError
+from repro.stream.sketch import SupportSketch, canonical_itemsets
+
+TXNS_A = [(0, 1), (0, 1, 2), (2,), (0,)]
+TXNS_B = [(1, 2), (0, 1), (), (3,), (0, 1, 2)]
+ITEMSETS = [(), (0,), (1,), (0, 1), (1, 2), (0, 1, 2)]
+
+
+class TestCanonicalItemsets:
+    def test_orders_by_size_then_lex(self):
+        canon = canonical_itemsets([(2, 1), (0,), (), (1, 2)])
+        assert canon == (
+            frozenset(),
+            frozenset({0}),
+            frozenset({1, 2}),
+        )
+
+    def test_deduplicates(self):
+        assert len(canonical_itemsets([(1, 2), (2, 1)])) == 1
+
+
+class TestSupportSketch:
+    def test_from_transactions_counts(self):
+        sketch = SupportSketch.from_transactions(TXNS_A, ITEMSETS, 4)
+        counts = sketch.as_dict()
+        assert counts[frozenset()] == 4
+        assert counts[frozenset({0})] == 3
+        assert counts[frozenset({0, 1})] == 2
+        assert counts[frozenset({0, 1, 2})] == 1
+
+    def test_from_dataset_matches_from_transactions(self, small_transactions):
+        a = SupportSketch.from_dataset(small_transactions, ITEMSETS)
+        b = SupportSketch.from_transactions(
+            list(small_transactions), ITEMSETS, small_transactions.n_items
+        )
+        assert a == b
+
+    def test_add_equals_concatenated_scan(self):
+        a = SupportSketch.from_transactions(TXNS_A, ITEMSETS, 4)
+        b = SupportSketch.from_transactions(TXNS_B, ITEMSETS, 4)
+        merged = a + b
+        whole = SupportSketch.from_transactions(TXNS_A + TXNS_B, ITEMSETS, 4)
+        assert merged == whole
+        assert merged.n_transactions == len(TXNS_A) + len(TXNS_B)
+
+    def test_sum_builtin_merges(self):
+        shards = [TXNS_A, [], TXNS_B]
+        sketches = [
+            SupportSketch.from_transactions(s, ITEMSETS, 4) for s in shards
+        ]
+        assert sum(sketches) == SupportSketch.from_transactions(
+            TXNS_A + TXNS_B, ITEMSETS, 4
+        )
+
+    def test_subtract_retires_a_chunk(self):
+        whole = SupportSketch.from_transactions(TXNS_A + TXNS_B, ITEMSETS, 4)
+        head = SupportSketch.from_transactions(TXNS_A, ITEMSETS, 4)
+        assert whole - head == SupportSketch.from_transactions(
+            TXNS_B, ITEMSETS, 4
+        )
+
+    def test_subtract_underflow_rejected(self):
+        a = SupportSketch.from_transactions(TXNS_A, ITEMSETS, 4)
+        whole = SupportSketch.from_transactions(TXNS_A + TXNS_B, ITEMSETS, 4)
+        with pytest.raises(InvalidParameterError):
+            a - whole
+
+    def test_incompatible_itemsets_rejected(self):
+        a = SupportSketch.from_transactions(TXNS_A, [(0,)], 4)
+        b = SupportSketch.from_transactions(TXNS_B, [(1,)], 4)
+        with pytest.raises(IncompatibleModelsError):
+            a + b
+
+    def test_incompatible_universe_rejected(self):
+        a = SupportSketch.from_transactions(TXNS_A, [(0,)], 4)
+        b = SupportSketch.from_transactions(TXNS_A, [(0,)], 5)
+        with pytest.raises(IncompatibleModelsError):
+            a + b
+
+    def test_empty_is_additive_identity(self):
+        a = SupportSketch.from_transactions(TXNS_A, ITEMSETS, 4)
+        empty = SupportSketch.empty(ITEMSETS, 4)
+        assert a + empty == a
+        assert empty.n_transactions == 0
+        assert not empty.counts.any()
+
+    def test_supports_and_count_of(self):
+        sketch = SupportSketch.from_transactions(TXNS_A, ITEMSETS, 4)
+        assert sketch.count_of((0, 1)) == 2
+        np.testing.assert_allclose(
+            sketch.supports(),
+            sketch.counts / len(TXNS_A),
+        )
+        with pytest.raises(InvalidParameterError):
+            sketch.count_of((3,))
+
+    def test_empty_sketch_supports_are_zero(self):
+        empty = SupportSketch.empty(ITEMSETS, 4)
+        assert not empty.supports().any()
+
+    def test_misaligned_counts_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            SupportSketch(ITEMSETS, np.zeros(2, dtype=np.int64), 0, 4)
+
+    def test_alignment_matches_lits_structure(self):
+        from repro.core.model import LitsStructure
+
+        structure = LitsStructure([frozenset(s) for s in ITEMSETS if s])
+        sketch = SupportSketch.from_transactions(
+            TXNS_A, [s for s in ITEMSETS if s], 4
+        )
+        assert sketch.itemsets == structure.itemsets

@@ -114,6 +114,64 @@ class TestModelWorkflow:
         assert "delta* =" in text
 
 
+class TestMonitorStream:
+    @pytest.fixture
+    def stream_file(self, tmp_path):
+        """A quiet process followed by a shifted one, saved as one stream."""
+        import numpy as np
+
+        from repro.data.io import save_transactions
+        from repro.data.quest_basket import build_pattern_pool, generate_basket
+        from repro.data.transactions import TransactionDataset
+
+        rng = np.random.default_rng(17)
+        pool = build_pattern_pool(
+            rng, n_items=40, n_patterns=25, avg_pattern_len=3
+        )
+        quiet = generate_basket(
+            1_600, n_items=40, avg_transaction_len=5, rng=rng, pool=pool
+        )
+        shifted = generate_basket(
+            800, n_items=40, avg_transaction_len=5, n_patterns=25,
+            avg_pattern_len=5, rng=rng,
+        )
+        path = tmp_path / "stream.txt"
+        save_transactions(
+            TransactionDataset(list(quiet) + list(shifted), 40), path
+        )
+        return path
+
+    def test_monitor_stream_flags_drift(self, stream_file):
+        text = run_cli(
+            ["monitor-stream", "--data", str(stream_file),
+             "--window", "800", "--step", "400", "--min-support", "0.05",
+             "--boot", "5", "--seed", "1"]
+        )
+        assert "windows monitored" in text
+        assert "DRIFT" in text
+        assert "rows sketched incrementally" in text
+        # quiet windows precede the drifted ones
+        first_line = text.splitlines()[0]
+        assert "[ok]" in first_line
+
+    def test_monitor_stream_cheap_mode(self, stream_file):
+        text = run_cli(
+            ["monitor-stream", "--data", str(stream_file),
+             "--window", "800", "--min-support", "0.05",
+             "--boot", "0", "--delta-threshold", "3.0"]
+        )
+        assert "windows monitored" in text
+
+    def test_monitor_stream_short_stream_warms_up_only(self, tmp_path):
+        run_cli(["generate-basket", "--out", str(tmp_path / "tiny.txt"),
+                 "--n", "100", "--items", "30", "--seed", "4"])
+        text = run_cli(
+            ["monitor-stream", "--data", str(tmp_path / "tiny.txt"),
+             "--window", "500"]
+        )
+        assert "warm-up" in text
+
+
 class TestParser:
     def test_unknown_command_exits(self):
         with pytest.raises(SystemExit):

@@ -19,10 +19,11 @@ class TestPublicSurface:
         import repro.experiments
         import repro.mining
         import repro.stats
+        import repro.stream
 
         for module in (
             repro.core, repro.data, repro.mining, repro.stats,
-            repro.experiments,
+            repro.stream, repro.experiments,
         ):
             for name in module.__all__:
                 assert hasattr(module, name), f"{module.__name__}.{name}"
@@ -73,7 +74,6 @@ class TestEndToEndWalkthrough:
         assert me == pytest.approx(repro.misclassification_error(t_old, new))
 
     def test_monitor_and_grouping_pipeline(self):
-        rng = np.random.default_rng(3)
         datasets = [
             repro.generate_basket(
                 500, n_items=50, avg_transaction_len=5, n_patterns=40,
