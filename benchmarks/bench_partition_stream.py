@@ -1,0 +1,196 @@
+"""Ablation: incremental partition windows vs rebuild-per-window.
+
+The partition-model half of the streaming claim (the lits half is pinned
+by ``bench_streaming.py``): advancing a sliding tabular window is
+``+ entering chunk histogram - leaving chunk histogram`` -- the only
+rows assigned are the entering chunk's, so a stream of ``W``-row windows
+advancing by ``s`` rows costs O(s) per advance instead of the O(W)
+re-assignment a from-scratch recount pays. This bench pins the
+acceptance bar: >= 3x over 50 sliding windows of 2,000 tabular rows,
+with bit-identical per-window counts.
+
+A second test pins the other acceptance criterion: measuring a
+100k-row labelled dataset through ``PartitionStructure.counts`` (one
+assigner pass + ``searchsorted`` label routing + ``bincount``) must beat
+the seed's per-row Python-loop label encoding by >= 3x -- the
+behavioural proof that no per-row loop survives in the counting path.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.core.dtree_model import DtModel
+from repro.data.quest_classify import generate_classification
+from repro.mining.tree.builder import TreeParams
+from repro.stream.chunks import iter_tabular_chunks
+from repro.stream.windows import PartitionChunkSketcher, WindowManager
+
+#: Acceptance scale: 50 sliding windows of 2k rows each, advancing by a
+#: 250-row chunk (87.5% overlap between neighbours -- the regime where
+#: re-assigning surviving rows is pure waste).
+WINDOW = 2_000
+STEP = 250
+N_WINDOWS = 50
+N_ROWS = WINDOW + (N_WINDOWS - 1) * STEP  # 14,250
+
+
+@pytest.fixture(scope="module")
+def workload():
+    # F5 induces a realistic tree (dozens of leaves over several
+    # attributes) rather than F1's three-leaf stub, so the measured
+    # advance cost reflects an actual dt-model monitoring deployment.
+    dataset = generate_classification(N_ROWS, function=5, seed=902)
+    head = dataset.slice_rows(0, WINDOW)
+    structure = DtModel.fit(
+        head, TreeParams(max_depth=8, min_leaf=25)
+    ).structure
+    return dataset, structure
+
+
+def _incremental(dataset, structure):
+    manager = WindowManager(
+        PartitionChunkSketcher(structure.plan),
+        window_chunks=WINDOW // STEP,
+        policy="sliding",
+    )
+    # chunks are fresh view-backed slices each run, so repeated timings
+    # cannot lean on the per-dataset assignment memo
+    return [
+        (w.start, w.sketch.counts)
+        for w in manager.push_many(iter_tabular_chunks(dataset, STEP))
+    ]
+
+
+def _rebuild_per_window(dataset, structure):
+    """The non-incremental consumer: buffer chunks, materialise, recount.
+
+    Mirrors the lits bench's baseline (which rebuilds a BitmapIndex from
+    raw transactions per window): a streaming consumer without sketches
+    holds the last ``WINDOW // STEP`` chunks, concatenates them into a
+    window dataset, and recounts all of it on every advance.
+    """
+    from collections import deque
+
+    from repro.data.tabular import TabularDataset
+
+    ring: deque = deque(maxlen=WINDOW // STEP)
+    out = []
+    for i, chunk in enumerate(iter_tabular_chunks(dataset, STEP)):
+        ring.append(chunk)
+        if len(ring) == WINDOW // STEP:
+            window = TabularDataset.concat_many(list(ring))
+            out.append(((i + 1) * STEP - WINDOW, structure.counts(window)))
+    return out
+
+
+def _best_of(fn, repeats: int):
+    """Best-of CPU time: process_time is immune to scheduler noise, and
+    both pipelines here are single-threaded and CPU-bound, so it is the
+    stable basis for the speedup assertion on shared CI machines."""
+    best = float("inf")
+    value = None
+    for _ in range(repeats):
+        t0 = time.process_time()
+        value = fn()
+        best = min(best, time.process_time() - t0)
+    return best, value
+
+
+def _best_of_interleaved(fn_a, fn_b, repeats: int):
+    """Interleave the contenders so drifting machine load hits both."""
+    best_a = best_b = float("inf")
+    value_a = value_b = None
+    for _ in range(repeats):
+        t_a, value_a = _best_of(fn_a, 1)
+        t_b, value_b = _best_of(fn_b, 1)
+        best_a = min(best_a, t_a)
+        best_b = min(best_b, t_b)
+    return (best_a, value_a), (best_b, value_b)
+
+
+def test_incremental_advance_beats_full_reassign(benchmark, workload):
+    """The acceptance bar: >= 3x on 50 sliding windows, same counts."""
+    dataset, structure = workload
+
+    fast = benchmark(lambda: _incremental(dataset, structure))
+    (t_fast, _), (t_slow, slow) = _best_of_interleaved(
+        lambda: _incremental(dataset, structure),
+        lambda: _rebuild_per_window(dataset, structure),
+        repeats=4,
+    )
+
+    assert len(fast) == len(slow) == N_WINDOWS
+    for (start_a, counts_a), (start_b, counts_b) in zip(fast, slow):
+        assert start_a == start_b
+        assert counts_a.tolist() == counts_b.tolist()
+
+    speedup = t_slow / max(t_fast, 1e-9)
+    print(
+        f"\n{N_WINDOWS} windows of {WINDOW} rows (step {STEP}, "
+        f"{len(structure.regions)} regions): incremental "
+        f"{t_fast * 1e3:.1f}ms vs rebuild {t_slow * 1e3:.1f}ms "
+        f"({speedup:.1f}x)"
+    )
+    assert speedup >= 3.0
+
+
+def test_incremental_scans_only_entering_rows(workload):
+    """Scan accounting: every pushed row is histogrammed exactly once."""
+    dataset, structure = workload
+    manager = WindowManager(
+        PartitionChunkSketcher(structure.plan),
+        window_chunks=WINDOW // STEP,
+        policy="sliding",
+    )
+    windows = list(manager.push_many(iter_tabular_chunks(dataset, STEP)))
+    assert len(windows) == N_WINDOWS
+    assert manager.rows_sketched == N_ROWS
+    # a rebuild-per-window baseline would assign WINDOW rows per window
+    assert N_WINDOWS * WINDOW / manager.rows_sketched > 3.5
+
+
+def _counts_python_loop(structure, dataset):
+    """The seed's per-row label routing, kept as the ablation baseline."""
+    cell_idx = np.asarray(structure.assigner(dataset), dtype=np.int64)
+    label_code = {label: i for i, label in enumerate(structure.class_labels)}
+    codes = np.array([label_code[int(v)] for v in dataset.y], dtype=np.int64)
+    k = len(structure.class_labels)
+    flat = cell_idx * k + codes
+    return np.bincount(flat, minlength=len(structure.cells) * k)
+
+
+def test_counts_has_no_per_row_python_loop():
+    """100k labelled rows: vectorised counts >= 3x the per-row loop.
+
+    Each timed call measures a *fresh* view-backed dataset object, so
+    the vectorised path cannot hide behind the assignment memo -- both
+    sides pay the same (compact, grid-compiled) assigner pass; the
+    difference is precisely the per-row label routing this assertion
+    pins as gone.
+    """
+    big = generate_classification(100_000, function=1, seed=903)
+    structure = DtModel.fit(
+        big.slice_rows(0, 5_000), TreeParams(max_depth=4, min_leaf=50)
+    ).structure
+
+    t_fast, _ = _best_of(
+        lambda: structure.counts(big.slice_rows(0, len(big))), repeats=3
+    )
+    t_slow, _ = _best_of(
+        lambda: _counts_python_loop(structure, big.slice_rows(0, len(big))),
+        repeats=2,
+    )
+    np.testing.assert_array_equal(
+        structure.counts(big.slice_rows(0, len(big))),
+        _counts_python_loop(structure, big),
+    )
+    speedup = t_slow / max(t_fast, 1e-9)
+    print(
+        f"\n100k-row counts: vectorised {t_fast * 1e3:.1f}ms vs per-row "
+        f"loop {t_slow * 1e3:.1f}ms ({speedup:.1f}x)"
+    )
+    assert speedup >= 3.0

@@ -8,13 +8,17 @@ Subcommands::
     compare-lits      --data1 a.txt --data2 b.txt --min-support 0.01 [--boot 50]
     compare-dt        --data1 a.npz --data2 b.npz [--boot 50]
     monitor-stream    --data txns.txt --window 1000 [--step 250 --boot 8]
+    monitor-stream    --data people.npz --kind tabular --window 1000
 
 ``compare-*`` prints delta, (for lits) delta*, and the bootstrap
 significance -- the full Section 3 pipeline from flat files.
 ``monitor-stream`` treats the file as a temporally ordered stream: the
 first window becomes the reference, every later window is maintained
 incrementally (mergeable sketches; no rescan of surviving rows) and
-qualified, and drifted windows are flagged as they complete.
+qualified, and drifted windows are flagged as they complete. With
+``--kind tabular`` the file is a ``.npz`` table and the reference is a
+dt-model (partition sketches instead of support sketches); either way a
+trailing partial window is flushed and reported at end of stream.
 """
 
 from __future__ import annotations
@@ -102,9 +106,14 @@ def _add_compare_dt(sub) -> None:
 def _add_monitor_stream(sub) -> None:
     p = sub.add_parser(
         "monitor-stream",
-        help="online drift monitoring over a transactions file",
+        help="online drift monitoring over a transactions or tabular file",
     )
     p.add_argument("--data", required=True)
+    p.add_argument(
+        "--kind", choices=("transactions", "tabular"), default="transactions",
+        help="stream kind: a transactions text file mined into a "
+        "lits-model, or a tabular .npz monitored with a dt-model",
+    )
     p.add_argument("--window", type=int, default=1_000, help="rows per window")
     p.add_argument(
         "--step", type=int, default=None,
@@ -112,6 +121,10 @@ def _add_monitor_stream(sub) -> None:
     )
     p.add_argument("--min-support", type=float, default=0.02)
     p.add_argument("--max-len", type=int, default=2)
+    p.add_argument("--max-depth", type=int, default=6,
+                   help="dt-model depth (tabular kind)")
+    p.add_argument("--min-leaf", type=int, default=25,
+                   help="dt-model min rows per leaf (tabular kind)")
     p.add_argument("--boot", type=int, default=8, help="bootstrap resamples; "
                    "0 = threshold on the deviation itself")
     p.add_argument("--threshold", type=float, default=95.0,
@@ -237,18 +250,14 @@ def _cmd_compare_dt(args, out) -> int:
 
 
 def _cmd_monitor_stream(args, out) -> int:
-    from repro.stream import OnlineChangeMonitor, stream_transaction_chunks
-
-    n_items, chunks = stream_transaction_chunks(
-        args.data, args.step or args.window
+    from repro.stream import (
+        OnlineChangeMonitor,
+        stream_tabular_chunks,
+        stream_transaction_chunks,
     )
 
-    def builder(d):
-        return LitsModel.mine(d, args.min_support, max_len=args.max_len)
-
-    monitor = OnlineChangeMonitor(
-        builder,
-        n_items,
+    chunk_rows = args.step or args.window
+    common = dict(
         window_size=args.window,
         step=args.step,
         n_boot=args.boot,
@@ -259,6 +268,22 @@ def _cmd_monitor_stream(args, out) -> int:
         executor=args.executor,
         n_shards=args.shards,
     )
+    if args.kind == "tabular":
+        _, chunks = stream_tabular_chunks(args.data, chunk_rows)
+        params = TreeParams(max_depth=args.max_depth, min_leaf=args.min_leaf)
+
+        def builder(d):
+            return DtModel.fit(d, params)
+
+        monitor = OnlineChangeMonitor(builder, kind="tabular", **common)
+    else:
+        n_items, chunks = stream_transaction_chunks(args.data, chunk_rows)
+
+        def builder(d):
+            return LitsModel.mine(d, args.min_support, max_len=args.max_len)
+
+        monitor = OnlineChangeMonitor(builder, n_items, **common)
+
     n_drifted = 0
     for observation in monitor.monitor_stream(chunks):
         n_drifted += observation.drifted
@@ -269,6 +294,9 @@ def _cmd_monitor_stream(args, out) -> int:
             file=out,
         )
         return 0
+    for observation in monitor.flush():
+        n_drifted += observation.drifted
+        print(f"{observation.describe()} [partial final window]", file=out)
     print(
         f"{len(monitor.history)} windows monitored, {n_drifted} drifted; "
         f"{monitor.rows_sketched} rows sketched incrementally",

@@ -43,6 +43,11 @@ from repro.core.grouping import Grouping, agglomerate, group_stores
 from repro.core.lits import LitsModel
 from repro.core.model import LitsStructure, Model, PartitionStructure, Structure
 from repro.core.monitor import ChangeMonitor, Observation
+from repro.core.partition_plan import (
+    LabelEncoder,
+    PartitionCountingPlan,
+    cell_assignments,
+)
 from repro.core.monitoring import (
     chi_squared_statistic,
     chi_squared_statistics,
@@ -106,7 +111,10 @@ __all__ = [
     "MAX",
     "Model",
     "Observation",
+    "LabelEncoder",
+    "PartitionCountingPlan",
     "PartitionStructure",
+    "cell_assignments",
     "RankedRegion",
     "Region",
     "RegionDeviation",

@@ -208,16 +208,18 @@ def deviation_over_structure_many(
     """``delta_1`` of one reference dataset against many snapshots.
 
     The reference dataset is measured over ``structure`` exactly once;
-    each snapshot is then measured with a single scan of its own, so a
-    series of ``W`` windows costs ``W + 1`` scans instead of ``2W``.
+    each snapshot is then measured with a single scan of its own (via
+    ``structure.counts_many``, which for partition structures shares one
+    precompiled counting plan across the batch), so a series of ``W``
+    windows costs ``W + 1`` scans instead of ``2W``.
     """
     counts1 = np.asarray(structure.counts(dataset1))
     n1 = len(dataset1)
+    datasets = list(datasets)
+    batch = structure.counts_many(datasets)
     return [
-        _result(
-            structure, counts1, np.asarray(structure.counts(d)), n1, len(d), f, g
-        )
-        for d in datasets
+        _result(structure, counts1, np.asarray(counts2), n1, len(d), f, g)
+        for d, counts2 in zip(datasets, batch)
     ]
 
 
@@ -242,6 +244,10 @@ def deviation_many(
       itemsets, and each fleet dataset is counted in one batched pass
       over its own GCR's itemsets -- one scan per window, not one scan
       per window per itemset;
+    * for dt-/cluster-models, every pair's GCR overlay reuses the
+      memoised base assigner pass over the shared reference dataset (one
+      scan of it per *distinct* base partition, not per pair), and
+      identical GCR structures share the reference's measured counts;
     * other model classes fall back to the per-pair scan.
 
     Returns the :class:`DeviationResult` list aligned with ``models``.
@@ -286,6 +292,11 @@ def deviation_many(
         counts1_of = dict(zip(union_list, union_counts))
 
     results: list[DeviationResult] = []
+    # Pairs sharing a GCR structure (e.g. fleets of identical-structure
+    # partition models) measure the reference once, not once per pair.
+    # Keyed on counts_key (order-sensitive): same region *set* in a
+    # different order must not reuse a positionally-aligned vector.
+    counts1_by_key: dict = {}
     for i, s in enumerate(structures):
         n2 = len(datasets[i])
         if i in model_fast:
@@ -296,7 +307,11 @@ def deviation_many(
             )
             counts2 = datasets[i].index.support_counts(s.itemsets)
         else:
-            counts1 = np.asarray(s.counts(dataset1))
+            key = s.counts_key
+            counts1 = counts1_by_key.get(key)
+            if counts1 is None:
+                counts1 = np.asarray(s.counts(dataset1))
+                counts1_by_key[key] = counts1
             counts2 = np.asarray(s.counts(datasets[i]))
         results.append(_result(s, counts1, counts2, n1, n2, f, g))
     return results

@@ -19,6 +19,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.core.model import LitsStructure, PartitionStructure, Structure
+from repro.core.partition_plan import cell_assignments
 from repro.errors import IncompatibleModelsError
 
 
@@ -52,8 +53,11 @@ def gcr_partition(
     assign1, assign2 = s1.assigner, s2.assigner
 
     def joint_assigner(dataset) -> np.ndarray:
-        a = np.asarray(assign1(dataset), dtype=np.int64)
-        b = np.asarray(assign2(dataset), dtype=np.int64)
+        # The base passes are memoised per dataset, so measuring the
+        # overlay right after (or alongside) either input structure --
+        # the GCR access pattern -- costs no extra assigner scans.
+        a = cell_assignments(assign1, dataset)
+        b = cell_assignments(assign2, dataset)
         joint = pair_to_joint[a, b]
         if np.any(joint < 0):
             # A tuple landed in a provably-empty intersection: the two

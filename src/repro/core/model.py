@@ -42,9 +42,31 @@ class Structure(ABC):
     def key(self) -> Hashable:
         """Order-insensitive identity; equal keys mean identical structures."""
 
+    @property
+    def counts_key(self) -> Hashable:
+        """Order-*sensitive* identity: equal keys guarantee that counts
+        vectors align region-for-region.
+
+        Two structures can be equal as region *sets* (equal :attr:`key`)
+        while enumerating their regions in different orders, in which
+        case their counts vectors must not be mixed elementwise. Callers
+        that cache or merge positional counts (the batched deviation
+        engine, mergeable sketches) key on this instead of :attr:`key`.
+        """
+        return (type(self).__name__, tuple(r.key for r in self.regions))
+
     @abstractmethod
     def counts(self, dataset) -> np.ndarray:
         """Absolute tuple counts per region (aligned with :attr:`regions`)."""
+
+    def counts_many(self, datasets) -> list[np.ndarray]:
+        """Counts of many snapshots over this one structure.
+
+        The default measures each snapshot independently; structures
+        with a precompiled counting plan override this to share the
+        compiled state across the whole batch (one scan per snapshot).
+        """
+        return [np.asarray(self.counts(d)) for d in datasets]
 
     @abstractmethod
     def focussed(self, region: Region) -> "Structure":
@@ -149,6 +171,7 @@ class PartitionStructure(Structure):
         self._focus_predicate = focus_predicate
         self._focus_class = focus_class
         self._regions = self._build_regions()
+        self._plan = None  # compiled lazily, once
 
     def _build_regions(self) -> tuple[Region, ...]:
         cells = self._cells
@@ -181,6 +204,31 @@ class PartitionStructure(Structure):
         return self._assigner
 
     @property
+    def focus_predicate(self) -> Conjunction | None:
+        """The conjunctive part of an active focussing region, if any."""
+        return self._focus_predicate
+
+    @property
+    def focus_class(self) -> int | None:
+        """The class restriction of an active focussing region, if any."""
+        return self._focus_class
+
+    @property
+    def plan(self) -> "PartitionCountingPlan":
+        """The precompiled counting plan (built once, cached).
+
+        The plan owns the vectorised label-encoding table and the
+        memoised assigner passes; every ``counts`` call routes through
+        it, and the streaming layer's ``PartitionSketch`` shares it so a
+        sketch's counts vector aligns 1:1 with :attr:`regions`.
+        """
+        if self._plan is None:
+            from repro.core.partition_plan import PartitionCountingPlan
+
+            self._plan = PartitionCountingPlan(self)
+        return self._plan
+
+    @property
     def regions(self) -> tuple[Region, ...]:
         return self._regions
 
@@ -192,30 +240,20 @@ class PartitionStructure(Structure):
         )
 
     def counts(self, dataset) -> np.ndarray:
-        """Histogram the dataset over cells (x classes) in one pass."""
-        n_cells = len(self._cells)
-        cell_idx = np.asarray(self._assigner(dataset), dtype=np.int64)
+        """Histogram the dataset over cells (x classes) in one pass.
 
-        keep = np.ones(len(dataset), dtype=bool)
-        if self._focus_predicate is not None:
-            keep &= dataset.predicate_mask(self._focus_predicate)
+        Delegates to the precompiled :attr:`plan`: a memoised assigner
+        pass, vectorised ``searchsorted`` label routing (a label outside
+        :attr:`class_labels` raises ``IncompatibleModelsError``), and a
+        single ``bincount``. Measuring a class-restricted (focussed)
+        structure against an unlabelled dataset raises ``SchemaError``,
+        exactly like ``TabularDataset.box_mask`` does.
+        """
+        return self.plan.counts(dataset)
 
-        if self._class_labels and self._focus_class is None:
-            y = dataset.y
-            if y is None:
-                raise IncompatibleModelsError(
-                    "structure has class regions but the dataset is unlabelled"
-                )
-            label_code = {label: i for i, label in enumerate(self._class_labels)}
-            codes = np.array([label_code[int(v)] for v in y], dtype=np.int64)
-            k = len(self._class_labels)
-            flat = cell_idx * k + codes
-            flat = flat[keep]
-            return np.bincount(flat, minlength=n_cells * k).astype(np.int64)
-
-        if self._focus_class is not None and dataset.y is not None:
-            keep &= dataset.y == self._focus_class
-        return np.bincount(cell_idx[keep], minlength=n_cells).astype(np.int64)
+    def counts_many(self, datasets) -> list[np.ndarray]:
+        """Counts of many snapshots, sharing one compiled plan."""
+        return self.plan.counts_many(datasets)
 
     def focussed(self, region: Region) -> "PartitionStructure":
         if not isinstance(region, BoxRegion):

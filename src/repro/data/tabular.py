@@ -61,9 +61,7 @@ class TabularDataset:
         self.space = space
         self._X = X
         self._y = y
-        self._columns = {
-            name: X[:, i] for i, name in enumerate(space.names)
-        }
+        self._column_views: dict[str, np.ndarray] | None = None
 
     # ------------------------------------------------------------------ #
     # Basic accessors
@@ -88,13 +86,25 @@ class TabularDataset:
 
     def column(self, name: str) -> np.ndarray:
         """The column for the named attribute."""
-        if name not in self._columns:
+        columns = self.columns
+        if name not in columns:
             raise SchemaError(f"unknown attribute {name!r}")
-        return self._columns[name]
+        return columns[name]
 
     @property
     def columns(self) -> Mapping[str, np.ndarray]:
-        return self._columns
+        """Per-attribute column views, built lazily on first access.
+
+        Lazy so that view-backed slices (the streaming layer creates one
+        per chunk and per shard) pay for the view dictionary only if a
+        predicate or column read actually happens.
+        """
+        if self._column_views is None:
+            self._column_views = {
+                name: self._X[:, i]
+                for i, name in enumerate(self.space.names)
+            }
+        return self._column_views
 
     # ------------------------------------------------------------------ #
     # Region evaluation
@@ -102,7 +112,7 @@ class TabularDataset:
 
     def predicate_mask(self, predicate: Conjunction) -> np.ndarray:
         """Boolean membership mask of a conjunctive predicate."""
-        return predicate.mask(self._columns, self.n_rows)
+        return predicate.mask(self.columns, self.n_rows)
 
     def box_mask(self, region: BoxRegion) -> np.ndarray:
         """Boolean membership mask of a box region (predicate AND class)."""
@@ -134,6 +144,32 @@ class TabularDataset:
         indices = np.asarray(indices, dtype=np.int64)
         y = self._y[indices] if self._y is not None else None
         return TabularDataset(self.space, self._X[indices], y)
+
+    def slice_rows(self, start: int, stop: int) -> "TabularDataset":
+        """The contiguous row range ``[start, stop)`` as a dataset.
+
+        Backed by numpy views, not copies -- this is what lets the
+        streaming layer chunk and shard a table without duplicating it.
+        """
+        y = self._y[start:stop] if self._y is not None else None
+        return TabularDataset(self.space, self._X[start:stop], y)
+
+    @staticmethod
+    def concat_many(datasets: Sequence["TabularDataset"]) -> "TabularDataset":
+        """Concatenate datasets over one space with a single ``vstack``."""
+        if not datasets:
+            raise InvalidParameterError("concat_many needs at least one dataset")
+        space = datasets[0].space
+        for d in datasets[1:]:
+            if not space.compatible_with(d.space):
+                raise SchemaError(
+                    "cannot concatenate datasets over different spaces"
+                )
+        X = np.vstack([d.X for d in datasets])
+        if datasets[0].y is None:
+            return TabularDataset(space, X)
+        y = np.concatenate([d.y for d in datasets])
+        return TabularDataset(space, X, y)
 
     def filter(self, mask: np.ndarray) -> "TabularDataset":
         """A new dataset holding the rows where ``mask`` is True."""

@@ -17,13 +17,15 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
+from functools import cached_property
 
 import numpy as np
 
 from repro.core.attribute import AttributeSpace
+from repro.core.partition_plan import LabelEncoder
 from repro.core.predicate import Conjunction, Interval, ValueSet
 from repro.data.tabular import TabularDataset
-from repro.errors import InvalidParameterError
+from repro.errors import InvalidParameterError, SchemaError
 
 
 @dataclass(frozen=True)
@@ -75,18 +77,37 @@ class Grid:
     def shape(self) -> tuple[int, ...]:
         return tuple(self.bins_for(name) for name in self.attributes)
 
+    @cached_property
+    def _categorical_encoders(self) -> dict[str, LabelEncoder]:
+        """Per-attribute vectorised code tables, compiled once per grid."""
+        return {
+            name: LabelEncoder(self.space.attribute(name).values)
+            for name in self.attributes
+            if self.space.attribute(name).is_categorical
+        }
+
     def assign(self, dataset: TabularDataset) -> np.ndarray:
-        """Flat cell index per row (row-major over :meth:`shape`)."""
+        """Flat cell index per row (row-major over :meth:`shape`).
+
+        Fully vectorised: numeric attributes bin with one
+        ``searchsorted`` against the cut points, categorical attributes
+        encode with one ``searchsorted`` against the sorted domain. A
+        category code outside the attribute's declared domain raises
+        :class:`~repro.errors.SchemaError` naming the value.
+        """
         shape = self.shape()
         multi: list[np.ndarray] = []
         for name in self.attributes:
             attribute = self.space.attribute(name)
             column = dataset.column(name)
             if attribute.is_categorical:
-                value_pos = {v: i for i, v in enumerate(attribute.values)}
-                codes = np.array(
-                    [value_pos[int(v)] for v in column], dtype=np.int64
-                )
+                codes, bad = self._categorical_encoders[name].encode(column)
+                if bad.any():
+                    offending = int(column[np.argmax(bad)])
+                    raise SchemaError(
+                        f"value {offending} of categorical attribute "
+                        f"{name!r} is outside its domain {attribute.values}"
+                    )
             else:
                 codes = np.searchsorted(
                     self.cuts[name], column, side="right"

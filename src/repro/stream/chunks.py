@@ -1,31 +1,40 @@
-"""Chunked transaction streams and the appendable ``TransactionLog``.
+"""Chunked stream sources and the appendable logs (both dataset kinds).
 
-Streaming sources arrive as *chunks* -- batches of transactions in time
-order. :func:`iter_chunks` slices any transaction iterable into
-fixed-size chunks without materialising the whole stream, and
+Streaming sources arrive as *chunks* -- batches of rows in time order.
+:func:`iter_chunks` slices any transaction iterable into fixed-size
+chunks without materialising the whole stream, and
 :func:`stream_transaction_chunks` does the same over the flat text
 format of :mod:`repro.data.io` (one line per transaction, ``# n_items=``
 header) so the CLI can monitor a file far larger than memory-comfortable
-in one go.
+in one go. :func:`iter_tabular_chunks` / :func:`stream_tabular_chunks`
+are the tabular counterparts: view-backed row slices of a table (or of
+a ``.npz`` file), driving the dt-/cluster-model monitoring pipeline.
 
-:class:`TransactionLog` is the growable counterpart of the immutable
-:class:`~repro.data.transactions.TransactionDataset`: it maintains the
-incremental :class:`~repro.data.transactions.BitmapIndex` as rows are
-appended, so support queries -- and therefore Apriori via
+Two growable logs mirror the immutable datasets. :class:`TransactionLog`
+maintains the incremental :class:`~repro.data.transactions.BitmapIndex`
+as rows are appended, so support queries -- and therefore Apriori via
 :func:`repro.mining.apriori.apriori` -- run over the *live* log without
-ever rebuilding the index. A window advance appends the entering rows
-in amortized O(entering rows).
+ever rebuilding the index; a window advance appends the entering rows
+in amortized O(entering rows). :class:`TabularLog` grows ``X``/``y``
+buffers in place with capacity doubling, so appending a chunk is
+amortized O(new rows) too, and the live log quacks like a
+:class:`~repro.data.tabular.TabularDataset` -- tree building, grid
+clustering, and partition counting all consume it directly (the
+assigner memo re-scans it only when it has grown).
 """
 
 from __future__ import annotations
 
 from pathlib import Path
-from typing import Iterable, Iterator, Sequence
+from typing import Iterable, Iterator, Mapping, Sequence
 
 import numpy as np
 
+from repro.core.attribute import AttributeSpace
+from repro.core.predicate import Conjunction
+from repro.data.tabular import TabularDataset
 from repro.data.transactions import BitmapIndex, TransactionDataset
-from repro.errors import InvalidParameterError
+from repro.errors import InvalidParameterError, SchemaError
 
 
 def iter_chunks(
@@ -79,6 +88,36 @@ def stream_transaction_chunks(
                 yield tuple(int(tok) for tok in line.split()) if line else ()
 
     return n_items, iter_chunks(lines(), chunk_size)
+
+
+def iter_tabular_chunks(
+    dataset, chunk_size: int
+) -> Iterator[TabularDataset]:
+    """Yield consecutive ``chunk_size``-row slices of a tabular dataset.
+
+    Slices are view-backed (:meth:`TabularDataset.slice_rows`), so
+    chunking never copies the table. The final chunk may be shorter.
+    """
+    if chunk_size < 1:
+        raise InvalidParameterError("chunk_size must be >= 1")
+    for start in range(0, len(dataset), chunk_size):
+        yield dataset.slice_rows(start, min(start + chunk_size, len(dataset)))
+
+
+def stream_tabular_chunks(
+    path: str | Path, chunk_size: int
+) -> tuple[AttributeSpace, Iterator[TabularDataset]]:
+    """Open a tabular ``.npz`` file as ``(space, chunk iterator)``.
+
+    The file uses the :func:`repro.data.io.save_tabular` format. The
+    matrix is loaded once (``.npz`` is not line-streamable) but handed
+    downstream as view-backed chunks, so the monitoring pipeline stays
+    incremental -- every chunk is scanned exactly once.
+    """
+    from repro.data.io import load_tabular
+
+    dataset = load_tabular(path)
+    return dataset.space, iter_tabular_chunks(dataset, chunk_size)
 
 
 class TransactionLog:
@@ -154,3 +193,166 @@ class TransactionLog:
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"TransactionLog(n={len(self)}, items={self.n_items})"
+
+
+class TabularLog:
+    """An appendable tabular store with grow-in-place ``X``/``y`` buffers.
+
+    The tabular counterpart of :class:`TransactionLog`: rows append in
+    amortized O(new rows) (capacity-doubling buffers, like
+    ``BitmapIndex.append`` grows its stripes), and the live log exposes
+    the :class:`~repro.data.tabular.TabularDataset` row interface --
+    ``space``, ``X``, ``y``, ``columns``, ``predicate_mask`` -- so model
+    builders and the partition counting plan consume it directly,
+    re-inducing over *all* rows seen so far after every append without a
+    single old row being copied.
+
+    ``X``/``y``/column reads are views into the live buffers: valid
+    until the next append that grows past capacity (take
+    :meth:`to_dataset` for a stable snapshot).
+
+    Parameters
+    ----------
+    space:
+        The attribute space of every appended chunk. When it declares
+        class labels, appended chunks must be labelled (and vice versa).
+    capacity:
+        Initial row capacity of the buffers.
+    """
+
+    def __init__(self, space: AttributeSpace, capacity: int = 1024) -> None:
+        if capacity < 1:
+            raise InvalidParameterError("capacity must be >= 1")
+        self.space = space
+        self._n = 0
+        self._X = np.empty((capacity, space.n_attributes), dtype=np.float64)
+        self._y = (
+            np.empty(capacity, dtype=np.int64) if space.class_labels else None
+        )
+        self._columns_cache: tuple[int, dict[str, np.ndarray]] | None = None
+
+    def _ensure_capacity(self, extra: int) -> None:
+        need = self._n + extra
+        capacity = self._X.shape[0]
+        if need <= capacity:
+            return
+        new_capacity = max(need, 2 * capacity)
+        X = np.empty((new_capacity, self.space.n_attributes), dtype=np.float64)
+        X[: self._n] = self._X[: self._n]
+        self._X = X
+        if self._y is not None:
+            y = np.empty(new_capacity, dtype=np.int64)
+            y[: self._n] = self._y[: self._n]
+            self._y = y
+
+    def append(self, rows, y: np.ndarray | None = None) -> "TabularLog":
+        """Append a chunk of rows; returns ``self`` for chaining.
+
+        ``rows`` is either a :class:`TabularDataset`-like chunk (its
+        labels ride along; ``y`` must then be omitted) or a raw
+        ``(m, d)`` array with ``y`` given separately when the space is
+        labelled.
+        """
+        if hasattr(rows, "X") and hasattr(rows, "space"):
+            if y is not None:
+                raise InvalidParameterError(
+                    "pass labels either inside the dataset chunk or as y, "
+                    "not both"
+                )
+            if not self.space.compatible_with(rows.space):
+                raise SchemaError(
+                    "cannot append a chunk over a different attribute space"
+                )
+            X, y = rows.X, rows.y
+        else:
+            X = np.asarray(rows, dtype=np.float64)
+            if X.ndim != 2 or X.shape[1] != self.space.n_attributes:
+                raise SchemaError(
+                    f"rows must be (m, {self.space.n_attributes}), got "
+                    f"shape {X.shape}"
+                )
+        if self._y is not None and y is None:
+            raise SchemaError("space declares class labels but y is missing")
+        if self._y is None and y is not None:
+            raise SchemaError("y given but space declares no class labels")
+        m = X.shape[0]
+        if y is not None and np.shape(y) != (m,):
+            raise SchemaError(f"y has shape {np.shape(y)}, expected ({m},)")
+        self._ensure_capacity(m)
+        self._X[self._n : self._n + m] = X
+        if self._y is not None:
+            self._y[self._n : self._n + m] = np.asarray(y, dtype=np.int64)
+        self._n += m
+        return self
+
+    # ------------------------------------------------------------------ #
+    # Dataset protocol
+    # ------------------------------------------------------------------ #
+
+    def __len__(self) -> int:
+        return self._n
+
+    @property
+    def n_rows(self) -> int:
+        return self._n
+
+    @property
+    def X(self) -> np.ndarray:
+        """View of the appended rows (live; do not mutate)."""
+        return self._X[: self._n]
+
+    @property
+    def y(self) -> np.ndarray | None:
+        """View of the appended labels, or ``None`` for unlabelled spaces."""
+        return None if self._y is None else self._y[: self._n]
+
+    @property
+    def columns(self) -> Mapping[str, np.ndarray]:
+        """Per-attribute column views over the rows appended so far.
+
+        Cached until the next append (any append changes ``len`` and
+        may reallocate the buffers, so the row count is the cache key).
+        """
+        cache = self._columns_cache
+        if cache is None or cache[0] != self._n:
+            X = self.X
+            cache = (
+                self._n,
+                {name: X[:, i] for i, name in enumerate(self.space.names)},
+            )
+            self._columns_cache = cache
+        return cache[1]
+
+    def column(self, name: str) -> np.ndarray:
+        columns = self.columns
+        if name not in columns:
+            raise SchemaError(f"unknown attribute {name!r}")
+        return columns[name]
+
+    def predicate_mask(self, predicate: Conjunction) -> np.ndarray:
+        """Boolean membership mask of a conjunctive predicate."""
+        return predicate.mask(self.columns, self._n)
+
+    def slice_rows(self, start: int, stop: int) -> TabularDataset:
+        """The contiguous row range ``[start, stop)`` as a dataset (views)."""
+        stop = min(stop, self._n)
+        y = self._y[start:stop] if self._y is not None else None
+        return TabularDataset(self.space, self._X[start:stop], y)
+
+    def take(self, indices) -> TabularDataset:
+        """An immutable snapshot of the rows at ``indices``."""
+        indices = np.asarray(indices, dtype=np.int64)
+        y = self._y[: self._n][indices] if self._y is not None else None
+        return TabularDataset(self.space, self._X[: self._n][indices], y)
+
+    def to_dataset(self) -> TabularDataset:
+        """An immutable snapshot of the whole log (copies the buffers)."""
+        y = None if self._y is None else self._y[: self._n].copy()
+        return TabularDataset(self.space, self._X[: self._n].copy(), y)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        labelled = "labelled" if self._y is not None else "unlabelled"
+        return (
+            f"TabularLog(n={self._n}, d={self.space.n_attributes}, "
+            f"{labelled})"
+        )

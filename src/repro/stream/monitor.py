@@ -1,21 +1,29 @@
-"""Online change monitoring over a live transaction stream.
+"""Online change monitoring over a live stream (both dataset kinds).
 
 :class:`OnlineChangeMonitor` is the streaming layer over
 :class:`repro.core.monitor.ChangeMonitor`: rather than comparing
 pre-materialised snapshot datasets (each a full rescan), it consumes raw
-transactions as they arrive, forms windows incrementally, and lets the
-inner monitor own what it always owned -- qualification, the drift
-decision, the history, and the reference policy.
+rows as they arrive, forms windows incrementally, and lets the inner
+monitor own what it always owned -- qualification, the drift decision,
+the history, and the reference policy.
+
+The monitor is generic over the dataset kind through the
+:class:`~repro.stream.windows.ChunkSketcher` protocol:
+
+* ``kind="transactions"`` -- the reference model is a lits-model; window
+  measures come from mergeable :class:`~repro.stream.sketch.SupportSketch`
+  counts over the reference structure's itemsets, and the reference
+  measures are read straight off the model's stored supports (no scan;
+  the paper's Section 7.1 observation).
+* ``kind="tabular"`` -- the reference model is a dt- or cluster-model
+  (any partition structure); window measures come from mergeable
+  :class:`~repro.stream.sketch.PartitionSketch` histograms over the
+  structure's precompiled counting plan, and the reference measures are
+  histogrammed once from the reference window.
 
 Division of labour per emitted window:
 
-* the **reference measures** come straight from the reference model's
-  measure component (no scan; the paper's Section 7.1 observation);
-* the **window measures** come from the
-  :class:`~repro.stream.windows.WindowManager`'s mergeable sketch --
-  each arriving chunk is scanned exactly once, and a sliding advance is
-  two vector ops;
-* the deviation between them is assembled by
+* the deviation between reference and window counts is assembled by
   :func:`repro.core.deviation.deviation_from_counts` over the reference
   model's structural component (``delta_1``);
 * qualification is delegated to
@@ -28,7 +36,9 @@ The reference is fitted *lazily*: the first ``window_size`` rows are
 buffered untouched, and mining only happens when the first monitored
 chunk arrives (or again when a ``reset_on_drift`` reset promotes a
 drifted window -- the one case where the buffered chunks are re-sketched
-for the new reference's itemsets).
+for the new reference's structure). :meth:`OnlineChangeMonitor.flush`
+drains the trailing rows into a final partial window so a finite stream
+never silently drops its tail.
 """
 
 from __future__ import annotations
@@ -40,28 +50,105 @@ import numpy as np
 from repro.core.aggregate import SUM, AggregateFunction
 from repro.core.deviation import deviation_from_counts
 from repro.core.difference import ABSOLUTE, DifferenceFunction
+from repro.core.model import PartitionStructure
 from repro.core.monitor import ChangeMonitor, Observation
+from repro.data.tabular import TabularDataset
 from repro.data.transactions import TransactionDataset
 from repro.errors import InvalidParameterError
-from repro.stream.windows import Window, WindowManager
+from repro.stream.windows import (
+    PartitionChunkSketcher,
+    TransactionChunkSketcher,
+    Window,
+    WindowManager,
+)
+
+KINDS = ("transactions", "tabular")
+
+
+class _TransactionBuffer:
+    """Row buffer for transaction streams: plain tuples in a list."""
+
+    def __init__(self) -> None:
+        self._rows: list[tuple[int, ...]] = []
+
+    def extend(self, transactions: Iterable[Iterable[int]]) -> None:
+        self._rows.extend(tuple(t) for t in transactions)
+
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    def pop(self, k: int) -> list[tuple[int, ...]]:
+        chunk = self._rows[:k]
+        del self._rows[:k]
+        return chunk
+
+
+class _TabularBuffer:
+    """Row buffer for tabular streams: queued view-backed slices.
+
+    ``pop`` splits on row boundaries with views, so buffering never
+    copies a row more than the one ``vstack`` that forms its chunk.
+    """
+
+    def __init__(self) -> None:
+        self._chunks: list = []
+        self._n = 0
+        self.space = None
+
+    def extend(self, chunk) -> None:
+        if not hasattr(chunk, "X") or not hasattr(chunk, "space"):
+            raise InvalidParameterError(
+                "a tabular monitor consumes TabularDataset chunks, got "
+                f"{type(chunk).__name__}"
+            )
+        if self.space is None:
+            self.space = chunk.space
+        if len(chunk):
+            self._chunks.append(chunk)
+            self._n += len(chunk)
+
+    def __len__(self) -> int:
+        return self._n
+
+    def pop(self, k: int) -> TabularDataset:
+        taken: list = []
+        need = k
+        while need > 0:
+            head = self._chunks[0]
+            if len(head) <= need:
+                taken.append(self._chunks.pop(0))
+                need -= len(head)
+            else:
+                taken.append(head.slice_rows(0, need))
+                self._chunks[0] = head.slice_rows(need, len(head))
+                need = 0
+        self._n -= k
+        if len(taken) == 1:
+            return taken[0]
+        return TabularDataset.concat_many(taken)
 
 
 class OnlineChangeMonitor:
-    """Consume a transaction stream; yield drift-flagged observations.
+    """Consume a row stream; yield drift-flagged observations.
 
     Parameters
     ----------
     model_builder:
-        ``dataset -> model`` with a lits structural component (the
-        tracked itemsets come from the reference model's structure).
+        ``dataset -> model``. For ``kind="transactions"`` the model must
+        have a lits structural component (the tracked itemsets come from
+        the reference model's structure); for ``kind="tabular"`` it must
+        have a partition structural component (a dt- or cluster-model).
     n_items:
-        Item universe size of the stream.
+        Item universe size of the stream (transactions kind only; must
+        be omitted for tabular streams).
     window_size:
         Rows per monitored window (and per reference window).
     step:
         Rows between consecutive windows; defaults to ``window_size``
         (tumbling). Must divide ``window_size``; smaller steps give
         sliding windows maintained by sketch add/subtract.
+    kind:
+        ``"transactions"`` (default) or ``"tabular"``.
     f, g, n_boot, threshold, delta_threshold, policy, rng, refit_models:
         Forwarded to the inner :class:`ChangeMonitor` (see there;
         ``n_boot=0`` plus ``delta_threshold`` is the cheap fully
@@ -73,10 +160,11 @@ class OnlineChangeMonitor:
     def __init__(
         self,
         model_builder: Callable,
-        n_items: int,
-        window_size: int,
+        n_items: int | None = None,
+        window_size: int = 0,
         step: int | None = None,
         *,
+        kind: str = "transactions",
         f: DifferenceFunction = ABSOLUTE,
         g: AggregateFunction = SUM,
         n_boot: int = 16,
@@ -88,8 +176,17 @@ class OnlineChangeMonitor:
         executor="serial",
         n_shards: int = 1,
     ) -> None:
-        if n_items <= 0:
-            raise InvalidParameterError("n_items must be positive")
+        if kind not in KINDS:
+            raise InvalidParameterError(
+                f"kind must be one of {KINDS}, got {kind!r}"
+            )
+        if kind == "transactions":
+            if n_items is None or n_items <= 0:
+                raise InvalidParameterError("n_items must be positive")
+        elif n_items is not None:
+            raise InvalidParameterError(
+                "n_items only applies to transaction streams"
+            )
         if window_size < 1:
             raise InvalidParameterError("window_size must be >= 1")
         step = window_size if step is None else step
@@ -98,6 +195,7 @@ class OnlineChangeMonitor:
                 f"step must be >= 1 and divide window_size "
                 f"({step} vs {window_size})"
             )
+        self.kind = kind
         self.n_items = n_items
         self.window_size = window_size
         self.step = step
@@ -114,8 +212,10 @@ class OnlineChangeMonitor:
             rng=rng,
             refit_models=refit_models,
         )
-        self._buffer: list[tuple[int, ...]] = []
-        self._reference_rows: list[tuple[int, ...]] | None = None
+        self._buffer = (
+            _TransactionBuffer() if kind == "transactions" else _TabularBuffer()
+        )
+        self._reference_data = None
         self._windows: WindowManager | None = None
         self._ref_counts: np.ndarray | None = None
 
@@ -123,38 +223,67 @@ class OnlineChangeMonitor:
     # Stream consumption
     # ------------------------------------------------------------------ #
 
-    def push(self, transactions: Iterable[Iterable[int]]) -> list[Observation]:
-        """Feed transactions; return observations for windows completed.
+    def push(self, data) -> list[Observation]:
+        """Feed arriving rows; return observations for windows completed.
 
-        Arriving rows are buffered until they form the reference window
-        (the first ``window_size`` rows) and thereafter ``step``-row
-        chunks; each completed chunk advances the window manager and, if
-        a window completes, produces one qualified observation.
+        For transaction streams ``data`` is an iterable of transactions;
+        for tabular streams it is a :class:`TabularDataset` chunk (any
+        size). Arriving rows are buffered until they form the reference
+        window (the first ``window_size`` rows) and thereafter
+        ``step``-row chunks; each completed chunk advances the window
+        manager and, if a window completes, produces one qualified
+        observation.
         """
-        self._buffer.extend(tuple(t) for t in transactions)
+        self._buffer.extend(data)
         observations: list[Observation] = []
         while True:
-            if self._reference_rows is None:
+            if self._reference_data is None:
                 if len(self._buffer) < self.window_size:
                     break
-                self._reference_rows = self._buffer[: self.window_size]
-                del self._buffer[: self.window_size]
+                self._reference_data = self._buffer.pop(self.window_size)
             elif len(self._buffer) >= self.step:
-                chunk = self._buffer[: self.step]
-                del self._buffer[: self.step]
-                observation = self._observe_chunk(chunk)
+                observation = self._observe_chunk(self._buffer.pop(self.step))
                 if observation is not None:
                     observations.append(observation)
             else:
                 break
         return observations
 
-    def monitor_stream(
-        self, chunks: Iterable[Iterable[Iterable[int]]]
-    ) -> Iterator[Observation]:
+    def monitor_stream(self, chunks: Iterable) -> Iterator[Observation]:
         """Drive the monitor from any chunked source, yielding verdicts."""
         for chunk in chunks:
             yield from self.push(chunk)
+
+    def flush(self) -> list[Observation]:
+        """Drain trailing rows into a final partial window, if possible.
+
+        A finite stream rarely ends on a window boundary: rows shorter
+        than a step sit in the buffer, and the window manager may hold
+        chunks short of a full window (a tumbling buffer, or a sliding
+        ring that never filled once). ``flush`` pushes the buffered
+        remainder through as one last (short) chunk and then flushes the
+        window manager (see :meth:`WindowManager.flush`), qualifying
+        whatever windows emerge. Returns the observations (empty when
+        the stream ended during warm-up, or when nothing was pending --
+        a sliding stream whose tail is already inside the last emitted
+        window reports nothing new). The monitor remains usable
+        afterwards, but a flushed partial chunk makes subsequent window
+        offsets partial too -- flush is meant for end-of-stream.
+        """
+        observations: list[Observation] = []
+        if self._reference_data is None:
+            return observations  # warm-up never completed: nothing to flush
+        if len(self._buffer):
+            observation = self._observe_chunk(
+                self._buffer.pop(len(self._buffer))
+            )
+            if observation is not None:
+                observations.append(observation)
+        if self._windows is not None:
+            window = self._windows.flush()
+            if window is not None:
+                observations.append(self._qualify_window(window))
+        return observations
 
     # ------------------------------------------------------------------ #
     # Introspection
@@ -163,7 +292,7 @@ class OnlineChangeMonitor:
     @property
     def is_warming_up(self) -> bool:
         """True until the reference window has fully arrived."""
-        return self._reference_rows is None
+        return self._reference_data is None
 
     @property
     def history(self) -> list[Observation]:
@@ -185,40 +314,69 @@ class OnlineChangeMonitor:
         """Mine the reference and build the window manager, first use."""
         if self._windows is not None:
             return
-        reference = TransactionDataset(self._reference_rows, self.n_items)
+        if self.kind == "transactions":
+            reference = TransactionDataset(self._reference_data, self.n_items)
+        else:
+            reference = self._reference_data
         self.monitor.fit(reference)
         self._track_reference_structure()
         self._windows = self._new_window_manager()
 
     def _new_window_manager(self) -> WindowManager:
+        structure = self.monitor._reference_model.structure
+        if self.kind == "transactions":
+            sketcher = TransactionChunkSketcher(
+                structure.itemsets,
+                self.n_items,
+                executor=self.executor,
+                n_shards=self.n_shards,
+            )
+        else:
+            sketcher = PartitionChunkSketcher(
+                structure.plan,
+                executor=self.executor,
+                n_shards=self.n_shards,
+            )
         return WindowManager(
-            self.monitor._reference_model.structure.itemsets,
-            self.n_items,
+            sketcher,
             window_chunks=self.window_size // self.step,
             policy="tumbling" if self.step == self.window_size else "sliding",
-            executor=self.executor,
-            n_shards=self.n_shards,
         )
 
     def _track_reference_structure(self) -> None:
         """Cache the reference structure's measure vector as counts."""
         model = self.monitor._reference_model
+        structure = getattr(model, "structure", None)
+        if self.kind == "tabular":
+            if not isinstance(structure, PartitionStructure):
+                raise InvalidParameterError(
+                    "a tabular OnlineChangeMonitor requires a model_builder "
+                    "producing partition models (dt- or cluster-models); "
+                    f"got {type(model).__name__}"
+                )
+            # dt-/cluster-models do not store their measure component, so
+            # the reference window is histogrammed once (a single
+            # memoised assigner pass + bincount).
+            self._ref_counts = np.asarray(
+                structure.counts(self.monitor._reference_dataset),
+                dtype=np.int64,
+            )
+            return
         if not hasattr(model, "supports") or not hasattr(
-            model.structure, "itemsets"
+            structure, "itemsets"
         ):
             raise InvalidParameterError(
-                "OnlineChangeMonitor requires a model_builder producing "
-                "lits-models (a structure of itemsets with stored supports); "
-                f"got {type(model).__name__}"
+                "a transaction OnlineChangeMonitor requires a model_builder "
+                "producing lits-models (a structure of itemsets with stored "
+                f"supports); got {type(model).__name__}"
             )
-        structure = model.structure
         n_ref = len(self.monitor._reference_dataset)
         self._ref_counts = np.array(
             [round(model.supports[s] * n_ref) for s in structure.itemsets],
             dtype=np.int64,
         )
 
-    def _observe_chunk(self, chunk: list[tuple[int, ...]]) -> Observation | None:
+    def _observe_chunk(self, chunk) -> Observation | None:
         self._lazy_start()
         window = self._windows.push(chunk)
         if window is None:

@@ -1,8 +1,8 @@
-"""Mergeable support sketches: per-shard counts that combine with ``+``.
+"""Mergeable sketches: per-shard counts that combine with ``+``.
 
-A :class:`SupportSketch` holds the absolute support counts of a *fixed*
-itemset collection over some bag of transactions. Because supports are
-plain counts, sketches over disjoint transaction bags are **additive**:
+A sketch holds the absolute counts of a *fixed* structural component
+over some bag of rows. Because measures are plain counts, sketches over
+disjoint row bags are **additive**:
 
 ``sketch(A + B) == sketch(A) + sketch(B)``
 
@@ -14,13 +14,24 @@ which buys two things the streaming layer is built on:
   sketch equals a single-scan count of the whole dataset.
 * *window maintenance by difference* -- sketches also subtract, so a
   sliding window advances by adding the entering chunk's sketch and
-  subtracting the leaving one. No transaction surviving in the window is
+  subtracting the leaving one. No row surviving in the window is
   ever rescanned (:class:`repro.stream.windows.WindowManager`).
 
-The itemset collection is canonicalised exactly like
-:class:`repro.core.model.LitsStructure` orders its regions, so a
-sketch's counts vector aligns 1:1 with the structure built from the same
-itemsets -- the deviation engine can consume it directly.
+Two sketch kinds cover the paper's model classes:
+
+* :class:`SupportSketch` -- support counts of an itemset collection over
+  transactions (lits-models). The collection is canonicalised exactly
+  like :class:`repro.core.model.LitsStructure` orders its regions, so
+  the counts vector aligns 1:1 with the structure built from the same
+  itemsets.
+* :class:`PartitionSketch` -- per-(cell x class) histograms of a
+  :class:`~repro.core.model.PartitionStructure` over tabular rows
+  (dt-/cluster-models), counted through the structure's precompiled
+  :class:`~repro.core.partition_plan.PartitionCountingPlan` and aligned
+  1:1 with its regions.
+
+Either way the deviation engine consumes the counts vector directly via
+:func:`repro.core.deviation.deviation_from_counts`.
 """
 
 from __future__ import annotations
@@ -29,6 +40,7 @@ from typing import Iterable, Sequence
 
 import numpy as np
 
+from repro.core.partition_plan import PartitionCountingPlan
 from repro.data.transactions import BitmapIndex, SupportCountingPlan
 from repro.errors import IncompatibleModelsError, InvalidParameterError
 
@@ -174,6 +186,12 @@ class SupportSketch:
         """Merge-compatibility identity: same itemsets, same universe."""
         return (frozenset(self.itemsets), self.n_items)
 
+    @property
+    def n_rows(self) -> int:
+        """Rows sketched (alias of ``n_transactions``; the kind-agnostic
+        name the generalised window manager reads)."""
+        return self.n_transactions
+
     def _check_mergeable(self, other: "SupportSketch") -> None:
         if not isinstance(other, SupportSketch):
             raise IncompatibleModelsError(
@@ -261,4 +279,168 @@ class SupportSketch:
         return (
             f"SupportSketch(itemsets={len(self.itemsets)}, "
             f"n={self.n_transactions}, items={self.n_items})"
+        )
+
+
+def as_partition_plan(structure_or_plan) -> PartitionCountingPlan:
+    """Resolve a ``PartitionStructure`` or an existing plan to a plan.
+
+    Passing the structure reuses its lazily compiled, cached plan, so
+    every sketch over the same structure shares one plan object -- which
+    also makes the merge-compatibility check constant-time (identity).
+    """
+    if isinstance(structure_or_plan, PartitionCountingPlan):
+        return structure_or_plan
+    plan = getattr(structure_or_plan, "plan", None)
+    if isinstance(plan, PartitionCountingPlan):
+        return plan
+    raise InvalidParameterError(
+        "expected a PartitionStructure or PartitionCountingPlan, got "
+        f"{type(structure_or_plan).__name__}"
+    )
+
+
+class PartitionSketch:
+    """Region counts of a partition structure over a bag of tabular rows.
+
+    The partition-model sibling of :class:`SupportSketch`: ``counts``
+    holds one absolute count per region of the plan's structure (cells,
+    or cells x classes for dt-models), so sketches over disjoint row
+    bags add, subtract (window retirement), and merge shard-wise on any
+    executor. ``counts`` aligns 1:1 with ``plan.structure.regions``, so
+    the deviation engine consumes it directly.
+
+    Parameters
+    ----------
+    plan:
+        The precompiled counting plan (or the structure, resolved via
+        :func:`as_partition_plan`).
+    counts:
+        Absolute count per region, aligned with the structure's regions.
+    n_rows:
+        Size of the underlying row bag.
+    """
+
+    __slots__ = ("plan", "counts", "n_rows")
+
+    def __init__(self, plan, counts: np.ndarray, n_rows: int) -> None:
+        self.plan = as_partition_plan(plan)
+        counts = np.asarray(counts, dtype=np.int64)
+        n_regions = len(self.plan.structure.regions)
+        if counts.shape != (n_regions,):
+            raise InvalidParameterError(
+                f"counts must align with the structure's {n_regions} "
+                f"regions, got shape {counts.shape}"
+            )
+        if n_rows < 0:
+            raise InvalidParameterError("n_rows must be >= 0")
+        self.counts = counts
+        self.n_rows = int(n_rows)
+
+    # ------------------------------------------------------------------ #
+    # Construction
+    # ------------------------------------------------------------------ #
+
+    @classmethod
+    def _trusted(cls, plan, counts: np.ndarray, n_rows: int) -> "PartitionSketch":
+        """Internal fast path: plan already resolved, counts aligned."""
+        self = object.__new__(cls)
+        self.plan = plan
+        self.counts = counts
+        self.n_rows = n_rows
+        return self
+
+    @classmethod
+    def empty(cls, structure_or_plan) -> "PartitionSketch":
+        """The additive identity: zero counts over zero rows."""
+        plan = as_partition_plan(structure_or_plan)
+        n_regions = len(plan.structure.regions)
+        return cls._trusted(plan, np.zeros(n_regions, dtype=np.int64), 0)
+
+    @classmethod
+    def from_dataset(cls, dataset, structure_or_plan) -> "PartitionSketch":
+        """Count the structure's regions over a tabular dataset (one scan).
+
+        Raises ``IncompatibleModelsError`` if the dataset carries a class
+        label outside the structure's alphabet, and ``SchemaError`` if a
+        class-restricted structure meets unlabelled data -- the same
+        contract as ``PartitionStructure.counts``.
+        """
+        plan = as_partition_plan(structure_or_plan)
+        return cls._trusted(plan, plan.counts(dataset), len(dataset))
+
+    # ------------------------------------------------------------------ #
+    # Merge algebra
+    # ------------------------------------------------------------------ #
+
+    @property
+    def key(self):
+        """Merge-compatibility identity: the structure measured.
+
+        Uses the order-*sensitive* ``counts_key`` -- two structures with
+        the same region set but different region order must not merge,
+        because their counts vectors are positionally misaligned.
+        """
+        return self.plan.structure.counts_key
+
+    def _check_mergeable(self, other: "PartitionSketch") -> None:
+        if not isinstance(other, PartitionSketch):
+            raise IncompatibleModelsError(
+                f"cannot combine PartitionSketch with {type(other).__name__}"
+            )
+        # Sharing the structure's cached plan makes the streaming hot
+        # path (every chunk sketch holds one plan object) constant-time.
+        if self.plan is not other.plan and self.key != other.key:
+            raise IncompatibleModelsError(
+                "sketches measure different partition structures (or the "
+                "same regions in a different order) and cannot be combined"
+            )
+
+    def __add__(self, other) -> "PartitionSketch":
+        if isinstance(other, int) and other == 0:
+            return self  # so sum(sketches) works with its default start
+        self._check_mergeable(other)
+        return PartitionSketch._trusted(
+            self.plan, self.counts + other.counts, self.n_rows + other.n_rows
+        )
+
+    def __radd__(self, other) -> "PartitionSketch":
+        return self.__add__(other)
+
+    def __sub__(self, other: "PartitionSketch") -> "PartitionSketch":
+        self._check_mergeable(other)
+        n = self.n_rows - other.n_rows
+        if n < 0:
+            raise InvalidParameterError(
+                "cannot subtract a sketch over more rows than this one"
+            )
+        return PartitionSketch._trusted(
+            self.plan, self.counts - other.counts, n
+        )
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, PartitionSketch):
+            return NotImplemented
+        return (
+            self.n_rows == other.n_rows
+            and (self.plan is other.plan or self.key == other.key)
+            and np.array_equal(self.counts, other.counts)
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.key, self.n_rows, self.counts.tobytes()))
+
+    # ------------------------------------------------------------------ #
+    # Reads
+    # ------------------------------------------------------------------ #
+
+    def selectivities(self) -> np.ndarray:
+        """Relative measures per region; zeros over zero rows."""
+        if self.n_rows == 0:
+            return np.zeros(len(self.counts))
+        return self.counts / self.n_rows
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"PartitionSketch(regions={len(self.counts)}, n={self.n_rows})"
         )

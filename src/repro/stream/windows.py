@@ -1,136 +1,300 @@
-"""Window maintenance over a chunked transaction stream.
+"""Window maintenance over a chunked stream (transactions or tabular).
 
 A :class:`WindowManager` consumes fixed-size chunks and maintains the
-support counts of a fixed itemset collection per *window* of ``W``
+measure counts of a fixed structural component per *window* of ``W``
 chunks, never rescanning a surviving row:
 
-* each arriving chunk is sketched once
-  (:class:`~repro.stream.sketch.SupportSketch`, optionally sharded over
-  an executor);
+* each arriving chunk is sketched once by a :class:`ChunkSketcher`
+  (optionally sharded over an executor);
 * **sliding** windows keep a ring buffer of the last ``W`` chunk
   sketches; the window sketch advances by ``+ entering - leaving`` --
-  two O(itemsets) vector ops per advance, independent of window size;
-* **tumbling** windows accumulate ``W`` chunk sketches, emit, and reset.
+  two O(regions) vector ops per advance, independent of window size;
+* **tumbling** windows accumulate ``W`` chunk sketches, emit, and reset
+  (:meth:`WindowManager.flush` emits a final partial window).
+
+The sketcher is the only kind-specific piece. Two implementations cover
+the paper's model classes: :class:`TransactionChunkSketcher` counts an
+itemset collection over transaction chunks (lits-models), and
+:class:`PartitionChunkSketcher` histograms a partition structure over
+tabular chunks (dt-/cluster-models). Both sketch kinds merge with ``+``
+and retire with ``-``, so the manager's advance logic is identical.
 
 This is the delta-maintenance discipline the change-detection literature
 asks for (compute over what changed, not from scratch), applied to the
 paper's measure components: the emitted window sketch *is* the measure
-vector of a lits structural component over that window.
+vector of a structural component over that window.
 """
 
 from __future__ import annotations
 
 from collections import deque
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from functools import cached_property
-from typing import Iterable, Iterator, Sequence
+from typing import Iterable, Iterator, Protocol, Sequence, runtime_checkable
 
 from repro.data.transactions import TransactionDataset
 from repro.errors import InvalidParameterError
-from repro.stream.executor import get_executor, sharded_support_sketch
-from repro.stream.sketch import SupportSketch, canonical_itemsets
+from repro.stream.executor import (
+    get_executor,
+    sharded_partition_sketch,
+    sharded_support_sketch,
+)
+from repro.stream.sketch import (
+    PartitionSketch,
+    SupportSketch,
+    as_partition_plan,
+    canonical_itemsets,
+)
 
 POLICIES = ("sliding", "tumbling")
 
 
+@runtime_checkable
+class ChunkSketcher(Protocol):
+    """What the window manager needs to know about a dataset kind.
+
+    A sketcher turns raw chunks into mergeable sketches; everything else
+    -- ring buffers, add/subtract advances, emission -- is kind-agnostic.
+    Sketches returned by :meth:`sketch` / :meth:`empty` must support
+    ``+``/``-`` and expose ``counts`` and ``n_rows``.
+    """
+
+    #: short kind tag (``"transactions"`` or ``"tabular"``)
+    kind: str
+
+    def normalize(self, chunk):
+        """Canonicalise an incoming chunk (stored in the ring buffer)."""
+        ...
+
+    def sketch(self, chunk):
+        """Sketch one normalised chunk (the only scan it will ever get)."""
+        ...
+
+    def empty(self):
+        """The additive identity sketch."""
+        ...
+
+    def chunk_len(self, chunk) -> int:
+        """Number of rows in a normalised chunk."""
+        ...
+
+    def concat(self, chunks):
+        """Materialise normalised chunks as one immutable dataset."""
+        ...
+
+
+class TransactionChunkSketcher:
+    """Sketch transaction chunks against a fixed itemset collection."""
+
+    kind = "transactions"
+
+    def __init__(
+        self,
+        itemsets: Iterable[Iterable[int]],
+        n_items: int,
+        executor="serial",
+        n_shards: int = 1,
+    ) -> None:
+        self.itemsets = canonical_itemsets(itemsets)
+        self.n_items = n_items
+        self.executor = get_executor(executor)
+        self.n_shards = n_shards
+
+    def normalize(self, chunk: Sequence[Iterable[int]]) -> tuple:
+        return tuple(tuple(t) for t in chunk)
+
+    def sketch(self, chunk) -> SupportSketch:
+        return sharded_support_sketch(
+            chunk,
+            self.itemsets,
+            self.n_items,
+            n_shards=self.n_shards,
+            executor=self.executor,
+        )
+
+    def empty(self) -> SupportSketch:
+        return SupportSketch.empty(self.itemsets, self.n_items)
+
+    def chunk_len(self, chunk) -> int:
+        return len(chunk)
+
+    def concat(self, chunks) -> TransactionDataset:
+        return TransactionDataset(
+            tuple(t for chunk in chunks for t in chunk), self.n_items
+        )
+
+
+class PartitionChunkSketcher:
+    """Sketch tabular chunks against a fixed partition structure.
+
+    Chunks are :class:`~repro.data.tabular.TabularDataset` objects (or
+    anything with the same row interface); each is histogrammed once
+    through the structure's precompiled counting plan.
+    """
+
+    kind = "tabular"
+
+    def __init__(
+        self,
+        structure_or_plan,
+        executor="serial",
+        n_shards: int = 1,
+    ) -> None:
+        self.plan = as_partition_plan(structure_or_plan)
+        self.executor = get_executor(executor)
+        self.n_shards = n_shards
+
+    def normalize(self, chunk):
+        if not hasattr(chunk, "X") or not hasattr(chunk, "space"):
+            raise InvalidParameterError(
+                "tabular chunks must be TabularDataset-like objects, got "
+                f"{type(chunk).__name__}"
+            )
+        return chunk
+
+    def sketch(self, chunk) -> PartitionSketch:
+        return sharded_partition_sketch(
+            chunk,
+            self.plan,
+            n_shards=self.n_shards,
+            executor=self.executor,
+        )
+
+    def empty(self) -> PartitionSketch:
+        return PartitionSketch.empty(self.plan)
+
+    def chunk_len(self, chunk) -> int:
+        return len(chunk)
+
+    def concat(self, chunks):
+        from repro.data.tabular import TabularDataset
+
+        return TabularDataset.concat_many(list(chunks))
+
+
 @dataclass(frozen=True)
 class Window:
-    """One emitted window: its sketch plus the rows it covers.
+    """One emitted window: its sketch plus the chunks it covers.
 
-    The rows are held as the manager's chunk tuples; flattening them is
-    deferred to :attr:`transactions` so the cheap monitoring mode (which
-    only reads the sketch) never pays O(window) work per advance.
+    The chunks are held in the manager's normalised form; flattening or
+    concatenating them is deferred (:attr:`transactions`,
+    :meth:`to_dataset`) so the cheap monitoring mode (which only reads
+    the sketch) never pays O(window) work per advance.
     """
 
     index: int  #: ordinal of this window (0-based, per manager)
-    start: int  #: row offset of the window's first transaction
-    stop: int  #: row offset one past the window's last transaction
-    sketch: SupportSketch
-    chunks: tuple[tuple[tuple[int, ...], ...], ...]
+    start: int  #: row offset of the window's first row
+    stop: int  #: row offset one past the window's last row
+    sketch: SupportSketch | PartitionSketch
+    chunks: tuple
+    sketcher: ChunkSketcher | None = field(default=None, compare=False)
 
     def __len__(self) -> int:
         return self.stop - self.start
 
     @cached_property
     def transactions(self) -> tuple[tuple[int, ...], ...]:
-        """The window's rows, oldest first (flattened lazily, once)."""
+        """A transaction window's rows, oldest first (flattened lazily).
+
+        Only meaningful for transaction windows; tabular windows
+        materialise through :meth:`to_dataset`.
+        """
         return tuple(t for chunk in self.chunks for t in chunk)
 
-    def to_dataset(self) -> TransactionDataset:
+    def to_dataset(self):
         """Materialise the window as an immutable dataset (for e.g. the
         bootstrap, which needs to resample actual rows)."""
+        if self.sketcher is not None:
+            return self.sketcher.concat(self.chunks)
         return TransactionDataset(self.transactions, self.sketch.n_items)
 
 
 class WindowManager:
-    """Maintain per-window support sketches over a chunked stream.
+    """Maintain per-window sketches over a chunked stream.
 
     Parameters
     ----------
     itemsets:
-        The fixed itemset collection every window is measured over
-        (typically a reference model's structural component).
+        Either the fixed itemset collection every window is measured
+        over (the transaction form; ``n_items`` is then required), or
+        any :class:`ChunkSketcher` -- e.g. a
+        :class:`PartitionChunkSketcher` for tabular streams -- in which
+        case ``n_items``, ``executor`` and ``n_shards`` are ignored
+        (the sketcher owns them).
     n_items:
-        Item universe size.
+        Item universe size (transaction form only).
     window_chunks:
         Window length in chunks (``W``).
     policy:
         ``"sliding"`` (step of one chunk, overlap ``W - 1``) or
         ``"tumbling"`` (disjoint windows).
     executor, n_shards:
-        Forwarded to the sketch step: each chunk is counted as
+        Forwarded to the transaction sketcher: each chunk is counted as
         ``n_shards`` map-merged shards on the chosen backend.
 
     Notes
     -----
     ``rows_sketched`` counts the rows actually scanned; after any number
     of advances it equals the total rows pushed -- the no-rescan
-    guarantee the streaming bench pins against a rebuild-per-window
-    baseline.
+    guarantee the streaming benches pin against rebuild-per-window
+    baselines for both dataset kinds.
     """
 
     def __init__(
         self,
-        itemsets: Iterable[Iterable[int]],
-        n_items: int,
-        window_chunks: int,
+        itemsets,
+        n_items: int | None = None,
+        window_chunks: int | None = None,
         policy: str = "sliding",
         executor="serial",
         n_shards: int = 1,
     ) -> None:
-        if window_chunks < 1:
+        if isinstance(itemsets, ChunkSketcher) and not isinstance(
+            itemsets, (list, tuple, set, frozenset)
+        ):
+            sketcher = itemsets
+            if n_items is not None:
+                raise InvalidParameterError(
+                    "n_items only applies to the itemset (transaction) form"
+                )
+        else:
+            if n_items is None:
+                raise InvalidParameterError(
+                    "the itemset form needs the n_items universe size"
+                )
+            sketcher = TransactionChunkSketcher(
+                itemsets, n_items, executor=executor, n_shards=n_shards
+            )
+        if window_chunks is None or window_chunks < 1:
             raise InvalidParameterError("window_chunks must be >= 1")
         if policy not in POLICIES:
             raise InvalidParameterError(
                 f"policy must be one of {POLICIES}, got {policy!r}"
             )
-        self.itemsets = canonical_itemsets(itemsets)
-        self.n_items = n_items
+        self.sketcher: ChunkSketcher = sketcher
+        self.itemsets = getattr(sketcher, "itemsets", None)
+        self.n_items = getattr(sketcher, "n_items", None)
         self.window_chunks = window_chunks
         self.policy = policy
-        self.executor = get_executor(executor)
-        self.n_shards = n_shards
         self.rows_sketched = 0
         self.windows_emitted = 0
-        self._row_offset = 0  # row id of the next arriving transaction
-        self._chunks: deque[tuple[SupportSketch, tuple[tuple[int, ...], ...]]] = (
-            deque()
-        )
-        self._current = SupportSketch.empty(self.itemsets, n_items)
+        self._row_offset = 0  # row id of the next arriving row
+        self._chunks: deque = deque()
+        self._current = sketcher.empty()
 
     @property
-    def current_sketch(self) -> SupportSketch:
+    def current_sketch(self):
         """The running sketch over the chunks currently buffered."""
         return self._current
 
     @property
-    def buffered_chunks(self) -> tuple[tuple[tuple[int, ...], ...], ...]:
-        """The transaction chunks currently in the ring buffer, oldest
+    def buffered_chunks(self) -> tuple:
+        """The normalised chunks currently in the ring buffer, oldest
         first (the online monitor re-feeds these after a reference
-        reset, when the tracked itemset collection changes)."""
-        return tuple(chunk_txns for _, chunk_txns in self._chunks)
+        reset, when the tracked structure changes)."""
+        return tuple(chunk for _, chunk in self._chunks)
 
-    def push(self, chunk: Sequence[Iterable[int]]) -> Window | None:
+    def push(self, chunk) -> Window | None:
         """Consume one chunk; return the completed :class:`Window`, if any.
 
         The chunk is sketched once (the only scan it will ever get) and
@@ -139,17 +303,12 @@ class WindowManager:
         buffered; under the tumbling policy every ``window_chunks``-th
         push emits and the buffer resets.
         """
-        chunk = [tuple(t) for t in chunk]
-        sketch = sharded_support_sketch(
-            chunk,
-            self.itemsets,
-            self.n_items,
-            n_shards=self.n_shards,
-            executor=self.executor,
-        )
-        self.rows_sketched += len(chunk)
-        self._row_offset += len(chunk)
-        self._chunks.append((sketch, tuple(chunk)))
+        chunk = self.sketcher.normalize(chunk)
+        sketch = self.sketcher.sketch(chunk)
+        n = self.sketcher.chunk_len(chunk)
+        self.rows_sketched += n
+        self._row_offset += n
+        self._chunks.append((sketch, chunk))
         self._current = self._current + sketch
 
         if self.policy == "sliding" and len(self._chunks) > self.window_chunks:
@@ -163,20 +322,19 @@ class WindowManager:
         """Emit the buffered chunks as a window; tumbling resets after."""
         window = Window(
             index=self.windows_emitted,
-            start=self._row_offset - self._current.n_transactions,
+            start=self._row_offset - self._current.n_rows,
             stop=self._row_offset,
             sketch=self._current,
-            chunks=tuple(chunk_txns for _, chunk_txns in self._chunks),
+            chunks=tuple(chunk for _, chunk in self._chunks),
+            sketcher=self.sketcher,
         )
         self.windows_emitted += 1
         if self.policy == "tumbling":
             self._chunks.clear()
-            self._current = SupportSketch.empty(self.itemsets, self.n_items)
+            self._current = self.sketcher.empty()
         return window
 
-    def push_many(
-        self, chunks: Iterable[Sequence[Iterable[int]]]
-    ) -> Iterator[Window]:
+    def push_many(self, chunks: Iterable) -> Iterator[Window]:
         """Push a stream of chunks, yielding every completed window."""
         for chunk in chunks:
             window = self.push(chunk)
@@ -184,12 +342,20 @@ class WindowManager:
                 yield window
 
     def flush(self) -> Window | None:
-        """Emit a final partial tumbling window, if one is buffered.
+        """Emit a final partial window, if rows would otherwise go dark.
 
-        Sliding managers never hold an unemitted complete window, so
-        ``flush`` only applies to the tumbling policy; it returns
-        ``None`` when the buffer is empty or the policy is sliding.
+        * **tumbling**: the buffered chunks short of a full window are
+          emitted as a partial window (and the buffer resets).
+        * **sliding**: once any window has been emitted, the ring always
+          ends inside the latest emitted window, so there is never an
+          unreported tail; but a stream that ended before the very
+          first window filled would otherwise report *nothing*, so that
+          partial ring is emitted.
+
+        Returns ``None`` when nothing is pending under those rules.
         """
-        if self.policy != "tumbling" or not self._chunks:
+        if not self._chunks:
             return None
-        return self._emit()
+        if self.policy == "tumbling" or self.windows_emitted == 0:
+            return self._emit()
+        return None

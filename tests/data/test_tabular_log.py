@@ -1,0 +1,183 @@
+"""TabularLog: grow-in-place appends equal a full rebuild.
+
+Mirrors ``tests/data/test_incremental_index.py`` for the tabular side:
+a log grown by arbitrary chunked appends must be indistinguishable --
+rows, labels, columns, partition counts, induced models -- from a
+:class:`TabularDataset` built from all the rows at once.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.attribute import AttributeSpace, numeric
+from repro.core.model import PartitionStructure
+from repro.core.predicate import interval_constraint
+from repro.data.tabular import TabularDataset
+from repro.errors import InvalidParameterError, SchemaError
+from repro.stream.chunks import TabularLog
+
+SPACE = AttributeSpace(
+    (numeric("age", 0.0, 1.0), numeric("height", 0.0, 1.0)),
+    class_labels=(0, 1),
+)
+UNLABELLED = AttributeSpace((numeric("age", 0.0, 1.0),))
+
+
+def _structure():
+    low = interval_constraint("age", hi=0.5)
+    high = interval_constraint("age", lo=0.5)
+
+    def assigner(dataset):
+        return (dataset.column("age") >= 0.5).astype(np.int64)
+
+    return PartitionStructure(
+        cells=(low, high), class_labels=(0, 1), assigner=assigner
+    )
+
+
+rows_strategy = st.lists(
+    st.tuples(
+        st.floats(min_value=0.0, max_value=0.999),
+        st.floats(min_value=0.0, max_value=0.999),
+        st.integers(min_value=0, max_value=1),
+    ),
+    max_size=80,
+)
+
+
+@st.composite
+def chunked_rows(draw):
+    """A row bag plus an arbitrary in-order chunking."""
+    rows = draw(rows_strategy)
+    cuts = draw(
+        st.lists(st.integers(min_value=0, max_value=len(rows)), max_size=5)
+    )
+    bounds = sorted(set(cuts) | {0, len(rows)})
+    chunks = [rows[lo:hi] for lo, hi in zip(bounds, bounds[1:])]
+    return rows, chunks
+
+
+def _arrays(rows):
+    X = np.array([[a, h] for a, h, _ in rows]).reshape(-1, 2)
+    y = np.array([label for _, _, label in rows], dtype=np.int64)
+    return X, y
+
+
+class TestAppendEqualsRebuild:
+    @given(data=chunked_rows())
+    @settings(max_examples=60, deadline=None)
+    def test_appended_log_equals_full_build(self, data):
+        rows, chunks = data
+        log = TabularLog(SPACE, capacity=1)  # force many capacity doublings
+        for chunk in chunks:
+            X, y = _arrays(chunk)
+            log.append(X, y)
+        X_all, y_all = _arrays(rows)
+        full = TabularDataset(SPACE, X_all, y_all)
+        assert len(log) == len(full)
+        np.testing.assert_array_equal(log.X, full.X)
+        np.testing.assert_array_equal(log.y, full.y)
+        structure = _structure()
+        np.testing.assert_array_equal(
+            structure.counts(log), structure.counts(full)
+        )
+
+    @given(data=chunked_rows())
+    @settings(max_examples=30, deadline=None)
+    def test_dataset_chunk_appends_equal_array_appends(self, data):
+        rows, chunks = data
+        by_arrays = TabularLog(SPACE, capacity=4)
+        by_datasets = TabularLog(SPACE, capacity=4)
+        for chunk in chunks:
+            X, y = _arrays(chunk)
+            by_arrays.append(X, y)
+            by_datasets.append(TabularDataset(SPACE, X, y))
+        np.testing.assert_array_equal(by_arrays.X, by_datasets.X)
+        np.testing.assert_array_equal(by_arrays.y, by_datasets.y)
+
+    def test_snapshot_is_decoupled_from_growth(self):
+        log = TabularLog(UNLABELLED, capacity=1)
+        log.append(np.array([[0.1], [0.2]]))
+        snapshot = log.to_dataset()
+        log.append(np.array([[0.9]]))
+        assert len(snapshot) == 2  # unaffected by the later append
+        assert len(log) == 3
+        np.testing.assert_array_equal(log.X[:2], snapshot.X)
+
+
+class TestLogQuacksLikeADataset:
+    def test_columns_and_column_views(self):
+        log = TabularLog(SPACE)
+        log.append(np.array([[0.1, 0.6], [0.8, 0.2]]), np.array([0, 1]))
+        np.testing.assert_array_equal(log.column("age"), [0.1, 0.8])
+        np.testing.assert_array_equal(log.columns["height"], [0.6, 0.2])
+        with pytest.raises(SchemaError):
+            log.column("weight")
+
+    def test_predicate_mask_and_slices(self):
+        log = TabularLog(SPACE)
+        log.append(
+            np.array([[0.1, 0.6], [0.8, 0.2], [0.6, 0.9]]),
+            np.array([0, 1, 1]),
+        )
+        mask = log.predicate_mask(interval_constraint("age", lo=0.5))
+        assert mask.tolist() == [False, True, True]
+        window = log.slice_rows(1, 3)
+        assert len(window) == 2
+        taken = log.take([2, 0])
+        np.testing.assert_array_equal(taken.y, [1, 0])
+
+    def test_model_induction_over_live_log(self):
+        from repro.core.dtree_model import DtModel
+        from repro.mining.tree.builder import TreeParams
+
+        rng = np.random.default_rng(4)
+        log = TabularLog(SPACE, capacity=8)
+        for _ in range(3):
+            X = rng.uniform(0, 1, size=(60, 2))
+            y = (X[:, 0] >= 0.5).astype(np.int64)
+            log.append(X, y)
+            model = DtModel.fit(log, TreeParams(max_depth=3, min_leaf=5))
+            counts = model.structure.counts(log)
+            assert counts.sum() == len(log)
+
+
+class TestValidation:
+    def test_missing_labels_rejected(self):
+        log = TabularLog(SPACE)
+        with pytest.raises(SchemaError):
+            log.append(np.array([[0.1, 0.2]]))
+
+    def test_unexpected_labels_rejected(self):
+        log = TabularLog(UNLABELLED)
+        with pytest.raises(SchemaError):
+            log.append(np.array([[0.1]]), np.array([0]))
+
+    def test_wrong_width_rejected(self):
+        log = TabularLog(SPACE)
+        with pytest.raises(SchemaError):
+            log.append(np.array([[0.1]]), np.array([0]))
+
+    def test_space_mismatch_rejected(self):
+        log = TabularLog(SPACE)
+        other = TabularDataset(
+            UNLABELLED, np.array([[0.1]])
+        )
+        with pytest.raises(SchemaError):
+            log.append(other)
+
+    def test_double_labels_rejected(self):
+        log = TabularLog(SPACE)
+        chunk = TabularDataset(
+            SPACE, np.array([[0.1, 0.2]]), np.array([0])
+        )
+        with pytest.raises(InvalidParameterError):
+            log.append(chunk, np.array([0]))
+
+    def test_capacity_validation(self):
+        with pytest.raises(InvalidParameterError):
+            TabularLog(SPACE, capacity=0)

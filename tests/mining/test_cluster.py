@@ -64,6 +64,27 @@ class TestGrid:
         with pytest.raises(InvalidParameterError):
             Grid.uniform(space, bins=3)
 
+    def test_categorical_assign_is_vectorised_by_value(self):
+        from repro.core.attribute import categorical
+
+        space = AttributeSpace((categorical("colour", (4, 2, 9)),))
+        grid = Grid(space, ("colour",), {})
+        dataset = TabularDataset(
+            space, np.array([[9.0], [4.0], [2.0], [4.0]])
+        )
+        # one cell per domain value, in declaration order
+        assert grid.assign(dataset).tolist() == [2, 0, 1, 0]
+
+    def test_unseen_category_raises_schema_error(self):
+        from repro.core.attribute import categorical
+        from repro.errors import SchemaError
+
+        space = AttributeSpace((categorical("colour", (4, 2, 9)),))
+        grid = Grid(space, ("colour",), {})
+        dataset = TabularDataset(space, np.array([[4.0], [5.0]]))
+        with pytest.raises(SchemaError, match="value 5"):
+            grid.assign(dataset)
+
     def test_bins_validation(self, blob_space):
         with pytest.raises(InvalidParameterError):
             Grid.uniform(blob_space, bins=0)

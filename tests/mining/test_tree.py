@@ -185,3 +185,65 @@ class TestBuildTree:
         fractions = tree.leaf_class_fractions()
         assert fractions.shape == (tree.n_leaves, 2)
         assert fractions.sum() == pytest.approx(1.0)
+
+
+class TestFlatDescent:
+    """The compiled level-synchronous descent equals the masked oracle."""
+
+    @pytest.mark.parametrize("function", [1, 3, 5, 6])
+    def test_flat_equals_masked_descent(self, function):
+        train = generate_classification(3_000, function=function, seed=21)
+        tree = build_tree(train, TreeParams(max_depth=7, min_leaf=15))
+        for n in (0, 1, 250, 2_000):
+            probe = generate_classification(max(n, 1), function=1, seed=22)
+            probe = probe.take(np.arange(n))
+            flat = tree.leaf_assign(probe.columns, probe.n_rows)
+            masked = tree.leaf_assign_masked(probe.columns, probe.n_rows)
+            np.testing.assert_array_equal(flat, masked)
+
+    def test_single_leaf_tree(self):
+        d = from_rows(
+            AttributeSpace(
+                (categorical("c", (0, 1)),), class_labels=(0, 1)
+            ),
+            [(0.0,), (1.0,)],
+            labels=[1, 1],
+        )
+        tree = build_tree(d, TreeParams(max_depth=3, min_leaf=1))
+        assert tree.n_leaves == 1
+        assert tree.leaf_assign(d.columns, 2).tolist() == [0, 0]
+
+    def test_sparse_huge_categorical_codes_fall_back_to_masked(self):
+        """A split on e.g. {0, 10**9} must not allocate a dense table."""
+        space = AttributeSpace(
+            (categorical("c", (0, 1, 999_999_999, 1_000_000_000)),),
+            class_labels=(0, 1),
+        )
+        # codes 0 and 10**9 share a class, so the optimal prefix split
+        # puts both in left_values -- a code range of a billion.
+        rows = (
+            [(0.0,)] * 30 + [(1e9,)] * 30
+            + [(1.0,)] * 30 + [(999_999_999.0,)] * 30
+        )
+        labels = [0] * 60 + [1] * 60
+        d = from_rows(space, rows, labels=labels)
+        tree = build_tree(d, TreeParams(max_depth=2, min_leaf=5))
+        assert tree._flat() is None  # uncompilable: masked path serves
+        assigned = tree.leaf_assign(d.columns, len(rows))
+        np.testing.assert_array_equal(
+            assigned, tree.leaf_assign_masked(d.columns, len(rows))
+        )
+
+    def test_out_of_domain_category_falls_right_like_isin(self):
+        """The dense membership table preserves np.isin semantics."""
+        space = AttributeSpace(
+            (categorical("c", (1, 2, 9)),), class_labels=(0, 1)
+        )
+        rows = [(1.0,)] * 30 + [(2.0,)] * 30 + [(9.0,)] * 30
+        labels = [0] * 30 + [1] * 30 + [1] * 30
+        d = from_rows(space, rows, labels=labels)
+        tree = build_tree(d, TreeParams(max_depth=2, min_leaf=5))
+        probe = from_rows(space, [(5.0,), (99.0,), (1.0,)], labels=[0, 0, 0])
+        flat = tree.leaf_assign(probe.columns, 3)
+        masked = tree.leaf_assign_masked(probe.columns, 3)
+        np.testing.assert_array_equal(flat, masked)

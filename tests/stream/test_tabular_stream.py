@@ -1,0 +1,292 @@
+"""Tabular streaming: partition windows and the tabular online monitor.
+
+The dt-/cluster-model counterpart of ``test_window_manager.py`` and
+``test_online_monitor.py``: windows over tabular chunks are maintained
+by partition-sketch add/subtract (no rescan of surviving rows), the
+online monitor drives a dt-model reference over a tabular stream, and
+``flush`` drains the trailing partial window for both kinds.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.deviation import deviation_over_structure
+from repro.core.dtree_model import DtModel
+from repro.core.lits import LitsModel
+from repro.data.quest_basket import generate_basket
+from repro.data.quest_classify import generate_classification
+from repro.data.tabular import TabularDataset
+from repro.errors import InvalidParameterError
+from repro.mining.tree.builder import TreeParams
+from repro.stream.chunks import iter_tabular_chunks
+from repro.stream.monitor import OnlineChangeMonitor
+from repro.stream.windows import PartitionChunkSketcher, WindowManager
+
+
+def dt_builder(dataset):
+    return DtModel.fit(dataset, TreeParams(max_depth=4, min_leaf=20))
+
+
+@pytest.fixture(scope="module")
+def drifting_table():
+    """2000 rows labelled by F1, then 1000 rows labelled by F5."""
+    quiet = generate_classification(2_000, function=1, seed=31)
+    shifted = generate_classification(1_000, function=5, seed=32)
+    return quiet.concat(shifted), 2_000
+
+
+@pytest.fixture(scope="module")
+def reference_structure(drifting_table):
+    table, _ = drifting_table
+    return dt_builder(table.slice_rows(0, 1_000)).structure
+
+
+class TestTabularWindowManager:
+    def test_sliding_windows_match_rebuild(self, drifting_table, reference_structure):
+        table, _ = drifting_table
+        structure = reference_structure
+        manager = WindowManager(
+            PartitionChunkSketcher(structure.plan), window_chunks=4
+        )
+        windows = list(
+            manager.push_many(iter_tabular_chunks(table.slice_rows(0, 2_800), 200))
+        )
+        assert len(windows) == 11
+        for window in windows:
+            rebuilt = table.slice_rows(window.start, window.stop)
+            np.testing.assert_array_equal(
+                window.sketch.counts, structure.counts(rebuilt)
+            )
+        assert manager.rows_sketched == 2_800
+
+    def test_tumbling_flush_emits_partial_window(self, reference_structure):
+        structure = reference_structure
+        table = generate_classification(500, function=1, seed=7)
+        manager = WindowManager(
+            PartitionChunkSketcher(structure.plan),
+            window_chunks=2,
+            policy="tumbling",
+        )
+        windows = list(manager.push_many(iter_tabular_chunks(table, 200)))
+        assert len(windows) == 1  # rows 0..400
+        partial = manager.flush()
+        assert partial is not None
+        assert (partial.start, partial.stop) == (400, 500)
+        np.testing.assert_array_equal(
+            partial.sketch.counts,
+            structure.counts(table.slice_rows(400, 500)),
+        )
+        assert manager.flush() is None  # nothing left
+
+    def test_window_to_dataset_concatenates_chunks(self, drifting_table, reference_structure):
+        table, _ = drifting_table
+        manager = WindowManager(
+            PartitionChunkSketcher(reference_structure.plan), window_chunks=3
+        )
+        (window,) = manager.push_many(
+            iter_tabular_chunks(table.slice_rows(0, 600), 200)
+        )
+        snapshot = window.to_dataset()
+        assert isinstance(snapshot, TabularDataset)
+        np.testing.assert_array_equal(snapshot.X, table.X[:600])
+        np.testing.assert_array_equal(snapshot.y, table.y[:600])
+
+    def test_sketcher_form_rejects_n_items(self, reference_structure):
+        with pytest.raises(InvalidParameterError):
+            WindowManager(
+                PartitionChunkSketcher(reference_structure.plan),
+                n_items=5,
+                window_chunks=2,
+            )
+
+
+class TestTabularOnlineMonitor:
+    def test_detects_the_labelling_change(self, drifting_table):
+        table, change_row = drifting_table
+        monitor = OnlineChangeMonitor(
+            dt_builder, window_size=1_000, step=250, kind="tabular",
+            n_boot=0, delta_threshold=0.3,
+        )
+        observations = []
+        for chunk in iter_tabular_chunks(table, 250):
+            observations.extend(monitor.push(chunk))
+        assert observations, "windows must have been monitored"
+        assert observations[-1].drifted
+        drift_rows = [
+            1_000 + o.index * 250 for o in observations if o.drifted
+        ]
+        assert all(row + 1_000 > change_row for row in drift_rows)
+
+    def test_deviation_matches_offline_delta1(self, drifting_table):
+        table, _ = drifting_table
+        monitor = OnlineChangeMonitor(
+            dt_builder, window_size=1_000, step=500, kind="tabular",
+            n_boot=0, delta_threshold=0.3,
+        )
+        observations = []
+        for chunk in iter_tabular_chunks(table.slice_rows(0, 3_000), 500):
+            observations.extend(monitor.push(chunk))
+        reference = table.slice_rows(0, 1_000)
+        structure = dt_builder(reference).structure
+        for i, obs in enumerate(observations):
+            start = 1_000 + i * 500
+            window = table.slice_rows(start, start + 1_000)
+            offline = deviation_over_structure(structure, reference, window)
+            assert obs.deviation == pytest.approx(offline.value, abs=1e-9)
+
+    def test_bootstrap_mode_materialises_windows(self, drifting_table):
+        table, _ = drifting_table
+        monitor = OnlineChangeMonitor(
+            dt_builder, window_size=500, step=500, kind="tabular",
+            n_boot=8, rng=np.random.default_rng(3),
+        )
+        observations = []
+        for chunk in iter_tabular_chunks(table.slice_rows(0, 3_000), 500):
+            observations.extend(monitor.push(chunk))
+        assert len(observations) == 5
+        assert observations[-1].drifted
+        assert observations[-1].significance >= 95.0
+
+    def test_flush_reports_trailing_rows(self, drifting_table):
+        table, _ = drifting_table
+        monitor = OnlineChangeMonitor(
+            dt_builder, window_size=1_000, step=1_000, kind="tabular",
+            n_boot=0, delta_threshold=0.3,
+        )
+        observations = []
+        # 2,300 rows: reference + one full window + 300 trailing rows
+        for chunk in iter_tabular_chunks(table.slice_rows(0, 2_300), 500):
+            observations.extend(monitor.push(chunk))
+        assert len(observations) == 1
+        flushed = monitor.flush()
+        assert len(flushed) == 1
+        assert len(monitor.history) == 2
+        # the partial window measures exactly rows 2000..2300
+        reference = table.slice_rows(0, 1_000)
+        structure = dt_builder(reference).structure
+        offline = deviation_over_structure(
+            structure, reference, table.slice_rows(2_000, 2_300)
+        )
+        assert flushed[0].deviation == pytest.approx(offline.value, abs=1e-9)
+
+    def test_flush_reports_a_sliding_stream_that_never_filled_a_window(self):
+        """Regression: a sliding tail shorter than one window still reports."""
+        table = generate_classification(1_600, function=1, seed=13)
+        monitor = OnlineChangeMonitor(
+            dt_builder, window_size=1_000, step=250, kind="tabular",
+            n_boot=0, delta_threshold=0.5,
+        )
+        observations = []
+        # 1,000 reference rows + 600 monitored rows: never a full window
+        for chunk in iter_tabular_chunks(table, 250):
+            observations.extend(monitor.push(chunk))
+        assert observations == []
+        flushed = monitor.flush()
+        assert len(flushed) == 1  # the 600-row partial window
+        reference = table.slice_rows(0, 1_000)
+        structure = dt_builder(reference).structure
+        offline = deviation_over_structure(
+            structure, reference, table.slice_rows(1_000, 1_600)
+        )
+        assert flushed[0].deviation == pytest.approx(offline.value, abs=1e-9)
+        # a second flush has nothing left to report
+        assert monitor.flush() == []
+
+    def test_sliding_flush_noop_when_tail_already_windowed(self, drifting_table):
+        """Once a sliding window emitted, the tail is inside it: no dupes."""
+        table, _ = drifting_table
+        monitor = OnlineChangeMonitor(
+            dt_builder, window_size=1_000, step=500, kind="tabular",
+            n_boot=0, delta_threshold=0.5,
+        )
+        observations = []
+        for chunk in iter_tabular_chunks(table.slice_rows(0, 2_500), 500):
+            observations.extend(monitor.push(chunk))
+        assert len(observations) == 2  # windows ending at rows 2000, 2500
+        assert monitor.flush() == []
+
+    def test_flush_during_warmup_is_empty(self):
+        monitor = OnlineChangeMonitor(
+            dt_builder, window_size=1_000, kind="tabular",
+            n_boot=0, delta_threshold=0.3,
+        )
+        monitor.push(generate_classification(400, function=1, seed=1))
+        assert monitor.flush() == []
+        assert monitor.is_warming_up
+
+    def test_reset_on_drift_retracks_partition_reference(self, drifting_table):
+        table, _ = drifting_table
+        monitor = OnlineChangeMonitor(
+            dt_builder, window_size=500, step=250, kind="tabular",
+            n_boot=0, delta_threshold=0.5, policy="reset_on_drift",
+        )
+        observations = []
+        for chunk in iter_tabular_chunks(table, 250):
+            observations.extend(monitor.push(chunk))
+        first_drift = next(o for o in observations if o.drifted)
+        after = [o for o in observations if o.index > first_drift.index]
+        assert after, "stream continues past the reset"
+        assert after[0].reference_index == first_drift.index
+        # the tail (same labelling process as its new reference) is quiet
+        assert not after[-1].drifted
+
+    def test_validation(self):
+        with pytest.raises(InvalidParameterError):
+            OnlineChangeMonitor(
+                dt_builder, 50, window_size=100, kind="tabular",
+                n_boot=0, delta_threshold=0.1,
+            )  # n_items is a transactions-only parameter
+        with pytest.raises(InvalidParameterError):
+            OnlineChangeMonitor(
+                dt_builder, window_size=100, kind="sql",
+                n_boot=0, delta_threshold=0.1,
+            )
+        class NotAPartitionModel:
+            pass
+
+        monitor = OnlineChangeMonitor(
+            lambda d: NotAPartitionModel(), window_size=100, kind="tabular",
+            n_boot=0, delta_threshold=0.1,
+        )
+        with pytest.raises(InvalidParameterError):
+            monitor.push(generate_classification(200, function=1, seed=2))
+
+    def test_non_dataset_chunk_rejected(self):
+        monitor = OnlineChangeMonitor(
+            dt_builder, window_size=100, kind="tabular",
+            n_boot=0, delta_threshold=0.1,
+        )
+        with pytest.raises(InvalidParameterError):
+            monitor.push([(1, 2, 3)])
+
+
+class TestTransactionFlush:
+    def test_flush_emits_the_trailing_partial_window(self):
+        stream = list(
+            generate_basket(2_300, n_items=40, avg_transaction_len=5, seed=9)
+        )
+        monitor = OnlineChangeMonitor(
+            lambda d: LitsModel.mine(d, 0.05, max_len=2),
+            40, window_size=1_000, step=1_000,
+            n_boot=0, delta_threshold=100.0,
+        )
+        observations = monitor.push(stream)
+        assert len(observations) == 1  # rows 1000..2000
+        flushed = monitor.flush()
+        assert len(flushed) == 1  # rows 2000..2300, the trailing 300
+        assert len(monitor.history) == 2
+        assert monitor.rows_sketched == 1_300
+
+    def test_flush_with_nothing_pending_is_empty(self):
+        stream = list(
+            generate_basket(2_000, n_items=40, avg_transaction_len=5, seed=9)
+        )
+        monitor = OnlineChangeMonitor(
+            lambda d: LitsModel.mine(d, 0.05, max_len=2),
+            40, window_size=1_000, step=1_000,
+            n_boot=0, delta_threshold=100.0,
+        )
+        monitor.push(stream)
+        assert monitor.flush() == []

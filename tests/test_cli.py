@@ -171,6 +171,41 @@ class TestMonitorStream:
         )
         assert "warm-up" in text
 
+    def test_monitor_stream_flushes_trailing_partial_window(self, stream_file):
+        # 2,400 rows with window 1,000: reference + one full window +
+        # 400 trailing rows that only the flush reports.
+        text = run_cli(
+            ["monitor-stream", "--data", str(stream_file),
+             "--window", "1000", "--min-support", "0.05",
+             "--boot", "0", "--delta-threshold", "3.0"]
+        )
+        assert "partial final window" in text
+        assert "2 windows monitored" in text
+
+    def test_monitor_stream_tabular_kind(self, tmp_path):
+        path = tmp_path / "people.npz"
+        run_cli(["generate-classify", "--out", str(path), "--n", "2300",
+                 "--function", "1", "--seed", "11"])
+        text = run_cli(
+            ["monitor-stream", "--data", str(path), "--kind", "tabular",
+             "--window", "1000", "--boot", "0",
+             "--delta-threshold", "0.5", "--max-depth", "4"]
+        )
+        assert "windows monitored" in text
+        assert "partial final window" in text  # the trailing 300 rows
+        assert "rows sketched incrementally" in text
+
+    def test_monitor_stream_tabular_bootstrap(self, tmp_path):
+        path = tmp_path / "people.npz"
+        run_cli(["generate-classify", "--out", str(path), "--n", "2000",
+                 "--function", "1", "--seed", "12"])
+        text = run_cli(
+            ["monitor-stream", "--data", str(path), "--kind", "tabular",
+             "--window", "500", "--step", "250", "--boot", "4",
+             "--seed", "3", "--max-depth", "3"]
+        )
+        assert "windows monitored" in text
+
 
 class TestParser:
     def test_unknown_command_exits(self):
