@@ -1,0 +1,147 @@
+"""Ablation: delta*-pruned fleet matrices vs the exhaustive oracle.
+
+The fleet engine's claims, pinned at acceptance scale (a 24-store lits
+fleet -- 20 healthy stores cloned from one regional buying process plus
+4 drifted outliers, the fleet-health shape where certification pays):
+
+* **pruning**: with the threshold between the healthy and drifted
+  regimes, the delta* bound matrix certifies every healthy-healthy pair
+  without a scan -- >= 50% of the exact pair computations are skipped;
+* **agreement**: the pruned matrix equals the exhaustive oracle on
+  every scanned entry, majorises it elsewhere while staying below the
+  threshold, and makes identical threshold decisions (so the threshold
+  grouping is exact);
+* **one scan per store**: even the exhaustive path builds each store's
+  counting state once per GCR family -- 24 batched scans total, not one
+  per pair (the naive loop's 2 x 276).
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.core.deviation import deviation
+from repro.core.lits import LitsModel
+from repro.data.quest_basket import build_pattern_pool, generate_basket
+from repro.fleet import FleetDeviationMatrix, components
+
+N_HEALTHY = 20
+N_DRIFTED = 4
+N_STORES = N_HEALTHY + N_DRIFTED
+N_PAIRS = N_STORES * (N_STORES - 1) // 2
+N_TRANSACTIONS = 1_200
+N_ITEMS = 100
+MIN_SUPPORT = 0.02
+
+
+@pytest.fixture(scope="module")
+def fleet():
+    """24 stores: 20 from one healthy process, 4 drifted outliers."""
+    rng = np.random.default_rng(417)
+    healthy_pool = build_pattern_pool(
+        rng, n_items=N_ITEMS, n_patterns=80, avg_pattern_len=4
+    )
+    datasets = [
+        generate_basket(N_TRANSACTIONS, n_items=N_ITEMS,
+                        avg_transaction_len=8, rng=rng, pool=healthy_pool)
+        for _ in range(N_HEALTHY)
+    ]
+    for k in range(N_DRIFTED):
+        drifted_pool = build_pattern_pool(
+            rng, n_items=N_ITEMS, n_patterns=80, avg_pattern_len=6 + k % 2
+        )
+        datasets.append(
+            generate_basket(N_TRANSACTIONS, n_items=N_ITEMS,
+                            avg_transaction_len=8, rng=rng, pool=drifted_pool)
+        )
+    models = [LitsModel.mine(d, MIN_SUPPORT, max_len=2) for d in datasets]
+    return models, datasets
+
+
+def drift_threshold(bounds: np.ndarray) -> float:
+    """The operator's cut: between the healthy and drifted bound regimes."""
+    healthy = bounds[:N_HEALTHY, :N_HEALTHY]
+    within = healthy[np.triu_indices(N_HEALTHY, k=1)]
+    involving_drifted = bounds[N_HEALTHY:, :][
+        bounds[N_HEALTHY:, :] > 0
+    ]
+    return float((within.max() + involving_drifted.min()) / 2.0)
+
+
+def test_pruning_skips_half_the_pair_scans_and_agrees(benchmark, fleet):
+    """The acceptance bar: >= 50% of exact pair scans pruned, oracle-equal."""
+    models, datasets = fleet
+
+    oracle_engine = FleetDeviationMatrix(models, datasets)
+    t0 = time.perf_counter()
+    exhaustive = oracle_engine.exhaustive()
+    t_exhaustive = time.perf_counter() - t0
+
+    threshold = drift_threshold(oracle_engine.bound_matrix())
+
+    def run_pruned():
+        engine = FleetDeviationMatrix(models, datasets)
+        return engine, engine.pruned(threshold)
+
+    engine, pruned = benchmark.pedantic(
+        run_pruned, rounds=1, iterations=1
+    )
+
+    # >= 50% of the exact pair computations were skipped.
+    assert pruned.n_pairs == N_PAIRS
+    assert pruned.n_pruned >= N_PAIRS // 2, (
+        f"only {pruned.n_pruned}/{N_PAIRS} pairs pruned"
+    )
+    assert engine.n_pair_computations == N_PAIRS - pruned.n_pruned
+
+    # Agreement with the exhaustive oracle: exact where scanned,
+    # majorising-but-certified where pruned, same decisions everywhere.
+    assert np.allclose(
+        pruned.values[pruned.exact_mask], exhaustive.values[pruned.exact_mask]
+    )
+    assert (pruned.values >= exhaustive.values - 1e-9).all()
+    assert (pruned.values[~pruned.exact_mask] <= threshold + 1e-12).all()
+    assert (
+        (pruned.values <= threshold) == (exhaustive.values <= threshold)
+    ).all()
+    assert pruned.components() == components(
+        exhaustive.values, threshold, names=exhaustive.names
+    )
+    # The healthy fleet hangs together; the drifted stores stand apart.
+    groups = pruned.components()
+    healthy_group = next(
+        members for members in groups.values() if "store-0" in members
+    )
+    assert len(healthy_group) >= N_HEALTHY
+
+    t1 = time.perf_counter()
+    run_pruned()
+    t_pruned = time.perf_counter() - t1
+    print(
+        f"\n{N_STORES} stores / {N_PAIRS} pairs: pruned "
+        f"{pruned.n_pruned} ({100 * pruned.n_pruned / N_PAIRS:.0f}%), "
+        f"scanned {pruned.n_scanned}; pruned matrix {t_pruned * 1e3:.0f}ms "
+        f"vs exhaustive {t_exhaustive * 1e3:.0f}ms "
+        f"({t_exhaustive / max(t_pruned, 1e-9):.1f}x)"
+    )
+
+
+def test_counting_state_built_once_per_store_not_once_per_pair(fleet):
+    """Scan accounting: N batched scans for N stores, not one per pair."""
+    models, datasets = fleet
+    engine = FleetDeviationMatrix(models, datasets)
+    exhaustive = engine.exhaustive()
+    assert engine.scan_counts() == [1] * N_STORES
+    # Re-deriving any product of the matrix re-uses the memoised state.
+    engine.exhaustive()
+    engine.pruned(drift_threshold(engine.bound_matrix()))
+    assert engine.scan_counts() == [1] * N_STORES
+    assert engine.n_pair_computations == N_PAIRS
+
+    # And the per-store reuse loses nothing vs the naive pair loop.
+    i, j = 0, N_HEALTHY  # a healthy-vs-drifted pair
+    direct = deviation(models[i], models[j], datasets[i], datasets[j]).value
+    assert exhaustive.values[i, j] == pytest.approx(direct)

@@ -6,10 +6,14 @@ same marketing strategy" -- and delta*'s triangle inequality means the
 fleet "can be embedded in a k-dimensional space for visually comparing
 their relative differences".
 
-This script builds eight stores from three regional buying processes,
-computes the pairwise delta* matrix from the mined models alone (no
-dataset re-scans), embeds it with classical MDS, and groups the stores
-with agglomerative clustering.
+This script builds eight stores from three regional buying processes and
+runs them through :class:`repro.fleet.FleetDeviationMatrix`: the cheap
+delta* bound matrix is filled from the mined models alone, pairs whose
+bound certifies them as quiet are never re-scanned (Theorem 4.2: the
+exact deviation is at most the bound), and only the pairs that might
+differ significantly pay an exact measurement -- each store's dataset
+scanned once, not once per pair. The resulting matrix is embedded with
+classical MDS and grouped with agglomerative clustering.
 
 Run:  python examples/store_fleet_analysis.py
 """
@@ -18,14 +22,9 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro import (
-    LitsModel,
-    embed_models,
-    generate_basket,
-    group_stores,
-    upper_bound_matrix,
-)
+from repro import LitsModel, generate_basket
 from repro.data.quest_basket import build_pattern_pool
+from repro.fleet import FleetDeviationMatrix
 
 MIN_SUPPORT = 0.02
 REGION_OF_STORE = ["north", "north", "north", "south", "south", "south",
@@ -58,21 +57,38 @@ def main(n_transactions: int = 3_000, seed: int = 23) -> dict:
     print("mined one lits-model per store "
           f"({', '.join(str(len(m)) for m in models)} itemsets)")
 
+    engine = FleetDeviationMatrix(models, stores, names=names)
+
     # Pairwise delta*: models only, no dataset scans (Theorem 4.2).
-    distances = upper_bound_matrix(models)
-    print("\npairwise delta* matrix:")
-    for i, row in enumerate(distances):
+    bounds = engine.bound_matrix()
+    print("\npairwise delta* bound matrix:")
+    for i, row in enumerate(bounds):
         cells = " ".join(f"{v:7.2f}" for v in row)
         print(f"  {names[i]:18s} {cells}")
 
+    # Exact-where-it-matters: certify the quietest pairs from their
+    # bounds alone and re-scan only the rest. The threshold is the
+    # operator's insignificance budget; here, the lower quartile of the
+    # observed bounds (the within-region regime).
+    off_diagonal = bounds[np.triu_indices(len(names), k=1)]
+    threshold = float(np.quantile(off_diagonal, 0.25))
+    result = engine.pruned(threshold)
+    print(
+        f"\ndelta*-pruned matrix at threshold {threshold:.2f}: "
+        f"{result.n_pruned} of {result.n_pairs} pairs certified without a "
+        f"scan, {result.n_scanned} re-scanned exactly, "
+        f"{result.n_model_only} answered from the models (Section 7.1); "
+        f"store scans: {engine.scan_counts()}"
+    )
+
     # Embed for visual comparison.
-    coords = embed_models(models, k=2)
-    print("\n2-D MDS embedding (delta* distances):")
+    coords = result.embedding(k=2)
+    print("\n2-D MDS embedding (deviation distances):")
     for name, (x, y) in zip(names, coords):
         print(f"  {name:18s} ({x:8.2f}, {y:8.2f})")
 
     # Group for marketing strategies.
-    groups = group_stores(distances, n_groups=3, names=names)
+    groups = result.groups(n_groups=3)
     print("\nstores grouped for marketing strategies:")
     for group, members in sorted(groups.items()):
         print(f"  strategy {group}: {', '.join(members)}")
@@ -84,7 +100,13 @@ def main(n_transactions: int = 3_000, seed: int = 23) -> dict:
         by_region.setdefault(region, set()).add(labels[name])
     consistent = all(len(gs) == 1 for gs in by_region.values())
     print(f"\ngroups match the true regional processes: {consistent}")
-    return {"groups": groups, "consistent": consistent}
+    return {
+        "groups": groups,
+        "consistent": consistent,
+        "threshold": threshold,
+        "n_pruned": result.n_pruned,
+        "n_pairs": result.n_pairs,
+    }
 
 
 if __name__ == "__main__":

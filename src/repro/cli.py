@@ -9,9 +9,15 @@ Subcommands::
     compare-dt        --data1 a.npz --data2 b.npz [--boot 50]
     monitor-stream    --data txns.txt --window 1000 [--step 250 --boot 8]
     monitor-stream    --data people.npz --kind tabular --window 1000
+    fleet             --data a.txt b.txt c.txt [--threshold 5 --groups 2]
 
 ``compare-*`` prints delta, (for lits) delta*, and the bootstrap
 significance -- the full Section 3 pipeline from flat files.
+``fleet`` computes the all-pairs deviation matrix of many store files
+through :class:`repro.fleet.FleetDeviationMatrix` -- with ``--threshold``
+only pairs whose delta* bound crosses it are scanned exactly -- and
+emits the matrix, a 2-D MDS embedding, the groups, and the pruning
+statistics as JSON (or the matrix as CSV).
 ``monitor-stream`` treats the file as a temporally ordered stream: the
 first window becomes the reference, every later window is maintained
 incrementally (mergeable sketches; no rescan of surviving rows) and
@@ -103,6 +109,42 @@ def _add_compare_dt(sub) -> None:
     p.add_argument("--seed", type=int, default=None)
 
 
+def _add_fleet(sub) -> None:
+    p = sub.add_parser(
+        "fleet",
+        help="all-pairs deviation matrix + embedding + groups over many "
+        "store files (delta*-pruned when --threshold is given)",
+    )
+    p.add_argument("--data", required=True, nargs="+",
+                   help="two or more store datasets (all .txt transactions "
+                   "or all .npz tabular)")
+    p.add_argument("--kind", choices=("transactions", "tabular"),
+                   default="transactions")
+    p.add_argument("--names", nargs="+", default=None,
+                   help="store names (default: file stems)")
+    p.add_argument("--min-support", type=float, default=0.02)
+    p.add_argument("--max-len", type=int, default=2)
+    p.add_argument("--max-depth", type=int, default=6,
+                   help="dt-model depth (tabular kind)")
+    p.add_argument("--min-leaf", type=int, default=25,
+                   help="dt-model min rows per leaf (tabular kind)")
+    p.add_argument("--threshold", type=float, default=None,
+                   help="delta* pruning threshold (transactions kind only): "
+                   "pairs whose bound stays at or below it are certified, "
+                   "not scanned (default: exhaustive)")
+    p.add_argument("--groups", type=int, default=None,
+                   help="agglomerative group count (default: threshold "
+                   "components when pruning, else no groups)")
+    p.add_argument("--linkage", choices=("single", "complete", "average"),
+                   default="average")
+    p.add_argument("--k", type=int, default=2, help="embedding dimensions")
+    p.add_argument("--format", choices=("json", "csv"), default="json")
+    p.add_argument("--out", default=None,
+                   help="write the report here instead of stdout")
+    p.add_argument("--executor", choices=("serial", "thread", "process"),
+                   default="serial")
+
+
 def _add_monitor_stream(sub) -> None:
     p = sub.add_parser(
         "monitor-stream",
@@ -149,6 +191,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_compare_lits(sub)
     _add_compare_dt(sub)
     _add_compare_models(sub)
+    _add_fleet(sub)
     _add_monitor_stream(sub)
     return parser
 
@@ -249,6 +292,64 @@ def _cmd_compare_dt(args, out) -> int:
     return 0
 
 
+def _cmd_fleet(args, out) -> int:
+    import json
+    from pathlib import Path
+
+    from repro.fleet import FleetDeviationMatrix
+
+    if args.kind == "tabular" and args.threshold is not None:
+        print(
+            "--threshold (delta* pruning) applies to the transactions kind "
+            "only: the delta* bound exists for lits-models, not partition "
+            "models. Drop --threshold to compute the tabular fleet "
+            "exhaustively.",
+            file=sys.stderr,
+        )
+        return 2
+
+    if args.kind == "tabular":
+        datasets = [load_tabular(p) for p in args.data]
+        params = TreeParams(max_depth=args.max_depth, min_leaf=args.min_leaf)
+        models = [DtModel.fit(d, params) for d in datasets]
+    else:
+        datasets = [load_transactions(p) for p in args.data]
+        models = [
+            LitsModel.mine(d, args.min_support, max_len=args.max_len)
+            for d in datasets
+        ]
+    names = args.names or [Path(p).stem for p in args.data]
+    engine = FleetDeviationMatrix(
+        models, datasets, names=names, executor=args.executor
+    )
+    if args.threshold is not None:
+        result = engine.pruned(args.threshold)
+    else:
+        result = engine.exhaustive()
+
+    if args.format == "csv":
+        payload = result.to_csv()
+    else:
+        report = result.to_report(
+            k=args.k, n_groups=args.groups, linkage=args.linkage
+        )
+        payload = json.dumps(report, indent=2) + "\n"
+    if args.out:
+        Path(args.out).write_text(payload)
+    else:
+        out.write(payload)
+    print(
+        f"{len(names)} stores, {result.n_pairs} pairs: "
+        f"{result.n_scanned} scanned exactly, {result.n_model_only} from "
+        f"models alone, {result.n_pruned} certified by delta*"
+        + (f" at threshold {result.threshold:g}" if result.threshold is not None
+           else "")
+        + (f"; wrote {args.out}" if args.out else ""),
+        file=sys.stderr if not args.out else out,
+    )
+    return 0
+
+
 def _cmd_monitor_stream(args, out) -> int:
     from repro.stream import (
         OnlineChangeMonitor,
@@ -312,6 +413,7 @@ COMMANDS = {
     "compare-lits": _cmd_compare_lits,
     "compare-dt": _cmd_compare_dt,
     "compare-models": _cmd_compare_models,
+    "fleet": _cmd_fleet,
     "monitor-stream": _cmd_monitor_stream,
 }
 

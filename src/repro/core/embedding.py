@@ -21,21 +21,43 @@ from typing import Sequence
 import numpy as np
 
 from repro.core.aggregate import SUM, AggregateFunction
-from repro.core.deviation import deviation
 from repro.core.difference import ABSOLUTE, DifferenceFunction
 from repro.core.lits import LitsModel
 from repro.core.model import Model
 from repro.core.upper_bound import upper_bound_deviation
-from repro.errors import InvalidParameterError
+from repro.errors import IncompatibleModelsError, InvalidParameterError
+
+
+def _check_fleet_size(models: Sequence, what: str) -> None:
+    """Shared matrix-input validation: a non-empty fleet of >= 2 models."""
+    n = len(models)
+    if n == 0:
+        raise InvalidParameterError(
+            f"cannot build a {what} over an empty fleet of models"
+        )
+    if n < 2:
+        raise InvalidParameterError(
+            f"a {what} needs at least two models to compare, got {n}"
+        )
+
+
+def _check_fleet_of_models(models: Sequence, what: str) -> None:
+    """Matrix-input validation for delta* products: size plus all-lits."""
+    _check_fleet_size(models, what)
+    for i, m in enumerate(models):
+        if not isinstance(m, LitsModel):
+            raise IncompatibleModelsError(
+                f"delta* (Definition 4.1) is defined for lits-models only; "
+                f"model {i} is a {type(m).__name__}"
+            )
 
 
 def upper_bound_matrix(
     models: Sequence[LitsModel], g: AggregateFunction = SUM
 ) -> np.ndarray:
     """Pairwise ``delta*`` distances over lits-models (no dataset scans)."""
+    _check_fleet_of_models(models, "delta* matrix")
     n = len(models)
-    if n < 2:
-        raise InvalidParameterError("need at least two models to compare")
     out = np.zeros((n, n))
     for i in range(n):
         for j in range(i + 1, n):
@@ -50,20 +72,24 @@ def deviation_matrix(
     f: DifferenceFunction = ABSOLUTE,
     g: AggregateFunction = SUM,
 ) -> np.ndarray:
-    """Pairwise exact deviations over any model class (scans datasets)."""
+    """Pairwise exact deviations over any model class (scans datasets).
+
+    Routes through :class:`repro.fleet.FleetDeviationMatrix`, so each
+    dataset is scanned once per GCR family (lits fleets are batched per
+    store, partition fleets reuse the memoised assigner passes) instead
+    of once per pair. For threshold-pruned variants, incremental
+    updates, or the pruning statistics, use the engine directly.
+    """
+    from repro.fleet.matrix import FleetDeviationMatrix  # cycle-free at call
+
     if len(models) != len(datasets):
-        raise InvalidParameterError("models and datasets must be aligned")
-    n = len(models)
-    if n < 2:
-        raise InvalidParameterError("need at least two models to compare")
-    out = np.zeros((n, n))
-    for i in range(n):
-        for j in range(i + 1, n):
-            value = deviation(
-                models[i], models[j], datasets[i], datasets[j], f=f, g=g
-            ).value
-            out[i, j] = out[j, i] = value
-    return out
+        raise InvalidParameterError(
+            f"models and datasets must be aligned: got {len(models)} models "
+            f"vs {len(datasets)} datasets"
+        )
+    _check_fleet_size(models, "deviation matrix")
+    engine = FleetDeviationMatrix(models, datasets, f=f, g=g)
+    return engine.exhaustive().values
 
 
 def classical_mds(distances: np.ndarray, k: int = 2) -> np.ndarray:

@@ -60,9 +60,20 @@ def agglomerate(
 ) -> Grouping:
     """Agglomerative clustering of items given their distance matrix."""
     distances = np.asarray(distances, dtype=np.float64)
+    if distances.ndim != 2 or distances.shape[0] != distances.shape[1]:
+        raise InvalidParameterError(
+            f"distance matrix must be square, got shape {distances.shape}"
+        )
     n = distances.shape[0]
-    if distances.shape != (n, n):
-        raise InvalidParameterError("distance matrix must be square")
+    if n == 0:
+        raise InvalidParameterError(
+            "cannot group an empty fleet: the distance matrix has no rows"
+        )
+    if not np.allclose(distances, distances.T, atol=1e-9):
+        raise InvalidParameterError(
+            "distance matrix must be symmetric (deviation matrices are; "
+            "check how this one was assembled)"
+        )
     if not 1 <= n_groups <= n:
         raise InvalidParameterError(f"n_groups must be in [1, {n}]")
     if linkage not in LINKAGES:
@@ -101,6 +112,12 @@ def group_stores(
     names: Sequence[str] | None = None,
 ) -> dict[int, list]:
     """The marketing workflow: group labels -> member names (or indices)."""
+    distance_matrix = np.asarray(distance_matrix, dtype=np.float64)
+    if names is not None and len(names) != distance_matrix.shape[0]:
+        raise InvalidParameterError(
+            f"names must align with the matrix: got {len(names)} names for "
+            f"{distance_matrix.shape[0]} stores"
+        )
     grouping = agglomerate(distance_matrix, n_groups, linkage)
     out: dict[int, list] = {}
     for group in range(grouping.n_groups):

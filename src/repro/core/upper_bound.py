@@ -21,6 +21,7 @@ import numpy as np
 
 from repro.core.aggregate import SUM, AggregateFunction
 from repro.core.lits import LitsModel
+from repro.errors import IncompatibleModelsError
 
 
 @dataclass(frozen=True)
@@ -42,6 +43,12 @@ def upper_bound_deviation(
     g: AggregateFunction = SUM,
 ) -> UpperBoundResult:
     """Compute ``delta*_(g)(M1, M2)`` from the models alone."""
+    for model in (model1, model2):
+        if not isinstance(model, LitsModel):
+            raise IncompatibleModelsError(
+                f"delta* (Definition 4.1) is defined for lits-models only, "
+                f"got a {type(model).__name__}"
+            )
     union = sorted(
         set(model1.itemsets) | set(model2.itemsets),
         key=lambda s: (len(s), tuple(sorted(s))),

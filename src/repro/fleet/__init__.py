@@ -1,0 +1,34 @@
+"""Fleet-scale pairwise deviation: delta*-pruned all-pairs matrices.
+
+The paper's marketing scenario at production scale: ``N`` store
+datasets, all ``N (N - 1) / 2`` pairwise deviations, computed by
+filling the no-scan delta* bound matrix first and exactly re-scanning
+only the pairs the bound cannot certify -- with every dataset scanned
+once per GCR family (not once per pair), optional thread/process
+fan-out, and incremental single-store updates when a log appends.
+
+* :mod:`repro.fleet.matrix` -- :class:`FleetDeviationMatrix` (the
+  engine) and :class:`FleetMatrix` (the result);
+* :mod:`repro.fleet.counting` -- per-store memoised counting state;
+* :mod:`repro.fleet.analysis` -- grouping (threshold components),
+  report assembly, and CSV export.
+"""
+
+from repro.fleet.analysis import components, fleet_report, matrix_to_csv
+from repro.fleet.counting import (
+    LitsStoreCounter,
+    prime_lits_counters,
+    prime_partition_passes,
+)
+from repro.fleet.matrix import FleetDeviationMatrix, FleetMatrix
+
+__all__ = [
+    "FleetDeviationMatrix",
+    "FleetMatrix",
+    "LitsStoreCounter",
+    "components",
+    "fleet_report",
+    "matrix_to_csv",
+    "prime_lits_counters",
+    "prime_partition_passes",
+]

@@ -1,0 +1,128 @@
+"""Fleet analysis products: grouping, embedding, and serialisation.
+
+Downstream of the :class:`~repro.fleet.matrix.FleetMatrix` sit the
+paper's two fleet deliverables -- the k-dimensional embedding "for
+visually comparing their relative differences" and the grouping that
+earmarks stores "for the same marketing strategy" -- plus the
+machine-readable exports the ``repro fleet`` CLI emits.
+
+:func:`components` is the grouping mode that pairs exactly with delta*
+pruning: it joins stores whose deviation is at most a threshold, and a
+pruned entry (which is an upper bound at most the threshold) decides
+that edge identically to the exact value, so the groups computed from a
+pruned matrix equal the groups from the exhaustive oracle.
+"""
+
+from __future__ import annotations
+
+import io
+from typing import Sequence
+
+import numpy as np
+
+from repro.errors import InvalidParameterError
+
+
+def components(
+    distances: np.ndarray,
+    threshold: float,
+    names: Sequence[str] | None = None,
+) -> dict[int, list]:
+    """Connected components of the ``distance <= threshold`` graph.
+
+    Stores are grouped transitively: two stores share a group when a
+    chain of pairwise deviations at or below ``threshold`` links them
+    (single-linkage clustering cut at ``threshold``). Groups are
+    numbered by their smallest member index.
+    """
+    distances = np.asarray(distances, dtype=np.float64)
+    n = distances.shape[0]
+    if distances.ndim != 2 or distances.shape != (n, n):
+        raise InvalidParameterError(
+            f"distance matrix must be square, got shape {distances.shape}"
+        )
+    parent = list(range(n))
+
+    def find(a: int) -> int:
+        while parent[a] != a:
+            parent[a] = parent[parent[a]]
+            a = parent[a]
+        return a
+
+    for i in range(n):
+        for j in range(i + 1, n):
+            if distances[i, j] <= threshold:
+                ra, rb = find(i), find(j)
+                if ra != rb:
+                    parent[max(ra, rb)] = min(ra, rb)
+
+    roots: dict[int, list[int]] = {}
+    for i in range(n):
+        roots.setdefault(find(i), []).append(i)
+    out: dict[int, list] = {}
+    for group, (_, members) in enumerate(sorted(roots.items())):
+        out[group] = [
+            names[m] if names is not None else m for m in members
+        ]
+    return out
+
+
+def fleet_report(
+    matrix,
+    k: int = 2,
+    n_groups: int | None = None,
+    linkage: str = "average",
+) -> dict:
+    """A JSON-able report of one fleet measurement.
+
+    Contains the store names, the deviation matrix with its exactness
+    mask, the delta* bound matrix when available, the ``k``-dimensional
+    MDS embedding, the groups (agglomerative when ``n_groups`` is
+    given, else threshold components when the matrix was pruned), and
+    the pruning statistics.
+    """
+    report = {
+        "kind": matrix.kind,
+        "f": matrix.f_name,
+        "g": matrix.g_name,
+        "names": list(matrix.names),
+        "matrix": matrix.values.tolist(),
+        "exact": matrix.exact_mask.tolist(),
+        "pruning": {
+            "threshold": matrix.threshold,
+            "n_pairs": matrix.n_pairs,
+            "n_scanned": matrix.n_scanned,
+            "n_model_only": matrix.n_model_only,
+            "n_pruned": matrix.n_pruned,
+        },
+    }
+    if matrix.bounds is not None:
+        report["bounds"] = matrix.bounds.tolist()
+    report["embedding"] = matrix.embedding(k=k).tolist()
+    if n_groups is not None:
+        groups = matrix.groups(n_groups, linkage=linkage)
+    elif matrix.threshold is not None:
+        groups = matrix.components()
+    else:
+        groups = None
+    if groups is not None:
+        report["groups"] = {str(g): members for g, members in groups.items()}
+    return report
+
+
+def matrix_to_csv(matrix) -> str:
+    """The deviation matrix as CSV: a header row, then one row per store.
+
+    Each data row is ``name, v_0, ..., v_{n-1}``; pruned (bound-valued)
+    entries are suffixed with ``*`` so the provenance survives export.
+    """
+    buf = io.StringIO()
+    buf.write("store," + ",".join(matrix.names) + "\n")
+    for i, name in enumerate(matrix.names):
+        cells = [
+            f"{matrix.values[i, j]:.10g}"
+            + ("" if matrix.exact_mask[i, j] else "*")
+            for j in range(matrix.n_stores)
+        ]
+        buf.write(name + "," + ",".join(cells) + "\n")
+    return buf.getvalue()

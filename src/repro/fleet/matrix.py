@@ -1,0 +1,599 @@
+"""Fleet-scale all-pairs deviation with delta*-based pruning.
+
+The paper's headline marketing scenario -- "based on the deviation
+between pairs of datasets, a set of stores can be grouped together and
+earmarked for the same marketing strategy" -- is an all-pairs workload:
+``N`` stores, ``N (N - 1) / 2`` deviations. Computed naively that is a
+dataset scan per *pair*; this engine restores the paper's intended
+economics:
+
+1. **bound first** -- the delta* upper bound (Theorem 4.2) needs only
+   the models, so the full bound matrix costs zero dataset scans;
+2. **prune** -- a pair whose bound is at or below the caller's
+   significance threshold is *certified* to deviate by at most that
+   much ("analyze the data thoroughly only if the current snapshot
+   differs significantly"); only pairs whose bound crosses the
+   threshold are re-scanned exactly, and the exhaustive path is kept as
+   the oracle;
+3. **scan once per store** -- every exact pair reuses its two stores'
+   memoised counting state (:mod:`repro.fleet.counting`), so each
+   dataset is scanned once per GCR family, not once per pair;
+4. **fan out** -- the scans ride the serial/thread/process executors of
+   :mod:`repro.stream.executor`.
+
+Pruned entries report the delta* bound itself, flagged by
+``exact_mask``. Because the bound majorises the exact deviation, every
+threshold decision (``deviation <= threshold``?) agrees exactly with
+the exhaustive matrix -- which is why :meth:`FleetMatrix.components`
+grouping at the pruning threshold is exact despite the skipped scans.
+
+Both lits- and partition-model fleets are supported; delta* exists only
+for lits-models, so partition fleets use the exhaustive path (their
+per-store reuse comes from the memoised assigner passes). Appendable
+stores (:class:`~repro.stream.chunks.TransactionLog` /
+:class:`~repro.stream.chunks.TabularLog`) make the matrix incremental:
+after appending, :meth:`FleetDeviationMatrix.update` re-mines only that
+store's model and recomputes only its row/column.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.core.aggregate import MAX, SUM, AggregateFunction
+from repro.core.deviation import _counts_from_models, deviation_from_counts
+from repro.core.difference import ABSOLUTE, DifferenceFunction
+from repro.core.gcr import gcr
+from repro.core.lits import LitsModel
+from repro.core.model import PartitionStructure
+from repro.core.upper_bound import upper_bound_deviation
+from repro.errors import IncompatibleModelsError, InvalidParameterError
+from repro.fleet.counting import (
+    LitsStoreCounter,
+    prime_lits_counters,
+    prime_partition_passes,
+)
+from repro.stream.executor import get_executor
+
+#: How a cached exact pair value was obtained.
+_SCAN, _MODEL_ONLY = "scan", "model"
+
+
+def _model_kind(model) -> str:
+    """``"lits"`` / ``"partition"`` / the class name for anything else."""
+    if isinstance(model, LitsModel):
+        return "lits"
+    if isinstance(getattr(model, "structure", None), PartitionStructure):
+        return "partition"
+    return type(model).__name__
+
+
+@dataclass(frozen=True)
+class FleetMatrix:
+    """An all-pairs deviation matrix plus its provenance.
+
+    ``values[i, j]`` is the exact deviation wherever ``exact_mask`` is
+    true; elsewhere it is the pair's delta* bound (an upper bound on the
+    exact value, itself at most ``threshold``). The matrix is symmetric
+    with a zero diagonal.
+    """
+
+    names: tuple[str, ...]
+    values: np.ndarray
+    exact_mask: np.ndarray
+    kind: str
+    f_name: str
+    g_name: str
+    bounds: np.ndarray | None = None
+    threshold: float | None = None
+    n_scanned: int = 0
+    n_model_only: int = 0
+    n_pruned: int = 0
+
+    @property
+    def n_stores(self) -> int:
+        return len(self.names)
+
+    @property
+    def n_pairs(self) -> int:
+        n = self.n_stores
+        return n * (n - 1) // 2
+
+    def embedding(self, k: int = 2) -> np.ndarray:
+        """Classical MDS coordinates of the stores (``(n, k)``).
+
+        ``n`` points embed exactly in at most ``n - 1`` dimensions, so
+        for tiny fleets the extra requested axes carry no information;
+        they are zero-padded rather than rejected (a 2-store fleet in
+        the default ``k=2`` is a line plus a zero column).
+        """
+        from repro.core.embedding import classical_mds
+
+        if k < 1:
+            raise InvalidParameterError(f"k must be >= 1, got {k}")
+        n = self.n_stores
+        if n == 1:
+            return np.zeros((1, k))
+        k_eff = min(k, n - 1)
+        coords = classical_mds(self.values, k=k_eff)
+        if k_eff < k:
+            coords = np.pad(coords, ((0, 0), (0, k - k_eff)))
+        return coords
+
+    def groups(
+        self, n_groups: int, linkage: str = "average"
+    ) -> dict[int, list]:
+        """Agglomerative grouping into ``n_groups`` marketing strategies."""
+        from repro.core.grouping import group_stores
+
+        if self.n_stores == 1:
+            if n_groups != 1:
+                raise InvalidParameterError(
+                    "a single-store fleet only supports n_groups=1"
+                )
+            return {0: [self.names[0]]}
+        return group_stores(self.values, n_groups, linkage, names=self.names)
+
+    def components(self, threshold: float | None = None) -> dict[int, list]:
+        """Connected components under ``deviation <= threshold``.
+
+        At the pruning threshold this grouping is *exact*: a pruned
+        entry is certified at or below the threshold (hence an edge)
+        and every other entry is the exact deviation. See
+        :mod:`repro.fleet.analysis`.
+        """
+        from repro.fleet.analysis import components
+
+        if threshold is None:
+            threshold = self.threshold
+        if threshold is None:
+            raise InvalidParameterError(
+                "components() needs a threshold (none was recorded on "
+                "this matrix; pass one explicitly)"
+            )
+        return components(self.values, threshold, names=self.names)
+
+    def to_report(
+        self, k: int = 2, n_groups: int | None = None, linkage: str = "average"
+    ) -> dict:
+        """JSON-able report: matrix + embedding + groups + pruning stats."""
+        from repro.fleet.analysis import fleet_report
+
+        return fleet_report(self, k=k, n_groups=n_groups, linkage=linkage)
+
+    def to_csv(self) -> str:
+        """The deviation matrix as CSV (header row + one row per store)."""
+        from repro.fleet.analysis import matrix_to_csv
+
+        return matrix_to_csv(self)
+
+
+class FleetDeviationMatrix:
+    """All-pairs deviation engine over an aligned fleet of stores.
+
+    Parameters
+    ----------
+    models, datasets:
+        The per-store models and the datasets that induced them,
+        aligned. All stores must share one model kind (lits or
+        partition); mixing raises :class:`IncompatibleModelsError`.
+        Datasets may be appendable logs -- see :meth:`update`.
+    names:
+        Optional store names (default ``store-0`` ... ``store-N-1``).
+    f, g:
+        Difference and aggregate functions for the exact deviations.
+        Pruning requires ``f_a`` with ``g_sum`` or ``g_max`` -- the
+        combinations delta* provably majorises.
+    executor:
+        Backend for fanning the per-store scans: ``"serial"``,
+        ``"thread"``, ``"process"``, or an object with ``.map``.
+    model_builder:
+        Optional ``dataset -> model`` callable so :meth:`update` can
+        re-mine a store after its log grew.
+    """
+
+    def __init__(
+        self,
+        models: Sequence,
+        datasets: Sequence,
+        names: Sequence[str] | None = None,
+        *,
+        f: DifferenceFunction = ABSOLUTE,
+        g: AggregateFunction = SUM,
+        executor="serial",
+        model_builder: Callable | None = None,
+    ) -> None:
+        models = list(models)
+        datasets = list(datasets)
+        if not models:
+            raise InvalidParameterError(
+                "cannot build a fleet matrix over an empty fleet: give at "
+                "least one (model, dataset) store"
+            )
+        if len(models) != len(datasets):
+            raise InvalidParameterError(
+                f"models and datasets must align store-for-store: got "
+                f"{len(models)} models vs {len(datasets)} datasets"
+            )
+        kinds = {_model_kind(m) for m in models}
+        if len(kinds) > 1:
+            raise IncompatibleModelsError(
+                f"a fleet must hold one model kind; got {sorted(kinds)} "
+                "(deviation between different model classes is undefined)"
+            )
+        self.kind = kinds.pop()
+        if self.kind not in ("lits", "partition"):
+            raise IncompatibleModelsError(
+                f"unsupported fleet model kind {self.kind!r}; expected "
+                "lits-models or partition (dt-/cluster-) models"
+            )
+        if names is None:
+            names = [f"store-{i}" for i in range(len(models))]
+        names = [str(n) for n in names]
+        if len(names) != len(models):
+            raise InvalidParameterError(
+                f"names must align with the fleet: got {len(names)} names "
+                f"for {len(models)} stores"
+            )
+        if len(set(names)) != len(names):
+            raise InvalidParameterError("store names must be unique")
+        if self.kind == "lits":
+            universes = {m.n_items for m in models}
+            if len(universes) > 1:
+                raise IncompatibleModelsError(
+                    f"lits fleet stores disagree on the item universe: "
+                    f"n_items in {sorted(universes)}"
+                )
+
+        self._models = models
+        self._datasets = datasets
+        self.names = tuple(names)
+        self._f = f
+        self._g = g
+        # Resolved once: pooled executors reuse their workers across
+        # every matrix computation of this engine (per-call resolution
+        # would spawn and abandon a pool per call).
+        self._executor = get_executor(executor)
+        self._model_builder = model_builder
+        self._counters = (
+            [LitsStoreCounter(d) for d in datasets]
+            if self.kind == "lits"
+            else []
+        )
+        self._n_rows = [len(d) for d in datasets]
+        #: Rows each store had when its *model* was supplied. A store
+        #: whose log outgrew this is "stale": its model no longer
+        #: describes its data, so neither the delta* bound nor the
+        #: stored-measures fast path may speak for it (see pruned()).
+        self._model_rows = [len(d) for d in datasets]
+        #: (i, j) i<j -> (exact value, _SCAN | _MODEL_ONLY)
+        self._exact: dict[tuple[int, int], tuple[float, str]] = {}
+        self._bounds: np.ndarray | None = None
+        self.n_pair_computations = 0
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+
+    def __len__(self) -> int:
+        return len(self._models)
+
+    @property
+    def models(self) -> tuple:
+        return tuple(self._models)
+
+    @property
+    def datasets(self) -> tuple:
+        return tuple(self._datasets)
+
+    def scan_counts(self) -> list[int]:
+        """Batched scans performed per store so far (lits fleets)."""
+        return [c.n_scans for c in self._counters]
+
+    def _index_of(self, store) -> int:
+        if isinstance(store, str):
+            try:
+                return self.names.index(store)
+            except ValueError:
+                raise InvalidParameterError(
+                    f"unknown store {store!r}; fleet stores are {self.names}"
+                ) from None
+        i = int(store)
+        if not 0 <= i < len(self._models):
+            raise InvalidParameterError(
+                f"store index {i} out of range for a {len(self._models)}-store "
+                "fleet"
+            )
+        return i
+
+    # ------------------------------------------------------------------ #
+    # The delta* bound matrix (no dataset scans)
+    # ------------------------------------------------------------------ #
+
+    def bound_matrix(self) -> np.ndarray:
+        """The pairwise delta* matrix, from the models alone (cached)."""
+        if self.kind != "lits":
+            raise IncompatibleModelsError(
+                "the delta* upper bound (Definition 4.1) exists only for "
+                "lits-models; partition fleets must use exhaustive()"
+            )
+        if self._bounds is None:
+            n = len(self._models)
+            out = np.zeros((n, n))
+            for i in range(n):
+                for j in range(i + 1, n):
+                    out[i, j] = out[j, i] = upper_bound_deviation(
+                        self._models[i], self._models[j], g=self._g
+                    ).value
+            self._bounds = out
+        return self._bounds
+
+    def _refresh_bounds_row(self, i: int) -> None:
+        if self._bounds is None:
+            return
+        for j in range(len(self._models)):
+            if j == i:
+                continue
+            value = upper_bound_deviation(
+                self._models[i], self._models[j], g=self._g
+            ).value
+            self._bounds[i, j] = self._bounds[j, i] = value
+
+    # ------------------------------------------------------------------ #
+    # Exact computation with per-store scan reuse
+    # ------------------------------------------------------------------ #
+
+    def _refresh_grown_stores(self) -> None:
+        """Invalidate cached pair values of stores whose log grew.
+
+        The store's *model* is kept as-is (deviation of the stored model
+        against the grown snapshot is the monitoring view); call
+        :meth:`update` to re-mine it.
+        """
+        for i, dataset in enumerate(self._datasets):
+            if len(dataset) != self._n_rows[i]:
+                self._invalidate_store(i)
+
+    def _invalidate_store(self, i: int) -> None:
+        self._exact = {
+            pair: v for pair, v in self._exact.items() if i not in pair
+        }
+        if self._counters:
+            self._counters[i].reset()
+        self._n_rows[i] = len(self._datasets[i])
+
+    def _stale_stores(self) -> set[int]:
+        """Stores whose dataset grew past the rows their model was built on."""
+        return {
+            i
+            for i, d in enumerate(self._datasets)
+            if len(d) != self._model_rows[i]
+        }
+
+    def _ensure_exact(self, pairs: Sequence[tuple[int, int]]) -> None:
+        """Compute and cache the exact deviation of every listed pair."""
+        missing = [p for p in pairs if p not in self._exact]
+        if not missing:
+            return
+        structures = {
+            (i, j): gcr(self._models[i].structure, self._models[j].structure)
+            for i, j in missing
+        }
+        if self.kind == "lits":
+            self._ensure_exact_lits(missing, structures)
+        else:
+            self._ensure_exact_partition(missing, structures)
+        self.n_pair_computations += len(missing)
+
+    def _ensure_exact_lits(self, missing, structures) -> None:
+        models, counters = self._models, self._counters
+        stale = self._stale_stores()
+        model_only: dict[tuple[int, int], tuple] = {}
+        needed: dict[int, dict] = {}
+        for (i, j), s in structures.items():
+            n1 = counters[i].n_rows
+            n2 = counters[j].n_rows
+            # The stored-measures fast path (Section 7.1) speaks for the
+            # datasets the models were induced from; a store whose log
+            # grew past its model must be measured by a real scan.
+            fast = (
+                None
+                if i in stale or j in stale
+                else _counts_from_models(models[i], models[j], s, n1, n2)
+            )
+            if fast is not None:
+                model_only[(i, j)] = fast
+                continue
+            for store in (i, j):
+                needed.setdefault(store, {}).update(
+                    dict.fromkeys(s.itemsets)
+                )
+        prime_lits_counters(
+            counters,
+            {i: list(its) for i, its in needed.items()},
+            executor=self._executor,
+        )
+        for (i, j), s in structures.items():
+            n1, n2 = counters[i].n_rows, counters[j].n_rows
+            if (i, j) in model_only:
+                counts1, counts2 = model_only[(i, j)]
+                tag = _MODEL_ONLY
+            else:
+                counts1 = counters[i].vector(s.itemsets)
+                counts2 = counters[j].vector(s.itemsets)
+                tag = _SCAN
+            result = deviation_from_counts(
+                s, counts1, counts2, n1, n2, f=self._f, g=self._g
+            )
+            self._exact[(i, j)] = (result.value, tag)
+
+    def _ensure_exact_partition(self, missing, structures) -> None:
+        datasets = self._datasets
+        stores = {i for pair in missing for i in pair}
+        prime_partition_passes(
+            self._models, datasets, stores, executor=self._executor
+        )
+        # Identical GCR structures share each store's measured counts
+        # (the deviation_many trick, keyed order-sensitively).
+        counts_by: dict[tuple[int, object], np.ndarray] = {}
+        for (i, j), s in structures.items():
+            key = s.counts_key
+            counts = []
+            for store in (i, j):
+                cached = counts_by.get((store, key))
+                if cached is None:
+                    cached = np.asarray(s.counts(datasets[store]))
+                    counts_by[(store, key)] = cached
+                counts.append(cached)
+            result = deviation_from_counts(
+                s, counts[0], counts[1], len(datasets[i]), len(datasets[j]),
+                f=self._f, g=self._g,
+            )
+            self._exact[(i, j)] = (result.value, _SCAN)
+
+    def pair(self, store_a, store_b) -> float:
+        """The exact deviation of one pair (computed or cached)."""
+        i, j = sorted((self._index_of(store_a), self._index_of(store_b)))
+        if i == j:
+            return 0.0
+        self._refresh_grown_stores()
+        self._ensure_exact([(i, j)])
+        return self._exact[(i, j)][0]
+
+    # ------------------------------------------------------------------ #
+    # Matrices
+    # ------------------------------------------------------------------ #
+
+    def _assemble(
+        self,
+        exact_pairs: Sequence[tuple[int, int]],
+        bounds: np.ndarray | None,
+        threshold: float | None,
+    ) -> FleetMatrix:
+        n = len(self._models)
+        values = np.zeros((n, n))
+        exact_mask = np.zeros((n, n), dtype=bool)
+        np.fill_diagonal(exact_mask, True)
+        n_scanned = n_model_only = n_pruned = 0
+        exact_set = set(exact_pairs)
+        for i in range(n):
+            for j in range(i + 1, n):
+                if (i, j) in exact_set:
+                    value, tag = self._exact[(i, j)]
+                    exact_mask[i, j] = exact_mask[j, i] = True
+                    if tag == _MODEL_ONLY:
+                        n_model_only += 1
+                    else:
+                        n_scanned += 1
+                else:
+                    assert bounds is not None
+                    value = bounds[i, j]
+                    n_pruned += 1
+                values[i, j] = values[j, i] = value
+        return FleetMatrix(
+            names=self.names,
+            values=values,
+            exact_mask=exact_mask,
+            kind=self.kind,
+            f_name=self._f.name,
+            g_name=self._g.name,
+            bounds=None if bounds is None else bounds.copy(),
+            threshold=threshold,
+            n_scanned=n_scanned,
+            n_model_only=n_model_only,
+            n_pruned=n_pruned,
+        )
+
+    def exhaustive(self) -> FleetMatrix:
+        """The oracle: every pair computed exactly (scans memoised).
+
+        The result never carries a bound matrix -- exhaustive output is
+        about exact values, and attaching bounds only when an earlier
+        call happened to compute them would make the report schema
+        depend on call history. Use :meth:`bound_matrix` or
+        :meth:`pruned` when the bounds are the point.
+        """
+        self._refresh_grown_stores()
+        n = len(self._models)
+        pairs = [(i, j) for i in range(n) for j in range(i + 1, n)]
+        self._ensure_exact(pairs)
+        return self._assemble(pairs, None, threshold=None)
+
+    def pruned(self, threshold: float) -> FleetMatrix:
+        """delta*-pruned matrix: scan only pairs the bound cannot clear.
+
+        A pair whose delta* bound is at or below ``threshold`` is
+        certified insignificant at that level (its exact deviation is at
+        most the bound, Theorem 4.2) and is **not** scanned; its entry
+        reports the bound with ``exact_mask`` false. Every other pair is
+        computed exactly. All ``<= threshold`` decisions therefore agree
+        with :meth:`exhaustive`; with a threshold below every off-
+        diagonal bound nothing is pruned and the matrices are equal.
+
+        A store whose log grew past its model (appended without
+        :meth:`update`) is never certified: its delta* bound describes
+        the rows its model was mined from, not the grown snapshot, so
+        every pair involving it is scanned exactly regardless of the
+        bound -- which keeps the agreement guarantee intact.
+        """
+        threshold = float(threshold)
+        if not np.isfinite(threshold):
+            raise InvalidParameterError(
+                f"threshold must be finite, got {threshold}"
+            )
+        if self._f.name != ABSOLUTE.name or self._g.name not in (
+            SUM.name, MAX.name,
+        ):
+            raise InvalidParameterError(
+                "delta* pruning is only sound for the f_a difference with "
+                f"g_sum or g_max (Theorem 4.2); this fleet uses "
+                f"f={self._f.name}, g={self._g.name} -- use exhaustive()"
+            )
+        bounds = self.bound_matrix()  # raises for partition fleets
+        self._refresh_grown_stores()
+        stale = self._stale_stores()
+        n = len(self._models)
+        pairs = [
+            (i, j)
+            for i in range(n)
+            for j in range(i + 1, n)
+            if bounds[i, j] > threshold or i in stale or j in stale
+        ]
+        self._ensure_exact(pairs)
+        return self._assemble(pairs, bounds, threshold=threshold)
+
+    # ------------------------------------------------------------------ #
+    # Incremental maintenance
+    # ------------------------------------------------------------------ #
+
+    def update(self, store, *, model=None):
+        """Refresh one store after its log appended; returns its new model.
+
+        Re-mines the store's model (``model_builder``, unless ``model``
+        is given), drops the cached pair values and counting memo of
+        that store *only*, and refreshes its row/column of the bound
+        matrix. The next matrix call recomputes ``N - 1`` pairs instead
+        of ``N (N - 1) / 2``.
+        """
+        i = self._index_of(store)
+        if model is None:
+            if self._model_builder is None:
+                raise InvalidParameterError(
+                    "update() needs a model: pass model=... or construct "
+                    "the fleet with model_builder="
+                )
+            model = self._model_builder(self._datasets[i])
+        if _model_kind(model) != self.kind:
+            raise IncompatibleModelsError(
+                f"update would change store {self.names[i]!r} from a "
+                f"{self.kind} model to {_model_kind(model)}; a fleet holds "
+                "one model kind"
+            )
+        self._models[i] = model
+        self._invalidate_store(i)
+        self._model_rows[i] = len(self._datasets[i])
+        self._refresh_bounds_row(i)
+        return model

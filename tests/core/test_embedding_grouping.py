@@ -73,6 +73,28 @@ class TestDistanceMatrices:
         with pytest.raises(InvalidParameterError):
             deviation_matrix(models[:2], datasets[:3])
 
+    def test_empty_fleet_messages(self):
+        with pytest.raises(InvalidParameterError, match="empty fleet"):
+            upper_bound_matrix([])
+        with pytest.raises(InvalidParameterError, match="empty fleet"):
+            deviation_matrix([], [])
+        with pytest.raises(InvalidParameterError, match="empty fleet"):
+            embed_models([])
+
+    def test_mixed_model_kinds_rejected(self, store_fleet):
+        from repro.data.quest_classify import generate_classification
+        from repro.errors import IncompatibleModelsError
+
+        models, datasets = store_fleet
+        tab = generate_classification(400, function=1, seed=3)
+        dt = DtModel.fit(tab, TreeParams(max_depth=3, min_leaf=25))
+        with pytest.raises(IncompatibleModelsError, match="lits-models"):
+            upper_bound_matrix([models[0], dt])
+        with pytest.raises(IncompatibleModelsError, match="lits-models"):
+            embed_models([models[0], dt])
+        with pytest.raises(IncompatibleModelsError, match="one model kind"):
+            deviation_matrix([models[0], dt], [datasets[0], tab])
+
 
 class TestClassicalMds:
     def test_exact_recovery_of_planar_points(self):
@@ -149,6 +171,22 @@ class TestGrouping:
             agglomerate(np.zeros((3, 3)), n_groups=2, linkage="median")
         with pytest.raises(InvalidParameterError):
             agglomerate(np.zeros((3, 4)), n_groups=2)
+
+    def test_rejects_empty_and_asymmetric_matrices(self):
+        with pytest.raises(InvalidParameterError, match="empty fleet"):
+            agglomerate(np.zeros((0, 0)), n_groups=1)
+        asymmetric = np.array([[0.0, 1.0, 2.0],
+                               [1.0, 0.0, 3.0],
+                               [2.0, 9.0, 0.0]])
+        with pytest.raises(InvalidParameterError, match="symmetric"):
+            agglomerate(asymmetric, n_groups=2)
+        with pytest.raises(InvalidParameterError, match="symmetric"):
+            group_stores(asymmetric, 2)
+
+    def test_group_stores_names_must_align(self):
+        m = np.array([[0.0, 1.0], [1.0, 0.0]])
+        with pytest.raises(InvalidParameterError, match="align"):
+            group_stores(m, 1, names=["only-one"])
 
 
 class TestDtModelsInMatrices:

@@ -1,0 +1,479 @@
+"""Unit tests for the FleetDeviationMatrix engine."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.deviation import deviation
+from repro.core.difference import SCALED
+from repro.core.dtree_model import DtModel
+from repro.core.lits import LitsModel
+from repro.data.quest_basket import build_pattern_pool, generate_basket
+from repro.data.quest_classify import generate_classification
+from repro.errors import IncompatibleModelsError, InvalidParameterError
+from repro.fleet import FleetDeviationMatrix
+from repro.mining.tree.builder import TreeParams
+from repro.stream.chunks import TransactionLog
+
+
+def lits_builder(dataset) -> LitsModel:
+    return LitsModel.mine(dataset, 0.05, max_len=2)
+
+
+@pytest.fixture(scope="module")
+def lits_fleet():
+    """Five stores: three from one buying process, two from another."""
+    rng = np.random.default_rng(7)
+    pool_a = build_pattern_pool(rng, n_items=50, n_patterns=30,
+                                avg_pattern_len=3)
+    pool_b = build_pattern_pool(rng, n_items=50, n_patterns=30,
+                                avg_pattern_len=5)
+    datasets = [
+        generate_basket(500, n_items=50, avg_transaction_len=6, rng=rng,
+                        pool=pool)
+        for pool in (pool_a, pool_a, pool_a, pool_b, pool_b)
+    ]
+    return [lits_builder(d) for d in datasets], datasets
+
+
+@pytest.fixture(scope="module")
+def partition_fleet():
+    datasets = [
+        generate_classification(500, function=fn, seed=80 + i)
+        for i, fn in enumerate((1, 1, 2))
+    ]
+    params = TreeParams(max_depth=4, min_leaf=25)
+    return [DtModel.fit(d, params) for d in datasets], datasets
+
+
+def pairwise_oracle(models, datasets) -> np.ndarray:
+    """The engine-independent oracle: one deviation() call per pair."""
+    n = len(models)
+    out = np.zeros((n, n))
+    for i in range(n):
+        for j in range(i + 1, n):
+            out[i, j] = out[j, i] = deviation(
+                models[i], models[j], datasets[i], datasets[j]
+            ).value
+    return out
+
+
+class TestExhaustive:
+    def test_matches_pairwise_oracle_lits(self, lits_fleet):
+        models, datasets = lits_fleet
+        engine = FleetDeviationMatrix(models, datasets)
+        result = engine.exhaustive()
+        assert np.allclose(result.values, pairwise_oracle(models, datasets))
+        assert result.exact_mask.all()
+        assert result.n_pruned == 0
+        assert result.n_scanned + result.n_model_only == result.n_pairs == 10
+
+    def test_matches_pairwise_oracle_partition(self, partition_fleet):
+        models, datasets = partition_fleet
+        engine = FleetDeviationMatrix(models, datasets)
+        result = engine.exhaustive()
+        assert np.allclose(result.values, pairwise_oracle(models, datasets))
+        assert result.kind == "partition"
+
+    def test_each_store_scanned_once_not_once_per_pair(self, lits_fleet):
+        models, datasets = lits_fleet
+        engine = FleetDeviationMatrix(models, datasets)
+        engine.exhaustive()
+        # 5 stores, 10 pairs: the naive path scans each dataset 4 times.
+        assert engine.scan_counts() == [1, 1, 1, 1, 1]
+        # A second matrix request reuses every memoised count.
+        engine.exhaustive()
+        assert engine.scan_counts() == [1, 1, 1, 1, 1]
+        assert engine.n_pair_computations == 10
+
+    def test_partition_base_pass_shared_across_pairs(self, partition_fleet):
+        models, datasets = partition_fleet
+        calls = [0] * len(models)
+
+        def counting(assign, i):
+            def wrapped(dataset):
+                calls[i] += 1
+                return assign(dataset)
+            return wrapped
+
+        wrapped_models = []
+        for i, m in enumerate(models):
+            structure = m.structure
+            wrapped_models.append(
+                DtModel(m.tree)  # fresh model, then patch its assigner
+            )
+            patched = type(structure)(
+                cells=structure.cells,
+                class_labels=structure.class_labels,
+                assigner=counting(structure.assigner, i),
+            )
+            object.__setattr__(wrapped_models[-1], "_structure", patched)
+        engine = FleetDeviationMatrix(wrapped_models, datasets)
+        engine.exhaustive()
+        # A GCR overlay assigns *both* datasets under *both* base
+        # partitions, so each store's assigner must run once per
+        # dataset (N = 3 passes). The memo removes the per-pair
+        # repetition: naively each assigner runs 2 (N - 1) = 4 times.
+        assert calls == [3, 3, 3]
+        # Re-measuring is free: every pass is already memoised.
+        engine2 = FleetDeviationMatrix(wrapped_models, datasets)
+        engine2.exhaustive()
+        assert calls == [3, 3, 3]
+
+    def test_executors_agree(self, lits_fleet):
+        models, datasets = lits_fleet
+        serial = FleetDeviationMatrix(models, datasets).exhaustive()
+        threaded = FleetDeviationMatrix(
+            models, datasets, executor="thread"
+        ).exhaustive()
+        assert np.array_equal(serial.values, threaded.values)
+
+    @pytest.mark.slow
+    def test_process_executor_agrees(self, lits_fleet):
+        from repro.stream.executor import ProcessExecutor
+
+        models, datasets = lits_fleet
+        serial = FleetDeviationMatrix(models, datasets).exhaustive()
+        runner = ProcessExecutor(max_workers=2)
+        try:
+            engine = FleetDeviationMatrix(models, datasets, executor=runner)
+            assert np.array_equal(engine.exhaustive().values, serial.values)
+            assert engine.scan_counts() == [1, 1, 1, 1, 1]
+        finally:
+            runner.shutdown()
+
+    def test_model_only_pairs_need_no_scan(self, lits_fleet):
+        models, datasets = lits_fleet
+        d = datasets[0]
+        m = models[0]
+        sels = m.structure.selectivities(d)
+        twin = LitsModel(dict(zip(m.itemsets, sels)), 0.05, d.n_items)
+        engine = FleetDeviationMatrix([m, twin], [d, d])
+        result = engine.exhaustive()
+        assert result.n_model_only == 1
+        assert result.n_scanned == 0
+        assert engine.scan_counts() == [0, 0]
+
+
+class TestPruned:
+    def test_pruned_agrees_with_exhaustive(self, lits_fleet):
+        models, datasets = lits_fleet
+        oracle = FleetDeviationMatrix(models, datasets).exhaustive().values
+        engine = FleetDeviationMatrix(models, datasets)
+        bounds = engine.bound_matrix()
+        t = float(np.quantile(bounds[np.triu_indices(5, k=1)], 0.5))
+        result = engine.pruned(t)
+        assert result.n_pruned > 0
+        # exact entries equal the oracle
+        assert np.allclose(result.values[result.exact_mask],
+                           oracle[result.exact_mask])
+        # pruned entries majorise it (Theorem 4.2) while staying <= t
+        assert (result.values >= oracle - 1e-9).all()
+        assert (result.values[~result.exact_mask] <= t + 1e-12).all()
+        # so every threshold decision matches the oracle's
+        assert ((result.values <= t) == (oracle <= t)).all()
+
+    def test_nothing_pruned_equals_exhaustive(self, lits_fleet):
+        models, datasets = lits_fleet
+        oracle = FleetDeviationMatrix(models, datasets).exhaustive()
+        engine = FleetDeviationMatrix(models, datasets)
+        result = engine.pruned(-1.0)  # below every bound: prune nothing
+        assert result.n_pruned == 0
+        assert np.array_equal(result.values, oracle.values)
+
+    def test_components_at_threshold_match_exhaustive(self, lits_fleet):
+        from repro.fleet import components
+
+        models, datasets = lits_fleet
+        oracle = FleetDeviationMatrix(models, datasets).exhaustive()
+        engine = FleetDeviationMatrix(models, datasets)
+        bounds = engine.bound_matrix()
+        off = bounds[np.triu_indices(5, k=1)]
+        for t in (float(np.min(off)), float(np.median(off)),
+                  float(np.max(off))):
+            pruned = engine.pruned(t)
+            assert pruned.components() == components(
+                oracle.values, t, names=oracle.names
+            )
+
+    def test_pruned_fills_skipped_entries_with_bounds(self, lits_fleet):
+        models, datasets = lits_fleet
+        engine = FleetDeviationMatrix(models, datasets)
+        bounds = engine.bound_matrix()
+        t = float(np.max(bounds))  # everything certified
+        result = engine.pruned(t)
+        assert result.n_pruned == result.n_pairs
+        assert engine.scan_counts() == [0, 0, 0, 0, 0]
+        off_diag = ~np.eye(5, dtype=bool)
+        assert np.array_equal(result.values[off_diag], bounds[off_diag])
+        assert not result.exact_mask[off_diag].any()
+
+    def test_pruned_requires_lits(self, partition_fleet):
+        models, datasets = partition_fleet
+        engine = FleetDeviationMatrix(models, datasets)
+        with pytest.raises(IncompatibleModelsError, match="lits"):
+            engine.pruned(1.0)
+
+    def test_pruned_requires_majorisable_f_g(self, lits_fleet):
+        models, datasets = lits_fleet
+        engine = FleetDeviationMatrix(models, datasets, f=SCALED)
+        with pytest.raises(InvalidParameterError, match="f_a"):
+            engine.pruned(1.0)
+
+    def test_pruned_rejects_non_finite_threshold(self, lits_fleet):
+        models, datasets = lits_fleet
+        engine = FleetDeviationMatrix(models, datasets)
+        with pytest.raises(InvalidParameterError, match="finite"):
+            engine.pruned(float("nan"))
+
+
+class TestValidation:
+    def test_empty_fleet(self):
+        with pytest.raises(InvalidParameterError, match="empty fleet"):
+            FleetDeviationMatrix([], [])
+
+    def test_misaligned_fleet(self, lits_fleet):
+        models, datasets = lits_fleet
+        with pytest.raises(InvalidParameterError, match="align"):
+            FleetDeviationMatrix(models[:2], datasets[:3])
+
+    def test_mixed_model_kinds(self, lits_fleet, partition_fleet):
+        lits_models, lits_data = lits_fleet
+        dt_models, dt_data = partition_fleet
+        with pytest.raises(IncompatibleModelsError, match="one model kind"):
+            FleetDeviationMatrix(
+                [lits_models[0], dt_models[0]], [lits_data[0], dt_data[0]]
+            )
+
+    def test_mismatched_item_universes(self):
+        d1 = generate_basket(100, n_items=20, avg_transaction_len=4, seed=1)
+        d2 = generate_basket(100, n_items=30, avg_transaction_len=4, seed=2)
+        m1 = LitsModel.mine(d1, 0.1, max_len=2)
+        m2 = LitsModel.mine(d2, 0.1, max_len=2)
+        with pytest.raises(IncompatibleModelsError, match="item universe"):
+            FleetDeviationMatrix([m1, m2], [d1, d2])
+
+    def test_duplicate_and_misaligned_names(self, lits_fleet):
+        models, datasets = lits_fleet
+        with pytest.raises(InvalidParameterError, match="unique"):
+            FleetDeviationMatrix(models[:2], datasets[:2], names=["a", "a"])
+        with pytest.raises(InvalidParameterError, match="align"):
+            FleetDeviationMatrix(models[:2], datasets[:2], names=["a"])
+
+    def test_unknown_store(self, lits_fleet):
+        models, datasets = lits_fleet
+        engine = FleetDeviationMatrix(models[:2], datasets[:2])
+        with pytest.raises(InvalidParameterError, match="unknown store"):
+            engine.pair("nope", 0)
+        with pytest.raises(InvalidParameterError, match="out of range"):
+            engine.pair(0, 5)
+
+    def test_process_executor_rejected_for_partition(self, partition_fleet):
+        models, datasets = partition_fleet
+        engine = FleetDeviationMatrix(models, datasets, executor="process")
+        with pytest.raises(InvalidParameterError, match="process"):
+            engine.exhaustive()
+
+
+class TestTinyFleets:
+    def test_two_store_fleet_embeds_and_reports(self, lits_fleet):
+        """n points embed in n-1 dims: a 2-store fleet must not crash
+        the default k=2 embedding/report path (extra axes zero-pad)."""
+        models, datasets = lits_fleet
+        engine = FleetDeviationMatrix(models[:2], datasets[:2])
+        result = engine.exhaustive()
+        coords = result.embedding(k=2)
+        assert coords.shape == (2, 2)
+        assert np.allclose(coords[:, 1], 0.0)  # the padded axis
+        d = abs(coords[0, 0] - coords[1, 0])
+        assert d == pytest.approx(result.values[0, 1])
+        report = result.to_report(k=2, n_groups=2)
+        assert len(report["embedding"]) == 2
+        with pytest.raises(InvalidParameterError, match=">= 1"):
+            result.embedding(k=0)
+
+
+class TestSingleStore:
+    def test_single_store_fleet(self, lits_fleet):
+        models, datasets = lits_fleet
+        engine = FleetDeviationMatrix(models[:1], datasets[:1])
+        for result in (engine.exhaustive(), engine.pruned(0.0)):
+            assert result.values.tolist() == [[0.0]]
+            assert result.exact_mask.tolist() == [[True]]
+            assert result.n_pairs == 0
+        assert engine.pruned(5.0).embedding(k=2).tolist() == [[0.0, 0.0]]
+        assert engine.exhaustive().groups(1) == {0: ["store-0"]}
+        with pytest.raises(InvalidParameterError, match="single-store"):
+            engine.exhaustive().groups(2)
+
+
+class TestIncrementalUpdate:
+    def make_log_fleet(self):
+        logs = []
+        for seed in (1, 2, 3, 4):
+            d = generate_basket(
+                300, n_items=40, avg_transaction_len=5, n_patterns=30,
+                avg_pattern_len=3 + (seed % 2), seed=seed,
+            )
+            logs.append(TransactionLog(40, list(d)))
+        models = [lits_builder(lg) for lg in logs]
+        return models, logs
+
+    def test_update_recomputes_only_one_row(self):
+        models, logs = self.make_log_fleet()
+        engine = FleetDeviationMatrix(
+            models, logs, model_builder=lits_builder
+        )
+        before = engine.exhaustive()
+        pairs_before = engine.n_pair_computations
+        extra = generate_basket(
+            200, n_items=40, avg_transaction_len=5, n_patterns=30,
+            avg_pattern_len=6, seed=99,
+        )
+        logs[2].append(list(extra))
+        engine.update(2)
+        after = engine.exhaustive()
+        # only the updated store's 3 pairings were recomputed
+        assert engine.n_pair_computations - pairs_before == 3
+        untouched = [(0, 1), (0, 3), (1, 3)]
+        for i, j in untouched:
+            assert after.values[i, j] == before.values[i, j]
+        assert not np.allclose(before.values[2], after.values[2])
+        # and the result matches a from-scratch engine over the same fleet
+        fresh = FleetDeviationMatrix(
+            [lits_builder(lg) for lg in logs], logs
+        ).exhaustive()
+        assert np.allclose(after.values, fresh.values)
+
+    def test_update_refreshes_bound_matrix_row(self):
+        models, logs = self.make_log_fleet()
+        engine = FleetDeviationMatrix(
+            models, logs, model_builder=lits_builder
+        )
+        before = engine.bound_matrix().copy()
+        logs[0].append([(1, 2, 3)] * 150)
+        engine.update(0)
+        after = engine.bound_matrix()
+        assert not np.allclose(before[0], after[0])
+        assert np.allclose(before[1:, 1:], after[1:, 1:])
+
+    def test_grown_log_invalidates_counts_without_update(self):
+        models, logs = self.make_log_fleet()
+        engine = FleetDeviationMatrix(models, logs)
+        engine.exhaustive()
+        logs[1].append([(0, 1), (2, 3)] * 50)
+        # No update(): models stay as mined, but the counts refresh, so
+        # the matrix equals a fresh engine over the same (model, log) fleet.
+        regrown = engine.exhaustive()
+        fresh = FleetDeviationMatrix(models, logs).exhaustive()
+        assert np.allclose(regrown.values, fresh.values)
+
+    def test_grown_store_is_never_certified_by_stale_bounds(self):
+        """A log that outgrew its model must not be pruned on old bounds.
+
+        The delta* bound describes the rows the model was mined from;
+        after an un-update()d append the exact deviation can cross the
+        threshold even though the stale bound sits below it. Every pair
+        involving the grown store is scanned, so pruned() keeps its
+        decision-agreement guarantee.
+        """
+        models, logs = self.make_log_fleet()
+        engine = FleetDeviationMatrix(models, logs)
+        bounds = engine.bound_matrix().copy()
+        t = float(bounds[0, 1]) + 1e-9  # certifies pair (0, 1) when fresh
+        assert engine.pruned(t).exact_mask[0, 1] == np.False_
+        # Drift store 0 hard, without update(): the old bound is stale.
+        logs[0].append([(1, 2, 3, 4)] * 600)
+        result = engine.pruned(t)
+        assert result.exact_mask[0].all()  # all of store 0's pairs scanned
+        oracle = engine.exhaustive()
+        assert (
+            (result.values <= t) == (oracle.values <= t)
+        ).all()
+
+    def test_grown_store_skips_stale_model_fast_path(self):
+        """Identical-structure pairs re-scan once the log outgrew the model."""
+        from repro.core.deviation import deviation_over_structure
+        from repro.core.gcr import gcr
+
+        d = generate_basket(
+            300, n_items=30, avg_transaction_len=5, n_patterns=20,
+            avg_pattern_len=3, seed=5,
+        )
+        log_a = TransactionLog(30, list(d))
+        log_b = TransactionLog(30, list(d))
+        m = lits_builder(log_a)
+        sels = m.structure.selectivities(log_a)
+        twin = LitsModel(dict(zip(m.itemsets, sels)), 0.05, 30)
+        engine = FleetDeviationMatrix([m, twin], [log_a, log_b])
+        assert engine.exhaustive().n_model_only == 1
+        log_a.append([(7, 8, 9)] * 200)
+        result = engine.exhaustive()
+        assert result.n_model_only == 0  # stale store: measured by scan
+        expected = deviation_over_structure(
+            gcr(m.structure, twin.structure), log_a, log_b
+        ).value
+        assert result.values[0, 1] == pytest.approx(expected)
+
+    def test_update_needs_model_or_builder(self):
+        models, logs = self.make_log_fleet()
+        engine = FleetDeviationMatrix(models, logs)
+        with pytest.raises(InvalidParameterError, match="model_builder"):
+            engine.update(0)
+        replacement = lits_builder(logs[0])
+        assert engine.update(0, model=replacement) is replacement
+
+    def test_update_rejects_kind_change(self, partition_fleet):
+        models, logs = self.make_log_fleet()
+        engine = FleetDeviationMatrix(models, logs)
+        dt_models, _ = partition_fleet
+        with pytest.raises(IncompatibleModelsError, match="model kind"):
+            engine.update(0, model=dt_models[0])
+
+    def test_update_by_name(self):
+        models, logs = self.make_log_fleet()
+        names = ["n", "e", "s", "w"]
+        engine = FleetDeviationMatrix(
+            models, logs, names=names, model_builder=lits_builder
+        )
+        engine.exhaustive()
+        logs[3].append([(5, 6)] * 40)
+        engine.update("w")
+        assert engine.pair("w", "n") == engine.pair(3, 0)
+
+
+class TestResultExports:
+    def test_csv_marks_pruned_entries(self, lits_fleet):
+        models, datasets = lits_fleet
+        engine = FleetDeviationMatrix(models, datasets)
+        bounds = engine.bound_matrix()
+        result = engine.pruned(float(np.max(bounds)))
+        text = result.to_csv()
+        lines = text.strip().splitlines()
+        assert len(lines) == 6
+        assert lines[0].startswith("store,")
+        assert "*" in lines[1]
+
+    def test_exhaustive_report_schema_is_call_order_independent(self, lits_fleet):
+        models, datasets = lits_fleet
+        fresh = FleetDeviationMatrix(models, datasets)
+        warmed = FleetDeviationMatrix(models, datasets)
+        warmed.bound_matrix()  # an earlier bounds call must not leak
+        fresh_report = fresh.exhaustive().to_report()
+        warmed_report = warmed.exhaustive().to_report()
+        assert sorted(fresh_report) == sorted(warmed_report)
+        assert "bounds" not in fresh_report
+        # pruned results do carry the bounds they pruned with
+        assert "bounds" in warmed.pruned(1.0).to_report()
+
+    def test_report_is_json_able(self, lits_fleet):
+        import json
+
+        models, datasets = lits_fleet
+        engine = FleetDeviationMatrix(models, datasets)
+        result = engine.pruned(1.0)
+        report = json.loads(json.dumps(result.to_report(n_groups=2)))
+        assert report["pruning"]["n_pairs"] == 10
+        assert len(report["matrix"]) == 5
+        assert len(report["groups"]) == 2

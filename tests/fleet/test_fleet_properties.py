@@ -1,0 +1,133 @@
+"""Property-based tests of the fleet matrix engine (hypothesis).
+
+The load-bearing claims:
+
+* the delta*-pruned matrix agrees with the exhaustive oracle -- exact
+  wherever it scanned, majorising-but-certified elsewhere, identical
+  threshold decisions everywhere, and *identical matrices* whenever the
+  threshold prunes nothing (including exactly-at-a-bound thresholds);
+* the engine's exhaustive matrix equals the naive pair-by-pair
+  deviation loop despite scanning each store once;
+* single-store fleets degenerate cleanly.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.core.deviation import deviation
+from repro.core.lits import LitsModel
+from repro.data.transactions import TransactionDataset
+from repro.fleet import FleetDeviationMatrix, components
+
+N_ITEMS = 6
+MIN_SUPPORT = 0.25
+
+
+@st.composite
+def fleets(draw, min_stores: int = 2, max_stores: int = 4):
+    """A random fleet: per-store transaction datasets plus mined models."""
+    n_stores = draw(st.integers(min_stores, max_stores))
+    datasets = []
+    for _ in range(n_stores):
+        n = draw(st.integers(6, 24))
+        txns = draw(
+            st.lists(
+                st.lists(
+                    st.integers(0, N_ITEMS - 1),
+                    min_size=1, max_size=4, unique=True,
+                ),
+                min_size=n, max_size=n,
+            )
+        )
+        datasets.append(TransactionDataset([tuple(t) for t in txns], N_ITEMS))
+    models = [
+        LitsModel.mine(d, MIN_SUPPORT, max_len=2) for d in datasets
+    ]
+    return models, datasets
+
+
+def oracle_matrix(models, datasets) -> np.ndarray:
+    n = len(models)
+    out = np.zeros((n, n))
+    for i in range(n):
+        for j in range(i + 1, n):
+            out[i, j] = out[j, i] = deviation(
+                models[i], models[j], datasets[i], datasets[j]
+            ).value
+    return out
+
+
+@settings(max_examples=25, deadline=None)
+@given(fleets())
+def test_exhaustive_equals_pairwise_loop(fleet):
+    models, datasets = fleet
+    result = FleetDeviationMatrix(models, datasets).exhaustive()
+    oracle = oracle_matrix(models, datasets)
+    assert np.allclose(result.values, oracle, atol=1e-9)
+    assert result.exact_mask.all()
+    assert np.allclose(result.values, result.values.T)
+    assert np.allclose(np.diag(result.values), 0.0)
+
+
+@settings(max_examples=25, deadline=None)
+@given(fleets(), st.data())
+def test_pruned_agrees_with_exhaustive_oracle(fleet, data):
+    models, datasets = fleet
+    n = len(models)
+    oracle = oracle_matrix(models, datasets)
+    engine = FleetDeviationMatrix(models, datasets)
+    bounds = engine.bound_matrix()
+    off_diag = bounds[np.triu_indices(n, k=1)]
+
+    # Thresholds to try: arbitrary quantiles plus *exact bound values*
+    # (the threshold-edge case: a bound equal to the threshold prunes).
+    candidates = [float(v) for v in off_diag]
+    candidates.append(
+        float(np.quantile(off_diag, data.draw(st.floats(0.0, 1.0))))
+    )
+    t = data.draw(st.sampled_from(candidates))
+
+    result = engine.pruned(t)
+    # Pruned pairs are exactly those whose bound is at or below t.
+    expected_pruned = int((off_diag <= t).sum())
+    assert result.n_pruned == expected_pruned
+    # Exact entries equal the oracle; pruned entries carry the bound,
+    # which majorises the oracle while staying certified at <= t.
+    assert np.allclose(result.values[result.exact_mask],
+                       oracle[result.exact_mask], atol=1e-9)
+    assert (result.values >= oracle - 1e-9).all()
+    pruned_mask = ~result.exact_mask
+    assert (result.values[pruned_mask] <= t + 1e-12).all()
+    # Hence every threshold decision -- and the threshold grouping --
+    # agrees with the exhaustive oracle.
+    assert (
+        (result.values <= t + 1e-12) == (oracle <= t + 1e-12)
+    ).all()
+    assert result.components() == components(oracle, t, names=result.names)
+
+
+@settings(max_examples=25, deadline=None)
+@given(fleets())
+def test_threshold_below_every_bound_gives_matrix_equality(fleet):
+    """When nothing is certified the pruned matrix IS the exhaustive one."""
+    models, datasets = fleet
+    engine = FleetDeviationMatrix(models, datasets)
+    exhaustive = FleetDeviationMatrix(models, datasets).exhaustive()
+    result = engine.pruned(-1.0)
+    assert result.n_pruned == 0
+    assert np.array_equal(result.values, exhaustive.values)
+    assert result.exact_mask.all()
+
+
+@settings(max_examples=15, deadline=None)
+@given(fleets(min_stores=1, max_stores=1), st.floats(0.0, 10.0))
+def test_single_store_fleet_degenerates(fleet, threshold):
+    models, datasets = fleet
+    engine = FleetDeviationMatrix(models, datasets)
+    for result in (engine.exhaustive(), engine.pruned(threshold)):
+        assert result.values.shape == (1, 1)
+        assert result.values[0, 0] == 0.0
+        assert result.exact_mask.all()
+        assert result.components(threshold) == {0: ["store-0"]}

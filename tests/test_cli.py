@@ -207,6 +207,118 @@ class TestMonitorStream:
         assert "windows monitored" in text
 
 
+class TestFleet:
+    @pytest.fixture
+    def fleet_files(self, tmp_path):
+        """Three store files: two from one process, one shifted."""
+        paths = []
+        for seed, plen in ((1, 4), (2, 4), (3, 8)):
+            path = tmp_path / f"store{seed}.txt"
+            run_cli(["generate-basket", "--out", str(path), "--n", "400",
+                     "--items", "60", "--patterns", "40", "--avg-len", "6",
+                     "--pattern-len", str(plen), "--seed", str(seed)])
+            paths.append(str(path))
+        return paths
+
+    def test_fleet_json_report_shape(self, fleet_files):
+        import json
+
+        text = run_cli(
+            ["fleet", "--data", *fleet_files, "--min-support", "0.05",
+             "--max-len", "2", "--threshold", "3", "--groups", "2"]
+        )
+        report = json.loads(text)
+        assert set(report) >= {
+            "kind", "names", "matrix", "exact", "bounds", "embedding",
+            "groups", "pruning",
+        }
+        assert report["kind"] == "lits"
+        assert report["names"] == ["store1", "store2", "store3"]
+        matrix = report["matrix"]
+        assert len(matrix) == 3 and all(len(row) == 3 for row in matrix)
+        for i in range(3):
+            assert matrix[i][i] == 0.0
+            for j in range(3):
+                assert matrix[i][j] == matrix[j][i]
+        assert len(report["embedding"]) == 3
+        assert all(len(point) == 2 for point in report["embedding"])
+        grouped = sorted(n for members in report["groups"].values()
+                         for n in members)
+        assert grouped == sorted(report["names"])
+        pruning = report["pruning"]
+        assert pruning["n_pairs"] == 3
+        assert (pruning["n_scanned"] + pruning["n_model_only"]
+                + pruning["n_pruned"]) == 3
+
+    def test_fleet_csv_matrix(self, fleet_files):
+        text = run_cli(
+            ["fleet", "--data", *fleet_files, "--min-support", "0.05",
+             "--max-len", "2", "--format", "csv"]
+        )
+        lines = text.strip().splitlines()
+        assert lines[0] == "store,store1,store2,store3"
+        assert len(lines) == 4
+        assert all(len(line.split(",")) == 4 for line in lines)
+        # exhaustive: no entry carries the pruned (bound-valued) marker
+        assert "*" not in text
+
+    def test_fleet_writes_out_file(self, fleet_files, tmp_path):
+        import json
+
+        out_path = tmp_path / "fleet.json"
+        text = run_cli(
+            ["fleet", "--data", *fleet_files, "--min-support", "0.05",
+             "--max-len", "2", "--out", str(out_path)]
+        )
+        assert "3 stores, 3 pairs" in text
+        report = json.loads(out_path.read_text())
+        assert len(report["matrix"]) == 3
+
+    def test_fleet_two_stores_default_report(self, fleet_files):
+        """The minimum fleet the CLI accepts must survive the default k=2."""
+        import json
+
+        report = json.loads(
+            run_cli(["fleet", "--data", *fleet_files[:2],
+                     "--min-support", "0.05", "--max-len", "2"])
+        )
+        assert len(report["embedding"]) == 2
+        assert all(len(point) == 2 for point in report["embedding"])
+
+    def test_fleet_tabular_threshold_rejected_cleanly(self, tmp_path):
+        paths = []
+        for seed in (1, 2):
+            path = tmp_path / f"t{seed}.npz"
+            run_cli(["generate-classify", "--out", str(path), "--n", "300",
+                     "--function", "1", "--seed", str(seed)])
+            paths.append(str(path))
+        out = io.StringIO()
+        code = main(["fleet", "--data", *paths, "--kind", "tabular",
+                     "--threshold", "5"], out=out)
+        assert code == 2  # a clear message, not a traceback
+
+    def test_fleet_tabular_kind(self, tmp_path):
+        import json
+
+        paths = []
+        for seed, fn in ((1, 1), (2, 1), (3, 2)):
+            path = tmp_path / f"t{seed}.npz"
+            run_cli(["generate-classify", "--out", str(path), "--n", "500",
+                     "--function", str(fn), "--seed", str(seed)])
+            paths.append(str(path))
+        text = run_cli(
+            ["fleet", "--data", *paths, "--kind", "tabular",
+             "--max-depth", "3", "--groups", "2"]
+        )
+        report = json.loads(text)
+        assert report["kind"] == "partition"
+        assert "bounds" not in report  # delta* is lits-only
+        assert report["pruning"]["n_pruned"] == 0
+        # the two F1 stores are closer to each other than to the F2 one
+        m = report["matrix"]
+        assert m[0][1] < m[0][2] and m[0][1] < m[1][2]
+
+
 class TestParser:
     def test_unknown_command_exits(self):
         with pytest.raises(SystemExit):

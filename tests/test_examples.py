@@ -79,6 +79,29 @@ class TestExamples:
         assert report["consistent"]
         assert len(report["groups"]) == 3
 
+    def test_store_fleet_analysis_golden_groups(self):
+        """Seed-pinned snapshot of the fleet grouping and pruning stats.
+
+        The example is the paper's headline scenario; this pins its
+        *output*, not just "it runs": exact group membership for
+        (n=900, seed=23) plus how much work delta* pruning saved.
+        A change here means the fleet pipeline's numbers moved.
+        """
+        import store_fleet_analysis
+
+        report = store_fleet_analysis.main(n_transactions=900, seed=23)
+        member_sets = sorted(
+            tuple(sorted(ms)) for ms in report["groups"].values()
+        )
+        assert member_sets == [
+            ("store-0 (north)", "store-1 (north)", "store-2 (north)"),
+            ("store-3 (south)", "store-4 (south)", "store-5 (south)"),
+            ("store-6 (coast)", "store-7 (coast)"),
+        ]
+        assert report["n_pairs"] == 28
+        # the 7 within-region pairs are certified from their bounds alone
+        assert report["n_pruned"] == 7
+
     def test_transaction_stream_windows(self):
         import transaction_stream_windows
 

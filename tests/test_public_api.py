@@ -17,12 +17,13 @@ class TestPublicSurface:
         import repro.core
         import repro.data
         import repro.experiments
+        import repro.fleet
         import repro.mining
         import repro.stats
         import repro.stream
 
         for module in (
-            repro.core, repro.data, repro.mining, repro.stats,
+            repro.core, repro.data, repro.fleet, repro.mining, repro.stats,
             repro.stream, repro.experiments,
         ):
             for name in module.__all__:
