@@ -117,10 +117,13 @@ def test_incremental_advance_beats_full_reassign(benchmark, workload):
     dataset, structure = workload
 
     fast = benchmark(lambda: _incremental(dataset, structure))
+    # best-of-10: the incremental side measures ~4ms against a 3x floor
+    # with ~17% headroom, so a single unlucky scheduler hit across too
+    # few repeats flips the verdict; more repeats cost ~100ms total
     (t_fast, _), (t_slow, slow) = _best_of_interleaved(
         lambda: _incremental(dataset, structure),
         lambda: _rebuild_per_window(dataset, structure),
-        repeats=4,
+        repeats=10,
     )
 
     assert len(fast) == len(slow) == N_WINDOWS

@@ -89,14 +89,36 @@ def _add_compare_models(sub) -> None:
     p.add_argument("--model2", required=True)
 
 
+def _add_boot_args(p, default_boot: int = 0) -> None:
+    """The shared bootstrap-qualification knobs of the compare commands."""
+    p.add_argument(
+        "--boot", "--n-boot", dest="boot", type=int, default=default_boot,
+        help="bootstrap resamples (count-space engine: the pooled data "
+        "is scanned once, never per replicate)",
+    )
+    p.add_argument(
+        "--seed", type=int, default=0,
+        help="bootstrap RNG seed (default 0 so published significance "
+        "numbers are reproducible; vary it to probe resampling noise)",
+    )
+    p.add_argument(
+        "--boot-executor", choices=("serial", "thread", "process"),
+        default="serial",
+        help="backend for fanning bootstrap replicate blocks",
+    )
+    p.add_argument(
+        "--boot-blocks", type=int, default=1,
+        help="replicate blocks to fan over --boot-executor",
+    )
+
+
 def _add_compare_lits(sub) -> None:
     p = sub.add_parser("compare-lits", help="lits-model deviation of two files")
     p.add_argument("--data1", required=True)
     p.add_argument("--data2", required=True)
     p.add_argument("--min-support", type=float, default=0.01)
     p.add_argument("--max-len", type=int, default=None)
-    p.add_argument("--boot", type=int, default=0, help="bootstrap resamples")
-    p.add_argument("--seed", type=int, default=None)
+    _add_boot_args(p)
 
 
 def _add_compare_dt(sub) -> None:
@@ -105,8 +127,7 @@ def _add_compare_dt(sub) -> None:
     p.add_argument("--data2", required=True)
     p.add_argument("--max-depth", type=int, default=8)
     p.add_argument("--min-leaf", type=int, default=25)
-    p.add_argument("--boot", type=int, default=0)
-    p.add_argument("--seed", type=int, default=None)
+    _add_boot_args(p)
 
 
 def _add_fleet(sub) -> None:
@@ -167,8 +188,9 @@ def _add_monitor_stream(sub) -> None:
                    help="dt-model depth (tabular kind)")
     p.add_argument("--min-leaf", type=int, default=25,
                    help="dt-model min rows per leaf (tabular kind)")
-    p.add_argument("--boot", type=int, default=8, help="bootstrap resamples; "
-                   "0 = threshold on the deviation itself")
+    p.add_argument("--boot", "--n-boot", dest="boot", type=int, default=8,
+                   help="bootstrap resamples (count-space, no window "
+                   "materialisation); 0 = threshold on the deviation itself")
     p.add_argument("--threshold", type=float, default=95.0,
                    help="significance %% that counts as drift")
     p.add_argument("--delta-threshold", type=float, default=None,
@@ -179,7 +201,9 @@ def _add_monitor_stream(sub) -> None:
                    default="serial")
     p.add_argument("--shards", type=int, default=1,
                    help="map-merge shards per chunk")
-    p.add_argument("--seed", type=int, default=None)
+    p.add_argument("--seed", type=int, default=0,
+                   help="bootstrap RNG seed (default 0: reproducible "
+                   "drift verdicts)")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -263,8 +287,14 @@ def _cmd_compare_lits(args, out) -> int:
         sig = deviation_significance(
             d1, d2, builder, n_boot=args.boot,
             rng=np.random.default_rng(args.seed),
+            models=(m1, m2),
+            executor=args.boot_executor, n_blocks=args.boot_blocks,
         )
-        print(f"significance = {sig.significance_percent:.1f}%", file=out)
+        print(
+            f"significance = {sig.significance_percent:.1f}% "
+            f"(p = {sig.p_value:.4f}, seed {args.seed})",
+            file=out,
+        )
     return 0
 
 
@@ -287,8 +317,14 @@ def _cmd_compare_dt(args, out) -> int:
         sig = deviation_significance(
             d1, d2, builder, n_boot=args.boot,
             rng=np.random.default_rng(args.seed),
+            models=(m1, m2),
+            executor=args.boot_executor, n_blocks=args.boot_blocks,
         )
-        print(f"significance = {sig.significance_percent:.1f}%", file=out)
+        print(
+            f"significance = {sig.significance_percent:.1f}% "
+            f"(p = {sig.p_value:.4f}, seed {args.seed})",
+            file=out,
+        )
     return 0
 
 
@@ -385,25 +421,30 @@ def _cmd_monitor_stream(args, out) -> int:
 
         monitor = OnlineChangeMonitor(builder, n_items, **common)
 
-    n_drifted = 0
-    for observation in monitor.monitor_stream(chunks):
-        n_drifted += observation.drifted
-        print(observation.describe(), file=out)
-    if monitor.is_warming_up:
+    try:
+        n_drifted = 0
+        for observation in monitor.monitor_stream(chunks):
+            n_drifted += observation.drifted
+            print(observation.describe(), file=out)
+        if monitor.is_warming_up:
+            print(
+                f"stream ended during warm-up: fewer than {args.window} rows",
+                file=out,
+            )
+            return 0
+        for observation in monitor.flush():
+            n_drifted += observation.drifted
+            print(f"{observation.describe()} [partial final window]", file=out)
         print(
-            f"stream ended during warm-up: fewer than {args.window} rows",
+            f"{len(monitor.history)} windows monitored, {n_drifted} drifted; "
+            f"{monitor.rows_sketched} rows sketched incrementally",
             file=out,
         )
         return 0
-    for observation in monitor.flush():
-        n_drifted += observation.drifted
-        print(f"{observation.describe()} [partial final window]", file=out)
-    print(
-        f"{len(monitor.history)} windows monitored, {n_drifted} drifted; "
-        f"{monitor.rows_sketched} rows sketched incrementally",
-        file=out,
-    )
-    return 0
+    finally:
+        # even on a mid-stream error: pooled workers must not be left
+        # to interpreter-exit teardown (it can race CPython's atexit)
+        monitor.close()
 
 
 COMMANDS = {

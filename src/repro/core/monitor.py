@@ -28,7 +28,8 @@ from repro.core.aggregate import SUM, AggregateFunction
 from repro.core.deviation import deviation, deviation_many
 from repro.core.difference import ABSOLUTE, DifferenceFunction
 from repro.errors import InvalidParameterError, NotFittedError
-from repro.stats.bootstrap import deviation_significance
+from repro.stats.bootstrap import BootstrapResult, deviation_significance
+from repro.stats.resample_plan import _resolve_rng
 
 POLICIES = ("fixed", "reset_on_drift")
 
@@ -78,11 +79,23 @@ class ChangeMonitor:
     policy:
         ``"fixed"`` or ``"reset_on_drift"`` (see module docstring).
     rng:
-        Random generator for the bootstrap (seed for reproducibility).
+        Random generator for the bootstrap. Left ``None`` an unseeded
+        generator is created once at construction; when the bootstrap
+        is actually in play (``n_boot > 0``) that fallback warns, like
+        every other significance API -- unseeded drift verdicts cannot
+        be reproduced.
     refit_models:
         Whether the bootstrap re-induces models per replicate (see
         :func:`repro.stats.bootstrap.deviation_significance`); the
-        default holds the observed structures fixed, as the paper does.
+        default holds the observed structures fixed, as the paper does,
+        and qualifies through the count-space engine (one pooled scan
+        per qualification instead of ``n_boot`` rescans).
+    executor, n_blocks:
+        Fan the engine's replicate blocks over a
+        :mod:`repro.stream.executor` backend for large ``n_boot``. A
+        name is resolved to one executor instance at construction, so a
+        pooled backend owns a single worker pool across every
+        qualification; release it with :meth:`close` when done.
     """
 
     model_builder: Callable
@@ -94,6 +107,8 @@ class ChangeMonitor:
     policy: str = "fixed"
     rng: np.random.Generator | None = None
     refit_models: bool = False
+    executor: str | object = "serial"  # name or executor instance
+    n_blocks: int = 1
     history: list[Observation] = field(default_factory=list)
     _reference_dataset: object = None
     _reference_model: object = None
@@ -115,7 +130,31 @@ class ChangeMonitor:
                 "for the drift decision"
             )
         if self.rng is None:
-            self.rng = np.random.default_rng()
+            if self.n_boot > 0:
+                # the cheap n_boot=0 mode never consumes randomness, so
+                # only an actual bootstrap merits the warning
+                self.rng = _resolve_rng(None, None, "ChangeMonitor")
+            else:
+                self.rng = np.random.default_rng()
+        # resolve a backend name to one instance now: fanned bootstrap
+        # blocks then reuse a single worker pool across qualifications
+        # instead of spawning one per observation (local import: the
+        # stream package imports this module)
+        from repro.stream.executor import get_executor
+
+        self.executor = get_executor(self.executor)
+
+    def close(self) -> None:
+        """Release the bootstrap executor's worker pool, if it has one.
+
+        A no-op for the serial backend; thread/process monitors that
+        observed their last snapshot should close instead of leaving
+        the pool to interpreter-exit teardown. The monitor stays usable
+        afterwards (pooled backends respawn workers lazily).
+        """
+        shutdown = getattr(self.executor, "shutdown", None)
+        if shutdown is not None:
+            shutdown()
 
     @property
     def is_fitted(self) -> bool:
@@ -129,24 +168,43 @@ class ChangeMonitor:
         self._next_index += 1
         return self
 
-    def _qualify(self, snapshot, delta: float) -> Observation:
+    def _qualify(
+        self, snapshot, delta: float, model=None, resample_plan=None
+    ) -> Observation:
         """Bootstrap-qualify one snapshot's deviation and record it."""
+        if resample_plan is not None and self.refit_models:
+            # mirrors deviation_significance's models=/refit conflict: a
+            # compiled fixed-structure plan cannot produce the refit
+            # null this monitor was configured for
+            raise InvalidParameterError(
+                "refit_models=True re-induces models per replicate; a "
+                "precompiled resample_plan holds the structure fixed and "
+                "would silently qualify under the wrong null"
+            )
         index = self._next_index
         self._next_index += 1
         if self.n_boot == 0:
             drifted = delta >= self.delta_threshold
             significance = 100.0 if drifted else 0.0
         else:
-            significance = deviation_significance(
-                self._reference_dataset,
-                snapshot,
-                self.model_builder,
-                f=self.f,
-                g=self.g,
-                n_boot=self.n_boot,
-                rng=self.rng,
-                refit_models=self.refit_models,
-            ).significance_percent
+            if resample_plan is not None:
+                # the observed deviation is the delta already computed
+                # (and recorded) for this snapshot -- only the null is
+                # drawn from the plan, sparing a redundant pooled
+                # column-sum per qualification
+                null = resample_plan.null_deviations(
+                    self.n_boot,
+                    self.rng,
+                    f=self.f,
+                    g=self.g,
+                    executor=self.executor,
+                    n_blocks=self.n_blocks,
+                )
+                significance = BootstrapResult(
+                    observed=delta, null_values=null
+                ).significance_percent
+            else:
+                significance = self._bootstrap_significance(snapshot, model)
             drifted = significance >= self.threshold
         observation = Observation(
             index=index,
@@ -157,6 +215,34 @@ class ChangeMonitor:
         )
         self.history.append(observation)
         return observation
+
+    def _bootstrap_significance(self, snapshot, model) -> float:
+        """Qualify via the bootstrap, reusing the cached reference model.
+
+        With ``refit_models=False`` the GCR structure is fixed, so the
+        reference model (induced once at :meth:`fit`) and the
+        snapshot's model (passed down from :meth:`observe` /
+        :meth:`observe_many` when they already built it) are handed to
+        :func:`deviation_significance` as ``models`` -- no re-mining,
+        and the null comes from the count-space engine.
+        """
+        models = None
+        if not self.refit_models:
+            m2 = model if model is not None else self.model_builder(snapshot)
+            models = (self._reference_model, m2)
+        return deviation_significance(
+            self._reference_dataset,
+            snapshot,
+            self.model_builder,
+            f=self.f,
+            g=self.g,
+            n_boot=self.n_boot,
+            rng=self.rng,
+            refit_models=self.refit_models,
+            models=models,
+            executor=self.executor,
+            n_blocks=self.n_blocks,
+        ).significance_percent
 
     def observe(self, snapshot) -> Observation:
         """Qualify one new snapshot against the current reference."""
@@ -174,7 +260,7 @@ class ChangeMonitor:
         return self._record(snapshot, delta, model)
 
     def observe_precomputed(
-        self, snapshot, delta: float, model=None
+        self, snapshot, delta: float, model=None, resample_plan=None
     ) -> Observation:
         """Qualify a snapshot whose deviation was computed out-of-band.
 
@@ -185,17 +271,28 @@ class ChangeMonitor:
         reference policy. ``model`` (the snapshot's own model, if one
         was induced) is only used when a ``reset_on_drift`` reset makes
         the snapshot the new reference; left ``None``, the reset
-        re-induces it with ``model_builder``.
+        re-induces it with ``model_builder``. ``resample_plan`` -- an
+        already-compiled :class:`~repro.stats.resample_plan.ResamplePlan`
+        over the pooled reference + snapshot rows -- makes the
+        qualification itself count-space too, so ``snapshot`` is never
+        resampled (it need not even be a real dataset unless a
+        ``reset_on_drift`` reset promotes it).
         """
         if not self.is_fitted:
             raise NotFittedError(
                 "call fit(reference) before observe_precomputed()"
             )
-        return self._record(snapshot, float(delta), model)
+        return self._record(
+            snapshot, float(delta), model, resample_plan=resample_plan
+        )
 
-    def _record(self, snapshot, delta: float, model) -> Observation:
+    def _record(
+        self, snapshot, delta: float, model, resample_plan=None
+    ) -> Observation:
         """Qualify, append to history, and apply the reference policy."""
-        observation = self._qualify(snapshot, delta)
+        observation = self._qualify(
+            snapshot, delta, model=model, resample_plan=resample_plan
+        )
         if observation.drifted and self.policy == "reset_on_drift":
             self._reference_dataset = snapshot
             self._reference_model = (
@@ -233,8 +330,8 @@ class ChangeMonitor:
             g=self.g,
         )
         return [
-            self._qualify(snapshot, delta.value)
-            for snapshot, delta in zip(snapshots, deltas)
+            self._qualify(snapshot, delta.value, model=model)
+            for snapshot, delta, model in zip(snapshots, deltas, models)
         ]
 
     def drift_points(self) -> list[int]:

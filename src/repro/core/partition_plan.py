@@ -162,6 +162,55 @@ class PartitionCountingPlan:
         """Row -> cell index for ``dataset`` (memoised; see module docs)."""
         return cell_assignments(self._assigner, dataset)
 
+    @property
+    def n_regions(self) -> int:
+        """Number of regions (= length of every counts vector)."""
+        if self.n_classes and self._focus_class is None:
+            return self.n_cells * self.n_classes
+        return self.n_cells
+
+    def region_assignments(self, dataset) -> np.ndarray:
+        """Row -> region index, with :attr:`n_regions` as the excluded bin.
+
+        The per-row form of :meth:`counts`: entry ``i`` is the index of
+        the region row ``i`` falls in (structure order), or the
+        sentinel ``n_regions`` when an active focus predicate or class
+        restriction excludes the row. ``counts`` equals the bincount of
+        this vector with the sentinel bin dropped (property-tested);
+        the count-space bootstrap consumes the vector directly so
+        resampled region counts become weighted bincounts.
+        """
+        cell_idx = self.cell_assignments(dataset)
+        n_regions = self.n_regions
+        excluded: np.ndarray | None = None
+        if self._focus_predicate is not None:
+            excluded = ~dataset.predicate_mask(self._focus_predicate)
+
+        if self.n_classes and self._focus_class is None:
+            y = dataset.y
+            if y is None:
+                raise IncompatibleModelsError(
+                    "structure has class regions but the dataset is unlabelled"
+                )
+            flat = cell_idx * self.n_classes + self.label_codes(y)
+        else:
+            flat = cell_idx.astype(np.int64, copy=True)
+            if self._focus_class is not None:
+                if dataset.y is None:
+                    raise SchemaError(
+                        "structure restricts the class but the dataset is "
+                        "unlabelled"
+                    )
+                class_excluded = dataset.y != self._focus_class
+                excluded = (
+                    class_excluded
+                    if excluded is None
+                    else excluded | class_excluded
+                )
+        if excluded is not None:
+            flat = np.where(excluded, n_regions, flat)
+        return flat
+
     # ------------------------------------------------------------------ #
     # Counting
     # ------------------------------------------------------------------ #

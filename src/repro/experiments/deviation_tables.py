@@ -137,8 +137,12 @@ def figure_13(scale: Scale, n_boot: int | None = None) -> list[LitsDeviationRow]
         delta_star = upper_bound_deviation(base_model, other_model).value
         time_delta_star = time.perf_counter() - t0
 
+        # models= hands the already-mined pair to the count-space
+        # engine: the qualification costs one pooled scan, not a
+        # re-mining plus n_boot rescans.
         sig = deviation_significance(
-            base, other, builder, n_boot=n_boot, rng=rng
+            base, other, builder, n_boot=n_boot, rng=rng,
+            models=(base_model, other_model),
         ).significance_percent
         rows.append(
             LitsDeviationRow(
@@ -190,7 +194,8 @@ def figure_14(scale: Scale, n_boot: int | None = None) -> list[DtDeviationRow]:
         other_model = builder(other)
         delta = deviation(base_model, other_model, base, other).value
         sig = deviation_significance(
-            base, other, builder, n_boot=n_boot, rng=rng
+            base, other, builder, n_boot=n_boot, rng=rng,
+            models=(base_model, other_model),
         ).significance_percent
         rows.append(DtDeviationRow(label=label, delta=delta, significance=sig))
     return rows

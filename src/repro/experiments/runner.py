@@ -13,6 +13,7 @@ comparison.
 from __future__ import annotations
 
 import argparse
+import dataclasses
 import sys
 import time
 
@@ -195,8 +196,26 @@ def main(argv: list[str] | None = None) -> int:
         default="all",
         choices=["all", *EXPERIMENTS, *EXTRA_EXPERIMENTS],
     )
+    parser.add_argument(
+        "--seed", type=int, default=None,
+        help="override the scale's base seed: every generator and every "
+        "bootstrap rng derives from it, so published tables are "
+        "reproducible end to end (default: the scale's built-in seed)",
+    )
+    parser.add_argument(
+        "--n-boot", type=int, default=None,
+        help="override the scale's bootstrap resample count (the "
+        "count-space engine makes large values cheap)",
+    )
     args = parser.parse_args(argv)
     scale = get_scale(args.scale)
+    overrides = {}
+    if args.seed is not None:
+        overrides["seed"] = args.seed
+    if args.n_boot is not None:
+        overrides["n_boot"] = args.n_boot
+    if overrides:
+        scale = dataclasses.replace(scale, **overrides)
     if args.experiment == "all":
         run_all(scale)
     elif args.experiment in EXTRA_EXPERIMENTS:

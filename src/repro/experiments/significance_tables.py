@@ -40,9 +40,18 @@ class SignificanceTable:
         return cells
 
 
-def table_1(scale: Scale) -> SignificanceTable:
-    """lits-models: % significance of representativeness increase."""
-    rng = np.random.default_rng(scale.seed + 1000)
+def table_1(scale: Scale, seed: int | None = None) -> SignificanceTable:
+    """lits-models: % significance of representativeness increase.
+
+    ``seed`` overrides the scale's *base* seed with the same per-table
+    derivation the runner's ``--seed`` applies (base + 1000), so
+    ``table_1(scale, seed=S)`` and ``runner --seed S --experiment
+    table1`` publish the identical table; every random draw (dataset
+    generation and SD replicates) descends from it.
+    """
+    rng = np.random.default_rng(
+        (scale.seed if seed is None else seed) + 1000
+    )
     dataset = generate_basket(
         scale.base_transactions,
         n_items=scale.n_items,
@@ -70,9 +79,15 @@ def table_1(scale: Scale) -> SignificanceTable:
     return SignificanceTable("Table 1", spec.name(), scale.fractions, sig)
 
 
-def table_2(scale: Scale) -> SignificanceTable:
-    """dt-models: % significance of SD decrease with sample fraction."""
-    rng = np.random.default_rng(scale.seed + 2000)
+def table_2(scale: Scale, seed: int | None = None) -> SignificanceTable:
+    """dt-models: % significance of SD decrease with sample fraction.
+
+    ``seed`` overrides the scale's base seed, derivation-consistent
+    with the runner's ``--seed`` (see :func:`table_1`).
+    """
+    rng = np.random.default_rng(
+        (scale.seed if seed is None else seed) + 2000
+    )
     dataset = generate_classification(scale.base_rows, function=1, rng=rng)
     curve = sample_deviation_curve(
         dataset,

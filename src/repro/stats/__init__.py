@@ -5,6 +5,16 @@ from repro.stats.bootstrap import (
     deviation_significance,
     significance_of_statistic,
 )
+from repro.stats.resample_plan import (
+    CountsResamplePlan,
+    LitsResamplePlan,
+    PartitionResamplePlan,
+    ResamplePlan,
+    compile_resample_plan,
+    draw_multiplicities,
+    lits_membership,
+    multiplicities_from_indices,
+)
 from repro.stats.chisq import chi2_cdf, chi2_sf, gammainc_lower, gammainc_upper
 from repro.stats.descriptive import (
     mean_std,
@@ -23,10 +33,18 @@ from repro.stats.wilcoxon import WilcoxonResult, rank_sum_test
 
 __all__ = [
     "BootstrapResult",
+    "CountsResamplePlan",
+    "LitsResamplePlan",
+    "PartitionResamplePlan",
+    "ResamplePlan",
     "WilcoxonResult",
     "chi2_cdf",
     "chi2_sf",
+    "compile_resample_plan",
     "deviation_significance",
+    "draw_multiplicities",
+    "lits_membership",
+    "multiplicities_from_indices",
     "failure_probability",
     "gammainc_lower",
     "gammainc_upper",

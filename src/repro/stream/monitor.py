@@ -27,10 +27,23 @@ Division of labour per emitted window:
   :func:`repro.core.deviation.deviation_from_counts` over the reference
   model's structural component (``delta_1``);
 * qualification is delegated to
-  :meth:`ChangeMonitor.observe_precomputed`: either the full bootstrap
-  (``n_boot > 0``; the window is materialised for resampling) or the
-  cheap ``delta_threshold`` cut-off (``n_boot == 0``; nothing is
-  materialised and the whole pipeline stays incremental).
+  :meth:`ChangeMonitor.observe_precomputed`: the full bootstrap
+  (``n_boot > 0``) or the cheap ``delta_threshold`` cut-off
+  (``n_boot == 0``).
+
+Bootstrapping a *fixed* reference structure no longer materialises
+window rows: the null is computed by the count-space engine
+(:mod:`repro.stats.resample_plan`). For tabular streams the pooled
+region counts -- reference counts plus the window sketch, both already
+in hand -- fully determine the null (disjoint regions resample as a
+multinomial over region bins), so qualification touches no row at all.
+For transaction streams itemset regions overlap, so the engine needs
+per-row membership: the reference rows' membership matrix is compiled
+once per reference (not per window) and each window contributes one
+membership pass over its own rows -- never a pooled-dataset rebuild,
+and never a per-replicate resample materialisation. Windows are only
+materialised as datasets when a ``reset_on_drift`` reset promotes one
+to reference, or when ``refit_models=True`` re-mines per replicate.
 
 The reference is fitted *lazily*: the first ``window_size`` rows are
 buffered untouched, and mining only happens when the first monitored
@@ -53,8 +66,14 @@ from repro.core.difference import ABSOLUTE, DifferenceFunction
 from repro.core.model import PartitionStructure
 from repro.core.monitor import ChangeMonitor, Observation
 from repro.data.tabular import TabularDataset
-from repro.data.transactions import TransactionDataset
+from repro.data.transactions import BitmapIndex, TransactionDataset
 from repro.errors import InvalidParameterError
+from repro.stats.resample_plan import (
+    CountsResamplePlan,
+    LitsResamplePlan,
+    lits_membership,
+)
+from repro.stream.executor import get_executor
 from repro.stream.windows import (
     PartitionChunkSketcher,
     TransactionChunkSketcher,
@@ -155,6 +174,12 @@ class OnlineChangeMonitor:
         incremental mode).
     executor, n_shards:
         How each chunk is counted (see :mod:`repro.stream.executor`).
+        ``executor`` is also forwarded to the inner monitor, so the
+        count-space bootstrap fans its replicate blocks over the same
+        backend.
+    n_blocks:
+        Replicate blocks the bootstrap fans over ``executor`` (see
+        :meth:`~repro.stats.resample_plan.ResamplePlan.null_deviations`).
     """
 
     def __init__(
@@ -175,6 +200,7 @@ class OnlineChangeMonitor:
         refit_models: bool = False,
         executor="serial",
         n_shards: int = 1,
+        n_blocks: int = 1,
     ) -> None:
         if kind not in KINDS:
             raise InvalidParameterError(
@@ -199,7 +225,11 @@ class OnlineChangeMonitor:
         self.n_items = n_items
         self.window_size = window_size
         self.step = step
-        self.executor = executor
+        # resolved once: every sketcher (including post-reset rebuilds)
+        # and the inner monitor's bootstrap share one executor instance,
+        # so a pooled backend owns exactly one worker pool, releasable
+        # deterministically via close()
+        self.executor = get_executor(executor)
         self.n_shards = n_shards
         self.monitor = ChangeMonitor(
             model_builder,
@@ -211,6 +241,11 @@ class OnlineChangeMonitor:
             policy=policy,
             rng=rng,
             refit_models=refit_models,
+            # the resolved instance, not the name: the bootstrap's fanned
+            # blocks then reuse this monitor's one pool (released by
+            # close()) instead of spawning a pool per qualification
+            executor=self.executor,
+            n_blocks=n_blocks,
         )
         self._buffer = (
             _TransactionBuffer() if kind == "transactions" else _TabularBuffer()
@@ -218,6 +253,18 @@ class OnlineChangeMonitor:
         self._reference_data = None
         self._windows: WindowManager | None = None
         self._ref_counts: np.ndarray | None = None
+        # Reference rows' region-membership matrix (transactions kind,
+        # bootstrap mode only): compiled lazily on the first
+        # qualification and reused by every window until a reference
+        # reset invalidates it.
+        self._ref_membership: np.ndarray | None = None
+        # Per-chunk membership blocks for the chunks currently in the
+        # sliding ring (id(chunk) -> (chunk, membership)): a surviving
+        # chunk's rows keep their compiled membership across window
+        # advances, so a qualification costs one membership pass over
+        # the *entering* chunk only. The chunk object is stored in the
+        # entry so a recycled id can never alias a different chunk.
+        self._chunk_membership: dict[int, tuple] = {}
 
     # ------------------------------------------------------------------ #
     # Stream consumption
@@ -285,6 +332,19 @@ class OnlineChangeMonitor:
                 observations.append(self._qualify_window(window))
         return observations
 
+    def close(self) -> None:
+        """Release pooled executor workers (thread/process backends).
+
+        A no-op for the serial backend. Letting the interpreter reap a
+        process pool at exit instead can race CPython's atexit wakeup
+        and print a spurious ``OSError``; long-lived callers should
+        close explicitly once the stream ends. The monitor stays usable
+        -- a pooled backend lazily respawns workers on the next map.
+        """
+        shutdown = getattr(self.executor, "shutdown", None)
+        if shutdown is not None:
+            shutdown()
+
     # ------------------------------------------------------------------ #
     # Introspection
     # ------------------------------------------------------------------ #
@@ -347,6 +407,10 @@ class OnlineChangeMonitor:
         """Cache the reference structure's measure vector as counts."""
         model = self.monitor._reference_model
         structure = getattr(model, "structure", None)
+        # stale after any reference change: membership columns are the
+        # (new) reference structure's regions
+        self._ref_membership = None
+        self._chunk_membership = {}
         if self.kind == "tabular":
             if not isinstance(structure, PartitionStructure):
                 raise InvalidParameterError(
@@ -395,13 +459,21 @@ class OnlineChangeMonitor:
             f=monitor.f,
             g=monitor.g,
         )
-        # The bootstrap resamples rows and a reference reset adopts the
-        # snapshot, so those paths need the window materialised; the
-        # cheap fixed-policy mode never touches it.
-        needs_rows = monitor.n_boot > 0 or monitor.policy == "reset_on_drift"
+        # A fixed-structure bootstrap runs in count-space, so the only
+        # consumers that still need the window as a dataset are a
+        # reference reset (the snapshot is adopted) and refit_models
+        # (models are re-mined from resampled rows).
+        needs_rows = monitor.policy == "reset_on_drift" or (
+            monitor.n_boot > 0 and monitor.refit_models
+        )
         snapshot = window.to_dataset() if needs_rows else window
+        plan = None
+        if monitor.n_boot > 0 and not monitor.refit_models:
+            plan = self._window_resample_plan(window)
         before = monitor._reference_index
-        observation = monitor.observe_precomputed(snapshot, result.value)
+        observation = monitor.observe_precomputed(
+            snapshot, result.value, resample_plan=plan
+        )
         if monitor._reference_index != before:
             # reset_on_drift promoted this window: re-track the new
             # reference structure and re-sketch the buffered chunks (the
@@ -416,3 +488,52 @@ class OnlineChangeMonitor:
             # re-fed chunks count again: they really were re-scanned)
             self._windows.rows_sketched += scanned_before
         return observation
+
+    def _window_resample_plan(self, window: Window):
+        """Compile the count-space bootstrap for one window's pool.
+
+        Tabular streams need no rows at all: partition regions are
+        disjoint, so the pooled counts (cached reference counts + the
+        window's sketch) determine the null as a multinomial over
+        region bins. Transaction streams need per-row membership
+        because itemset regions overlap: the reference block is
+        compiled once per reference, each *chunk*'s block is compiled
+        once when it first appears in a window and cached for as long
+        as it survives the sliding ring, and the plan is assembled from
+        those blocks -- so a window advance costs one membership pass
+        over the entering chunk only, never over surviving rows.
+        """
+        monitor = self.monitor
+        structure = monitor._reference_model.structure
+        n_ref = len(monitor._reference_dataset)
+        if self.kind == "tabular":
+            return CountsResamplePlan(
+                structure,
+                self._ref_counts,
+                window.sketch.counts,
+                n_ref,
+                len(window),
+            )
+        if self._ref_membership is None:
+            # float32 up front: the plan's exact-matmul dtype, so the
+            # long-lived blocks are adopted without a per-window copy
+            # (windows this size keep the pool far below 2**24).
+            self._ref_membership = lits_membership(
+                structure, monitor._reference_dataset.index
+            ).astype(np.float32)
+        surviving: dict[int, tuple] = {}
+        parts: list[np.ndarray] = [self._ref_membership]
+        for chunk in window.chunks:
+            key = id(chunk)
+            entry = self._chunk_membership.get(key)
+            if entry is None or entry[0] is not chunk:
+                membership = lits_membership(
+                    structure, BitmapIndex(chunk, self.n_items)
+                ).astype(np.float32)
+                entry = (chunk, membership)
+            surviving[key] = entry
+            parts.append(entry[1])
+        # retain exactly the current window's chunks: retired chunks
+        # can never reappear, so their blocks are dropped here
+        self._chunk_membership = surviving
+        return LitsResamplePlan(structure, parts, n_ref, len(window))

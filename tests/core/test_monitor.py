@@ -35,9 +35,13 @@ def snapshots():
 
 class TestChangeMonitor:
     def test_quiet_then_drift(self, snapshots):
+        # n_boot=40: the quiet snapshots sit around the null's 70th
+        # percentile, so the coarse 20-replicate grid can tick over the
+        # 95% threshold on an unlucky draw; 40 replicates keep the
+        # verdicts stable.
         reference, quiet_1, quiet_2, drifted = snapshots
         monitor = ChangeMonitor(
-            builder, n_boot=20, rng=np.random.default_rng(1)
+            builder, n_boot=40, rng=np.random.default_rng(1)
         ).fit(reference)
 
         assert not monitor.observe(quiet_1).drifted
@@ -78,7 +82,9 @@ class TestChangeMonitor:
         assert monitor.observe(drifted).reference_index == 0
 
     def test_observe_before_fit_rejected(self, snapshots):
-        monitor = ChangeMonitor(builder, n_boot=5)
+        monitor = ChangeMonitor(
+            builder, n_boot=5, rng=np.random.default_rng(0)
+        )
         with pytest.raises(NotFittedError):
             monitor.observe(snapshots[0])
 
@@ -107,12 +113,16 @@ class TestDriftPointsEdges:
     the monitor was never fitted."""
 
     def test_unfitted_monitor_raises_instead_of_empty_list(self):
-        monitor = ChangeMonitor(builder, n_boot=5)
+        monitor = ChangeMonitor(
+            builder, n_boot=5, rng=np.random.default_rng(0)
+        )
         with pytest.raises(NotFittedError):
             monitor.drift_points()
 
     def test_observe_many_before_fit_rejected(self, snapshots):
-        monitor = ChangeMonitor(builder, n_boot=5)
+        monitor = ChangeMonitor(
+            builder, n_boot=5, rng=np.random.default_rng(0)
+        )
         with pytest.raises(NotFittedError):
             monitor.observe_many([snapshots[1]])
 
@@ -166,7 +176,9 @@ class TestDriftPointsEdges:
 
 class TestPrecomputedAndCheapMode:
     def test_observe_precomputed_before_fit_rejected(self, snapshots):
-        monitor = ChangeMonitor(builder, n_boot=5)
+        monitor = ChangeMonitor(
+            builder, n_boot=5, rng=np.random.default_rng(0)
+        )
         with pytest.raises(NotFittedError):
             monitor.observe_precomputed(snapshots[0], 1.0)
 
@@ -214,3 +226,56 @@ class TestPrecomputedAndCheapMode:
         assert observation.drifted
         assert monitor._reference_model is drifted_model
         assert monitor._reference_index == observation.index
+
+
+class TestUnseededWarning:
+    def test_unseeded_bootstrap_monitor_warns(self):
+        with pytest.warns(UserWarning, match="not reproducible"):
+            ChangeMonitor(builder, n_boot=5)
+
+    def test_seeded_or_cheap_monitors_stay_silent(self):
+        import warnings
+
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            ChangeMonitor(builder, n_boot=5, rng=np.random.default_rng(1))
+            ChangeMonitor(builder, n_boot=0, delta_threshold=1.0)
+
+    def test_resample_plan_with_refit_rejected(self, snapshots):
+        """A precompiled fixed-structure plan contradicts the refit
+        null; the monitor raises instead of silently using it."""
+        from repro.core.gcr import gcr
+        from repro.stats.resample_plan import compile_resample_plan
+
+        reference, quiet_1, _, _ = snapshots
+        monitor = ChangeMonitor(
+            builder, n_boot=5, refit_models=True,
+            rng=np.random.default_rng(2),
+        ).fit(reference)
+        model = builder(quiet_1)
+        plan = compile_resample_plan(
+            gcr(monitor._reference_model.structure, model.structure),
+            reference, quiet_1,
+        )
+        with pytest.raises(InvalidParameterError, match="refit_models"):
+            monitor.observe_precomputed(quiet_1, 1.0, resample_plan=plan)
+
+    def test_pooled_executor_resolved_once_and_closable(self, snapshots):
+        """A backend name becomes one executor instance at construction
+        (fanned bootstraps share its pool) and close() releases it."""
+        reference, quiet_1, _, _ = snapshots
+        monitor = ChangeMonitor(
+            builder, n_boot=6, executor="thread", n_blocks=2,
+            rng=np.random.default_rng(9),
+        ).fit(reference)
+        first = monitor.executor
+        assert hasattr(first, "map")  # resolved, not a string
+        monitor.observe(quiet_1)
+        assert monitor.executor is first
+        assert first._pool is not None  # the bootstrap used this pool
+        monitor.close()
+        assert first._pool is None
+        # serial monitors close as a no-op
+        ChangeMonitor(
+            builder, n_boot=0, delta_threshold=1.0
+        ).close()

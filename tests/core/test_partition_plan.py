@@ -293,3 +293,70 @@ class TestCountsAlignmentKey:
         # most-recently-used survive; the first ones were evicted
         kept = {id(a) for a in assigners[-_MAX_PASSES_PER_DATASET:]}
         assert set(_ASSIGNMENTS[dataset]) == kept
+
+
+class TestRegionAssignments:
+    """The per-row form behind the count-space bootstrap: ``counts``
+    must equal the bincount of ``region_assignments`` with the
+    excluded-rows sentinel bin dropped, under every focus configuration."""
+
+    def _assert_consistent(self, structure, dataset):
+        plan = PartitionCountingPlan(structure)
+        flat = plan.region_assignments(dataset)
+        r = plan.n_regions
+        assert flat.shape == (len(dataset),)
+        assert ((flat >= 0) & (flat <= r)).all()
+        np.testing.assert_array_equal(
+            np.bincount(flat, minlength=r + 1)[:r], plan.counts(dataset)
+        )
+
+    def test_labelled_partition(self):
+        rng = np.random.default_rng(12)
+        structure = _age_partition((3, 1, 7))
+        dataset = _dataset(
+            rng.uniform(0, 100, size=200), rng.choice([3, 1, 7], size=200)
+        )
+        assert structure.plan.n_regions == 6
+        self._assert_consistent(structure, dataset)
+
+    def test_unlabelled_partition(self):
+        structure = _age_partition(())
+        assert structure.plan.n_regions == 2
+        self._assert_consistent(structure, _dataset([10.0, 60.0, 70.0]))
+
+    def test_focus_predicate_rows_go_to_sentinel(self):
+        structure = _age_partition(()).focussed(
+            BoxRegion(interval_constraint("age", hi=30))
+        )
+        dataset = _dataset([10.0, 20.0, 60.0, 80.0])
+        plan = PartitionCountingPlan(structure)
+        flat = plan.region_assignments(dataset)
+        # ages >= 30 are outside the focus: sentinel bin n_regions
+        assert flat.tolist() == [0, 0, 2, 2]
+        self._assert_consistent(structure, dataset)
+
+    def test_focus_class_rows_go_to_sentinel(self):
+        structure = _age_partition((3, 1, 7)).focussed(
+            BoxRegion(interval_constraint("age", hi=100), class_label=1)
+        )
+        dataset = _dataset([10.0, 60.0, 70.0, 20.0], [1, 1, 3, 7])
+        plan = PartitionCountingPlan(structure)
+        assert plan.n_regions == 2
+        flat = plan.region_assignments(dataset)
+        assert flat.tolist() == [0, 1, 2, 2]
+        self._assert_consistent(structure, dataset)
+
+    def test_unseen_label_raises(self):
+        structure = _age_partition((3, 1))
+        snapshot = _dataset([10.0, 60.0], [3, 7])
+        with pytest.raises(IncompatibleModelsError, match="label 7"):
+            PartitionCountingPlan(structure).region_assignments(snapshot)
+
+    def test_focus_class_on_unlabelled_raises(self):
+        structure = _age_partition(()).focussed(
+            BoxRegion(interval_constraint("age", hi=100), class_label=1)
+        )
+        with pytest.raises(SchemaError):
+            PartitionCountingPlan(structure).region_assignments(
+                _dataset([10.0])
+            )

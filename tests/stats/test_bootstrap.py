@@ -47,19 +47,37 @@ class TestBootstrapResult:
             observed=5.0, null_values=np.array([1.0, 2.0, 6.0, 7.0])
         )
         assert result.significance_percent == pytest.approx(50.0)
-        assert result.p_value == pytest.approx(0.5)
+        # add-one correction: (1 + 2 exceedances) / (4 + 1)
+        assert result.p_value == pytest.approx(0.6)
+        assert result.p_value_raw == pytest.approx(0.5)
 
     def test_extremes(self):
         low = BootstrapResult(observed=0.0, null_values=np.array([1.0, 2.0]))
         high = BootstrapResult(observed=9.0, null_values=np.array([1.0, 2.0]))
         assert low.significance_percent == 0.0
         assert high.significance_percent == 100.0
-        assert high.p_value == 0.0
+        # the add-one estimator never reports the impossible p = 0 from
+        # a finite null: the floor is 1 / (B + 1)
+        assert high.p_value == pytest.approx(1.0 / 3.0)
+        assert high.p_value_raw == 0.0
+        assert low.p_value == pytest.approx(1.0)
 
     def test_empty_null(self):
         empty = BootstrapResult(observed=1.0, null_values=np.array([]))
         assert empty.significance_percent == 0.0
-        assert empty.p_value == 1.0
+        assert empty.p_value == 1.0  # (1 + 0) / (0 + 1)
+        assert empty.p_value_raw == 1.0
+
+    def test_ties_count_against_significance(self):
+        """A null value exactly equal to the observed one is not
+        strictly below it (``<``), and counts as an exceedance in both
+        p-value estimators."""
+        tied = BootstrapResult(
+            observed=2.0, null_values=np.array([1.0, 2.0, 2.0, 3.0])
+        )
+        assert tied.significance_percent == pytest.approx(25.0)
+        assert tied.p_value_raw == pytest.approx(0.75)
+        assert tied.p_value == pytest.approx(0.8)  # (1 + 3) / 5
 
 
 class TestSignificanceOfStatistic:
@@ -158,3 +176,110 @@ class TestBlockExtensionCrossover:
             base, extended, builder, n_boot=15, rng=rng
         )
         assert result.significance_percent >= 95.0
+
+
+class TestEngineRoutingAndFallback:
+    def test_prebuilt_models_skip_rebuilding(self, cross_process_pair):
+        """models=(m1, m2) must not invoke model_builder at all."""
+        d1, d2 = cross_process_pair
+        m1, m2 = lits_builder(d1), lits_builder(d2)
+
+        def exploding_builder(dataset):
+            raise AssertionError("model_builder re-invoked")
+
+        result = deviation_significance(
+            d1, d2, exploding_builder, models=(m1, m2), n_boot=5,
+            rng=np.random.default_rng(1),
+        )
+        assert len(result.null_values) == 5
+
+    def test_models_or_builder_required(self, cross_process_pair):
+        d1, d2 = cross_process_pair
+        with pytest.raises(InvalidParameterError):
+            deviation_significance(d1, d2, n_boot=3, seed=1)
+
+    def test_refit_requires_builder(self, cross_process_pair):
+        d1, d2 = cross_process_pair
+        with pytest.raises(InvalidParameterError):
+            deviation_significance(
+                d1, d2, n_boot=3, seed=1, refit_models=True
+            )
+
+    def test_unindexable_datasets_fall_back_to_the_loop(
+        self, cross_process_pair
+    ):
+        """A dataset kind without a bitmap index cannot compile a
+        count-space plan; the per-replicate loop must still qualify it."""
+
+        class Bare:
+            """Rows-only view: take/concat/len but no .index."""
+
+            def __init__(self, inner):
+                self._inner = inner
+
+            def __len__(self):
+                return len(self._inner)
+
+            def take(self, indices):
+                return Bare(self._inner.take(indices))
+
+            def concat(self, other):
+                return Bare(self._inner.concat(other._inner))
+
+        d1, d2 = cross_process_pair
+        m1, m2 = lits_builder(d1), lits_builder(d2)
+
+        class CountsVia(type(m1.structure)):
+            pass
+
+        from repro.core.deviation import deviation_over_structure
+        from repro.core.gcr import gcr
+
+        structure = gcr(m1.structure, m2.structure)
+
+        # monkey-free: wraps force hasattr(d, "index") to fail
+        b1, b2 = Bare(d1), Bare(d2)
+
+        class M:
+            def __init__(self, s):
+                self.structure = s
+
+        # give the bare wrapper the counting interface the loop needs
+        Bare.index = property(lambda self: (_ for _ in ()).throw(
+            AttributeError("no index")
+        ))
+
+        def counts(self, dataset):
+            return type(structure).counts(self, dataset._inner)
+
+        CountsVia.counts = counts
+        wrapped = CountsVia(structure.itemsets)
+        result = deviation_significance(
+            b1, b2, models=(M(wrapped), M(wrapped)), n_boot=4,
+            rng=np.random.default_rng(2),
+        )
+        assert len(result.null_values) == 4
+        expected = deviation_over_structure(wrapped, b1, b2).value
+        assert result.observed == pytest.approx(expected)
+
+    def test_seed_kwarg_reproduces(self, cross_process_pair):
+        d1, d2 = cross_process_pair
+        a = deviation_significance(d1, d2, lits_builder, n_boot=6, seed=9)
+        b = deviation_significance(d1, d2, lits_builder, n_boot=6, seed=9)
+        assert np.array_equal(a.null_values, b.null_values)
+
+    def test_unseeded_loop_oracle_warns(self, same_process_pair):
+        d1, d2 = same_process_pair
+        with pytest.warns(UserWarning, match="not reproducible"):
+            significance_of_statistic(d1, d2, lambda a, b: 1.0, n_boot=2)
+
+    def test_models_with_refit_rejected(self, cross_process_pair):
+        """refit re-induces per replicate; pinned models would be
+        silently discarded, so the combination raises."""
+        d1, d2 = cross_process_pair
+        m1, m2 = lits_builder(d1), lits_builder(d2)
+        with pytest.raises(InvalidParameterError, match="refit_models"):
+            deviation_significance(
+                d1, d2, lits_builder, models=(m1, m2), n_boot=3,
+                seed=1, refit_models=True,
+            )

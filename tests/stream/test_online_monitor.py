@@ -197,3 +197,140 @@ class TestValidation:
         )
         assert len(observations) == 3
         assert [o.index for o in observations] == [1, 2, 3]
+
+
+class TestCountSpaceQualification:
+    """Fixed-structure bootstrap without materialising window rows."""
+
+    def test_bootstrap_never_materialises_windows(
+        self, drifting_stream, monkeypatch
+    ):
+        """Under the fixed policy the count-space engine qualifies every
+        window; Window.to_dataset (the materialisation seam) must never
+        fire even with n_boot > 0."""
+        from repro.stream import windows as windows_module
+
+        def boom(self):
+            raise AssertionError("window was materialised")
+
+        monkeypatch.setattr(windows_module.Window, "to_dataset", boom)
+        stream, _ = drifting_stream
+        monitor = OnlineChangeMonitor(
+            builder, N_ITEMS, window_size=1_000, step=500,
+            n_boot=8, rng=np.random.default_rng(2),
+        )
+        observations = monitor.push(stream[:4_000])
+        assert len(observations) == 5
+        assert observations[-1].drifted
+
+    def test_refit_models_still_materialises(self, drifting_stream):
+        """refit_models re-mines from resampled rows, so that mode keeps
+        the materialising path."""
+        stream, _ = drifting_stream
+        monitor = OnlineChangeMonitor(
+            builder, N_ITEMS, window_size=500, step=500,
+            n_boot=2, rng=np.random.default_rng(3), refit_models=True,
+        )
+        observations = monitor.push(stream[:1_500])
+        assert len(observations) == 2
+        assert all(0.0 <= o.significance <= 100.0 for o in observations)
+
+    def test_reference_membership_compiled_once_per_reference(
+        self, drifting_stream, monkeypatch
+    ):
+        """The reference rows' membership matrix is built once and reused
+        by every window (and rebuilt only on a reference reset)."""
+        from repro.stream import monitor as monitor_module
+
+        calls = []
+        real = monitor_module.lits_membership
+
+        def counting(structure, index):
+            calls.append(id(index))
+            return real(structure, index)
+
+        monkeypatch.setattr(monitor_module, "lits_membership", counting)
+        stream, _ = drifting_stream
+        monitor = OnlineChangeMonitor(
+            builder, N_ITEMS, window_size=1_000, step=500,
+            n_boot=4, rng=np.random.default_rng(4),
+        )
+        monitor.push(stream[:4_000])
+        n_windows = len(monitor.history)
+        assert n_windows >= 4
+        reference_index = id(monitor.monitor._reference_dataset.index)
+        reference_compiles = [i for i in calls if i == reference_index]
+        # the reference block is compiled exactly once, and each
+        # *chunk* exactly once when it enters -- surviving chunks are
+        # never recompiled as the window slides over them
+        assert len(reference_compiles) == 1
+        n_chunks = (4_000 - 1_000) // 500
+        assert len(calls) == 1 + n_chunks
+        # strictly fewer compiles than a per-window recompute would pay
+        chunks_per_window = 1_000 // 500
+        assert len(calls) < 1 + n_windows * chunks_per_window
+        assert calls[0] == reference_index
+
+    def test_stream_significance_matches_offline_engine(self, drifting_stream):
+        """A window qualified from sketches equals the offline
+        count-space significance over the materialised pair, given the
+        same generator state."""
+        from repro.core.gcr import gcr
+        from repro.stats.resample_plan import compile_resample_plan
+
+        stream, _ = drifting_stream
+        monitor = OnlineChangeMonitor(
+            builder, N_ITEMS, window_size=1_000, step=1_000,
+            n_boot=10, rng=np.random.default_rng(17),
+        )
+        observations = monitor.push(stream[:2_000])
+        assert len(observations) == 1
+
+        reference = TransactionDataset(stream[:1_000], N_ITEMS)
+        window = TransactionDataset(stream[1_000:2_000], N_ITEMS)
+        model = builder(reference)
+        structure = gcr(model.structure, model.structure)
+        plan = compile_resample_plan(structure, reference, window)
+        offline = plan.significance(10, np.random.default_rng(17))
+        assert observations[0].significance == pytest.approx(
+            offline.significance_percent
+        )
+
+    def test_bootstrap_fanning_plumbs_through(self, drifting_stream):
+        """executor/n_blocks reach the inner monitor's bootstrap (the
+        tutorial's fanning claim), and verdicts match the serial run
+        given the same generator state."""
+        stream, _ = drifting_stream
+        kwargs = dict(window_size=1_000, step=1_000, n_boot=6)
+        serial = OnlineChangeMonitor(
+            builder, N_ITEMS, rng=np.random.default_rng(21), **kwargs
+        )
+        fanned = OnlineChangeMonitor(
+            builder, N_ITEMS, rng=np.random.default_rng(21),
+            executor="thread", n_blocks=3, **kwargs,
+        )
+        assert fanned.monitor.n_blocks == 3
+        a = serial.push(stream[:3_000])
+        b = fanned.push(stream[:3_000])
+        assert [(o.significance, o.drifted) for o in a] == [
+            (o.significance, o.drifted) for o in b
+        ]
+
+    def test_close_releases_pooled_workers(self, drifting_stream):
+        """close() shuts the shared executor pool down deterministically
+        (leaving teardown to interpreter exit can race CPython's atexit
+        wakeup); the serial backend is a no-op."""
+        stream, _ = drifting_stream
+        monitor = OnlineChangeMonitor(
+            builder, N_ITEMS, window_size=500, step=500,
+            n_boot=0, delta_threshold=3.0, executor="thread", n_shards=2,
+        )
+        monitor.push(stream[:1_500])
+        assert monitor.executor._pool is not None  # pool was used
+        monitor.close()
+        assert monitor.executor._pool is None
+        # serial monitors close without complaint
+        OnlineChangeMonitor(
+            builder, N_ITEMS, window_size=500,
+            n_boot=0, delta_threshold=1.0,
+        ).close()

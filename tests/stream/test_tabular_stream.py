@@ -136,7 +136,19 @@ class TestTabularOnlineMonitor:
             offline = deviation_over_structure(structure, reference, window)
             assert obs.deviation == pytest.approx(offline.value, abs=1e-9)
 
-    def test_bootstrap_mode_materialises_windows(self, drifting_table):
+    def test_bootstrap_mode_needs_no_window_rows(
+        self, drifting_table, monkeypatch
+    ):
+        """Partition regions are disjoint, so the bootstrap null is a
+        multinomial over the pooled region counts -- the window is never
+        materialised (Window.to_dataset must not fire) and the verdicts
+        still come out right."""
+        from repro.stream import windows as windows_module
+
+        def boom(self):
+            raise AssertionError("window was materialised")
+
+        monkeypatch.setattr(windows_module.Window, "to_dataset", boom)
         table, _ = drifting_table
         monitor = OnlineChangeMonitor(
             dt_builder, window_size=500, step=500, kind="tabular",
