@@ -1,0 +1,49 @@
+"""Shared type aliases for the measurement engine's duck-typed surfaces.
+
+The engine deliberately accepts *interfaces*, not classes: anything with
+the transaction-dataset row surface (``index``, ``support_count``,
+``take``) or the tabular one (``X``, ``y``, ``space``, ``columns``,
+``predicate_mask``) flows through deviation, bootstrap, streaming, and
+fleet code -- immutable datasets and the appendable logs alike. Pinning
+those parameters to a concrete union would wrongly reject the logs (and
+every future dataset-like), so until the interfaces are formalised as
+Protocols these aliases are explicit ``Any`` with the contract in the
+name. They exist so call sites document *which* duck type they mean and
+so the eventual ratchet to ``Protocol`` classes is a one-file change.
+
+``mypy --strict`` intentionally permits explicit ``Any``; these aliases
+are the typed boundary around the parts of the interface that are still
+structural.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, TypeAlias
+
+import numpy as np
+
+#: Anything with a dataset row surface: :class:`~repro.data.transactions.
+#: TransactionDataset`, :class:`~repro.data.tabular.TabularDataset`, the
+#: appendable stream logs, or any object quacking like one of them.
+DatasetLike: TypeAlias = Any
+
+#: A fitted model produced by a model builder (LITS / decision-tree /
+#: clustering); exposes ``structure`` and the counting interface.
+ModelLike: TypeAlias = Any
+
+#: A partition structure or its precompiled counting plan (see
+#: :func:`repro.stream.sketch.as_partition_plan`).
+StructureOrPlan: TypeAlias = Any
+
+#: An executor backend: a name (``"serial"`` / ``"thread"`` /
+#: ``"process"``) or an executor instance from
+#: :func:`repro.stream.executor.get_executor`. A *name* means the callee
+#: owns (and must release) the resolved runner; an *instance* stays the
+#: caller's to close.
+ExecutorLike: TypeAlias = Any
+
+#: ``dataset -> model``; re-invoked inside bootstrap loops.
+ModelBuilder: TypeAlias = Callable[..., Any]
+
+#: A partition structure's row -> cell index pass.
+AssignerFn: TypeAlias = Callable[[DatasetLike], np.ndarray]

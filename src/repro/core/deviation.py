@@ -17,13 +17,14 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from typing import Sequence
+from typing import Any, Sequence
 
 from repro.core.aggregate import SUM, AggregateFunction
 from repro.core.difference import ABSOLUTE, DifferenceFunction
 from repro.core.gcr import gcr
 from repro.core.model import LitsStructure, Model, Structure
 from repro.core.region import Region
+from repro._typing import DatasetLike
 from repro.errors import InvalidParameterError
 
 
@@ -103,8 +104,8 @@ class DeviationResult:
 
 def deviation_over_structure(
     structure: Structure,
-    dataset1,
-    dataset2,
+    dataset1: DatasetLike,
+    dataset2: DatasetLike,
     f: DifferenceFunction = ABSOLUTE,
     g: AggregateFunction = SUM,
 ) -> DeviationResult:
@@ -119,8 +120,8 @@ def deviation_over_structure(
 def deviation(
     model1: Model,
     model2: Model,
-    dataset1,
-    dataset2,
+    dataset1: DatasetLike,
+    dataset2: DatasetLike,
     f: DifferenceFunction = ABSOLUTE,
     g: AggregateFunction = SUM,
     focus: Region | None = None,
@@ -200,8 +201,8 @@ def _result(
 
 def deviation_over_structure_many(
     structure: Structure,
-    dataset1,
-    datasets: Sequence,
+    dataset1: DatasetLike,
+    datasets: Sequence[DatasetLike],
     f: DifferenceFunction = ABSOLUTE,
     g: AggregateFunction = SUM,
 ) -> list[DeviationResult]:
@@ -226,8 +227,8 @@ def deviation_over_structure_many(
 def deviation_many(
     model1: Model,
     models: Sequence[Model],
-    dataset1,
-    datasets: Sequence,
+    dataset1: DatasetLike,
+    datasets: Sequence[DatasetLike],
     f: DifferenceFunction = ABSOLUTE,
     g: AggregateFunction = SUM,
     focus: Region | None = None,
@@ -296,7 +297,7 @@ def deviation_many(
     # partition models) measure the reference once, not once per pair.
     # Keyed on counts_key (order-sensitive): same region *set* in a
     # different order must not reuse a positionally-aligned vector.
-    counts1_by_key: dict = {}
+    counts1_by_key: dict[Any, np.ndarray] = {}
     for i, s in enumerate(structures):
         n2 = len(datasets[i])
         if i in model_fast:

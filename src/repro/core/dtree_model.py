@@ -14,6 +14,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+import numpy as np
+
 from repro.core.model import Model, PartitionStructure
 from repro.data.tabular import TabularDataset
 from repro.mining.tree.builder import TreeParams, build_tree
@@ -51,6 +53,6 @@ class DtModel(Model):
     def n_leaves(self) -> int:
         return self.tree.n_leaves
 
-    def predict(self, dataset: TabularDataset):
+    def predict(self, dataset: TabularDataset) -> np.ndarray:
         """Majority-class predictions (delegates to the tree)."""
         return self.tree.predict(dataset)

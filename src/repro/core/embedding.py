@@ -16,10 +16,11 @@ Everything is numpy-only; no SciPy needed at runtime.
 
 from __future__ import annotations
 
-from typing import Sequence
+from typing import Any, Sequence
 
 import numpy as np
 
+from repro._typing import DatasetLike
 from repro.core.aggregate import SUM, AggregateFunction
 from repro.core.difference import ABSOLUTE, DifferenceFunction
 from repro.core.lits import LitsModel
@@ -28,7 +29,7 @@ from repro.core.upper_bound import upper_bound_deviation
 from repro.errors import IncompatibleModelsError, InvalidParameterError
 
 
-def _check_fleet_size(models: Sequence, what: str) -> None:
+def _check_fleet_size(models: Sequence[Any], what: str) -> None:
     """Shared matrix-input validation: a non-empty fleet of >= 2 models."""
     n = len(models)
     if n == 0:
@@ -41,7 +42,7 @@ def _check_fleet_size(models: Sequence, what: str) -> None:
         )
 
 
-def _check_fleet_of_models(models: Sequence, what: str) -> None:
+def _check_fleet_of_models(models: Sequence[Any], what: str) -> None:
     """Matrix-input validation for delta* products: size plus all-lits."""
     _check_fleet_size(models, what)
     for i, m in enumerate(models):
@@ -68,7 +69,7 @@ def upper_bound_matrix(
 
 def deviation_matrix(
     models: Sequence[Model],
-    datasets: Sequence,
+    datasets: Sequence[DatasetLike],
     f: DifferenceFunction = ABSOLUTE,
     g: AggregateFunction = SUM,
 ) -> np.ndarray:

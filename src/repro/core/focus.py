@@ -26,7 +26,9 @@ the aligned case, as the paper observes.
 from __future__ import annotations
 
 import math
+from typing import Iterable
 
+from repro._typing import DatasetLike
 from repro.core.aggregate import SUM, AggregateFunction
 from repro.core.deviation import DeviationResult, deviation
 from repro.core.difference import ABSOLUTE, DifferenceFunction
@@ -36,7 +38,9 @@ from repro.core.region import BoxRegion, ItemsetRegion, Region
 from repro.errors import InvalidParameterError
 
 
-def box_focus(class_label: int | None = None, **constraints) -> BoxRegion:
+def box_focus(
+    class_label: int | None = None, **constraints: object
+) -> BoxRegion:
     """Build a box focussing region from keyword constraints.
 
     Each keyword is an attribute name mapped to either a ``(lo, hi)``
@@ -47,7 +51,7 @@ def box_focus(class_label: int | None = None, **constraints) -> BoxRegion:
     >>> box_focus(salary=(100_000, None))           # salary >= 100K
     >>> box_focus(elevel=[0, 1], age=(40, 60))      # conjunction
     """
-    parts: dict = {}
+    parts: dict[str, Interval | ValueSet] = {}
     for name, spec in constraints.items():
         if isinstance(spec, tuple) and len(spec) == 2:
             lo = -math.inf if spec[0] is None else float(spec[0])
@@ -63,7 +67,7 @@ def box_focus(class_label: int | None = None, **constraints) -> BoxRegion:
     return BoxRegion(Conjunction(parts), class_label)
 
 
-def itemset_focus(items) -> ItemsetRegion:
+def itemset_focus(items: Iterable[int]) -> ItemsetRegion:
     """Build an itemset focussing region (transactions containing ``items``)."""
     return ItemsetRegion(items)
 
@@ -76,8 +80,8 @@ def focussed_structure(model: Model, region: Region) -> Structure:
 def focussed_deviation(
     model1: Model,
     model2: Model,
-    dataset1,
-    dataset2,
+    dataset1: DatasetLike,
+    dataset2: DatasetLike,
     region: Region,
     f: DifferenceFunction = ABSOLUTE,
     g: AggregateFunction = SUM,

@@ -18,6 +18,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro._typing import DatasetLike
 from repro.core.model import LitsStructure, PartitionStructure, Structure
 from repro.core.partition_plan import cell_assignments
 from repro.errors import IncompatibleModelsError
@@ -52,7 +53,7 @@ def gcr_partition(
 
     assign1, assign2 = s1.assigner, s2.assigner
 
-    def joint_assigner(dataset) -> np.ndarray:
+    def joint_assigner(dataset: DatasetLike) -> np.ndarray:
         # The base passes are memoised per dataset, so measuring the
         # overlay right after (or alongside) either input structure --
         # the GCR access pattern -- costs no extra assigner scans.

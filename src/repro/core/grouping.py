@@ -95,8 +95,9 @@ def agglomerate(
         merges.append(MergeStep(clusters[i], clusters[j], d))
         merged = tuple(sorted(clusters[i] + clusters[j]))
         clusters = [
-            c for idx, c in enumerate(clusters) if idx not in (i, j)
-        ] + [merged]
+            *(c for idx, c in enumerate(clusters) if idx not in (i, j)),
+            merged,
+        ]
 
     labels = [0] * n
     for group, cluster in enumerate(sorted(clusters)):
@@ -110,7 +111,7 @@ def group_stores(
     n_groups: int,
     linkage: str = "average",
     names: Sequence[str] | None = None,
-) -> dict[int, list]:
+) -> dict[int, list[str | int]]:
     """The marketing workflow: group labels -> member names (or indices)."""
     distance_matrix = np.asarray(distance_matrix, dtype=np.float64)
     if names is not None and len(names) != distance_matrix.shape[0]:
@@ -119,7 +120,7 @@ def group_stores(
             f"{distance_matrix.shape[0]} stores"
         )
     grouping = agglomerate(distance_matrix, n_groups, linkage)
-    out: dict[int, list] = {}
+    out: dict[int, list[str | int]] = {}
     for group in range(grouping.n_groups):
         members = grouping.members(group)
         out[group] = [

@@ -10,7 +10,7 @@ the GCR of two lits-models is simply the union of their itemset sets.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Mapping
+from typing import Iterable, Mapping
 
 from repro.core.model import LitsStructure, Model
 from repro.data.transactions import TransactionDataset
@@ -71,7 +71,7 @@ class LitsModel(Model):
         """The frequent itemsets in canonical order."""
         return self._structure.itemsets
 
-    def support(self, itemset) -> float | None:
+    def support(self, itemset: Iterable[int]) -> float | None:
         """The stored support of an itemset, or ``None`` if not frequent."""
         return self.supports.get(frozenset(itemset))
 

@@ -20,10 +20,11 @@ meet-semilattice property.
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
-from typing import Callable, Hashable, Sequence
+from typing import Hashable, Sequence
 
 import numpy as np
 
+from repro._typing import AssignerFn, DatasetLike
 from repro.core.predicate import Conjunction
 from repro.core.region import BoxRegion, ItemsetRegion, Region
 from repro.errors import IncompatibleModelsError, InvalidParameterError
@@ -56,10 +57,12 @@ class Structure(ABC):
         return (type(self).__name__, tuple(r.key for r in self.regions))
 
     @abstractmethod
-    def counts(self, dataset) -> np.ndarray:
+    def counts(self, dataset: DatasetLike) -> np.ndarray:
         """Absolute tuple counts per region (aligned with :attr:`regions`)."""
 
-    def counts_many(self, datasets) -> list[np.ndarray]:
+    def counts_many(
+        self, datasets: Sequence[DatasetLike]
+    ) -> list[np.ndarray]:
         """Counts of many snapshots over this one structure.
 
         The default measures each snapshot independently; structures
@@ -72,7 +75,7 @@ class Structure(ABC):
     def focussed(self, region: Region) -> "Structure":
         """The structure with every region intersected with ``region``."""
 
-    def selectivities(self, dataset) -> np.ndarray:
+    def selectivities(self, dataset: DatasetLike) -> np.ndarray:
         """Relative measures sigma(Lambda, D); zeros for an empty dataset."""
         n = len(dataset)
         counts = self.counts(dataset)
@@ -115,7 +118,7 @@ class LitsStructure(Structure):
     def key(self) -> Hashable:
         return ("lits", frozenset(self._itemsets))
 
-    def counts(self, dataset) -> np.ndarray:
+    def counts(self, dataset: DatasetLike) -> np.ndarray:
         """All itemset supports in one batched pass over the bitmap index.
 
         The whole structural component is measured by the batched
@@ -159,7 +162,7 @@ class PartitionStructure(Structure):
         self,
         cells: Sequence[Conjunction],
         class_labels: tuple[int, ...],
-        assigner: Callable,
+        assigner: AssignerFn,
         focus_predicate: Conjunction | None = None,
         focus_class: int | None = None,
     ) -> None:
@@ -200,7 +203,7 @@ class PartitionStructure(Structure):
         return self._class_labels
 
     @property
-    def assigner(self) -> Callable:
+    def assigner(self) -> AssignerFn:
         return self._assigner
 
     @property
@@ -239,7 +242,7 @@ class PartitionStructure(Structure):
             frozenset(r.key for r in self._regions),
         )
 
-    def counts(self, dataset) -> np.ndarray:
+    def counts(self, dataset: DatasetLike) -> np.ndarray:
         """Histogram the dataset over cells (x classes) in one pass.
 
         Delegates to the precompiled :attr:`plan`: a memoised assigner
@@ -251,7 +254,9 @@ class PartitionStructure(Structure):
         """
         return self.plan.counts(dataset)
 
-    def counts_many(self, datasets) -> list[np.ndarray]:
+    def counts_many(
+        self, datasets: Sequence[DatasetLike]
+    ) -> list[np.ndarray]:
         """Counts of many snapshots, sharing one compiled plan."""
         return self.plan.counts_many(datasets)
 
@@ -287,6 +292,6 @@ class Model(ABC):
     def structure(self) -> Structure:
         """The structural component Lambda_M."""
 
-    def measures(self, dataset) -> np.ndarray:
+    def measures(self, dataset: DatasetLike) -> np.ndarray:
         """The measure component Sigma(Lambda_M, D) w.r.t. any dataset."""
         return self.structure.selectivities(dataset)

@@ -20,16 +20,20 @@ Reference policies:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable
+from typing import TYPE_CHECKING, Iterable
 
 import numpy as np
 
+from repro._typing import DatasetLike, ModelBuilder, ModelLike
 from repro.core.aggregate import SUM, AggregateFunction
 from repro.core.deviation import deviation, deviation_many
 from repro.core.difference import ABSOLUTE, DifferenceFunction
 from repro.errors import InvalidParameterError, NotFittedError
 from repro.stats.bootstrap import BootstrapResult, deviation_significance
 from repro.stats.resample_plan import _resolve_rng
+
+if TYPE_CHECKING:
+    from repro.stats.resample_plan import ResamplePlan
 
 POLICIES = ("fixed", "reset_on_drift")
 
@@ -79,11 +83,13 @@ class ChangeMonitor:
     policy:
         ``"fixed"`` or ``"reset_on_drift"`` (see module docstring).
     rng:
-        Random generator for the bootstrap. Left ``None`` an unseeded
-        generator is created once at construction; when the bootstrap
-        is actually in play (``n_boot > 0``) that fallback warns, like
+        Random generator for the bootstrap. Left ``None`` with the
+        bootstrap in play (``n_boot > 0``), an unseeded generator is
+        created once at construction through the shared
+        :func:`~repro.stats.resample_plan._resolve_rng` warn-path, like
         every other significance API -- unseeded drift verdicts cannot
-        be reproduced.
+        be reproduced. The cheap ``n_boot == 0`` mode never consumes
+        randomness and creates no generator (``rng`` stays ``None``).
     refit_models:
         Whether the bootstrap re-induces models per replicate (see
         :func:`repro.stats.bootstrap.deviation_significance`); the
@@ -98,7 +104,7 @@ class ChangeMonitor:
         qualification; release it with :meth:`close` when done.
     """
 
-    model_builder: Callable
+    model_builder: ModelBuilder
     f: DifferenceFunction = ABSOLUTE
     g: AggregateFunction = SUM
     n_boot: int = 50
@@ -129,13 +135,11 @@ class ChangeMonitor:
                 "n_boot=0 disables the bootstrap; provide delta_threshold "
                 "for the drift decision"
             )
-        if self.rng is None:
-            if self.n_boot > 0:
-                # the cheap n_boot=0 mode never consumes randomness, so
-                # only an actual bootstrap merits the warning
-                self.rng = _resolve_rng(None, None, "ChangeMonitor")
-            else:
-                self.rng = np.random.default_rng()
+        if self.rng is None and self.n_boot > 0:
+            # every generator this monitor creates comes from the single
+            # _resolve_rng warn-path; the cheap n_boot=0 mode never
+            # consumes randomness, so it creates no generator at all
+            self.rng = _resolve_rng(None, None, "ChangeMonitor")
         # resolve a backend name to one instance now: fanned bootstrap
         # blocks then reuse a single worker pool across qualifications
         # instead of spawning one per observation (local import: the
@@ -160,7 +164,7 @@ class ChangeMonitor:
     def is_fitted(self) -> bool:
         return self._reference_model is not None
 
-    def fit(self, reference) -> "ChangeMonitor":
+    def fit(self, reference: DatasetLike) -> "ChangeMonitor":
         """Set the reference snapshot; returns ``self`` for chaining."""
         self._reference_dataset = reference
         self._reference_model = self.model_builder(reference)
@@ -169,7 +173,11 @@ class ChangeMonitor:
         return self
 
     def _qualify(
-        self, snapshot, delta: float, model=None, resample_plan=None
+        self,
+        snapshot: DatasetLike,
+        delta: float,
+        model: ModelLike | None = None,
+        resample_plan: "ResamplePlan | None" = None,
     ) -> Observation:
         """Bootstrap-qualify one snapshot's deviation and record it."""
         if resample_plan is not None and self.refit_models:
@@ -216,7 +224,9 @@ class ChangeMonitor:
         self.history.append(observation)
         return observation
 
-    def _bootstrap_significance(self, snapshot, model) -> float:
+    def _bootstrap_significance(
+        self, snapshot: DatasetLike, model: ModelLike | None
+    ) -> float:
         """Qualify via the bootstrap, reusing the cached reference model.
 
         With ``refit_models=False`` the GCR structure is fixed, so the
@@ -244,7 +254,7 @@ class ChangeMonitor:
             n_blocks=self.n_blocks,
         ).significance_percent
 
-    def observe(self, snapshot) -> Observation:
+    def observe(self, snapshot: DatasetLike) -> Observation:
         """Qualify one new snapshot against the current reference."""
         if not self.is_fitted:
             raise NotFittedError("call fit(reference) before observe()")
@@ -260,7 +270,11 @@ class ChangeMonitor:
         return self._record(snapshot, delta, model)
 
     def observe_precomputed(
-        self, snapshot, delta: float, model=None, resample_plan=None
+        self,
+        snapshot: DatasetLike,
+        delta: float,
+        model: ModelLike | None = None,
+        resample_plan: "ResamplePlan | None" = None,
     ) -> Observation:
         """Qualify a snapshot whose deviation was computed out-of-band.
 
@@ -287,7 +301,11 @@ class ChangeMonitor:
         )
 
     def _record(
-        self, snapshot, delta: float, model, resample_plan=None
+        self,
+        snapshot: DatasetLike,
+        delta: float,
+        model: ModelLike | None,
+        resample_plan: "ResamplePlan | None" = None,
     ) -> Observation:
         """Qualify, append to history, and apply the reference policy."""
         observation = self._qualify(
@@ -301,7 +319,9 @@ class ChangeMonitor:
             self._reference_index = observation.index
         return observation
 
-    def observe_many(self, snapshots) -> list[Observation]:
+    def observe_many(
+        self, snapshots: Iterable[DatasetLike]
+    ) -> list[Observation]:
         """Qualify a whole batch of snapshots in one pass.
 
         Produces exactly the observations a sequence of

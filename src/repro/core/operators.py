@@ -21,10 +21,11 @@ with one selectivity query per dataset.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, Sequence
+from typing import Hashable, Iterable, Sequence
 
 import numpy as np
 
+from repro._typing import DatasetLike
 from repro.core.aggregate import AggregateFunction, SUM
 from repro.core.difference import ABSOLUTE, DifferenceFunction
 from repro.core.gcr import gcr
@@ -52,14 +53,16 @@ def structural_difference(s1: Structure, s2: Structure) -> tuple[Region, ...]:
 
 def region_set_union(*region_sets: Iterable[Region]) -> tuple[Region, ...]:
     """Plain set union of region collections (the paper's ``Lambda1 U Lambda2``)."""
-    seen: dict = {}
+    seen: dict[Hashable, Region] = {}
     for regions in region_sets:
         for r in regions:
             seen.setdefault(r.key, r)
     return tuple(seen.values())
 
 
-def itemsets_over(regions: Iterable[Region], items) -> tuple[Region, ...]:
+def itemsets_over(
+    regions: Iterable[Region], items: Iterable[int]
+) -> tuple[Region, ...]:
     """Filter itemset regions to those drawn from an item subset.
 
     Implements the paper's ``P(I_1)`` device: the region set of all
@@ -92,8 +95,8 @@ class RankedRegion:
 
 def rank(
     regions: Iterable[Region],
-    dataset1,
-    dataset2,
+    dataset1: DatasetLike,
+    dataset2: DatasetLike,
     f: DifferenceFunction = ABSOLUTE,
     g: AggregateFunction = SUM,
 ) -> list[RankedRegion]:

@@ -88,7 +88,9 @@ def _interval_for(op: str, value: float, name_on_left: bool) -> Interval:
     return Interval(value, math.nextafter(value, math.inf))
 
 
-def _parse_clause(clause: list[tuple[str, str]]):
+def _parse_clause(
+    clause: list[tuple[str, str]]
+) -> tuple[str, ValueSet | Interval]:
     kinds = [k for k, _ in clause]
     # NAME in { ... }
     if (
@@ -128,7 +130,7 @@ def parse_predicate(text: str) -> Conjunction:
     """Parse a conjunction string into a :class:`Conjunction`."""
     if not text or not text.strip():
         return Conjunction()
-    constraints: dict = {}
+    constraints: dict[str, Interval | ValueSet] = {}
     for clause in _split_clauses(_tokenize(text)):
         name, constraint = _parse_clause(clause)
         if name in constraints:

@@ -26,10 +26,11 @@ Two pieces make repeated measurement cheap:
 from __future__ import annotations
 
 import weakref
-from typing import Callable, Sequence
+from typing import Sequence
 
 import numpy as np
 
+from repro._typing import AssignerFn, DatasetLike
 from repro.errors import IncompatibleModelsError, SchemaError
 
 #: dataset (weak) -> {id(assigner): (assigner, n_rows, assignments)}.
@@ -44,7 +45,7 @@ _ASSIGNMENTS: "weakref.WeakKeyDictionary" = weakref.WeakKeyDictionary()
 _MAX_PASSES_PER_DATASET = 8
 
 
-def cell_assignments(assigner: Callable, dataset) -> np.ndarray:
+def cell_assignments(assigner: AssignerFn, dataset: DatasetLike) -> np.ndarray:
     """The assigner's row -> cell index pass over ``dataset``, memoised.
 
     The cache is weakly keyed by the dataset, so it lives exactly as long
@@ -133,7 +134,7 @@ class PartitionCountingPlan:
         "_focus_class",
     )
 
-    def __init__(self, structure) -> None:
+    def __init__(self, structure: "PartitionStructure") -> None:
         self.structure = structure
         self.n_cells = len(structure.cells)
         self._assigner = structure.assigner
@@ -158,7 +159,7 @@ class PartitionCountingPlan:
             )
         return codes
 
-    def cell_assignments(self, dataset) -> np.ndarray:
+    def cell_assignments(self, dataset: DatasetLike) -> np.ndarray:
         """Row -> cell index for ``dataset`` (memoised; see module docs)."""
         return cell_assignments(self._assigner, dataset)
 
@@ -169,7 +170,7 @@ class PartitionCountingPlan:
             return self.n_cells * self.n_classes
         return self.n_cells
 
-    def region_assignments(self, dataset) -> np.ndarray:
+    def region_assignments(self, dataset: DatasetLike) -> np.ndarray:
         """Row -> region index, with :attr:`n_regions` as the excluded bin.
 
         The per-row form of :meth:`counts`: entry ``i`` is the index of
@@ -215,7 +216,7 @@ class PartitionCountingPlan:
     # Counting
     # ------------------------------------------------------------------ #
 
-    def counts(self, dataset) -> np.ndarray:
+    def counts(self, dataset: DatasetLike) -> np.ndarray:
         """Absolute counts per region, aligned with ``structure.regions``.
 
         One (memoised) assigner pass plus one ``bincount``; the label
@@ -254,7 +255,7 @@ class PartitionCountingPlan:
             cell_idx = cell_idx[keep]
         return np.bincount(cell_idx, minlength=self.n_cells).astype(np.int64)
 
-    def counts_many(self, datasets: Sequence) -> list[np.ndarray]:
+    def counts_many(self, datasets: Sequence[DatasetLike]) -> list[np.ndarray]:
         """Counts of many snapshots, reusing this plan's compiled tables.
 
         Each snapshot still costs exactly one assigner pass (memoised,

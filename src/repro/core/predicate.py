@@ -22,7 +22,7 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass
 from types import MappingProxyType
-from typing import Mapping, Union
+from typing import Iterable, Mapping, Union
 
 import numpy as np
 
@@ -86,7 +86,7 @@ class ValueSet:
 
     values: frozenset[int]
 
-    def __init__(self, values) -> None:
+    def __init__(self, values: Iterable[int]) -> None:
         object.__setattr__(self, "values", frozenset(int(v) for v in values))
 
     @property
@@ -229,6 +229,6 @@ def interval_constraint(name: str, lo: float = -math.inf, hi: float = math.inf) 
     return Conjunction({name: Interval(lo, hi)})
 
 
-def value_constraint(name: str, values) -> Conjunction:
+def value_constraint(name: str, values: Iterable[int]) -> Conjunction:
     """A conjunction with a single categorical constraint, e.g. ``elevel in {0,1}``."""
     return Conjunction({name: ValueSet(values)})

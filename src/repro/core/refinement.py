@@ -20,6 +20,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro._typing import DatasetLike
 from repro.core.model import LitsStructure, PartitionStructure, Structure
 from repro.errors import IncompatibleModelsError
 
@@ -58,7 +59,10 @@ def refines(fine: Structure, coarse: Structure) -> bool:
 
 
 def verify_measure_additivity(
-    fine: Structure, coarse: Structure, dataset, atol: float = 1e-9
+    fine: Structure,
+    coarse: Structure,
+    dataset: DatasetLike,
+    atol: float = 1e-9,
 ) -> bool:
     """Check Definition 3.4 on a dataset: coarse measures = sums of fine ones.
 

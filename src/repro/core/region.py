@@ -20,8 +20,9 @@ from __future__ import annotations
 
 from abc import ABC, abstractmethod
 from dataclasses import dataclass
-from typing import Hashable, Optional
+from typing import Hashable, Iterable, Optional
 
+from repro._typing import DatasetLike
 from repro.core.predicate import Conjunction, TRUE
 from repro.errors import IncompatibleModelsError
 
@@ -39,7 +40,7 @@ class Region(ABC):
         """The intersection region, or ``None`` when provably empty."""
 
     @abstractmethod
-    def selectivity(self, dataset) -> float:
+    def selectivity(self, dataset: DatasetLike) -> float:
         """Fraction of the dataset's tuples that map into this region."""
 
     @abstractmethod
@@ -103,7 +104,7 @@ class BoxRegion(Region):
             return True
         return self.predicate.contains_conjunction(other.predicate)
 
-    def selectivity(self, dataset) -> float:
+    def selectivity(self, dataset: DatasetLike) -> float:
         return dataset.box_selectivity(self)
 
     def describe(self) -> str:
@@ -124,7 +125,7 @@ class ItemsetRegion(Region):
 
     items: frozenset[int]
 
-    def __init__(self, items) -> None:
+    def __init__(self, items: Iterable[int]) -> None:
         object.__setattr__(self, "items", frozenset(int(i) for i in items))
 
     @property
@@ -138,7 +139,7 @@ class ItemsetRegion(Region):
             )
         return ItemsetRegion(self.items | other.items)
 
-    def selectivity(self, dataset) -> float:
+    def selectivity(self, dataset: DatasetLike) -> float:
         return dataset.itemset_selectivity(self.items)
 
     def describe(self) -> str:

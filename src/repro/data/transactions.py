@@ -368,7 +368,7 @@ class SupportCountingPlan:
             by_len.setdefault(len(t), []).append(pos)
         self._empty = np.array(by_len.pop(0, []), dtype=np.intp)
         self._groups: list[tuple[np.ndarray, np.ndarray]] = []
-        for length, positions in sorted(by_len.items()):
+        for _length, positions in sorted(by_len.items()):
             pos_arr = np.array(positions, dtype=np.intp)
             ids = np.array([canon[p] for p in positions], dtype=np.int64)
             self._groups.append((pos_arr, ids))

@@ -1,7 +1,7 @@
 """Row-count crossover of the qualification verdicts (reproduction study).
 
-The paper's Figure 13/14 significance verdicts for the *subtle* rows —
-the same-process dataset D(1) and the 5%-block extensions — depend on
+The paper's Figure 13/14 significance verdicts for the *subtle* rows --
+the same-process dataset D(1) and the 5%-block extensions -- depend on
 the bootstrap null's measure-noise floor, which shrinks like
 ``sqrt(regions / n)`` while the block shift stays constant. This module
 sweeps the dataset size and records when each verdict locks in to the

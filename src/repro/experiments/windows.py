@@ -39,7 +39,7 @@ def tumbling_windows(dataset, window_size: int) -> list:
         return []
     starts = list(range(0, n, window_size))
     windows = []
-    for i, start in enumerate(starts):
+    for start in starts:
         stop = min(start + window_size, n)
         windows.append((start, stop))
     if len(windows) > 1 and windows[-1][1] - windows[-1][0] < window_size / 2:

@@ -16,7 +16,7 @@ pruned matrix equal the groups from the exhaustive oracle.
 from __future__ import annotations
 
 import io
-from typing import Sequence
+from typing import Any, Sequence
 
 import numpy as np
 
@@ -27,7 +27,7 @@ def components(
     distances: np.ndarray,
     threshold: float,
     names: Sequence[str] | None = None,
-) -> dict[int, list]:
+) -> dict[int, list[str | int]]:
     """Connected components of the ``distance <= threshold`` graph.
 
     Stores are grouped transitively: two stores share a group when a
@@ -59,7 +59,7 @@ def components(
     roots: dict[int, list[int]] = {}
     for i in range(n):
         roots.setdefault(find(i), []).append(i)
-    out: dict[int, list] = {}
+    out: dict[int, list[str | int]] = {}
     for group, (_, members) in enumerate(sorted(roots.items())):
         out[group] = [
             names[m] if names is not None else m for m in members
@@ -68,11 +68,11 @@ def components(
 
 
 def fleet_report(
-    matrix,
+    matrix: Any,
     k: int = 2,
     n_groups: int | None = None,
     linkage: str = "average",
-) -> dict:
+) -> dict[str, Any]:
     """A JSON-able report of one fleet measurement.
 
     Contains the store names, the deviation matrix with its exactness
@@ -81,7 +81,7 @@ def fleet_report(
     given, else threshold components when the matrix was pruned), and
     the pruning statistics.
     """
-    report = {
+    report: dict[str, Any] = {
         "kind": matrix.kind,
         "f": matrix.f_name,
         "g": matrix.g_name,
@@ -110,7 +110,7 @@ def fleet_report(
     return report
 
 
-def matrix_to_csv(matrix) -> str:
+def matrix_to_csv(matrix: Any) -> str:
     """The deviation matrix as CSV: a header row, then one row per store.
 
     Each data row is ``name, v_0, ..., v_{n-1}``; pruned (bound-valued)

@@ -27,10 +27,11 @@ serial and thread backends.
 
 from __future__ import annotations
 
-from typing import Iterable, Mapping, Sequence
+from typing import Any, Iterable, Mapping, Sequence
 
 import numpy as np
 
+from repro._typing import DatasetLike, ExecutorLike
 from repro.core.partition_plan import cell_assignments
 from repro.errors import InvalidParameterError
 from repro.stream.executor import ProcessExecutor, get_executor
@@ -49,7 +50,7 @@ class LitsStoreCounter:
 
     __slots__ = ("dataset", "n_scans", "_counts", "_n_rows")
 
-    def __init__(self, dataset) -> None:
+    def __init__(self, dataset: DatasetLike) -> None:
         self.dataset = dataset
         self.n_scans = 0
         self._counts: dict[frozenset[int], int] = {}
@@ -92,7 +93,7 @@ class LitsStoreCounter:
         return np.array([counts[s] for s in itemsets], dtype=np.int64)
 
 
-def _count_support_payload(payload: tuple) -> np.ndarray:
+def _count_support_payload(payload: tuple[Any, ...]) -> np.ndarray:
     """Top-level map worker (picklable for the process backend)."""
     index, itemsets = payload
     return index.support_counts(itemsets)
@@ -101,7 +102,7 @@ def _count_support_payload(payload: tuple) -> np.ndarray:
 def prime_lits_counters(
     counters: Sequence[LitsStoreCounter],
     needed: Mapping[int, Sequence[frozenset[int]]],
-    executor="serial",
+    executor: ExecutorLike = "serial",
 ) -> None:
     """Fill every counter's missing itemsets, one batched scan per store.
 
@@ -109,7 +110,6 @@ def prime_lits_counters(
     the scans (one per store with anything missing) fan out across the
     executor and the results are absorbed into the counters in-process.
     """
-    runner = get_executor(executor)
     missing = {
         i: counters[i].missing(itemsets) for i, itemsets in needed.items()
     }
@@ -117,14 +117,26 @@ def prime_lits_counters(
     if not todo:
         return
     payloads = [(counters[i].dataset.index, missing[i]) for i in todo]
-    results = runner.map(_count_support_payload, payloads)
+    # a backend *name* resolves to a runner this call owns and releases;
+    # an executor *instance* stays open for its owner to reuse
+    runner = get_executor(executor)
+    owns_runner = isinstance(executor, str)
+    try:
+        results = runner.map(_count_support_payload, payloads)
+    finally:
+        if owns_runner:
+            shutdown = getattr(runner, "shutdown", None)
+            if shutdown is not None:
+                shutdown()
     for i, counts in zip(todo, results):
         counters[i].absorb(missing[i], counts)
 
 
 def prime_partition_passes(
-    models: Sequence, datasets: Sequence, indices: Iterable[int],
-    executor="serial",
+    models: Sequence[Any],
+    datasets: Sequence[Any],
+    indices: Iterable[int],
+    executor: ExecutorLike = "serial",
 ) -> None:
     """Force each store's base ``row -> cell`` assigner pass, memoised.
 
@@ -134,15 +146,24 @@ def prime_partition_passes(
     front (in parallel, when the executor allows) leaves the per-pair
     overlay measurement as pure table lookups plus ``bincount``.
     """
+    # a backend *name* resolves to a runner this call owns and releases;
+    # an executor *instance* stays open for its owner to reuse
     runner = get_executor(executor)
-    if isinstance(runner, ProcessExecutor):
-        raise InvalidParameterError(
-            "the process executor cannot fan out partition fleets (GCR "
-            "overlay assigners are closures and the assignment memo "
-            "lives in-process); use the serial or thread executor"
-        )
+    owns_runner = isinstance(executor, str)
+    try:
+        if isinstance(runner, ProcessExecutor):
+            raise InvalidParameterError(
+                "the process executor cannot fan out partition fleets (GCR "
+                "overlay assigners are closures and the assignment memo "
+                "lives in-process); use the serial or thread executor"
+            )
 
-    def _prime(i: int) -> None:
-        cell_assignments(models[i].structure.assigner, datasets[i])
+        def _prime(i: int) -> None:
+            cell_assignments(models[i].structure.assigner, datasets[i])
 
-    runner.map(_prime, list(dict.fromkeys(indices)))
+        runner.map(_prime, list(dict.fromkeys(indices)))
+    finally:
+        if owns_runner:
+            shutdown = getattr(runner, "shutdown", None)
+            if shutdown is not None:
+                shutdown()

@@ -39,10 +39,11 @@ store's model and recomputes only its row/column.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Sequence
+from typing import Any, Mapping, Sequence
 
 import numpy as np
 
+from repro._typing import ExecutorLike, ModelBuilder, ModelLike
 from repro.core.aggregate import MAX, SUM, AggregateFunction
 from repro.core.deviation import _counts_from_models, deviation_from_counts
 from repro.core.difference import ABSOLUTE, DifferenceFunction
@@ -62,7 +63,7 @@ from repro.stream.executor import get_executor
 _SCAN, _MODEL_ONLY = "scan", "model"
 
 
-def _model_kind(model) -> str:
+def _model_kind(model: ModelLike) -> str:
     """``"lits"`` / ``"partition"`` / the class name for anything else."""
     if isinstance(model, LitsModel):
         return "lits"
@@ -125,7 +126,7 @@ class FleetMatrix:
 
     def groups(
         self, n_groups: int, linkage: str = "average"
-    ) -> dict[int, list]:
+    ) -> dict[int, list[str | int]]:
         """Agglomerative grouping into ``n_groups`` marketing strategies."""
         from repro.core.grouping import group_stores
 
@@ -137,7 +138,9 @@ class FleetMatrix:
             return {0: [self.names[0]]}
         return group_stores(self.values, n_groups, linkage, names=self.names)
 
-    def components(self, threshold: float | None = None) -> dict[int, list]:
+    def components(
+        self, threshold: float | None = None
+    ) -> dict[int, list[str | int]]:
         """Connected components under ``deviation <= threshold``.
 
         At the pruning threshold this grouping is *exact*: a pruned
@@ -158,7 +161,7 @@ class FleetMatrix:
 
     def to_report(
         self, k: int = 2, n_groups: int | None = None, linkage: str = "average"
-    ) -> dict:
+    ) -> dict[str, Any]:
         """JSON-able report: matrix + embedding + groups + pruning stats."""
         from repro.fleet.analysis import fleet_report
 
@@ -197,14 +200,14 @@ class FleetDeviationMatrix:
 
     def __init__(
         self,
-        models: Sequence,
-        datasets: Sequence,
+        models: Sequence[ModelLike],
+        datasets: Sequence[Any],
         names: Sequence[str] | None = None,
         *,
         f: DifferenceFunction = ABSOLUTE,
         g: AggregateFunction = SUM,
-        executor="serial",
-        model_builder: Callable | None = None,
+        executor: ExecutorLike = "serial",
+        model_builder: ModelBuilder | None = None,
     ) -> None:
         models = list(models)
         datasets = list(datasets)
@@ -274,6 +277,18 @@ class FleetDeviationMatrix:
         self._bounds: np.ndarray | None = None
         self.n_pair_computations = 0
 
+    def close(self) -> None:
+        """Release the engine's executor pool, if it has one.
+
+        A no-op for the serial backend. An engine built from a backend
+        *name* owns the pool it resolved; one handed an executor
+        instance shares its owner's (``shutdown`` is idempotent, and
+        pooled backends respawn workers lazily if reused).
+        """
+        shutdown = getattr(self._executor, "shutdown", None)
+        if shutdown is not None:
+            shutdown()
+
     # ------------------------------------------------------------------ #
     # Introspection
     # ------------------------------------------------------------------ #
@@ -282,18 +297,18 @@ class FleetDeviationMatrix:
         return len(self._models)
 
     @property
-    def models(self) -> tuple:
+    def models(self) -> tuple[ModelLike, ...]:
         return tuple(self._models)
 
     @property
-    def datasets(self) -> tuple:
+    def datasets(self) -> tuple[Any, ...]:
         return tuple(self._datasets)
 
     def scan_counts(self) -> list[int]:
         """Batched scans performed per store so far (lits fleets)."""
         return [c.n_scans for c in self._counters]
 
-    def _index_of(self, store) -> int:
+    def _index_of(self, store: str | int) -> int:
         if isinstance(store, str):
             try:
                 return self.names.index(store)
@@ -388,11 +403,15 @@ class FleetDeviationMatrix:
             self._ensure_exact_partition(missing, structures)
         self.n_pair_computations += len(missing)
 
-    def _ensure_exact_lits(self, missing, structures) -> None:
+    def _ensure_exact_lits(
+        self,
+        missing: Sequence[tuple[int, int]],
+        structures: Mapping[tuple[int, int], Any],
+    ) -> None:
         models, counters = self._models, self._counters
         stale = self._stale_stores()
-        model_only: dict[tuple[int, int], tuple] = {}
-        needed: dict[int, dict] = {}
+        model_only: dict[tuple[int, int], tuple[Any, Any]] = {}
+        needed: dict[int, dict[frozenset[int], None]] = {}
         for (i, j), s in structures.items():
             n1 = counters[i].n_rows
             n2 = counters[j].n_rows
@@ -430,7 +449,11 @@ class FleetDeviationMatrix:
             )
             self._exact[(i, j)] = (result.value, tag)
 
-    def _ensure_exact_partition(self, missing, structures) -> None:
+    def _ensure_exact_partition(
+        self,
+        missing: Sequence[tuple[int, int]],
+        structures: Mapping[tuple[int, int], Any],
+    ) -> None:
         datasets = self._datasets
         stores = {i for pair in missing for i in pair}
         prime_partition_passes(
@@ -441,7 +464,7 @@ class FleetDeviationMatrix:
         counts_by: dict[tuple[int, object], np.ndarray] = {}
         for (i, j), s in structures.items():
             key = s.counts_key
-            counts = []
+            counts: list[np.ndarray] = []
             for store in (i, j):
                 cached = counts_by.get((store, key))
                 if cached is None:
@@ -454,7 +477,7 @@ class FleetDeviationMatrix:
             )
             self._exact[(i, j)] = (result.value, _SCAN)
 
-    def pair(self, store_a, store_b) -> float:
+    def pair(self, store_a: str | int, store_b: str | int) -> float:
         """The exact deviation of one pair (computed or cached)."""
         i, j = sorted((self._index_of(store_a), self._index_of(store_b)))
         if i == j:
@@ -569,7 +592,9 @@ class FleetDeviationMatrix:
     # Incremental maintenance
     # ------------------------------------------------------------------ #
 
-    def update(self, store, *, model=None):
+    def update(
+        self, store: str | int, *, model: ModelLike | None = None
+    ) -> ModelLike:
         """Refresh one store after its log appended; returns its new model.
 
         Re-mines the store's model (``model_builder``, unless ``model``

@@ -3,7 +3,7 @@
 A second, candidate-generation-free miner for lits-models. The paper's
 experiments use Apriori; FP-growth produces the identical model (the
 test-suite asserts equality on random inputs), so it slots into every
-FOCUS pipeline through :meth:`repro.core.lits.LitsModel` — useful when
+FOCUS pipeline through :meth:`repro.core.lits.LitsModel` -- useful when
 the pattern distribution makes Apriori's candidate space explode.
 
 Implementation: a standard FP-tree with header-table node links;

@@ -5,11 +5,12 @@ from __future__ import annotations
 import math
 
 import numpy as np
+from numpy.typing import ArrayLike
 
 from repro.errors import InvalidParameterError
 
 
-def mean_std(values) -> tuple[float, float]:
+def mean_std(values: ArrayLike) -> tuple[float, float]:
     """Sample mean and (ddof=1) standard deviation; std is 0 for n < 2."""
     arr = np.asarray(values, dtype=np.float64)
     if arr.size == 0:
@@ -18,7 +19,9 @@ def mean_std(values) -> tuple[float, float]:
     return float(arr.mean()), std
 
 
-def quantiles(values, qs=(0.25, 0.5, 0.75)) -> list[float]:
+def quantiles(
+    values: ArrayLike, qs: tuple[float, ...] = (0.25, 0.5, 0.75)
+) -> list[float]:
     """Selected quantiles of a sample."""
     arr = np.asarray(values, dtype=np.float64)
     if arr.size == 0:
@@ -26,7 +29,7 @@ def quantiles(values, qs=(0.25, 0.5, 0.75)) -> list[float]:
     return [float(np.quantile(arr, q)) for q in qs]
 
 
-def pearson_correlation(x, y) -> float:
+def pearson_correlation(x: ArrayLike, y: ArrayLike) -> float:
     """Pearson's r; raises on degenerate input (zero variance)."""
     x = np.asarray(x, dtype=np.float64)
     y = np.asarray(y, dtype=np.float64)
@@ -41,7 +44,7 @@ def pearson_correlation(x, y) -> float:
     return float(((x - x.mean()) * (y - y.mean())).mean() / (sx * sy))
 
 
-def spearman_correlation(x, y) -> float:
+def spearman_correlation(x: ArrayLike, y: ArrayLike) -> float:
     """Spearman's rank correlation (Pearson on mid-ranks)."""
     from repro.stats.wilcoxon import _midranks
 

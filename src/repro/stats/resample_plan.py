@@ -53,15 +53,20 @@ from __future__ import annotations
 
 import warnings
 from abc import ABC, abstractmethod
-from typing import Sequence
+from typing import TYPE_CHECKING, Any, Callable, Sequence
 
 import numpy as np
 
+from repro._typing import DatasetLike, ExecutorLike
 from repro.core.aggregate import SUM, AggregateFunction
 from repro.core.deviation import deviation_from_counts
 from repro.core.difference import ABSOLUTE, DifferenceFunction
 from repro.core.model import LitsStructure, PartitionStructure, Structure
 from repro.errors import InvalidParameterError
+
+if TYPE_CHECKING:
+    from repro.core.deviation import DeviationResult
+    from repro.stats.bootstrap import BootstrapResult
 
 #: Row counts at or above 2**24 overflow float32's exact-integer range;
 #: the membership matmul then switches to float64 (still exact: counts
@@ -140,7 +145,7 @@ def multiplicities_from_indices(indices: np.ndarray, n_rows: int) -> np.ndarray:
     return out
 
 
-def lits_membership(structure: LitsStructure, index) -> np.ndarray:
+def lits_membership(structure: LitsStructure, index: object) -> np.ndarray:
     """``(n_transactions, n_regions)`` 0/1 membership from a bitmap index.
 
     One column per itemset region, unpacked from the index's packed
@@ -163,7 +168,7 @@ def lits_membership(structure: LitsStructure, index) -> np.ndarray:
 # --------------------------------------------------------------------- #
 
 
-def _lits_block_counts(payload: tuple) -> np.ndarray:
+def _lits_block_counts(payload: tuple[Any, ...]) -> np.ndarray:
     """Replicate counts of one multiplicity block via part-wise matmul.
 
     ``parts`` are row blocks of the pooled membership matrix (already in
@@ -179,7 +184,7 @@ def _lits_block_counts(payload: tuple) -> np.ndarray:
     return np.rint(acc).astype(np.int64)
 
 
-def _partition_block_counts(payload: tuple) -> np.ndarray:
+def _partition_block_counts(payload: tuple[Any, ...]) -> np.ndarray:
     """Replicate counts of one multiplicity block via weighted bincount.
 
     The trailing bin (index ``n_regions``) collects rows excluded by an
@@ -196,7 +201,13 @@ def _partition_block_counts(payload: tuple) -> np.ndarray:
     return out
 
 
-def _fan_blocks(worker, payload_of, w, executor, n_blocks) -> np.ndarray:
+def _fan_blocks(
+    worker: Callable[[tuple[Any, ...]], np.ndarray],
+    payload_of: Callable[[np.ndarray], tuple[Any, ...]],
+    w: np.ndarray,
+    executor: ExecutorLike,
+    n_blocks: int,
+) -> np.ndarray:
     """Map a block worker over replicate blocks on the chosen executor.
 
     Each payload carries the plan's compiled state (membership parts or
@@ -267,7 +278,11 @@ class ResamplePlan(ABC):
 
     @abstractmethod
     def _replicate_count_pairs(
-        self, n_boot: int, rng: np.random.Generator, executor, n_blocks: int
+        self,
+        n_boot: int,
+        rng: np.random.Generator,
+        executor: ExecutorLike,
+        n_blocks: int,
     ) -> tuple[np.ndarray, np.ndarray]:
         """Draw ``n_boot`` replicate ``(counts1, counts2)`` matrices."""
 
@@ -277,7 +292,7 @@ class ResamplePlan(ABC):
 
     def observed_deviation(
         self, f: DifferenceFunction = ABSOLUTE, g: AggregateFunction = SUM
-    ):
+    ) -> "DeviationResult":
         """``delta_1`` of the observed split, from the compiled counts.
 
         Equals ``deviation_over_structure(structure, d1, d2, f, g)``
@@ -318,7 +333,7 @@ class ResamplePlan(ABC):
         f: DifferenceFunction = ABSOLUTE,
         g: AggregateFunction = SUM,
         seed: int | None = None,
-        executor="serial",
+        executor: ExecutorLike = "serial",
         n_blocks: int = 1,
     ) -> np.ndarray:
         """The whole bootstrap null vector, in count-space.
@@ -343,9 +358,9 @@ class ResamplePlan(ABC):
         f: DifferenceFunction = ABSOLUTE,
         g: AggregateFunction = SUM,
         seed: int | None = None,
-        executor="serial",
+        executor: ExecutorLike = "serial",
         n_blocks: int = 1,
-    ):
+    ) -> "BootstrapResult":
         """Observed deviation + count-space null as a ``BootstrapResult``."""
         from repro.stats.bootstrap import BootstrapResult
 
@@ -359,7 +374,13 @@ class ResamplePlan(ABC):
 class RowResamplePlan(ResamplePlan):
     """A plan holding per-row state: replicates are multiplicity draws."""
 
-    def _replicate_count_pairs(self, n_boot, rng, executor, n_blocks):
+    def _replicate_count_pairs(
+        self,
+        n_boot: int,
+        rng: np.random.Generator,
+        executor: ExecutorLike,
+        n_blocks: int,
+    ) -> tuple[np.ndarray, np.ndarray]:
         dtype = np.int32 if max(self.n1, self.n2) < 2**31 else np.int64
         rows_per_chunk = max(1, _MAX_DRAW_BYTES // (8 * self.n_pooled))
         if 2 * n_boot <= rows_per_chunk:
@@ -404,7 +425,11 @@ class RowResamplePlan(ResamplePlan):
 
     @abstractmethod
     def replicate_counts(
-        self, multiplicities: np.ndarray, *, executor="serial", n_blocks: int = 1
+        self,
+        multiplicities: np.ndarray,
+        *,
+        executor: ExecutorLike = "serial",
+        n_blocks: int = 1,
     ) -> np.ndarray:
         """``(B, n_pooled)`` multiplicities -> exact ``(B, R)`` counts."""
 
@@ -424,7 +449,7 @@ class RowResamplePlan(ResamplePlan):
         *,
         f: DifferenceFunction = ABSOLUTE,
         g: AggregateFunction = SUM,
-        executor="serial",
+        executor: ExecutorLike = "serial",
         n_blocks: int = 1,
     ) -> np.ndarray:
         """The null vector for externally supplied multiplicity draws.
@@ -498,7 +523,10 @@ class LitsResamplePlan(RowResamplePlan):
 
     @classmethod
     def from_datasets(
-        cls, structure: LitsStructure, dataset1, dataset2
+        cls,
+        structure: LitsStructure,
+        dataset1: DatasetLike,
+        dataset2: DatasetLike,
     ) -> "LitsResamplePlan":
         """Compile from the two datasets' bitmap indexes (one scan each)."""
         return cls(
@@ -532,7 +560,11 @@ class LitsResamplePlan(RowResamplePlan):
         )
 
     def replicate_counts(
-        self, multiplicities: np.ndarray, *, executor="serial", n_blocks: int = 1
+        self,
+        multiplicities: np.ndarray,
+        *,
+        executor: ExecutorLike = "serial",
+        n_blocks: int = 1,
     ) -> np.ndarray:
         w = self._check_multiplicities(multiplicities)
         parts, offsets = self._parts, self._offsets
@@ -582,7 +614,10 @@ class PartitionResamplePlan(RowResamplePlan):
 
     @classmethod
     def from_datasets(
-        cls, structure: PartitionStructure, dataset1, dataset2
+        cls,
+        structure: PartitionStructure,
+        dataset1: DatasetLike,
+        dataset2: DatasetLike,
     ) -> "PartitionResamplePlan":
         """Compile from the structure's counting plan (one pass per side)."""
         plan = structure.plan
@@ -607,7 +642,11 @@ class PartitionResamplePlan(RowResamplePlan):
         return counts1, counts2
 
     def replicate_counts(
-        self, multiplicities: np.ndarray, *, executor="serial", n_blocks: int = 1
+        self,
+        multiplicities: np.ndarray,
+        *,
+        executor: ExecutorLike = "serial",
+        n_blocks: int = 1,
     ) -> np.ndarray:
         w = self._check_multiplicities(multiplicities)
         assignments, n_regions = self._assignments, self._n_regions
@@ -681,7 +720,13 @@ class CountsResamplePlan(ResamplePlan):
     def observed_counts(self) -> tuple[np.ndarray, np.ndarray]:
         return self._counts1, self._counts2
 
-    def _replicate_count_pairs(self, n_boot, rng, executor, n_blocks):
+    def _replicate_count_pairs(
+        self,
+        n_boot: int,
+        rng: np.random.Generator,
+        executor: ExecutorLike,
+        n_blocks: int,
+    ) -> tuple[np.ndarray, np.ndarray]:
         r = len(self._counts1)
         counts1 = rng.multinomial(self.n1, self._pvals, size=n_boot)[:, :r]
         counts2 = rng.multinomial(self.n2, self._pvals, size=n_boot)[:, :r]
@@ -689,7 +734,7 @@ class CountsResamplePlan(ResamplePlan):
 
 
 def compile_resample_plan(
-    structure: Structure, dataset1, dataset2
+    structure: Structure, dataset1: DatasetLike, dataset2: DatasetLike
 ) -> ResamplePlan | None:
     """Compile the count-space bootstrap for a structure/dataset pair.
 

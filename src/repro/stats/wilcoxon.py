@@ -16,6 +16,7 @@ import math
 from dataclasses import dataclass
 
 import numpy as np
+from numpy.typing import ArrayLike
 
 from repro.errors import InvalidParameterError
 
@@ -58,7 +59,7 @@ class WilcoxonResult:
 
 
 def rank_sum_test(
-    x, y, alternative: str = "less"
+    x: ArrayLike, y: ArrayLike, alternative: str = "less"
 ) -> WilcoxonResult:
     """Wilcoxon rank-sum test of ``x`` versus ``y``.
 

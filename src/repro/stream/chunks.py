@@ -30,6 +30,7 @@ from typing import Iterable, Iterator, Mapping, Sequence
 
 import numpy as np
 
+from repro._typing import DatasetLike
 from repro.core.attribute import AttributeSpace
 from repro.core.predicate import Conjunction
 from repro.data.tabular import TabularDataset
@@ -49,6 +50,7 @@ def iter_chunks(
     if chunk_size < 1:
         raise InvalidParameterError("chunk_size must be >= 1")
     chunk: list[tuple[int, ...]] = []
+    # reprolint: disable=RL004(ingestion boundary: slicing a generic iterable is intrinsically row-wise)
     for t in transactions:
         chunk.append(tuple(t))
         if len(chunk) == chunk_size:
@@ -91,7 +93,7 @@ def stream_transaction_chunks(
 
 
 def iter_tabular_chunks(
-    dataset, chunk_size: int
+    dataset: DatasetLike, chunk_size: int
 ) -> Iterator[TabularDataset]:
     """Yield consecutive ``chunk_size``-row slices of a tabular dataset.
 
@@ -149,6 +151,7 @@ class TransactionLog:
     def append(self, transactions: Iterable[Iterable[int]]) -> "TransactionLog":
         """Append a chunk of transactions; returns ``self`` for chaining."""
         cleaned: list[tuple[int, ...]] = []
+        # reprolint: disable=RL004(ingestion boundary: canonicalising ragged incoming rows is intrinsically row-wise)
         for t in transactions:
             items = tuple(sorted({int(i) for i in t}))
             if items and (items[0] < 0 or items[-1] >= self.n_items):
@@ -167,7 +170,7 @@ class TransactionLog:
     def __len__(self) -> int:
         return len(self._transactions)
 
-    def __iter__(self):
+    def __iter__(self) -> Iterator[tuple[int, ...]]:
         return iter(self._transactions)
 
     @property
@@ -245,7 +248,9 @@ class TabularLog:
             y[: self._n] = self._y[: self._n]
             self._y = y
 
-    def append(self, rows, y: np.ndarray | None = None) -> "TabularLog":
+    def append(
+        self, rows: DatasetLike, y: np.ndarray | None = None
+    ) -> "TabularLog":
         """Append a chunk of rows; returns ``self`` for chaining.
 
         ``rows`` is either a :class:`TabularDataset`-like chunk (its
@@ -339,7 +344,7 @@ class TabularLog:
         y = self._y[start:stop] if self._y is not None else None
         return TabularDataset(self.space, self._X[start:stop], y)
 
-    def take(self, indices) -> TabularDataset:
+    def take(self, indices: np.ndarray | Sequence[int]) -> TabularDataset:
         """An immutable snapshot of the rows at ``indices``."""
         indices = np.asarray(indices, dtype=np.int64)
         y = self._y[: self._n][indices] if self._y is not None else None

@@ -19,8 +19,10 @@ arbitrary partitions, including empty shards.
 
 from __future__ import annotations
 
-from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
-from typing import Callable, Iterable, Sequence
+from concurrent.futures import Executor, ProcessPoolExecutor, ThreadPoolExecutor
+from typing import Any, Callable, ClassVar, Iterable, Sequence
+
+from repro._typing import DatasetLike, ExecutorLike, StructureOrPlan
 
 from repro.errors import InvalidParameterError
 from repro.stream.sketch import (
@@ -36,7 +38,7 @@ class SerialExecutor:
 
     name = "serial"
 
-    def map(self, fn: Callable, items: Iterable) -> list:
+    def map(self, fn: Callable[[Any], Any], items: Iterable[Any]) -> list[Any]:
         return [fn(item) for item in items]
 
 
@@ -50,15 +52,21 @@ class _PooledExecutor:
     released by :meth:`shutdown` (also at interpreter exit).
     """
 
-    _pool_factory = None  # set by subclasses
+    #: concrete pool constructor; set by subclasses
+    _pool_factory: ClassVar[Callable[..., Executor] | None] = None
 
     def __init__(self, max_workers: int | None = None) -> None:
         self.max_workers = max_workers
-        self._pool = None
+        self._pool: Executor | None = None
 
-    def map(self, fn: Callable, items: Iterable) -> list:
+    def map(self, fn: Callable[[Any], Any], items: Iterable[Any]) -> list[Any]:
         if self._pool is None:
-            self._pool = self._pool_factory(max_workers=self.max_workers)
+            factory = self._pool_factory
+            if factory is None:  # pragma: no cover - abstract-base misuse
+                raise NotImplementedError(
+                    "pooled executor subclasses must set _pool_factory"
+                )
+            self._pool = factory(max_workers=self.max_workers)
         return list(self._pool.map(fn, items))
 
     def shutdown(self) -> None:
@@ -89,7 +97,9 @@ _EXECUTORS = {
 }
 
 
-def get_executor(executor) -> SerialExecutor | ThreadExecutor | ProcessExecutor:
+def get_executor(
+    executor: ExecutorLike,
+) -> SerialExecutor | ThreadExecutor | ProcessExecutor:
     """Resolve an executor name or pass an executor instance through."""
     if isinstance(executor, str):
         try:
@@ -106,15 +116,15 @@ def get_executor(executor) -> SerialExecutor | ThreadExecutor | ProcessExecutor:
     )
 
 
-def _sketch_shard(payload: tuple) -> SupportSketch:
+def _sketch_shard(payload: tuple[Any, ...]) -> SupportSketch:
     """Top-level map worker (must be picklable for the process backend)."""
     transactions, itemsets, n_items = payload
     return SupportSketch.from_transactions(transactions, itemsets, n_items)
 
 
 def shard_transactions(
-    transactions: Sequence, n_shards: int
-) -> list[list]:
+    transactions: Sequence[Any], n_shards: int
+) -> list[list[Any]]:
     """Split transactions into ``n_shards`` contiguous, near-even shards.
 
     With fewer transactions than shards some shards are empty; the merge
@@ -125,7 +135,7 @@ def shard_transactions(
     transactions = list(transactions)
     n = len(transactions)
     base, extra = divmod(n, n_shards)
-    shards: list[list] = []
+    shards: list[list[Any]] = []
     start = 0
     for i in range(n_shards):
         size = base + (1 if i < extra else 0)
@@ -135,24 +145,35 @@ def shard_transactions(
 
 
 def sketch_shards(
-    shards: Sequence[Sequence],
+    shards: Sequence[Sequence[Any]],
     itemsets: Iterable[Iterable[int]],
     n_items: int,
-    executor="serial",
+    executor: ExecutorLike = "serial",
 ) -> list[SupportSketch]:
-    """Sketch every transaction shard on the chosen backend."""
+    """Sketch every transaction shard on the chosen backend.
+
+    A backend *name* resolves to a runner this call owns and releases;
+    an executor *instance* stays open for its owner to reuse.
+    """
     canon = canonical_itemsets(itemsets)
     runner = get_executor(executor)
+    owns_runner = isinstance(executor, str)
     payloads = [(list(shard), canon, n_items) for shard in shards]
-    return runner.map(_sketch_shard, payloads)
+    try:
+        return runner.map(_sketch_shard, payloads)
+    finally:
+        if owns_runner:
+            shutdown = getattr(runner, "shutdown", None)
+            if shutdown is not None:
+                shutdown()
 
 
 def sharded_support_sketch(
-    transactions: Sequence,
+    transactions: Sequence[Any],
     itemsets: Iterable[Iterable[int]],
     n_items: int,
     n_shards: int = 1,
-    executor="serial",
+    executor: ExecutorLike = "serial",
 ) -> SupportSketch:
     """Map-merge support counting: shard, sketch in parallel, sum.
 
@@ -171,7 +192,7 @@ def sharded_support_sketch(
 # --------------------------------------------------------------------- #
 
 
-def _sketch_partition_shard(payload: tuple) -> PartitionSketch:
+def _sketch_partition_shard(payload: tuple[Any, ...]) -> PartitionSketch:
     """Top-level map worker for tabular shards.
 
     Picklable for the process backend as long as the plan's assigner is
@@ -182,7 +203,7 @@ def _sketch_partition_shard(payload: tuple) -> PartitionSketch:
     return PartitionSketch.from_dataset(dataset, plan)
 
 
-def shard_dataset(dataset, n_shards: int) -> list:
+def shard_dataset(dataset: DatasetLike, n_shards: int) -> list[Any]:
     """Split a tabular dataset into contiguous, near-even row slices.
 
     Slices are numpy views (:meth:`TabularDataset.slice_rows`), so
@@ -203,22 +224,33 @@ def shard_dataset(dataset, n_shards: int) -> list:
 
 
 def sketch_partition_shards(
-    shards: Sequence,
-    structure_or_plan,
-    executor="serial",
+    shards: Sequence[Any],
+    structure_or_plan: StructureOrPlan,
+    executor: ExecutorLike = "serial",
 ) -> list[PartitionSketch]:
-    """Sketch every tabular shard on the chosen backend."""
+    """Sketch every tabular shard on the chosen backend.
+
+    A backend *name* resolves to a runner this call owns and releases;
+    an executor *instance* stays open for its owner to reuse.
+    """
     plan = as_partition_plan(structure_or_plan)
     runner = get_executor(executor)
+    owns_runner = isinstance(executor, str)
     payloads = [(shard, plan) for shard in shards]
-    return runner.map(_sketch_partition_shard, payloads)
+    try:
+        return runner.map(_sketch_partition_shard, payloads)
+    finally:
+        if owns_runner:
+            shutdown = getattr(runner, "shutdown", None)
+            if shutdown is not None:
+                shutdown()
 
 
 def sharded_partition_sketch(
-    dataset,
-    structure_or_plan,
+    dataset: DatasetLike,
+    structure_or_plan: StructureOrPlan,
     n_shards: int = 1,
-    executor="serial",
+    executor: ExecutorLike = "serial",
 ) -> PartitionSketch:
     """Map-merge partition counting: shard rows, sketch in parallel, sum.
 

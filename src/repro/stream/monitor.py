@@ -56,10 +56,11 @@ never silently drops its tail.
 
 from __future__ import annotations
 
-from typing import Callable, Iterable, Iterator
+from typing import Any, Iterable, Iterator
 
 import numpy as np
 
+from repro._typing import DatasetLike, ExecutorLike, ModelBuilder
 from repro.core.aggregate import SUM, AggregateFunction
 from repro.core.deviation import deviation_from_counts
 from repro.core.difference import ABSOLUTE, DifferenceFunction
@@ -75,6 +76,7 @@ from repro.stats.resample_plan import (
 )
 from repro.stream.executor import get_executor
 from repro.stream.windows import (
+    ChunkSketcher,
     PartitionChunkSketcher,
     TransactionChunkSketcher,
     Window,
@@ -110,11 +112,11 @@ class _TabularBuffer:
     """
 
     def __init__(self) -> None:
-        self._chunks: list = []
+        self._chunks: list[Any] = []
         self._n = 0
-        self.space = None
+        self.space: Any = None
 
-    def extend(self, chunk) -> None:
+    def extend(self, chunk: DatasetLike) -> None:
         if not hasattr(chunk, "X") or not hasattr(chunk, "space"):
             raise InvalidParameterError(
                 "a tabular monitor consumes TabularDataset chunks, got "
@@ -130,7 +132,7 @@ class _TabularBuffer:
         return self._n
 
     def pop(self, k: int) -> TabularDataset:
-        taken: list = []
+        taken: list[TabularDataset] = []
         need = k
         while need > 0:
             head = self._chunks[0]
@@ -184,7 +186,7 @@ class OnlineChangeMonitor:
 
     def __init__(
         self,
-        model_builder: Callable,
+        model_builder: ModelBuilder,
         n_items: int | None = None,
         window_size: int = 0,
         step: int | None = None,
@@ -198,7 +200,7 @@ class OnlineChangeMonitor:
         policy: str = "fixed",
         rng: np.random.Generator | None = None,
         refit_models: bool = False,
-        executor="serial",
+        executor: ExecutorLike = "serial",
         n_shards: int = 1,
         n_blocks: int = 1,
     ) -> None:
@@ -250,7 +252,7 @@ class OnlineChangeMonitor:
         self._buffer = (
             _TransactionBuffer() if kind == "transactions" else _TabularBuffer()
         )
-        self._reference_data = None
+        self._reference_data: Any = None
         self._windows: WindowManager | None = None
         self._ref_counts: np.ndarray | None = None
         # Reference rows' region-membership matrix (transactions kind,
@@ -264,13 +266,13 @@ class OnlineChangeMonitor:
         # advances, so a qualification costs one membership pass over
         # the *entering* chunk only. The chunk object is stored in the
         # entry so a recycled id can never alias a different chunk.
-        self._chunk_membership: dict[int, tuple] = {}
+        self._chunk_membership: dict[int, tuple[Any, np.ndarray]] = {}
 
     # ------------------------------------------------------------------ #
     # Stream consumption
     # ------------------------------------------------------------------ #
 
-    def push(self, data) -> list[Observation]:
+    def push(self, data: DatasetLike) -> list[Observation]:
         """Feed arriving rows; return observations for windows completed.
 
         For transaction streams ``data`` is an iterable of transactions;
@@ -296,7 +298,7 @@ class OnlineChangeMonitor:
                 break
         return observations
 
-    def monitor_stream(self, chunks: Iterable) -> Iterator[Observation]:
+    def monitor_stream(self, chunks: Iterable[Any]) -> Iterator[Observation]:
         """Drive the monitor from any chunked source, yielding verdicts."""
         for chunk in chunks:
             yield from self.push(chunk)
@@ -375,7 +377,10 @@ class OnlineChangeMonitor:
         if self._windows is not None:
             return
         if self.kind == "transactions":
-            reference = TransactionDataset(self._reference_data, self.n_items)
+            assert self.n_items is not None  # enforced by __init__
+            reference: DatasetLike = TransactionDataset(
+                self._reference_data, self.n_items
+            )
         else:
             reference = self._reference_data
         self.monitor.fit(reference)
@@ -384,7 +389,9 @@ class OnlineChangeMonitor:
 
     def _new_window_manager(self) -> WindowManager:
         structure = self.monitor._reference_model.structure
+        sketcher: ChunkSketcher
         if self.kind == "transactions":
+            assert self.n_items is not None  # enforced by __init__
             sketcher = TransactionChunkSketcher(
                 structure.itemsets,
                 self.n_items,
@@ -440,8 +447,9 @@ class OnlineChangeMonitor:
             dtype=np.int64,
         )
 
-    def _observe_chunk(self, chunk) -> Observation | None:
+    def _observe_chunk(self, chunk: Any) -> Observation | None:
         self._lazy_start()
+        assert self._windows is not None  # _lazy_start built it
         window = self._windows.push(chunk)
         if window is None:
             return None
@@ -450,6 +458,7 @@ class OnlineChangeMonitor:
     def _qualify_window(self, window: Window) -> Observation:
         monitor = self.monitor
         structure = monitor._reference_model.structure
+        assert self._ref_counts is not None  # set when the reference fit
         result = deviation_from_counts(
             structure,
             self._ref_counts,
@@ -479,6 +488,7 @@ class OnlineChangeMonitor:
             # reference structure and re-sketch the buffered chunks (the
             # one place a surviving row is scanned twice).
             self._track_reference_structure()
+            assert self._windows is not None
             buffered = self._windows.buffered_chunks
             scanned_before = self._windows.rows_sketched
             self._windows = self._new_window_manager()
@@ -489,7 +499,9 @@ class OnlineChangeMonitor:
             self._windows.rows_sketched += scanned_before
         return observation
 
-    def _window_resample_plan(self, window: Window):
+    def _window_resample_plan(
+        self, window: Window
+    ) -> CountsResamplePlan | LitsResamplePlan:
         """Compile the count-space bootstrap for one window's pool.
 
         Tabular streams need no rows at all: partition regions are
@@ -506,6 +518,7 @@ class OnlineChangeMonitor:
         monitor = self.monitor
         structure = monitor._reference_model.structure
         n_ref = len(monitor._reference_dataset)
+        assert self._ref_counts is not None  # set when the reference fit
         if self.kind == "tabular":
             return CountsResamplePlan(
                 structure,
@@ -521,12 +534,13 @@ class OnlineChangeMonitor:
             self._ref_membership = lits_membership(
                 structure, monitor._reference_dataset.index
             ).astype(np.float32)
-        surviving: dict[int, tuple] = {}
+        surviving: dict[int, tuple[Any, np.ndarray]] = {}
         parts: list[np.ndarray] = [self._ref_membership]
         for chunk in window.chunks:
             key = id(chunk)
             entry = self._chunk_membership.get(key)
             if entry is None or entry[0] is not chunk:
+                assert self.n_items is not None  # transactions kind
                 membership = lits_membership(
                     structure, BitmapIndex(chunk, self.n_items)
                 ).astype(np.float32)

@@ -36,7 +36,9 @@ Either way the deviation engine consumes the counts vector directly via
 
 from __future__ import annotations
 
-from typing import Iterable, Sequence
+from typing import Any, Iterable, Sequence
+
+from repro._typing import DatasetLike, StructureOrPlan
 
 import numpy as np
 
@@ -45,7 +47,7 @@ from repro.data.transactions import BitmapIndex, SupportCountingPlan
 from repro.errors import IncompatibleModelsError, InvalidParameterError
 
 
-class _Canonical(tuple):
+class _Canonical(tuple[frozenset[int], ...]):
     """Marker type: a tuple of frozensets already in canonical order.
 
     :func:`canonical_itemsets` returns (and short-circuits on) this type
@@ -57,6 +59,7 @@ class _Canonical(tuple):
 
     # no __slots__: variable-length tuple subtypes cannot declare them;
     # the per-collection __dict__ holds the lazily cached counting plan.
+    _plan: SupportCountingPlan
 
     def plan(self) -> SupportCountingPlan:
         """The precompiled counting plan for this collection, built once
@@ -167,7 +170,9 @@ class SupportSketch:
         )
 
     @classmethod
-    def from_dataset(cls, dataset, itemsets: Iterable[Iterable[int]]) -> "SupportSketch":
+    def from_dataset(
+        cls, dataset: DatasetLike, itemsets: Iterable[Iterable[int]]
+    ) -> "SupportSketch":
         """Count ``itemsets`` over an (indexed) dataset-like object."""
         canon = canonical_itemsets(itemsets)
         return cls._from_canonical(
@@ -182,7 +187,7 @@ class SupportSketch:
     # ------------------------------------------------------------------ #
 
     @property
-    def key(self):
+    def key(self) -> tuple[frozenset[frozenset[int]], int]:
         """Merge-compatibility identity: same itemsets, same universe."""
         return (frozenset(self.itemsets), self.n_items)
 
@@ -209,7 +214,7 @@ class SupportSketch:
                 "universes and cannot be combined"
             )
 
-    def __add__(self, other) -> "SupportSketch":
+    def __add__(self, other: Any) -> "SupportSketch":
         if isinstance(other, int) and other == 0:
             return self  # so sum(sketches) works with its default start
         self._check_mergeable(other)
@@ -220,7 +225,7 @@ class SupportSketch:
             self.n_items,
         )
 
-    def __radd__(self, other) -> "SupportSketch":
+    def __radd__(self, other: Any) -> "SupportSketch":
         return self.__add__(other)
 
     def __sub__(self, other: "SupportSketch") -> "SupportSketch":
@@ -234,7 +239,7 @@ class SupportSketch:
             self.itemsets, self.counts - other.counts, n, self.n_items
         )
 
-    def __eq__(self, other) -> bool:
+    def __eq__(self, other: object) -> bool:
         if not isinstance(other, SupportSketch):
             return NotImplemented
         return (
@@ -282,7 +287,7 @@ class SupportSketch:
         )
 
 
-def as_partition_plan(structure_or_plan) -> PartitionCountingPlan:
+def as_partition_plan(structure_or_plan: StructureOrPlan) -> PartitionCountingPlan:
     """Resolve a ``PartitionStructure`` or an existing plan to a plan.
 
     Passing the structure reuses its lazily compiled, cached plan, so
@@ -323,7 +328,9 @@ class PartitionSketch:
 
     __slots__ = ("plan", "counts", "n_rows")
 
-    def __init__(self, plan, counts: np.ndarray, n_rows: int) -> None:
+    def __init__(
+        self, plan: StructureOrPlan, counts: np.ndarray, n_rows: int
+    ) -> None:
         self.plan = as_partition_plan(plan)
         counts = np.asarray(counts, dtype=np.int64)
         n_regions = len(self.plan.structure.regions)
@@ -342,7 +349,9 @@ class PartitionSketch:
     # ------------------------------------------------------------------ #
 
     @classmethod
-    def _trusted(cls, plan, counts: np.ndarray, n_rows: int) -> "PartitionSketch":
+    def _trusted(
+        cls, plan: PartitionCountingPlan, counts: np.ndarray, n_rows: int
+    ) -> "PartitionSketch":
         """Internal fast path: plan already resolved, counts aligned."""
         self = object.__new__(cls)
         self.plan = plan
@@ -351,14 +360,16 @@ class PartitionSketch:
         return self
 
     @classmethod
-    def empty(cls, structure_or_plan) -> "PartitionSketch":
+    def empty(cls, structure_or_plan: StructureOrPlan) -> "PartitionSketch":
         """The additive identity: zero counts over zero rows."""
         plan = as_partition_plan(structure_or_plan)
         n_regions = len(plan.structure.regions)
         return cls._trusted(plan, np.zeros(n_regions, dtype=np.int64), 0)
 
     @classmethod
-    def from_dataset(cls, dataset, structure_or_plan) -> "PartitionSketch":
+    def from_dataset(
+        cls, dataset: DatasetLike, structure_or_plan: StructureOrPlan
+    ) -> "PartitionSketch":
         """Count the structure's regions over a tabular dataset (one scan).
 
         Raises ``IncompatibleModelsError`` if the dataset carries a class
@@ -374,7 +385,7 @@ class PartitionSketch:
     # ------------------------------------------------------------------ #
 
     @property
-    def key(self):
+    def key(self) -> Any:
         """Merge-compatibility identity: the structure measured.
 
         Uses the order-*sensitive* ``counts_key`` -- two structures with
@@ -396,7 +407,7 @@ class PartitionSketch:
                 "same regions in a different order) and cannot be combined"
             )
 
-    def __add__(self, other) -> "PartitionSketch":
+    def __add__(self, other: Any) -> "PartitionSketch":
         if isinstance(other, int) and other == 0:
             return self  # so sum(sketches) works with its default start
         self._check_mergeable(other)
@@ -404,7 +415,7 @@ class PartitionSketch:
             self.plan, self.counts + other.counts, self.n_rows + other.n_rows
         )
 
-    def __radd__(self, other) -> "PartitionSketch":
+    def __radd__(self, other: Any) -> "PartitionSketch":
         return self.__add__(other)
 
     def __sub__(self, other: "PartitionSketch") -> "PartitionSketch":
@@ -418,7 +429,7 @@ class PartitionSketch:
             self.plan, self.counts - other.counts, n
         )
 
-    def __eq__(self, other) -> bool:
+    def __eq__(self, other: object) -> bool:
         if not isinstance(other, PartitionSketch):
             return NotImplemented
         return (

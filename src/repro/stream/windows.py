@@ -30,7 +30,17 @@ from __future__ import annotations
 from collections import deque
 from dataclasses import dataclass, field
 from functools import cached_property
-from typing import Iterable, Iterator, Protocol, Sequence, runtime_checkable
+from typing import (
+    TYPE_CHECKING,
+    Any,
+    Iterable,
+    Iterator,
+    Protocol,
+    Sequence,
+    runtime_checkable,
+)
+
+from repro._typing import DatasetLike, ExecutorLike, StructureOrPlan
 
 from repro.data.transactions import TransactionDataset
 from repro.errors import InvalidParameterError
@@ -45,6 +55,9 @@ from repro.stream.sketch import (
     as_partition_plan,
     canonical_itemsets,
 )
+
+if TYPE_CHECKING:
+    from repro.data.tabular import TabularDataset
 
 POLICIES = ("sliding", "tumbling")
 
@@ -62,23 +75,23 @@ class ChunkSketcher(Protocol):
     #: short kind tag (``"transactions"`` or ``"tabular"``)
     kind: str
 
-    def normalize(self, chunk):
+    def normalize(self, chunk: Any) -> Any:
         """Canonicalise an incoming chunk (stored in the ring buffer)."""
         ...
 
-    def sketch(self, chunk):
+    def sketch(self, chunk: Any) -> Any:
         """Sketch one normalised chunk (the only scan it will ever get)."""
         ...
 
-    def empty(self):
+    def empty(self) -> Any:
         """The additive identity sketch."""
         ...
 
-    def chunk_len(self, chunk) -> int:
+    def chunk_len(self, chunk: Any) -> int:
         """Number of rows in a normalised chunk."""
         ...
 
-    def concat(self, chunks):
+    def concat(self, chunks: Iterable[Any]) -> Any:
         """Materialise normalised chunks as one immutable dataset."""
         ...
 
@@ -92,7 +105,7 @@ class TransactionChunkSketcher:
         self,
         itemsets: Iterable[Iterable[int]],
         n_items: int,
-        executor="serial",
+        executor: ExecutorLike = "serial",
         n_shards: int = 1,
     ) -> None:
         self.itemsets = canonical_itemsets(itemsets)
@@ -100,10 +113,23 @@ class TransactionChunkSketcher:
         self.executor = get_executor(executor)
         self.n_shards = n_shards
 
-    def normalize(self, chunk: Sequence[Iterable[int]]) -> tuple:
+    def close(self) -> None:
+        """Release pooled executor workers (no-op for the serial backend).
+
+        A sketcher built from a backend *name* owns its pool; one handed
+        an executor instance shares its owner's, and that owner should
+        close instead (``shutdown`` is idempotent either way).
+        """
+        shutdown = getattr(self.executor, "shutdown", None)
+        if shutdown is not None:
+            shutdown()
+
+    def normalize(
+        self, chunk: Sequence[Iterable[int]]
+    ) -> tuple[tuple[int, ...], ...]:
         return tuple(tuple(t) for t in chunk)
 
-    def sketch(self, chunk) -> SupportSketch:
+    def sketch(self, chunk: Sequence[Iterable[int]]) -> SupportSketch:
         return sharded_support_sketch(
             chunk,
             self.itemsets,
@@ -115,10 +141,10 @@ class TransactionChunkSketcher:
     def empty(self) -> SupportSketch:
         return SupportSketch.empty(self.itemsets, self.n_items)
 
-    def chunk_len(self, chunk) -> int:
+    def chunk_len(self, chunk: Sequence[Any]) -> int:
         return len(chunk)
 
-    def concat(self, chunks) -> TransactionDataset:
+    def concat(self, chunks: Iterable[Any]) -> TransactionDataset:
         return TransactionDataset(
             tuple(t for chunk in chunks for t in chunk), self.n_items
         )
@@ -136,15 +162,26 @@ class PartitionChunkSketcher:
 
     def __init__(
         self,
-        structure_or_plan,
-        executor="serial",
+        structure_or_plan: StructureOrPlan,
+        executor: ExecutorLike = "serial",
         n_shards: int = 1,
     ) -> None:
         self.plan = as_partition_plan(structure_or_plan)
         self.executor = get_executor(executor)
         self.n_shards = n_shards
 
-    def normalize(self, chunk):
+    def close(self) -> None:
+        """Release pooled executor workers (no-op for the serial backend).
+
+        A sketcher built from a backend *name* owns its pool; one handed
+        an executor instance shares its owner's, and that owner should
+        close instead (``shutdown`` is idempotent either way).
+        """
+        shutdown = getattr(self.executor, "shutdown", None)
+        if shutdown is not None:
+            shutdown()
+
+    def normalize(self, chunk: DatasetLike) -> DatasetLike:
         if not hasattr(chunk, "X") or not hasattr(chunk, "space"):
             raise InvalidParameterError(
                 "tabular chunks must be TabularDataset-like objects, got "
@@ -152,7 +189,7 @@ class PartitionChunkSketcher:
             )
         return chunk
 
-    def sketch(self, chunk) -> PartitionSketch:
+    def sketch(self, chunk: DatasetLike) -> PartitionSketch:
         return sharded_partition_sketch(
             chunk,
             self.plan,
@@ -163,10 +200,10 @@ class PartitionChunkSketcher:
     def empty(self) -> PartitionSketch:
         return PartitionSketch.empty(self.plan)
 
-    def chunk_len(self, chunk) -> int:
+    def chunk_len(self, chunk: DatasetLike) -> int:
         return len(chunk)
 
-    def concat(self, chunks):
+    def concat(self, chunks: Iterable[DatasetLike]) -> "TabularDataset":
         from repro.data.tabular import TabularDataset
 
         return TabularDataset.concat_many(list(chunks))
@@ -186,7 +223,7 @@ class Window:
     start: int  #: row offset of the window's first row
     stop: int  #: row offset one past the window's last row
     sketch: SupportSketch | PartitionSketch
-    chunks: tuple
+    chunks: tuple[Any, ...]
     sketcher: ChunkSketcher | None = field(default=None, compare=False)
 
     def __len__(self) -> int:
@@ -201,7 +238,7 @@ class Window:
         """
         return tuple(t for chunk in self.chunks for t in chunk)
 
-    def to_dataset(self):
+    def to_dataset(self) -> DatasetLike:
         """Materialise the window as an immutable dataset (for e.g. the
         bootstrap, which needs to resample actual rows)."""
         if self.sketcher is not None:
@@ -242,11 +279,11 @@ class WindowManager:
 
     def __init__(
         self,
-        itemsets,
+        itemsets: Any,
         n_items: int | None = None,
         window_chunks: int | None = None,
         policy: str = "sliding",
-        executor="serial",
+        executor: ExecutorLike = "serial",
         n_shards: int = 1,
     ) -> None:
         if isinstance(itemsets, ChunkSketcher) and not isinstance(
@@ -279,22 +316,22 @@ class WindowManager:
         self.rows_sketched = 0
         self.windows_emitted = 0
         self._row_offset = 0  # row id of the next arriving row
-        self._chunks: deque = deque()
+        self._chunks: deque[tuple[Any, Any]] = deque()
         self._current = sketcher.empty()
 
     @property
-    def current_sketch(self):
+    def current_sketch(self) -> Any:
         """The running sketch over the chunks currently buffered."""
         return self._current
 
     @property
-    def buffered_chunks(self) -> tuple:
+    def buffered_chunks(self) -> tuple[Any, ...]:
         """The normalised chunks currently in the ring buffer, oldest
         first (the online monitor re-feeds these after a reference
         reset, when the tracked structure changes)."""
         return tuple(chunk for _, chunk in self._chunks)
 
-    def push(self, chunk) -> Window | None:
+    def push(self, chunk: Any) -> Window | None:
         """Consume one chunk; return the completed :class:`Window`, if any.
 
         The chunk is sketched once (the only scan it will ever get) and
@@ -334,7 +371,7 @@ class WindowManager:
             self._current = self.sketcher.empty()
         return window
 
-    def push_many(self, chunks: Iterable) -> Iterator[Window]:
+    def push_many(self, chunks: Iterable[Any]) -> Iterator[Window]:
         """Push a stream of chunks, yielding every completed window."""
         for chunk in chunks:
             window = self.push(chunk)

@@ -81,7 +81,7 @@ def test_theorem_4_1_gcr_least_deviation(pair, f_name, g_name):
     via_gcr = deviation(m1, m2, d1, d2, f=f, g=g).value
     # A strictly finer common refinement: add extra itemsets.
     g_struct = gcr(m1.structure, m2.structure)
-    extra = [frozenset({i}) for i in range(N_ITEMS)] + [frozenset({0, 1, 2})]
+    extra = [*(frozenset({i}) for i in range(N_ITEMS)), frozenset({0, 1, 2})]
     finer = LitsStructure(tuple(g_struct.itemsets) + tuple(extra))
     via_finer = deviation_over_structure(finer, d1, d2, f=f, g=g).value
     assert via_gcr <= via_finer + 1e-9

@@ -60,7 +60,7 @@ class TestEdgeShapes:
 
     def test_non_multiple_of_eight_transaction_counts(self):
         for n in (1, 7, 9, 15, 17, 23):
-            d = TransactionDataset([(0, 1)] * n + [(1,)], n_items=3)
+            d = TransactionDataset([*([(0, 1)] * n), (1,)], n_items=3)
             counts = d.index.support_counts([(), (0,), (1,), (0, 1), (2,)])
             assert counts.tolist() == [n + 1, n, n + 1, n, 0]
 

@@ -49,7 +49,7 @@ class TestAppend:
         """Appending R rows costs O(R) writes plus O(log R) reallocations."""
         index = BitmapIndex([], 4)
         capacities = set()
-        for start in range(0, 4_096, 64):
+        for _start in range(0, 4_096, 64):
             index.append([(i % 4,) for i in range(64)])
             capacities.add(index._buf.shape[1])
         # 4096 rows = 512 bytes; doubling from 8 gives ~7 distinct widths,

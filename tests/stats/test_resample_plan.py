@@ -67,7 +67,7 @@ transactions_strategy = st.lists(
 itemsets_strategy = st.lists(
     st.lists(st.integers(min_value=0, max_value=N_ITEMS - 1), max_size=4),
     max_size=12,
-).map(lambda sets: sets + [[], [N_ITEMS - 1, N_ITEMS - 2, N_ITEMS - 3]])
+).map(lambda sets: [*sets, [], [N_ITEMS - 1, N_ITEMS - 2, N_ITEMS - 3]])
 
 
 @st.composite

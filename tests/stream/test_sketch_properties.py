@@ -35,7 +35,7 @@ itemsets_strategy = st.lists(
     ),
     min_size=1,
     max_size=15,
-).map(lambda sets: sets + [[]])  # always include the empty itemset
+).map(lambda sets: [*sets, []])  # always include the empty itemset
 
 
 @st.composite

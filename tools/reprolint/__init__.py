@@ -1,0 +1,27 @@
+"""reprolint: the repo-specific static contract checker.
+
+Run it with ``python -m tools.reprolint src benchmarks``; see
+``CONTRIBUTING.md`` ("Invariants the linter enforces") for each rule's
+origin and the suppression policy.
+"""
+
+from tools.reprolint.engine import (
+    Finding,
+    ModuleContext,
+    REASONLESS_CODE,
+    SYNTAX_CODE,
+    lint_paths,
+    lint_source,
+)
+from tools.reprolint.rules import RULE_DOCS, RULES
+
+__all__ = [
+    "Finding",
+    "ModuleContext",
+    "REASONLESS_CODE",
+    "RULE_DOCS",
+    "RULES",
+    "SYNTAX_CODE",
+    "lint_paths",
+    "lint_source",
+]

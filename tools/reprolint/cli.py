@@ -1,0 +1,88 @@
+"""Command-line front end: ``python -m tools.reprolint src benchmarks``.
+
+Exit codes: 0 clean, 1 findings, 2 usage error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Sequence
+
+from tools.reprolint.engine import lint_paths
+from tools.reprolint.rules import RULE_DOCS, RULES
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m tools.reprolint",
+        description=(
+            "repo-specific static contract checker for the measurement "
+            "engine (seeded RNGs, guarded merges, executor lifecycles, "
+            "vectorised hot paths, picklable process workers)"
+        ),
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        help="files or directories to lint (default: src benchmarks)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("human", "json"),
+        default="human",
+        help="output format (default: human)",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print every rule code with its documentation and exit",
+    )
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        for code, (title, doc) in sorted(RULE_DOCS.items()):
+            print(f"{code}: {title}")
+            for line in doc.splitlines():
+                print(f"    {line}")
+            print()
+        return 0
+
+    paths = args.paths or ["src", "benchmarks"]
+    findings, n_files = lint_paths(paths, RULES)
+
+    if args.format == "json":
+        print(
+            json.dumps(
+                {
+                    "files": n_files,
+                    "findings": [f.to_json() for f in findings],
+                },
+                indent=2,
+            )
+        )
+    else:
+        for finding in findings:
+            print(finding.render())
+        noun = "file" if n_files == 1 else "files"
+        status = (
+            "clean"
+            if not findings
+            else f"{len(findings)} finding{'s' if len(findings) != 1 else ''}"
+        )
+        print(f"reprolint: {n_files} {noun} checked, {status}", file=sys.stderr)
+
+    if n_files == 0:
+        print(f"reprolint: no python files under {paths!r}", file=sys.stderr)
+        return 2
+    return 1 if findings else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,236 @@
+"""The reprolint engine: file walking, parsing, and suppression handling.
+
+reprolint is a repo-specific static contract checker. Generic linters
+(ruff, mypy) cannot know that *this* codebase promises seeded bootstrap
+nulls, ``counts_key``-guarded sketch merges, deterministic executor
+shutdown, vectorised hot paths, and picklable process-fan workers -- the
+invariants PRs 1-5 established by hand. Each rule in
+:mod:`tools.reprolint.rules` encodes one of those contracts as an AST
+check; this module owns everything rule-agnostic:
+
+* walking the given paths and parsing each ``*.py`` file once;
+* parsing ``# reprolint: disable=CODE(reason)`` suppression comments --
+  a *reason is mandatory*: a reason-less disable does not suppress and
+  is itself reported as :data:`REASONLESS_CODE`;
+* collecting, de-duplicating, and ordering findings.
+
+A disable comment on the finding's own line (trailing) or on a
+comment-only line directly above it suppresses that code for that line
+only. Multiple codes separate with commas::
+
+    rng = np.random.default_rng()  # reprolint: disable=RL001(demo of the warn-free path)
+
+    # reprolint: disable=RL004(documented O(rows) fallback), RL005(keys are copies)
+    for t in transactions:
+        ...
+"""
+
+from __future__ import annotations
+
+import ast
+import io
+import re
+import tokenize
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterable, Iterator, Sequence
+
+#: Pseudo-rule reported for a disable comment that carries no reason.
+REASONLESS_CODE = "RL000"
+
+#: Pseudo-rule reported for a file the parser rejects.
+SYNTAX_CODE = "RL999"
+
+_DISABLE_RE = re.compile(r"reprolint:\s*disable\s*=\s*(?P<spec>.+)$")
+_CODE_RE = re.compile(r"(?P<code>RL\d{3})\s*(?:\((?P<reason>[^()]*)\))?")
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One rule violation at one source location."""
+
+    path: str
+    line: int
+    col: int
+    code: str
+    message: str
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}: {self.code} {self.message}"
+
+    def to_json(self) -> dict[str, object]:
+        return {
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "code": self.code,
+            "message": self.message,
+        }
+
+
+@dataclass
+class ModuleContext:
+    """Everything a rule gets to look at for one file."""
+
+    path: str
+    tree: ast.Module
+    source: str
+
+    def __post_init__(self) -> None:
+        # Parent links let rules climb from any node to its enclosing
+        # function/class/statement without each rule re-walking the tree.
+        for node in ast.walk(self.tree):
+            for child in ast.iter_child_nodes(node):
+                child._reprolint_parent = node  # type: ignore[attr-defined]
+
+    def parent(self, node: ast.AST) -> ast.AST | None:
+        return getattr(node, "_reprolint_parent", None)
+
+    def enclosing_function(
+        self, node: ast.AST
+    ) -> ast.FunctionDef | ast.AsyncFunctionDef | None:
+        """The nearest function definition the node sits inside, if any."""
+        current = self.parent(node)
+        while current is not None:
+            if isinstance(current, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                return current
+            current = self.parent(current)
+        return None
+
+    def enclosing_class(self, node: ast.AST) -> ast.ClassDef | None:
+        """The nearest class definition the node sits inside, if any."""
+        current = self.parent(node)
+        while current is not None:
+            if isinstance(current, ast.ClassDef):
+                return current
+            current = self.parent(current)
+        return None
+
+    def enclosing_scope(self, node: ast.AST) -> ast.AST:
+        """The function owning ``node``, or the module for top-level code."""
+        return self.enclosing_function(node) or self.tree
+
+
+@dataclass(frozen=True)
+class _Disable:
+    """One parsed suppression: the code, its reason, and where it was."""
+
+    code: str
+    reason: str | None
+    line: int
+
+
+def parse_disables(source: str) -> dict[int, dict[str, _Disable]]:
+    """Map *target line* -> {code: disable} for every suppression comment.
+
+    A trailing comment targets its own line; a comment-only line targets
+    the next line (the statement it annotates). Unparseable comments are
+    ignored -- they suppress nothing, so they can never hide a finding.
+    """
+    by_line: dict[int, dict[str, _Disable]] = {}
+    try:
+        tokens = list(tokenize.generate_tokens(io.StringIO(source).readline))
+    except (tokenize.TokenError, IndentationError, SyntaxError):
+        return by_line
+    lines = source.splitlines()
+    for token in tokens:
+        if token.type != tokenize.COMMENT:
+            continue
+        match = _DISABLE_RE.search(token.string)
+        if match is None:
+            continue
+        comment_line = token.start[0]
+        prefix = lines[comment_line - 1][: token.start[1]]
+        target = comment_line if prefix.strip() else comment_line + 1
+        for code_match in _CODE_RE.finditer(match.group("spec")):
+            reason = code_match.group("reason")
+            reason = reason.strip() if reason is not None else None
+            entry = _Disable(
+                code=code_match.group("code"),
+                reason=reason or None,
+                line=comment_line,
+            )
+            by_line.setdefault(target, {})[entry.code] = entry
+    return by_line
+
+
+def lint_source(
+    source: str, path: str, rules: Sequence[object]
+) -> list[Finding]:
+    """Run every rule over one file's source, honouring suppressions."""
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as exc:
+        return [
+            Finding(
+                path=path,
+                line=exc.lineno or 1,
+                col=(exc.offset or 1) - 1,
+                code=SYNTAX_CODE,
+                message=f"file does not parse: {exc.msg}",
+            )
+        ]
+    ctx = ModuleContext(path=path, tree=tree, source=source)
+    disables = parse_disables(source)
+
+    raw: list[Finding] = []
+    for rule in rules:
+        raw.extend(rule.check(ctx))
+
+    findings: list[Finding] = []
+    used: set[tuple[int, str]] = set()
+    for finding in raw:
+        disable = disables.get(finding.line, {}).get(finding.code)
+        if disable is not None and disable.reason:
+            used.add((disable.line, disable.code))
+            continue
+        findings.append(finding)
+
+    # A reason-less disable never suppresses; it is a finding of its own,
+    # whether or not anything fired on its target line.
+    for per_line in disables.values():
+        for disable in per_line.values():
+            if disable.reason is None:
+                findings.append(
+                    Finding(
+                        path=path,
+                        line=disable.line,
+                        col=0,
+                        code=REASONLESS_CODE,
+                        message=(
+                            f"disable={disable.code} without a reason; write "
+                            f"# reprolint: disable={disable.code}(<why this "
+                            "violation is safe here>)"
+                        ),
+                    )
+                )
+    return sorted(set(findings))
+
+
+def iter_python_files(paths: Iterable[str | Path]) -> Iterator[Path]:
+    """Yield every ``*.py`` file under the given files/directories."""
+    for raw in paths:
+        path = Path(raw)
+        if path.is_file():
+            if path.suffix == ".py":
+                yield path
+        elif path.is_dir():
+            for candidate in sorted(path.rglob("*.py")):
+                if "__pycache__" in candidate.parts:
+                    continue
+                if any(part.startswith(".") for part in candidate.parts):
+                    continue
+                yield candidate
+
+
+def lint_paths(
+    paths: Iterable[str | Path], rules: Sequence[object]
+) -> tuple[list[Finding], int]:
+    """Lint every python file under ``paths``; returns (findings, n_files)."""
+    findings: list[Finding] = []
+    n_files = 0
+    for path in iter_python_files(paths):
+        n_files += 1
+        source = path.read_text(encoding="utf-8")
+        findings.extend(lint_source(source, str(path), rules))
+    return sorted(findings), n_files
