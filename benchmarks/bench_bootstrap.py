@@ -39,6 +39,7 @@ from repro.core.lits import LitsModel
 from repro.data.quest_basket import generate_basket
 from repro.data import transactions as transactions_module
 from repro.data.transactions import TransactionDataset
+from repro.obs import MetricsRegistry, use_registry
 from repro.stats.bootstrap import deviation_significance
 from repro.stats.resample_plan import (
     compile_resample_plan,
@@ -124,6 +125,19 @@ def test_count_space_engine_beats_replicate_loop(benchmark, workload):
     t_loop = t_loop_subset * (N_BOOT / N_BOOT_ORACLE)
 
     speedup = t_loop / max(t_fast, 1e-9)
+
+    # Enabled run (untimed): the count-space engine under a live
+    # registry. The counters must prove the headline claim -- exactly
+    # one pooled scan compiled the whole null.
+    registry = MetricsRegistry()
+    with use_registry(registry):
+        d1.drop_index()
+        d2.drop_index()
+        _fast_significance(d1, d2, models)
+    counters = registry.snapshot()["counters"]
+    assert counters["bootstrap.pooled_scans"] == 1
+    assert counters.get("bootstrap.replicates.gemm", 0) >= N_BOOT
+
     payload = {
         "bench": "bootstrap",
         "rows": N_POOLED,
@@ -135,6 +149,7 @@ def test_count_space_engine_beats_replicate_loop(benchmark, workload):
         "t_loop_extrapolated_s": round(t_loop, 4),
         "speedup": round(speedup, 2),
         "min_speedup_asserted": MIN_SPEEDUP,
+        "counters": counters,
     }
     JSON_PATH.write_text(json.dumps(payload, indent=2) + "\n")
     print(

@@ -18,7 +18,9 @@ fleet -- 20 healthy stores cloned from one regional buying process plus
 
 from __future__ import annotations
 
+import json
 import time
+from pathlib import Path
 
 import numpy as np
 import pytest
@@ -27,6 +29,7 @@ from repro.core.deviation import deviation
 from repro.core.lits import LitsModel
 from repro.data.quest_basket import build_pattern_pool, generate_basket
 from repro.fleet import FleetDeviationMatrix, components
+from repro.obs import MetricsRegistry, use_registry
 
 N_HEALTHY = 20
 N_DRIFTED = 4
@@ -35,6 +38,8 @@ N_PAIRS = N_STORES * (N_STORES - 1) // 2
 N_TRANSACTIONS = 1_200
 N_ITEMS = 100
 MIN_SUPPORT = 0.02
+
+JSON_PATH = Path(__file__).parent / "BENCH_fleet.json"
 
 
 @pytest.fixture(scope="module")
@@ -120,12 +125,45 @@ def test_pruning_skips_half_the_pair_scans_and_agrees(benchmark, fleet):
     t1 = time.perf_counter()
     run_pruned()
     t_pruned = time.perf_counter() - t1
+
+    # Enabled run (untimed): the pruned path under a live registry. The
+    # obs counters must tell the same story the matrix itself does --
+    # pruned pairs are exactly the bound-valued (non-exact) entries.
+    registry = MetricsRegistry()
+    with use_registry(registry):
+        _, observed = run_pruned()
+    counters = registry.snapshot()["counters"]
+    off_diag = np.triu_indices(N_STORES, k=1)
+    assert counters["fleet.pairs.pruned"] == observed.n_pruned
+    assert counters["fleet.pairs.pruned"] == int(
+        (~observed.exact_mask[off_diag]).sum()
+    )
+    assert (
+        counters["fleet.pairs.scanned"]
+        + counters.get("fleet.pairs.model_only", 0)
+        + counters["fleet.pairs.pruned"]
+        == N_PAIRS
+    )
+    assert counters["fleet.bounds.filled"] == N_PAIRS
+
+    payload = {
+        "bench": "fleet",
+        "n_stores": N_STORES,
+        "n_pairs": N_PAIRS,
+        "n_pruned": pruned.n_pruned,
+        "n_scanned": pruned.n_scanned,
+        "t_pruned_s": round(t_pruned, 4),
+        "t_exhaustive_s": round(t_exhaustive, 4),
+        "speedup": round(t_exhaustive / max(t_pruned, 1e-9), 2),
+        "counters": counters,
+    }
+    JSON_PATH.write_text(json.dumps(payload, indent=2) + "\n")
     print(
         f"\n{N_STORES} stores / {N_PAIRS} pairs: pruned "
         f"{pruned.n_pruned} ({100 * pruned.n_pruned / N_PAIRS:.0f}%), "
         f"scanned {pruned.n_scanned}; pruned matrix {t_pruned * 1e3:.0f}ms "
         f"vs exhaustive {t_exhaustive * 1e3:.0f}ms "
-        f"({t_exhaustive / max(t_pruned, 1e-9):.1f}x)"
+        f"({t_exhaustive / max(t_pruned, 1e-9):.1f}x) -> {JSON_PATH.name}"
     )
 
 

@@ -18,7 +18,9 @@ behavioural proof that no per-row loop survives in the counting path.
 
 from __future__ import annotations
 
+import json
 import time
+from pathlib import Path
 
 import numpy as np
 import pytest
@@ -26,6 +28,7 @@ import pytest
 from repro.core.dtree_model import DtModel
 from repro.data.quest_classify import generate_classification
 from repro.mining.tree.builder import TreeParams
+from repro.obs import MetricsRegistry, use_registry
 from repro.stream.chunks import iter_tabular_chunks
 from repro.stream.windows import PartitionChunkSketcher, WindowManager
 
@@ -36,6 +39,8 @@ WINDOW = 2_000
 STEP = 250
 N_WINDOWS = 50
 N_ROWS = WINDOW + (N_WINDOWS - 1) * STEP  # 14,250
+
+JSON_PATH = Path(__file__).parent / "BENCH_partition_stream.json"
 
 
 @pytest.fixture(scope="module")
@@ -132,11 +137,35 @@ def test_incremental_advance_beats_full_reassign(benchmark, workload):
         assert counts_a.tolist() == counts_b.tolist()
 
     speedup = t_slow / max(t_fast, 1e-9)
+
+    # Enabled run (untimed): the same pipeline under a live registry,
+    # so the emitted JSON carries the engine counters next to the
+    # disabled-mode timings the assertion above was measured in.
+    registry = MetricsRegistry()
+    with use_registry(registry):
+        _incremental(dataset, structure)
+    counters = registry.snapshot()["counters"]
+    assert counters["stream.windows.rows_sketched"] == N_ROWS
+    assert counters["stream.windows.emitted"] == N_WINDOWS
+
+    payload = {
+        "bench": "partition_stream",
+        "window": WINDOW,
+        "step": STEP,
+        "n_windows": N_WINDOWS,
+        "n_regions": len(structure.regions),
+        "t_incremental_s": round(t_fast, 4),
+        "t_rebuild_s": round(t_slow, 4),
+        "speedup": round(speedup, 2),
+        "min_speedup_asserted": 3.0,
+        "counters": counters,
+    }
+    JSON_PATH.write_text(json.dumps(payload, indent=2) + "\n")
     print(
         f"\n{N_WINDOWS} windows of {WINDOW} rows (step {STEP}, "
         f"{len(structure.regions)} regions): incremental "
         f"{t_fast * 1e3:.1f}ms vs rebuild {t_slow * 1e3:.1f}ms "
-        f"({speedup:.1f}x)"
+        f"({speedup:.1f}x) -> {JSON_PATH.name}"
     )
     assert speedup >= 3.0
 

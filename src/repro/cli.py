@@ -25,6 +25,12 @@ qualified, and drifted windows are flagged as they complete. With
 ``--kind tabular`` the file is a ``.npz`` table and the reference is a
 dt-model (partition sketches instead of support sketches); either way a
 trailing partial window is flushed and reported at end of stream.
+
+The measurement commands (``compare-*``, ``fleet``, ``monitor-stream``)
+accept ``--metrics [PATH]`` and ``--profile``: both run the engine under
+a :mod:`repro.obs` registry; ``--metrics`` emits the counter snapshot as
+JSON (to ``PATH``, or stderr), ``--profile`` prints the span/metrics
+report table to stderr.
 """
 
 from __future__ import annotations
@@ -47,6 +53,7 @@ from repro.data.io import (
 from repro.data.quest_basket import generate_basket
 from repro.data.quest_classify import generate_classification
 from repro.mining.tree.builder import TreeParams
+from repro.obs import MetricsRegistry, use_registry
 from repro.stats.bootstrap import deviation_significance
 
 
@@ -112,6 +119,20 @@ def _add_boot_args(p, default_boot: int = 0) -> None:
     )
 
 
+def _add_obs_args(p) -> None:
+    """The engine-observability knobs of the measurement commands."""
+    p.add_argument(
+        "--metrics", nargs="?", const="-", default=None, metavar="PATH",
+        help="run under a repro.obs registry and emit the engine counter "
+        "snapshot as JSON: to PATH, or to stderr when no PATH is given",
+    )
+    p.add_argument(
+        "--profile", action="store_true",
+        help="run under a repro.obs registry and print the metrics/span "
+        "report table to stderr",
+    )
+
+
 def _add_compare_lits(sub) -> None:
     p = sub.add_parser("compare-lits", help="lits-model deviation of two files")
     p.add_argument("--data1", required=True)
@@ -119,6 +140,7 @@ def _add_compare_lits(sub) -> None:
     p.add_argument("--min-support", type=float, default=0.01)
     p.add_argument("--max-len", type=int, default=None)
     _add_boot_args(p)
+    _add_obs_args(p)
 
 
 def _add_compare_dt(sub) -> None:
@@ -128,6 +150,7 @@ def _add_compare_dt(sub) -> None:
     p.add_argument("--max-depth", type=int, default=8)
     p.add_argument("--min-leaf", type=int, default=25)
     _add_boot_args(p)
+    _add_obs_args(p)
 
 
 def _add_fleet(sub) -> None:
@@ -164,6 +187,7 @@ def _add_fleet(sub) -> None:
                    help="write the report here instead of stdout")
     p.add_argument("--executor", choices=("serial", "thread", "process"),
                    default="serial")
+    _add_obs_args(p)
 
 
 def _add_monitor_stream(sub) -> None:
@@ -204,6 +228,7 @@ def _add_monitor_stream(sub) -> None:
     p.add_argument("--seed", type=int, default=0,
                    help="bootstrap RNG seed (default 0: reproducible "
                    "drift verdicts)")
+    _add_obs_args(p)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -459,10 +484,34 @@ COMMANDS = {
 }
 
 
+def _emit_observability(args, registry: MetricsRegistry) -> None:
+    """Write the ``--metrics`` snapshot / ``--profile`` report."""
+    metrics_target = getattr(args, "metrics", None)
+    if metrics_target == "-":
+        print(registry.snapshot_json(), file=sys.stderr)
+    elif metrics_target is not None:
+        from pathlib import Path
+
+        Path(metrics_target).write_text(registry.snapshot_json() + "\n")
+        print(f"wrote metrics snapshot to {metrics_target}", file=sys.stderr)
+    if getattr(args, "profile", False):
+        print(registry.report(), file=sys.stderr)
+
+
 def main(argv: list[str] | None = None, out=None) -> int:
     out = out or sys.stdout
     args = build_parser().parse_args(argv)
-    return COMMANDS[args.command](args, out)
+    command = COMMANDS[args.command]
+    if getattr(args, "metrics", None) is None and not getattr(
+        args, "profile", False
+    ):
+        return command(args, out)
+    registry = MetricsRegistry()
+    try:
+        with use_registry(registry):
+            return command(args, out)
+    finally:
+        _emit_observability(args, registry)
 
 
 if __name__ == "__main__":

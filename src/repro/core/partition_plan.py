@@ -32,6 +32,7 @@ import numpy as np
 
 from repro._typing import AssignerFn, DatasetLike
 from repro.errors import IncompatibleModelsError, SchemaError
+from repro.obs import metrics
 
 #: dataset (weak) -> {id(assigner): (assigner, n_rows, assignments)}.
 #: The assigner object is stored in the entry so an ``id`` reused after
@@ -62,6 +63,7 @@ def cell_assignments(assigner: AssignerFn, dataset: DatasetLike) -> np.ndarray:
             per_dataset = {}
             _ASSIGNMENTS[dataset] = per_dataset
     except TypeError:  # not weak-referenceable: just compute
+        metrics().inc("partition.assign.computed")
         return np.asarray(assigner(dataset), dtype=np.int64)
     n = len(dataset)
     key = id(assigner)
@@ -72,7 +74,9 @@ def cell_assignments(assigner: AssignerFn, dataset: DatasetLike) -> np.ndarray:
             # refresh LRU position (dicts preserve insertion order)
             del per_dataset[key]
             per_dataset[key] = entry
+            metrics().inc("partition.assign.memo_hits")
             return cached
+    metrics().inc("partition.assign.computed")
     out = np.asarray(assigner(dataset), dtype=np.int64)
     per_dataset.pop(key, None)
     per_dataset[key] = (assigner, n, out)

@@ -27,6 +27,7 @@ from typing import Iterable, Sequence
 import numpy as np
 
 from repro.errors import InvalidParameterError
+from repro.obs import metrics
 
 # Popcount lookup for uint8 values; POPCOUNT[b] = number of set bits in b.
 POPCOUNT = np.array([bin(b).count("1") for b in range(256)], dtype=np.uint32)
@@ -201,6 +202,7 @@ class BitmapIndex:
         :class:`SupportCountingPlan` instead, which hoists this per-call
         canonicalisation and grouping out of the loop.
         """
+        metrics().inc("bitmap.support_counts.calls")
         canon = [tuple(sorted({int(i) for i in s})) for s in itemsets]
         out = np.empty(len(canon), dtype=np.int64)
         by_len: dict[int, list[int]] = {}
@@ -272,6 +274,10 @@ class BitmapIndex:
                         miss_rows.append(row)
             else:
                 miss_rows = list(range(len(group)))
+            if cache:
+                sink = metrics()
+                sink.inc("bitmap.memo.hits", len(hit_rows))
+                sink.inc("bitmap.memo.misses", len(miss_rows))
 
             if hit_rows:
                 last = np.fromiter(
@@ -375,6 +381,7 @@ class SupportCountingPlan:
 
     def count(self, index: BitmapIndex) -> np.ndarray:
         """Support counts of the planned itemsets over ``index``."""
+        metrics().inc("bitmap.plan.count_calls")
         if self.max_item >= index.n_items:
             raise InvalidParameterError(
                 f"plan references item {self.max_item} outside the index's "

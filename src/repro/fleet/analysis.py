@@ -88,6 +88,10 @@ def fleet_report(
         "names": list(matrix.names),
         "matrix": matrix.values.tolist(),
         "exact": matrix.exact_mask.tolist(),
+        # n_scanned / n_model_only / n_pruned are views of the matrix's
+        # obs counter snapshot (also exported whole under "metrics"), so
+        # this report, the CLI, and `--metrics` share one source of
+        # truth.
         "pruning": {
             "threshold": matrix.threshold,
             "n_pairs": matrix.n_pairs,
@@ -95,6 +99,7 @@ def fleet_report(
             "n_model_only": matrix.n_model_only,
             "n_pruned": matrix.n_pruned,
         },
+        "metrics": dict(matrix.metrics),
     }
     if matrix.bounds is not None:
         report["bounds"] = matrix.bounds.tolist()

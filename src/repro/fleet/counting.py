@@ -34,7 +34,12 @@ import numpy as np
 from repro._typing import DatasetLike, ExecutorLike
 from repro.core.partition_plan import cell_assignments
 from repro.errors import InvalidParameterError
-from repro.stream.executor import ProcessExecutor, get_executor
+from repro.obs import MetricsRegistry, enabled, metrics, use_registry
+from repro.stream.executor import (
+    ProcessExecutor,
+    _merge_worker_registries,
+    get_executor,
+)
 
 
 class LitsStoreCounter:
@@ -85,6 +90,7 @@ class LitsStoreCounter:
     ) -> None:
         """Record the result of a (possibly remote) batched scan."""
         self.n_scans += 1
+        metrics().inc("fleet.store.scans")
         self._counts.update(zip(itemsets, (int(c) for c in counts)))
 
     def vector(self, itemsets: Sequence[frozenset[int]]) -> np.ndarray:
@@ -93,10 +99,24 @@ class LitsStoreCounter:
         return np.array([counts[s] for s in itemsets], dtype=np.int64)
 
 
-def _count_support_payload(payload: tuple[Any, ...]) -> np.ndarray:
-    """Top-level map worker (picklable for the process backend)."""
-    index, itemsets = payload
-    return index.support_counts(itemsets)
+def _count_support_payload(
+    payload: tuple[Any, ...],
+) -> np.ndarray | tuple[np.ndarray, MetricsRegistry]:
+    """Top-level map worker (picklable for the process backend).
+
+    With the collect flag set, the scan runs under a fresh per-store
+    registry (span ``fleet.store.scan`` + the bitmap counters) that
+    travels back with the counts, exactly like the stream shard
+    workers.
+    """
+    index, itemsets, collect = payload
+    if not collect:
+        return index.support_counts(itemsets)
+    local = MetricsRegistry()
+    with use_registry(local):
+        with local.span("fleet.store.scan"):
+            counts = index.support_counts(itemsets)
+    return counts, local
 
 
 def prime_lits_counters(
@@ -116,7 +136,8 @@ def prime_lits_counters(
     todo = [i for i, m in missing.items() if m]
     if not todo:
         return
-    payloads = [(counters[i].dataset.index, missing[i]) for i in todo]
+    collect = enabled()
+    payloads = [(counters[i].dataset.index, missing[i], collect) for i in todo]
     # a backend *name* resolves to a runner this call owns and releases;
     # an executor *instance* stays open for its owner to reuse
     runner = get_executor(executor)
@@ -128,6 +149,8 @@ def prime_lits_counters(
             shutdown = getattr(runner, "shutdown", None)
             if shutdown is not None:
                 shutdown()
+    if collect:
+        results = _merge_worker_registries(results)
     for i, counts in zip(todo, results):
         counters[i].absorb(missing[i], counts)
 
@@ -158,10 +181,29 @@ def prime_partition_passes(
                 "lives in-process); use the serial or thread executor"
             )
 
-        def _prime(i: int) -> None:
-            cell_assignments(models[i].structure.assigner, datasets[i])
+        collect = enabled()
 
-        runner.map(_prime, list(dict.fromkeys(indices)))
+        def _prime(i: int) -> MetricsRegistry | None:
+            # serial/thread only (guarded above), so a closure is fine;
+            # worker threads do not see the caller's registry, hence the
+            # same collect-and-return pattern as the shard workers
+            if not collect:
+                cell_assignments(models[i].structure.assigner, datasets[i])
+                return None
+            local = MetricsRegistry()
+            with use_registry(local):
+                with local.span("fleet.store.assign"):
+                    cell_assignments(
+                        models[i].structure.assigner, datasets[i]
+                    )
+            return local
+
+        regs = runner.map(_prime, list(dict.fromkeys(indices)))
+        if collect:
+            sink = metrics()
+            for local in regs:
+                if local is not None:
+                    sink.absorb(local)
     finally:
         if owns_runner:
             shutdown = getattr(runner, "shutdown", None)

@@ -38,10 +38,12 @@ store's model and recomputes only its row/column.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Any, Mapping, Sequence
 
 import numpy as np
+
+from repro import obs
 
 from repro._typing import ExecutorLike, ModelBuilder, ModelLike
 from repro.core.aggregate import MAX, SUM, AggregateFunction
@@ -80,6 +82,11 @@ class FleetMatrix:
     true; elsewhere it is the pair's delta* bound (an upper bound on the
     exact value, itself at most ``threshold``). The matrix is symmetric
     with a zero diagonal.
+
+    ``metrics`` is the matrix's :mod:`repro.obs` counter snapshot --
+    the single source of truth for the pruning statistics; the
+    ``n_scanned`` / ``n_model_only`` / ``n_pruned`` properties,
+    :meth:`to_report`, and the CLI all read from it.
     """
 
     names: tuple[str, ...]
@@ -90,9 +97,22 @@ class FleetMatrix:
     g_name: str
     bounds: np.ndarray | None = None
     threshold: float | None = None
-    n_scanned: int = 0
-    n_model_only: int = 0
-    n_pruned: int = 0
+    metrics: Mapping[str, int] = field(default_factory=dict)
+
+    @property
+    def n_scanned(self) -> int:
+        """Pairs measured by a real dataset scan."""
+        return int(self.metrics.get("fleet.pairs.scanned", 0))
+
+    @property
+    def n_model_only(self) -> int:
+        """Pairs measured exactly from stored model measures (no scan)."""
+        return int(self.metrics.get("fleet.pairs.model_only", 0))
+
+    @property
+    def n_pruned(self) -> int:
+        """Pairs certified by the delta* bound and never scanned."""
+        return int(self.metrics.get("fleet.pairs.pruned", 0))
 
     @property
     def n_stores(self) -> int:
@@ -338,11 +358,13 @@ class FleetDeviationMatrix:
         if self._bounds is None:
             n = len(self._models)
             out = np.zeros((n, n))
-            for i in range(n):
-                for j in range(i + 1, n):
-                    out[i, j] = out[j, i] = upper_bound_deviation(
-                        self._models[i], self._models[j], g=self._g
-                    ).value
+            with obs.metrics().span("fleet.bound_matrix"):
+                for i in range(n):
+                    for j in range(i + 1, n):
+                        out[i, j] = out[j, i] = upper_bound_deviation(
+                            self._models[i], self._models[j], g=self._g
+                        ).value
+            obs.metrics().inc("fleet.bounds.filled", n * (n - 1) // 2)
             self._bounds = out
         return self._bounds
 
@@ -356,6 +378,7 @@ class FleetDeviationMatrix:
                 self._models[i], self._models[j], g=self._g
             ).value
             self._bounds[i, j] = self._bounds[j, i] = value
+        obs.metrics().inc("fleet.bounds.filled", len(self._models) - 1)
 
     # ------------------------------------------------------------------ #
     # Exact computation with per-store scan reuse
@@ -500,22 +523,27 @@ class FleetDeviationMatrix:
         values = np.zeros((n, n))
         exact_mask = np.zeros((n, n), dtype=bool)
         np.fill_diagonal(exact_mask, True)
-        n_scanned = n_model_only = n_pruned = 0
+        # Tally through an obs registry so the matrix's pruning stats
+        # and any ambient `--metrics` collection share one counting
+        # path (satellite of the repro.obs wiring).
+        tally = obs.MetricsRegistry()
         exact_set = set(exact_pairs)
         for i in range(n):
             for j in range(i + 1, n):
                 if (i, j) in exact_set:
                     value, tag = self._exact[(i, j)]
                     exact_mask[i, j] = exact_mask[j, i] = True
-                    if tag == _MODEL_ONLY:
-                        n_model_only += 1
-                    else:
-                        n_scanned += 1
+                    tally.inc(
+                        "fleet.pairs.model_only"
+                        if tag == _MODEL_ONLY
+                        else "fleet.pairs.scanned"
+                    )
                 else:
                     assert bounds is not None
                     value = bounds[i, j]
-                    n_pruned += 1
+                    tally.inc("fleet.pairs.pruned")
                 values[i, j] = values[j, i] = value
+        obs.metrics().absorb(tally)
         return FleetMatrix(
             names=self.names,
             values=values,
@@ -525,9 +553,7 @@ class FleetDeviationMatrix:
             g_name=self._g.name,
             bounds=None if bounds is None else bounds.copy(),
             threshold=threshold,
-            n_scanned=n_scanned,
-            n_model_only=n_model_only,
-            n_pruned=n_pruned,
+            metrics=tally.snapshot()["counters"],
         )
 
     def exhaustive(self) -> FleetMatrix:

@@ -1,0 +1,34 @@
+"""``repro.obs``: mergeable metrics + span tracing for the engine.
+
+Dependency-free instrumentation substrate. Enable it around any engine
+call with :func:`use_registry`; read the active sink with
+:func:`metrics`; merge per-shard registries with ``+`` / ``sum``. See
+:mod:`repro.obs.registry` for the design notes (null-registry disabled
+mode, deterministic worker-side collection, snapshot/report formats).
+"""
+
+from repro.obs.registry import (
+    DEFAULT_EDGES,
+    LATENCY_EDGES,
+    NULL_REGISTRY,
+    AnyRegistry,
+    MetricsRegistry,
+    NullRegistry,
+    enabled,
+    metrics,
+    report,
+    use_registry,
+)
+
+__all__ = [
+    "DEFAULT_EDGES",
+    "LATENCY_EDGES",
+    "NULL_REGISTRY",
+    "AnyRegistry",
+    "MetricsRegistry",
+    "NullRegistry",
+    "enabled",
+    "metrics",
+    "report",
+    "use_registry",
+]

@@ -63,6 +63,7 @@ from repro.core.deviation import deviation_from_counts
 from repro.core.difference import ABSOLUTE, DifferenceFunction
 from repro.core.model import LitsStructure, PartitionStructure, Structure
 from repro.errors import InvalidParameterError
+from repro.obs import metrics
 
 if TYPE_CHECKING:
     from repro.core.deviation import DeviationResult
@@ -155,6 +156,7 @@ def lits_membership(structure: LitsStructure, index: object) -> np.ndarray:
     and everything after it is bit unpacking.
     """
     n = index.n_transactions
+    metrics().inc("bootstrap.membership.scans")
     itemsets = structure.itemsets
     if not itemsets:
         return np.zeros((n, 0), dtype=np.uint8)
@@ -567,6 +569,8 @@ class LitsResamplePlan(RowResamplePlan):
         n_blocks: int = 1,
     ) -> np.ndarray:
         w = self._check_multiplicities(multiplicities)
+        # counted parent-side so the tally is executor-independent
+        metrics().inc("bootstrap.replicates.gemm", int(w.shape[0]))
         parts, offsets = self._parts, self._offsets
         return _fan_blocks(
             _lits_block_counts,
@@ -649,6 +653,8 @@ class PartitionResamplePlan(RowResamplePlan):
         n_blocks: int = 1,
     ) -> np.ndarray:
         w = self._check_multiplicities(multiplicities)
+        # counted parent-side so the tally is executor-independent
+        metrics().inc("bootstrap.replicates.bincount", int(w.shape[0]))
         assignments, n_regions = self._assignments, self._n_regions
         return _fan_blocks(
             _partition_block_counts,
@@ -727,6 +733,7 @@ class CountsResamplePlan(ResamplePlan):
         executor: ExecutorLike,
         n_blocks: int,
     ) -> tuple[np.ndarray, np.ndarray]:
+        metrics().inc("bootstrap.replicates.multinomial", n_boot)
         r = len(self._counts1)
         counts1 = rng.multinomial(self.n1, self._pvals, size=n_boot)[:, :r]
         counts2 = rng.multinomial(self.n2, self._pvals, size=n_boot)[:, :r]
@@ -757,7 +764,9 @@ def compile_resample_plan(
         item_bytes = 8 if n_pooled >= _FLOAT32_EXACT_ROWS else 4
         if item_bytes * n_pooled * len(structure.regions) > _MAX_MEMBERSHIP_BYTES:
             return None
+        metrics().inc("bootstrap.pooled_scans")
         return LitsResamplePlan.from_datasets(structure, dataset1, dataset2)
     if isinstance(structure, PartitionStructure):
+        metrics().inc("bootstrap.pooled_scans")
         return PartitionResamplePlan.from_datasets(structure, dataset1, dataset2)
     return None

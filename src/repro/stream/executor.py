@@ -15,6 +15,14 @@ and sum. The *executor* decides where the map runs:
 All three produce bit-identical merged sketches; the Hypothesis
 property suite pins ``sum(shard sketches) == single-scan counts`` for
 arbitrary partitions, including empty shards.
+
+When a :mod:`repro.obs` registry is active in the *caller's* context,
+each map worker collects into a fresh per-shard registry (worker
+threads and processes never see the caller's context variable) and
+returns it alongside its sketch; the fan-out site merges them back in
+shard order. Counters and histogram buckets are integer sums, so the
+merged snapshot is identical on every backend — the obs property suite
+pins serial == thread == process, counter for counter.
 """
 
 from __future__ import annotations
@@ -25,6 +33,7 @@ from typing import Any, Callable, ClassVar, Iterable, Sequence
 from repro._typing import DatasetLike, ExecutorLike, StructureOrPlan
 
 from repro.errors import InvalidParameterError
+from repro.obs import MetricsRegistry, enabled, metrics, use_registry
 from repro.stream.sketch import (
     PartitionSketch,
     SupportSketch,
@@ -116,10 +125,38 @@ def get_executor(
     )
 
 
-def _sketch_shard(payload: tuple[Any, ...]) -> SupportSketch:
-    """Top-level map worker (must be picklable for the process backend)."""
-    transactions, itemsets, n_items = payload
-    return SupportSketch.from_transactions(transactions, itemsets, n_items)
+def _sketch_shard(
+    payload: tuple[Any, ...],
+) -> SupportSketch | tuple[SupportSketch, MetricsRegistry]:
+    """Top-level map worker (must be picklable for the process backend).
+
+    With the collect flag set, the shard is sketched under a fresh
+    local registry that travels back with the result; instrumentation
+    inside the counting path (bitmap memo hits, plan counts) lands
+    there instead of the worker's null default.
+    """
+    transactions, itemsets, n_items, collect = payload
+    if not collect:
+        return SupportSketch.from_transactions(transactions, itemsets, n_items)
+    local = MetricsRegistry()
+    with use_registry(local):
+        with local.span("stream.shard.sketch"):
+            sketch = SupportSketch.from_transactions(
+                transactions, itemsets, n_items
+            )
+        local.inc("stream.shards.sketched")
+        local.observe("stream.shard.rows", float(len(transactions)))
+    return sketch, local
+
+
+def _merge_worker_registries(results: list[Any]) -> list[Any]:
+    """Unzip ``(result, registry)`` pairs, merging registries in order."""
+    sink = metrics()
+    bare: list[Any] = []
+    for result, local in results:
+        bare.append(result)
+        sink.absorb(local)
+    return bare
 
 
 def shard_transactions(
@@ -158,14 +195,18 @@ def sketch_shards(
     canon = canonical_itemsets(itemsets)
     runner = get_executor(executor)
     owns_runner = isinstance(executor, str)
-    payloads = [(list(shard), canon, n_items) for shard in shards]
+    collect = enabled()
+    payloads = [(list(shard), canon, n_items, collect) for shard in shards]
     try:
-        return runner.map(_sketch_shard, payloads)
+        results = runner.map(_sketch_shard, payloads)
     finally:
         if owns_runner:
             shutdown = getattr(runner, "shutdown", None)
             if shutdown is not None:
                 shutdown()
+    if not collect:
+        return results
+    return _merge_worker_registries(results)
 
 
 def sharded_support_sketch(
@@ -192,15 +233,26 @@ def sharded_support_sketch(
 # --------------------------------------------------------------------- #
 
 
-def _sketch_partition_shard(payload: tuple[Any, ...]) -> PartitionSketch:
+def _sketch_partition_shard(
+    payload: tuple[Any, ...],
+) -> PartitionSketch | tuple[PartitionSketch, MetricsRegistry]:
     """Top-level map worker for tabular shards.
 
     Picklable for the process backend as long as the plan's assigner is
     (tree and grid assigners are; composed GCR-overlay assigners are
-    closures and need the serial or thread backend).
+    closures and need the serial or thread backend). Collects into a
+    per-shard registry exactly like :func:`_sketch_shard`.
     """
-    dataset, plan = payload
-    return PartitionSketch.from_dataset(dataset, plan)
+    dataset, plan, collect = payload
+    if not collect:
+        return PartitionSketch.from_dataset(dataset, plan)
+    local = MetricsRegistry()
+    with use_registry(local):
+        with local.span("stream.shard.sketch"):
+            sketch = PartitionSketch.from_dataset(dataset, plan)
+        local.inc("stream.shards.sketched")
+        local.observe("stream.shard.rows", float(len(dataset)))
+    return sketch, local
 
 
 def shard_dataset(dataset: DatasetLike, n_shards: int) -> list[Any]:
@@ -236,14 +288,18 @@ def sketch_partition_shards(
     plan = as_partition_plan(structure_or_plan)
     runner = get_executor(executor)
     owns_runner = isinstance(executor, str)
-    payloads = [(shard, plan) for shard in shards]
+    collect = enabled()
+    payloads = [(shard, plan, collect) for shard in shards]
     try:
-        return runner.map(_sketch_partition_shard, payloads)
+        results = runner.map(_sketch_partition_shard, payloads)
     finally:
         if owns_runner:
             shutdown = getattr(runner, "shutdown", None)
             if shutdown is not None:
                 shutdown()
+    if not collect:
+        return results
+    return _merge_worker_registries(results)
 
 
 def sharded_partition_sketch(

@@ -56,6 +56,7 @@ never silently drops its tail.
 
 from __future__ import annotations
 
+import time
 from typing import Any, Iterable, Iterator
 
 import numpy as np
@@ -69,6 +70,7 @@ from repro.core.monitor import ChangeMonitor, Observation
 from repro.data.tabular import TabularDataset
 from repro.data.transactions import BitmapIndex, TransactionDataset
 from repro.errors import InvalidParameterError
+from repro.obs import LATENCY_EDGES, metrics
 from repro.stats.resample_plan import (
     CountsResamplePlan,
     LitsResamplePlan,
@@ -457,6 +459,8 @@ class OnlineChangeMonitor:
 
     def _qualify_window(self, window: Window) -> Observation:
         monitor = self.monitor
+        sink = metrics()
+        started = time.perf_counter()
         structure = monitor._reference_model.structure
         assert self._ref_counts is not None  # set when the reference fit
         result = deviation_from_counts(
@@ -479,11 +483,20 @@ class OnlineChangeMonitor:
         plan = None
         if monitor.n_boot > 0 and not monitor.refit_models:
             plan = self._window_resample_plan(window)
-        before = monitor._reference_index
-        observation = monitor.observe_precomputed(
-            snapshot, result.value, resample_plan=plan
+        sink.inc(
+            "monitor.qualify.bootstrap"
+            if monitor.n_boot > 0
+            else "monitor.qualify.cheap"
         )
+        before = monitor._reference_index
+        with sink.span("monitor.observe"):
+            observation = monitor.observe_precomputed(
+                snapshot, result.value, resample_plan=plan
+            )
+        if observation.drifted:
+            sink.inc("monitor.drift.events")
         if monitor._reference_index != before:
+            sink.inc("monitor.reference.resets")
             # reset_on_drift promoted this window: re-track the new
             # reference structure and re-sketch the buffered chunks (the
             # one place a surviving row is scanned twice).
@@ -497,6 +510,11 @@ class OnlineChangeMonitor:
             # carry the lifetime scan count across the rebuild (the
             # re-fed chunks count again: they really were re-scanned)
             self._windows.rows_sketched += scanned_before
+        sink.observe(
+            "monitor.observe.latency_s",
+            time.perf_counter() - started,
+            edges=LATENCY_EDGES,
+        )
         return observation
 
     def _window_resample_plan(

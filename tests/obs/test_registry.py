@@ -1,0 +1,279 @@
+"""Hypothesis properties and unit pins for the repro.obs registry.
+
+The load-bearing property is **merge-invariance**: applying a stream of
+metric operations to one registry gives exactly the snapshot obtained by
+splitting the stream into contiguous chunks, applying each chunk to its
+own registry, and merging in order. That is the algebra the executor
+fan-outs rely on (per-shard registries summed back in shard order), so
+it is pinned for arbitrary operation streams, including empty chunks
+and histogram values landing exactly on bucket edges.
+"""
+
+from __future__ import annotations
+
+import json
+import pickle
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.obs import (
+    DEFAULT_EDGES,
+    NULL_REGISTRY,
+    MetricsRegistry,
+    NullRegistry,
+    enabled,
+    metrics,
+    use_registry,
+)
+
+# --------------------------------------------------------------------- #
+# Operation-stream strategies
+# --------------------------------------------------------------------- #
+
+_NAMES = ("alpha", "beta", "gamma")
+
+#: Values that stress the bucket boundaries: every edge exactly, plus
+#: values straddling them and the overflow tail.
+_EDGE_VALUES = sorted(
+    {e for e in DEFAULT_EDGES}
+    | {e - 1e-9 for e in DEFAULT_EDGES}
+    | {e + 1e-9 for e in DEFAULT_EDGES}
+    | {0.0, 1e7}
+)
+
+op_strategy = st.one_of(
+    st.tuples(
+        st.just("inc"),
+        st.sampled_from(_NAMES),
+        st.integers(min_value=0, max_value=10),
+    ),
+    st.tuples(
+        st.just("gauge"),
+        st.sampled_from(_NAMES),
+        st.integers(min_value=-5, max_value=5).map(float),
+    ),
+    st.tuples(
+        st.just("observe"),
+        st.sampled_from(_NAMES),
+        st.sampled_from(_EDGE_VALUES),
+    ),
+)
+
+ops_strategy = st.lists(op_strategy, max_size=60)
+
+
+def _apply(registry: MetricsRegistry, ops) -> None:
+    for kind, name, value in ops:
+        if kind == "inc":
+            registry.inc(name, value)
+        elif kind == "gauge":
+            registry.gauge(name, value)
+        else:
+            registry.observe(name, value)
+
+
+@st.composite
+def chunked_ops(draw):
+    """An operation stream plus a contiguous split into chunks."""
+    ops = draw(ops_strategy)
+    n_chunks = draw(st.integers(min_value=1, max_value=5))
+    cuts = sorted(
+        draw(
+            st.lists(
+                st.integers(min_value=0, max_value=len(ops)),
+                min_size=n_chunks - 1,
+                max_size=n_chunks - 1,
+            )
+        )
+    )
+    bounds = [0, *cuts, len(ops)]
+    chunks = [ops[a:b] for a, b in zip(bounds, bounds[1:])]
+    return ops, chunks
+
+
+class TestMergeProperty:
+    @given(data=chunked_ops())
+    @settings(max_examples=100, deadline=None)
+    def test_chunked_merge_equals_single_registry(self, data):
+        ops, chunks = data
+        serial = MetricsRegistry()
+        _apply(serial, ops)
+
+        partials = []
+        for chunk in chunks:
+            local = MetricsRegistry()
+            _apply(local, chunk)
+            partials.append(local)
+        merged = sum(partials, 0)
+        assert isinstance(merged, MetricsRegistry)
+        assert merged.snapshot() == serial.snapshot()
+
+    @given(data=chunked_ops())
+    @settings(max_examples=50, deadline=None)
+    def test_absorb_matches_add(self, data):
+        ops, chunks = data
+        via_add = sum(
+            [
+                (lambda r: (_apply(r, c), r)[1])(MetricsRegistry())
+                for c in chunks
+            ],
+            0,
+        )
+        sink = MetricsRegistry()
+        for chunk in chunks:
+            local = MetricsRegistry()
+            _apply(local, chunk)
+            sink.absorb(local)
+        assert sink.snapshot() == via_add.snapshot()
+
+    @given(ops=ops_strategy)
+    @settings(max_examples=50, deadline=None)
+    def test_snapshot_json_is_stable_and_round_trips(self, ops):
+        registry = MetricsRegistry()
+        _apply(registry, ops)
+        text = registry.snapshot_json()
+        assert text == registry.snapshot_json()
+        assert json.loads(text) == json.loads(
+            json.dumps(registry.snapshot(), sort_keys=True)
+        )
+
+
+class TestHistogramEdges:
+    def test_value_on_an_edge_lands_in_that_edge_bucket(self):
+        registry = MetricsRegistry()
+        for edge in DEFAULT_EDGES:
+            registry.observe("h", edge)
+        counts = registry.snapshot()["histograms"]["h"]["counts"]
+        # bisect_left: a value equal to edges[i] increments counts[i]
+        # (buckets are upper-bound inclusive), overflow stays empty.
+        assert counts == [1] * len(DEFAULT_EDGES) + [0]
+
+    def test_sum_is_merge_order_independent(self):
+        # naive float += is not associative; the exact-expansion
+        # accumulator must make chunked merges bit-identical to serial
+        # (hypothesis-found counterexample, pinned)
+        values = [0.999999999, 0.999999999, 99.999999999]
+        serial = MetricsRegistry()
+        for v in values:
+            serial.observe("h", v)
+        left = MetricsRegistry()
+        left.observe("h", values[0])
+        right = MetricsRegistry()
+        for v in values[1:]:
+            right.observe("h", v)
+        merged = left + right
+        assert (
+            merged.snapshot()["histograms"]["h"]["sum"]
+            == serial.snapshot()["histograms"]["h"]["sum"]
+        )
+
+    def test_overflow_bucket(self):
+        registry = MetricsRegistry()
+        registry.observe("h", DEFAULT_EDGES[-1] + 1.0)
+        counts = registry.snapshot()["histograms"]["h"]["counts"]
+        assert counts[-1] == 1 and sum(counts) == 1
+
+    def test_merge_requires_identical_edges(self):
+        a = MetricsRegistry()
+        b = MetricsRegistry()
+        a.observe("h", 1.0, edges=(1.0, 2.0))
+        b.observe("h", 1.0, edges=(1.0, 3.0))
+        with pytest.raises(ValueError, match="edges"):
+            a.absorb(b)
+
+    def test_conflicting_edges_on_one_registry_raise(self):
+        registry = MetricsRegistry()
+        registry.observe("h", 1.0, edges=(1.0, 2.0))
+        with pytest.raises(ValueError, match="edges"):
+            registry.observe("h", 1.0, edges=(5.0, 6.0))
+
+
+class TestSpans:
+    def test_nested_spans_record_qualified_names(self):
+        registry = MetricsRegistry()
+        with registry.span("outer"):
+            with registry.span("inner"):
+                pass
+        spans = registry.snapshot()["spans"]
+        assert set(spans) == {"outer", "outer.inner"}
+        assert spans["outer"]["count"] == 1
+        assert spans["outer"]["total_s"] >= spans["outer.inner"]["total_s"]
+
+    def test_span_stats_merge(self):
+        a = MetricsRegistry()
+        b = MetricsRegistry()
+        with a.span("s"):
+            pass
+        with b.span("s"):
+            pass
+        a.absorb(b)
+        assert a.snapshot()["spans"]["s"]["count"] == 2
+
+
+class TestNullRegistryAndContext:
+    def test_ambient_default_is_disabled(self):
+        assert metrics() is NULL_REGISTRY
+        assert not enabled()
+
+    def test_null_registry_is_inert(self):
+        null = NullRegistry()
+        null.inc("x")
+        null.gauge("g", 1.0)
+        null.observe("h", 2.0)
+        with null.span("s"):
+            pass
+        assert null.snapshot() == {
+            "counters": {},
+            "gauges": {},
+            "histograms": {},
+            "spans": {},
+        }
+
+    def test_absorbing_null_is_a_no_op(self):
+        registry = MetricsRegistry()
+        registry.inc("x", 3)
+        before = registry.snapshot()
+        registry.absorb(NULL_REGISTRY)
+        assert registry.snapshot() == before
+
+    def test_use_registry_scopes_the_ambient_registry(self):
+        registry = MetricsRegistry()
+        with use_registry(registry):
+            assert enabled()
+            metrics().inc("scoped")
+        assert not enabled()
+        assert registry.counter("scoped") == 1
+
+    def test_use_registry_nests_and_restores(self):
+        outer, inner = MetricsRegistry(), MetricsRegistry()
+        with use_registry(outer):
+            with use_registry(inner):
+                metrics().inc("x")
+            assert metrics() is outer
+        assert inner.counter("x") == 1
+        assert outer.counter("x") == 0
+
+    def test_registry_pickles(self):
+        registry = MetricsRegistry()
+        registry.inc("x", 2)
+        registry.observe("h", 3.0)
+        with registry.span("s"):
+            pass
+        clone = pickle.loads(pickle.dumps(registry))
+        assert clone.snapshot() == registry.snapshot()
+
+    def test_report_renders_every_section(self):
+        registry = MetricsRegistry()
+        registry.inc("calls", 2)
+        registry.gauge("depth", 1.5)
+        registry.observe("lat", 2.0)
+        with registry.span("work"):
+            pass
+        text = registry.report()
+        for needle in ("calls", "depth", "lat", "work"):
+            assert needle in text
+
+    def test_empty_report_placeholder(self):
+        assert "no metrics recorded" in MetricsRegistry().report()

@@ -319,6 +319,108 @@ class TestFleet:
         assert m[0][1] < m[0][2] and m[0][1] < m[1][2]
 
 
+class TestObservabilityFlags:
+    @pytest.fixture
+    def basket_files(self, tmp_path):
+        a = tmp_path / "a.txt"
+        b = tmp_path / "b.txt"
+        run_cli(["generate-basket", "--out", str(a), "--n", "400",
+                 "--items", "60", "--patterns", "40", "--avg-len", "6",
+                 "--seed", "1"])
+        run_cli(["generate-basket", "--out", str(b), "--n", "400",
+                 "--items", "60", "--patterns", "40", "--avg-len", "6",
+                 "--pattern-len", "6", "--seed", "2"])
+        return a, b
+
+    def test_metrics_to_stderr(self, basket_files, capsys):
+        import json
+
+        a, b = basket_files
+        run_cli(
+            ["compare-lits", "--data1", str(a), "--data2", str(b),
+             "--min-support", "0.05", "--max-len", "2",
+             "--boot", "4", "--metrics"]
+        )
+        snapshot = json.loads(capsys.readouterr().err)
+        assert snapshot["counters"]["bootstrap.pooled_scans"] == 1
+        assert snapshot["counters"]["bitmap.support_counts.calls"] >= 1
+
+    def test_metrics_to_file(self, basket_files, tmp_path, capsys):
+        import json
+
+        a, b = basket_files
+        out_path = tmp_path / "metrics.json"
+        run_cli(
+            ["compare-lits", "--data1", str(a), "--data2", str(b),
+             "--min-support", "0.05", "--max-len", "2",
+             "--metrics", str(out_path)]
+        )
+        assert "wrote metrics snapshot" in capsys.readouterr().err
+        snapshot = json.loads(out_path.read_text())
+        assert snapshot["counters"]["bitmap.support_counts.calls"] >= 1
+
+    def test_profile_prints_report_table(self, basket_files, capsys):
+        a, b = basket_files
+        run_cli(
+            ["compare-lits", "--data1", str(a), "--data2", str(b),
+             "--min-support", "0.05", "--max-len", "2", "--profile"]
+        )
+        err = capsys.readouterr().err
+        assert "counters" in err
+        assert "bitmap.support_counts.calls" in err
+
+    def test_monitor_stream_metrics(self, tmp_path, capsys):
+        import json
+
+        path = tmp_path / "stream.txt"
+        run_cli(["generate-basket", "--out", str(path), "--n", "900",
+                 "--items", "40", "--seed", "6"])
+        run_cli(
+            ["monitor-stream", "--data", str(path), "--window", "300",
+             "--min-support", "0.05", "--boot", "0",
+             "--delta-threshold", "3.0", "--metrics"]
+        )
+        snapshot = json.loads(capsys.readouterr().err)
+        counters = snapshot["counters"]
+        # the first 300-row window seeds the reference model before the
+        # window manager starts sketching, so 600 of the 900 rows count
+        assert counters["stream.windows.rows_sketched"] == 600
+        assert counters["monitor.qualify.cheap"] >= 1
+        assert "monitor.observe" in snapshot["spans"]
+
+    def test_fleet_metrics_match_report(self, tmp_path, capsys):
+        import json
+
+        paths = []
+        for seed in (1, 2, 3):
+            path = tmp_path / f"s{seed}.txt"
+            run_cli(["generate-basket", "--out", str(path), "--n", "300",
+                     "--items", "50", "--seed", str(seed)])
+            paths.append(str(path))
+        text = run_cli(
+            ["fleet", "--data", *paths, "--min-support", "0.05",
+             "--max-len", "2", "--metrics"]
+        )
+        report = json.loads(text)
+        # stderr carries the human summary line first, then the snapshot
+        err = capsys.readouterr().err
+        snapshot = json.loads(err[err.index("{"):])
+        assert (
+            snapshot["counters"]["fleet.pairs.scanned"]
+            == report["pruning"]["n_scanned"]
+            == report["metrics"]["fleet.pairs.scanned"]
+        )
+        assert snapshot["counters"]["fleet.store.scans"] == 3
+
+    def test_without_flags_no_metrics_output(self, basket_files, capsys):
+        a, b = basket_files
+        run_cli(
+            ["compare-lits", "--data1", str(a), "--data2", str(b),
+             "--min-support", "0.05", "--max-len", "2"]
+        )
+        assert capsys.readouterr().err == ""
+
+
 class TestParser:
     def test_unknown_command_exits(self):
         with pytest.raises(SystemExit):

@@ -19,12 +19,13 @@ class TestPublicSurface:
         import repro.experiments
         import repro.fleet
         import repro.mining
+        import repro.obs
         import repro.stats
         import repro.stream
 
         for module in (
-            repro.core, repro.data, repro.fleet, repro.mining, repro.stats,
-            repro.stream, repro.experiments,
+            repro.core, repro.data, repro.fleet, repro.mining, repro.obs,
+            repro.stats, repro.stream, repro.experiments,
         ):
             for name in module.__all__:
                 assert hasattr(module, name), f"{module.__name__}.{name}"

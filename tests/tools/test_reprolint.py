@@ -393,6 +393,54 @@ class TestRL006:
 
 
 # --------------------------------------------------------------------- #
+# RL007 -- spans must be entered
+# --------------------------------------------------------------------- #
+
+
+class TestRL007:
+    def test_unentered_span_call_fires(self):
+        src = (
+            "def work(registry):\n"
+            "    registry.span('fleet.scan')\n"
+            "    do_work()\n"
+        )
+        assert codes(src) == ["RL007"]
+
+    def test_span_assigned_but_never_entered_fires(self):
+        src = (
+            "def work(registry):\n"
+            "    timer = registry.span('fleet.scan')\n"
+            "    do_work()\n"
+        )
+        assert codes(src) == ["RL007"]
+
+    def test_with_span_is_clean(self):
+        src = (
+            "def work(registry):\n"
+            "    with registry.span('fleet.scan'):\n"
+            "        do_work()\n"
+        )
+        assert codes(src) == []
+
+    def test_nested_with_spans_are_clean(self):
+        src = (
+            "def work(registry):\n"
+            "    with registry.span('outer'), registry.span('inner'):\n"
+            "        do_work()\n"
+        )
+        assert codes(src) == []
+
+    def test_regex_match_span_is_out_of_scope(self):
+        # re.Match.span() takes no args or an int group, never a string
+        # literal -- the rule keys on the repro.obs signature.
+        src = (
+            "def bounds(match):\n"
+            "    return match.span() + match.span(1)\n"
+        )
+        assert codes(src) == []
+
+
+# --------------------------------------------------------------------- #
 # The escape hatch
 # --------------------------------------------------------------------- #
 
@@ -466,7 +514,7 @@ class TestRealTree:
 
     def test_every_rule_is_documented(self):
         assert sorted(RULE_DOCS) == [
-            "RL001", "RL002", "RL003", "RL004", "RL005", "RL006",
+            "RL001", "RL002", "RL003", "RL004", "RL005", "RL006", "RL007",
         ]
         for code, (title, doc) in RULE_DOCS.items():
             assert title, code

@@ -15,6 +15,8 @@ RL004     no per-row Python ``for`` loops in the designated hot modules
 RL005     no mutable default arguments; no ndarray-keyed memo dicts
 RL006     no lambdas or locally-defined closures handed to
           process-backed executor fans (they do not pickle)
+RL007     ``span(...)`` timing contexts must be entered with ``with``
+          (a span that is never exited records nothing)
 ========  ============================================================
 
 Rules are deliberately syntactic and conservative: they flag the
@@ -737,6 +739,61 @@ class UnpicklableWorkerRule:
                 )
 
 
+# --------------------------------------------------------------------- #
+# RL007 -- spans must be entered
+# --------------------------------------------------------------------- #
+
+
+class SpanContextRule:
+    """A span only records its timing when its ``with`` block exits (PR 7).
+
+    ``registry.span("name")`` returns a context manager; calling it
+    without entering it starts no clock and records nothing, so the
+    metric silently never appears. Flags any ``*.span("name")`` call
+    (one string-literal argument -- the :mod:`repro.obs` signature,
+    which also keeps ``re.Match.span(group)`` out of scope) that is not
+    the context expression of a ``with`` statement.
+    """
+
+    code = "RL007"
+    title = "span() call not entered with a with-statement"
+
+    def _is_span_call(self, node: ast.Call) -> bool:
+        if tail_name(node.func) != "span":
+            return False
+        # the obs signature: exactly one positional string literal
+        return (
+            len(node.args) == 1
+            and not node.keywords
+            and isinstance(node.args[0], ast.Constant)
+            and isinstance(node.args[0].value, str)
+        )
+
+    def _inside_with(self, ctx: ModuleContext, call: ast.Call) -> bool:
+        node: ast.AST | None = call
+        while node is not None:
+            parent = ctx.parent(node)
+            if isinstance(parent, ast.withitem) and parent.context_expr is node:
+                return True
+            node = parent
+        return False
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not (isinstance(node, ast.Call) and self._is_span_call(node)):
+                continue
+            if self._inside_with(ctx, node):
+                continue
+            yield _finding(
+                ctx,
+                node,
+                self.code,
+                "span() returns a context manager and records its timing "
+                "only on exit; enter it with a with-statement "
+                "(`with registry.span(...)`) or the span never appears",
+            )
+
+
 RULES: Sequence[object] = (
     UnseededRngRule(),
     UnguardedMergeRule(),
@@ -744,6 +801,7 @@ RULES: Sequence[object] = (
     PerRowLoopRule(),
     MutableStateRule(),
     UnpicklableWorkerRule(),
+    SpanContextRule(),
 )
 
 #: code -> (title, docstring) for --list-rules and the docs.
