@@ -85,6 +85,7 @@ def _add_mine(sub) -> None:
     p.add_argument("--max-len", type=int, default=None)
     p.add_argument("--top", type=int, default=20)
     p.add_argument("--save", default=None, help="write the model as JSON")
+    _add_storage_args(p)
 
 
 def _add_compare_models(sub) -> None:
@@ -119,6 +120,49 @@ def _add_boot_args(p, default_boot: int = 0) -> None:
     )
 
 
+def _add_storage_args(p) -> None:
+    """The out-of-core storage knobs of the transaction commands."""
+    p.add_argument(
+        "--backend", choices=("ram", "mmap"), default="ram",
+        help="index storage: in-RAM arrays, or memory-mapped stripe "
+        "files under --stripe-dir (out-of-core: counts stream through "
+        "the OS page cache, and process fan-outs attach the stripes "
+        "zero-copy instead of pickling rows)",
+    )
+    p.add_argument(
+        "--stripe-dir", default=None, metavar="DIR",
+        help="directory for the mmap backend's stripe files (required "
+        "with --backend mmap; each dataset gets a subdirectory; must "
+        "not already hold a store)",
+    )
+
+
+def _storage_dataset(path: str, tag: str, args):
+    """Load a transactions file onto the selected storage backend.
+
+    RAM backend: the plain in-memory dataset. Mmap backend: ingest into
+    a stripe store under ``--stripe-dir/<tag>`` and snapshot with the
+    store-backed index shared, so every downstream count runs over the
+    on-disk stripes.
+    """
+    dataset = load_transactions(path)
+    if args.backend == "ram":
+        return dataset
+    if args.stripe_dir is None:
+        raise SystemExit("--backend mmap requires --stripe-dir")
+    from pathlib import Path
+
+    from repro.stream import TransactionLog
+
+    log = TransactionLog(
+        dataset.n_items,
+        dataset,
+        backend="mmap",
+        stripe_dir=Path(args.stripe_dir) / tag,
+    )
+    return log.to_dataset(share_index=True)
+
+
 def _add_obs_args(p) -> None:
     """The engine-observability knobs of the measurement commands."""
     p.add_argument(
@@ -139,6 +183,7 @@ def _add_compare_lits(sub) -> None:
     p.add_argument("--data2", required=True)
     p.add_argument("--min-support", type=float, default=0.01)
     p.add_argument("--max-len", type=int, default=None)
+    _add_storage_args(p)
     _add_boot_args(p)
     _add_obs_args(p)
 
@@ -267,7 +312,7 @@ def _cmd_generate_classify(args, out) -> int:
 
 
 def _cmd_mine(args, out) -> int:
-    dataset = load_transactions(args.data)
+    dataset = _storage_dataset(args.data, "data", args)
     model = LitsModel.mine(dataset, args.min_support, max_len=args.max_len)
     print(f"{len(model)} frequent itemsets at ms={args.min_support:g}", file=out)
     ranked = sorted(model.supports.items(), key=lambda kv: -kv[1])
@@ -297,8 +342,8 @@ def _cmd_compare_models(args, out) -> int:
 
 
 def _cmd_compare_lits(args, out) -> int:
-    d1 = load_transactions(args.data1)
-    d2 = load_transactions(args.data2)
+    d1 = _storage_dataset(args.data1, "d1", args)
+    d2 = _storage_dataset(args.data2, "d2", args)
 
     def builder(d):
         return LitsModel.mine(d, args.min_support, max_len=args.max_len)

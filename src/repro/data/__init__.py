@@ -28,6 +28,18 @@ from repro.data.sampling import (
     sample_n,
     split_halves,
 )
+from repro.data.storage import (
+    AttachedStripeStore,
+    MmapStripeStore,
+    RamStripeStore,
+    StripeHandle,
+    StripeStore,
+    attach,
+    iter_row_blocks,
+    make_store,
+    open_store,
+    scan_budget_bytes,
+)
 from repro.data.tabular import TabularDataset, from_rows
 from repro.data.transactions import (
     BitmapIndex,
@@ -36,31 +48,41 @@ from repro.data.transactions import (
 )
 
 __all__ = [
+    "AttachedStripeStore",
     "BitmapIndex",
     "CLASSIFICATION_FUNCTIONS",
     "GROUP_A",
     "GROUP_B",
+    "MmapStripeStore",
     "PatternPool",
+    "RamStripeStore",
+    "StripeHandle",
+    "StripeStore",
     "SupportCountingPlan",
     "TabularDataset",
     "TransactionDataset",
     "assign_labels",
+    "attach",
     "bootstrap_pair",
     "build_pattern_pool",
     "classification_space",
     "from_rows",
     "generate_basket",
     "generate_classification",
+    "iter_row_blocks",
     "load_dt_model",
     "load_lits_model",
     "load_tabular",
     "load_transactions",
+    "make_store",
+    "open_store",
     "sample",
     "save_dt_model",
     "save_lits_model",
     "sample_indices",
     "sample_n",
     "save_tabular",
+    "scan_budget_bytes",
     "save_transactions",
     "split_halves",
 ]

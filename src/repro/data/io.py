@@ -9,6 +9,7 @@ from __future__ import annotations
 
 import json
 from pathlib import Path
+from typing import Any
 
 import numpy as np
 
@@ -18,7 +19,7 @@ from repro.data.transactions import TransactionDataset
 from repro.errors import InvalidParameterError
 
 
-def _space_to_dict(space: AttributeSpace) -> dict:
+def _space_to_dict(space: AttributeSpace) -> dict[str, Any]:
     return {
         "attributes": [
             {
@@ -34,7 +35,7 @@ def _space_to_dict(space: AttributeSpace) -> dict:
     }
 
 
-def _space_from_dict(d: dict) -> AttributeSpace:
+def _space_from_dict(d: dict[str, Any]) -> AttributeSpace:
     attributes = tuple(
         Attribute(
             name=a["name"],

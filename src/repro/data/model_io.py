@@ -14,6 +14,7 @@ from __future__ import annotations
 
 import json
 from pathlib import Path
+from typing import Any
 
 import numpy as np
 
@@ -54,7 +55,7 @@ def load_lits_model(path: str | Path) -> LitsModel:
     return LitsModel(supports, payload["min_support"], payload["n_items"])
 
 
-def _space_to_dict(space: AttributeSpace) -> dict:
+def _space_to_dict(space: AttributeSpace) -> dict[str, Any]:
     return {
         "attributes": [
             {
@@ -70,7 +71,7 @@ def _space_to_dict(space: AttributeSpace) -> dict:
     }
 
 
-def _space_from_dict(d: dict) -> AttributeSpace:
+def _space_from_dict(d: dict[str, Any]) -> AttributeSpace:
     return AttributeSpace(
         tuple(
             Attribute(
@@ -86,8 +87,8 @@ def _space_from_dict(d: dict) -> AttributeSpace:
     )
 
 
-def _node_to_dict(node: Node) -> dict:
-    out: dict = {"class_counts": [int(c) for c in node.class_counts]}
+def _node_to_dict(node: Node) -> dict[str, Any]:
+    out: dict[str, Any] = {"class_counts": [int(c) for c in node.class_counts]}
     if node.is_leaf:
         return out
     split = node.split
@@ -112,7 +113,7 @@ def _node_to_dict(node: Node) -> dict:
     return out
 
 
-def _node_from_dict(d: dict, depth: int = 0) -> Node:
+def _node_from_dict(d: dict[str, Any], depth: int = 0) -> Node:
     node = Node(
         class_counts=np.array(d["class_counts"], dtype=np.int64), depth=depth
     )

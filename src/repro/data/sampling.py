@@ -10,6 +10,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro._typing import DatasetLike
 from repro.errors import InvalidParameterError
 
 
@@ -29,7 +30,12 @@ def sample_indices(
     return rng.choice(n_rows, size=n_sample, replace=replace)
 
 
-def sample(dataset, fraction: float, rng: np.random.Generator, replace: bool = True):
+def sample(
+    dataset: DatasetLike,
+    fraction: float,
+    rng: np.random.Generator,
+    replace: bool = True,
+) -> DatasetLike:
     """A uniform random sample of ``fraction`` of the dataset's rows.
 
     Parameters
@@ -51,12 +57,19 @@ def sample(dataset, fraction: float, rng: np.random.Generator, replace: bool = T
     return dataset.take(sample_indices(n, n_sample, rng, replace))
 
 
-def sample_n(dataset, n_sample: int, rng: np.random.Generator, replace: bool = True):
+def sample_n(
+    dataset: DatasetLike,
+    n_sample: int,
+    rng: np.random.Generator,
+    replace: bool = True,
+) -> DatasetLike:
     """A uniform random sample of exactly ``n_sample`` rows."""
     return dataset.take(sample_indices(len(dataset), n_sample, rng, replace))
 
 
-def bootstrap_pair(pooled, n1: int, n2: int, rng: np.random.Generator):
+def bootstrap_pair(
+    pooled: DatasetLike, n1: int, n2: int, rng: np.random.Generator
+) -> tuple[DatasetLike, DatasetLike]:
     """Resample a pair of datasets of sizes ``n1``/``n2`` from a pooled dataset.
 
     This is the resampling step of the qualification procedure
@@ -69,7 +82,9 @@ def bootstrap_pair(pooled, n1: int, n2: int, rng: np.random.Generator):
     return d1, d2
 
 
-def split_halves(dataset, rng: np.random.Generator):
+def split_halves(
+    dataset: DatasetLike, rng: np.random.Generator
+) -> tuple[DatasetLike, DatasetLike]:
     """Randomly partition a dataset into two halves (no replacement)."""
     n = len(dataset)
     perm = rng.permutation(n)

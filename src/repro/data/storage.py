@@ -1,0 +1,493 @@
+"""Columnar stripe storage: interchangeable in-RAM and memory-mapped backends.
+
+Every columnar buffer in the data plane -- the item bit-stripes of a
+:class:`~repro.data.transactions.BitmapIndex`, the ``X``/``y`` column
+stripes of a :class:`~repro.stream.chunks.TabularLog` -- is owned by a
+:class:`StripeStore`. The store abstracts *where the bytes live*:
+
+* :class:`RamStripeStore` -- plain numpy arrays, the historical
+  behaviour. Zero overhead; nothing touches disk.
+* :class:`MmapStripeStore` -- one memory-mapped file per stripe inside
+  a stripe directory, plus an atomically-replaced ``manifest.json``
+  recording the committed shapes and row counts. Logs larger than RAM
+  stream through the OS page cache, and a process fan-out ships a tiny
+  picklable :class:`StripeHandle` instead of the rows: workers
+  re-map the same files read-only (:func:`attach`), so the kernel
+  shares one physical copy of the data across every worker --
+  zero-copy in the page-cache sense, pinned by the ``bytes_shipped``
+  obs counter staying 0.
+
+Crash consistency (against process kill, the deployment failure mode):
+appends write stripe bytes first and publish the new logical row count
+last, via an atomic temp-file + ``os.replace`` of the manifest. A kill
+between the two leaves garbage *beyond* the committed row count only;
+reopening (:meth:`MmapStripeStore.open`) truncates back to the
+manifest's counts and the recovery masking in the index/log adopters
+zeroes the uncommitted tail. (Durability against power loss would
+additionally need ``msync``/``fsync`` -- call :meth:`StripeStore.flush`
+explicitly for that.)
+
+Capacity-doubling growth is preserved: :meth:`StripeStore.resize` grows
+a stripe keeping its prefix. The mmap backend extends the file in place
+when only the leading axis grows (C-order append: no copy) and writes a
+new generation file otherwise (the bitmap's packed width doubling);
+stale generations are garbage-collected only after the manifest no
+longer references them, so a kill mid-growth never orphans live data.
+"""
+
+from __future__ import annotations
+
+import json
+import mmap
+import os
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Iterator, Literal, Mapping
+
+import numpy as np
+
+from repro.errors import InvalidParameterError
+from repro.obs import metrics
+
+#: Default budget for a chunked out-of-core scan: the scanner sizes its
+#: row blocks so one block's working set stays under this many bytes.
+#: Override per call or with the ``REPRO_SCAN_BUDGET_BYTES`` env var.
+_DEFAULT_SCAN_BUDGET_BYTES = 1 << 26  # 64 MiB
+
+MANIFEST_NAME = "manifest.json"
+
+
+def scan_budget_bytes(budget_bytes: int | None = None) -> int:
+    """Resolve the chunked-scan budget: param, env var, or default."""
+    if budget_bytes is not None:
+        if budget_bytes < 1:
+            raise InvalidParameterError("budget_bytes must be >= 1")
+        return int(budget_bytes)
+    env = os.environ.get("REPRO_SCAN_BUDGET_BYTES")
+    if env:
+        return int(env)
+    return _DEFAULT_SCAN_BUDGET_BYTES
+
+
+@dataclass(frozen=True)
+class StripeHandle:
+    """A picklable, byte-cheap reference to a committed stripe set.
+
+    Everything a worker needs to re-map the stripes read-only: the
+    directory, each stripe's file name / shape / dtype as of the last
+    commit, and the committed metadata (logical row counts). Shipping a
+    handle over a process boundary costs a few hundred bytes no matter
+    how large the stripes are; the data itself travels through the
+    shared OS page cache.
+    """
+
+    stripe_dir: str
+    stripes: tuple[tuple[str, str, tuple[int, ...], str], ...]
+    meta: tuple[tuple[str, int], ...]
+
+    def meta_dict(self) -> dict[str, int]:
+        return dict(self.meta)
+
+
+class StripeStore:
+    """Abstract owner of named, growable columnar stripes.
+
+    Subclasses decide the storage medium. The contract shared by all
+    backends:
+
+    * :meth:`create` allocates a zero-initialised stripe and returns the
+      live array; :meth:`resize` grows it (prefix preserved) and returns
+      the new live array -- any previously returned array is stale after
+      a resize, exactly like a reallocating append buffer.
+    * ``meta`` is a small caller-owned ``str -> int`` mapping (logical
+      row counts, universe sizes); :meth:`commit` publishes the current
+      stripe shapes *and* meta atomically, defining the state a reopen
+      or a :class:`StripeHandle` attach recovers to.
+    """
+
+    def __init__(self) -> None:
+        self.meta: dict[str, int] = {}
+
+    def create(
+        self, name: str, shape: tuple[int, ...], dtype: Any
+    ) -> np.ndarray:
+        raise NotImplementedError
+
+    def resize(self, name: str, shape: tuple[int, ...]) -> np.ndarray:
+        raise NotImplementedError
+
+    def stripe(self, name: str) -> np.ndarray:
+        raise NotImplementedError
+
+    def names(self) -> tuple[str, ...]:
+        raise NotImplementedError
+
+    def commit(self) -> None:
+        """Publish the current shapes + meta (atomic for disk backends)."""
+        raise NotImplementedError
+
+    def handle(self) -> StripeHandle | None:
+        """A shippable reference to the committed stripes, or ``None``
+        when the backend has no shared medium (RAM)."""
+        return None
+
+    def flush(self) -> None:
+        """Force written bytes to durable storage (no-op off-disk)."""
+
+    def release(self, name: str) -> None:
+        """Drop OS page residency of a stripe (no-op off-disk).
+
+        A chunked scan calls this between blocks so its resident-set
+        high-water stays near one block: pages already scanned are
+        unmapped from this process (they remain in the shared page
+        cache, so a refault is a minor fault, not disk IO).
+        """
+
+    def close(self) -> None:
+        """Release backend resources; the store is unusable afterwards."""
+
+    @staticmethod
+    def _check_growth(old: tuple[int, ...], new: tuple[int, ...]) -> None:
+        if len(old) != len(new) or any(n < o for o, n in zip(old, new)):
+            raise InvalidParameterError(
+                f"resize must grow a stripe axis-wise: {old} -> {new}"
+            )
+
+
+class RamStripeStore(StripeStore):
+    """The in-RAM backend: stripes are ordinary numpy arrays.
+
+    ``commit`` records a snapshot of ``meta`` (so ``committed_meta``
+    mirrors the disk backend's recovery point for tests), but there is
+    nothing to reopen and :meth:`handle` returns ``None``: a process
+    fan-out over a RAM store must ship the bytes themselves.
+    """
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._stripes: dict[str, np.ndarray] = {}
+        self.committed_meta: dict[str, int] = {}
+
+    def create(
+        self, name: str, shape: tuple[int, ...], dtype: Any
+    ) -> np.ndarray:
+        if name in self._stripes:
+            raise InvalidParameterError(f"stripe {name!r} already exists")
+        arr = np.zeros(shape, dtype=dtype)
+        self._stripes[name] = arr
+        return arr
+
+    def resize(self, name: str, shape: tuple[int, ...]) -> np.ndarray:
+        old = self._stripes[name]
+        self._check_growth(old.shape, tuple(shape))
+        grown = np.zeros(shape, dtype=old.dtype)
+        prefix = tuple(slice(0, s) for s in old.shape)
+        grown[prefix] = old
+        self._stripes[name] = grown
+        return grown
+
+    def stripe(self, name: str) -> np.ndarray:
+        return self._stripes[name]
+
+    def names(self) -> tuple[str, ...]:
+        return tuple(self._stripes)
+
+    def commit(self) -> None:
+        self.committed_meta = dict(self.meta)
+
+
+class MmapStripeStore(StripeStore):
+    """The on-disk backend: one memory-mapped file per stripe.
+
+    Layout of the stripe directory::
+
+        manifest.json        # committed shapes, dtypes, file names, meta
+        <name>.<gen>.stripe  # raw C-order bytes of one stripe
+
+    The manifest is the single source of truth for what is committed;
+    it is replaced atomically (temp file + ``os.replace``). Files not
+    referenced by the manifest are garbage from an interrupted growth
+    and are removed on :meth:`open`.
+    """
+
+    def __init__(self, stripe_dir: str | Path) -> None:
+        super().__init__()
+        self._dir = Path(stripe_dir)
+        self._dir.mkdir(parents=True, exist_ok=True)
+        if (self._dir / MANIFEST_NAME).exists():
+            raise InvalidParameterError(
+                f"{self._dir} already holds a stripe store; use "
+                "MmapStripeStore.open() to reopen it"
+            )
+        self._maps: dict[str, np.ndarray] = {}
+        self._files: dict[str, str] = {}
+        self._gen: dict[str, int] = {}
+        self._garbage: list[str] = []
+        self.commit()
+
+    # ------------------------------------------------------------------ #
+    # Construction / reopen
+    # ------------------------------------------------------------------ #
+
+    @classmethod
+    def open(cls, stripe_dir: str | Path) -> "MmapStripeStore":
+        """Reopen a committed store, truncating to its manifest state.
+
+        Stripe shapes and meta roll back to the last commit; bytes
+        written after it (a killed mid-append) are left in the files but
+        sit beyond the committed logical counts, where the adopting
+        index/log masks them. Unreferenced generation files are deleted.
+        """
+        path = Path(stripe_dir)
+        manifest = json.loads((path / MANIFEST_NAME).read_text())
+        self = object.__new__(cls)
+        StripeStore.__init__(self)
+        self._dir = path
+        self._maps = {}
+        self._files = {}
+        self._gen = {}
+        self._garbage = []
+        self.meta = {k: int(v) for k, v in manifest["meta"].items()}
+        live = {MANIFEST_NAME}
+        for name, spec in manifest["stripes"].items():
+            shape = tuple(int(s) for s in spec["shape"])
+            self._files[name] = spec["file"]
+            self._gen[name] = int(spec["file"].rsplit(".", 2)[-2])
+            self._maps[name] = _map_file(
+                path / spec["file"], shape, np.dtype(spec["dtype"]), "r+"
+            )
+            live.add(spec["file"])
+        for stale in path.iterdir():
+            if stale.name.endswith(".stripe") and stale.name not in live:
+                stale.unlink()
+        return self
+
+    # ------------------------------------------------------------------ #
+    # Stripe lifecycle
+    # ------------------------------------------------------------------ #
+
+    def create(
+        self, name: str, shape: tuple[int, ...], dtype: Any
+    ) -> np.ndarray:
+        if name in self._maps:
+            raise InvalidParameterError(f"stripe {name!r} already exists")
+        self._gen[name] = 0
+        return self._new_generation(name, tuple(shape), np.dtype(dtype))
+
+    def resize(self, name: str, shape: tuple[int, ...]) -> np.ndarray:
+        old = self._maps[name]
+        new_shape = tuple(shape)
+        self._check_growth(old.shape, new_shape)
+        if new_shape == old.shape:
+            return old
+        if old.size and new_shape[1:] == old.shape[1:]:
+            # Pure leading-axis growth of a C-order stripe is a file
+            # append: extend in place, no copy. The added bytes read as
+            # zeros (ftruncate) and the manifest still records the old
+            # shape until the next commit.
+            path = self._dir / self._files[name]
+            with path.open("r+b") as f:
+                f.truncate(int(np.prod(new_shape)) * old.dtype.itemsize)
+            self._maps[name] = _map_file(path, new_shape, old.dtype, "r+")
+            return self._maps[name]
+        # Other growth (the bitmap's packed width doubling) rewrites the
+        # stripe into a new generation file; the old file stays on disk
+        # until a commit stops referencing it, so a kill mid-copy loses
+        # nothing.
+        self._garbage.append(self._files[name])
+        self._gen[name] += 1
+        grown = self._new_generation(name, new_shape, old.dtype)
+        prefix = tuple(slice(0, s) for s in old.shape)
+        grown[prefix] = old
+        return grown
+
+    def _new_generation(
+        self, name: str, shape: tuple[int, ...], dtype: np.dtype[Any]
+    ) -> np.ndarray:
+        fname = f"{name}.{self._gen[name]}.stripe"
+        path = self._dir / fname
+        nbytes = int(np.prod(shape)) * dtype.itemsize
+        with path.open("wb") as f:
+            f.truncate(nbytes)
+        self._files[name] = fname
+        self._maps[name] = _map_file(path, shape, dtype, "r+")
+        return self._maps[name]
+
+    def stripe(self, name: str) -> np.ndarray:
+        return self._maps[name]
+
+    def names(self) -> tuple[str, ...]:
+        return tuple(self._maps)
+
+    # ------------------------------------------------------------------ #
+    # Commit / handle / residency
+    # ------------------------------------------------------------------ #
+
+    def commit(self) -> None:
+        """Atomically publish the current shapes + meta, then GC.
+
+        Write ordering is the crash-consistency argument: stripe bytes
+        are already in the (kill-surviving) page cache when the manifest
+        replace lands, so every state the directory can be observed in
+        is either the old commit or the new one.
+        """
+        manifest = {
+            "version": 1,
+            "meta": dict(self.meta),
+            "stripes": {
+                name: {
+                    "file": self._files[name],
+                    "shape": list(arr.shape),
+                    "dtype": arr.dtype.name,
+                }
+                for name, arr in self._maps.items()
+            },
+        }
+        tmp = self._dir / (MANIFEST_NAME + ".tmp")
+        tmp.write_text(json.dumps(manifest, indent=1, sort_keys=True))
+        os.replace(tmp, self._dir / MANIFEST_NAME)
+        live = set(self._files.values())
+        for fname in self._garbage:
+            if fname not in live:
+                (self._dir / fname).unlink(missing_ok=True)
+        self._garbage.clear()
+
+    def handle(self) -> StripeHandle:
+        return StripeHandle(
+            stripe_dir=str(self._dir),
+            stripes=tuple(
+                (name, self._files[name], tuple(arr.shape), arr.dtype.name)
+                for name, arr in self._maps.items()
+            ),
+            meta=tuple(sorted(self.meta.items())),
+        )
+
+    def flush(self) -> None:
+        for arr in self._maps.values():
+            if arr.size:
+                arr.flush()  # type: ignore[attr-defined]
+
+    def release(self, name: str) -> None:
+        arr = self._maps.get(name)
+        if arr is None or not arr.size:
+            return
+        raw = getattr(arr, "_mmap", None)
+        if raw is not None:
+            raw.madvise(mmap.MADV_DONTNEED)
+
+    def close(self) -> None:
+        self._maps.clear()
+        self._files.clear()
+
+
+class AttachedStripeStore(StripeStore):
+    """A worker-side, read-only view of a committed stripe set.
+
+    Built by :func:`attach` from a :class:`StripeHandle`; exposes the
+    same ``stripe()``/``meta`` surface the owning store does, so an
+    index adopter cannot tell the difference -- except that every
+    mutation (create/resize/commit) raises. Maps share the owner's page
+    cache: attaching ships zero data bytes.
+    """
+
+    def __init__(self, handle: StripeHandle) -> None:
+        super().__init__()
+        self._handle = handle
+        self.meta = handle.meta_dict()
+        base = Path(handle.stripe_dir)
+        self._maps = {
+            name: _map_file(base / fname, shape, np.dtype(dtype), "r")
+            for name, fname, shape, dtype in handle.stripes
+        }
+        metrics().inc("storage.stripes_attached", len(self._maps))
+
+    def stripe(self, name: str) -> np.ndarray:
+        return self._maps[name]
+
+    def names(self) -> tuple[str, ...]:
+        return tuple(self._maps)
+
+    def handle(self) -> StripeHandle:
+        return self._handle
+
+    def create(
+        self, name: str, shape: tuple[int, ...], dtype: Any
+    ) -> np.ndarray:
+        raise InvalidParameterError("attached stripe stores are read-only")
+
+    def resize(self, name: str, shape: tuple[int, ...]) -> np.ndarray:
+        raise InvalidParameterError("attached stripe stores are read-only")
+
+    def commit(self) -> None:
+        raise InvalidParameterError("attached stripe stores are read-only")
+
+    def release(self, name: str) -> None:
+        arr = self._maps.get(name)
+        if arr is None or not arr.size:
+            return
+        raw = getattr(arr, "_mmap", None)
+        if raw is not None:
+            raw.madvise(mmap.MADV_DONTNEED)
+
+    def close(self) -> None:
+        self._maps.clear()
+
+
+def attach(handle: StripeHandle) -> AttachedStripeStore:
+    """Map a shipped handle's stripes read-only (zero data bytes moved)."""
+    return AttachedStripeStore(handle)
+
+
+def open_store(stripe_dir: str | Path) -> MmapStripeStore:
+    """Reopen the committed store in ``stripe_dir`` (recovery entry point)."""
+    return MmapStripeStore.open(stripe_dir)
+
+
+def make_store(
+    backend: str, stripe_dir: str | Path | None = None
+) -> StripeStore:
+    """Construct a fresh store for ``backend`` (``"ram"`` or ``"mmap"``)."""
+    if backend == "ram":
+        return RamStripeStore()
+    if backend == "mmap":
+        if stripe_dir is None:
+            raise InvalidParameterError(
+                "the mmap backend needs a stripe_dir to hold its files"
+            )
+        return MmapStripeStore(stripe_dir)
+    raise InvalidParameterError(
+        f"unknown storage backend {backend!r}; expected 'ram' or 'mmap'"
+    )
+
+
+def iter_row_blocks(
+    n_rows: int, rows_per_block: int
+) -> Iterator[tuple[int, int]]:
+    """Contiguous ``[start, stop)`` row ranges covering ``n_rows``."""
+    if rows_per_block < 1:
+        raise InvalidParameterError("rows_per_block must be >= 1")
+    for start in range(0, n_rows, rows_per_block):
+        yield start, min(n_rows, start + rows_per_block)
+
+
+def _map_file(
+    path: Path,
+    shape: tuple[int, ...],
+    dtype: np.dtype[Any],
+    mode: Literal["r", "r+"],
+) -> np.ndarray:
+    """``np.memmap`` of ``path`` as ``shape``; degenerate shapes skip IO.
+
+    ``np.memmap`` rejects zero-length maps, so empty stripes (a fresh
+    index over zero rows) are represented as ordinary empty arrays until
+    a resize gives them bytes.
+    """
+    if int(np.prod(shape)) == 0:
+        return np.zeros(shape, dtype=dtype)
+    return np.memmap(path, dtype=dtype, mode=mode, shape=shape)
+
+
+def manifest_meta(stripe_dir: str | Path) -> Mapping[str, int]:
+    """The committed meta of a stripe directory, without mapping stripes."""
+    manifest = json.loads((Path(stripe_dir) / MANIFEST_NAME).read_text())
+    return {k: int(v) for k, v in manifest["meta"].items()}

@@ -166,10 +166,11 @@ class TabularDataset:
                     "cannot concatenate datasets over different spaces"
                 )
         X = np.vstack([d.X for d in datasets])
-        if datasets[0].y is None:
+        labels = [d.y for d in datasets]
+        ys = [y for y in labels if y is not None]
+        if len(ys) != len(labels):
             return TabularDataset(space, X)
-        y = np.concatenate([d.y for d in datasets])
-        return TabularDataset(space, X, y)
+        return TabularDataset(space, X, np.concatenate(ys))
 
     def filter(self, mask: np.ndarray) -> "TabularDataset":
         """A new dataset holding the rows where ``mask`` is True."""
@@ -182,10 +183,10 @@ class TabularDataset:
         if not self.space.compatible_with(other.space):
             raise SchemaError("cannot concatenate datasets over different spaces")
         X = np.vstack([self._X, other._X])
-        if self._y is None:
+        y1, y2 = self._y, other._y
+        if y1 is None or y2 is None:
             return TabularDataset(self.space, X)
-        y = np.concatenate([self._y, other._y])
-        return TabularDataset(self.space, X, y)
+        return TabularDataset(self.space, X, np.concatenate([y1, y2]))
 
     def relabel(self, y: np.ndarray) -> "TabularDataset":
         """Same tuples with the class labels replaced (used for ``D^T``, §5.2.1)."""

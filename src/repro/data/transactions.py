@@ -22,10 +22,18 @@ level-``(k-1)`` bitmaps via the candidates' shared prefixes.
 
 from __future__ import annotations
 
-from typing import Iterable, Sequence
+from typing import Iterable, Iterator, Sequence, SupportsIndex
 
 import numpy as np
 
+from repro.data.storage import (
+    RamStripeStore,
+    StripeHandle,
+    StripeStore,
+    attach,
+    iter_row_blocks,
+    scan_budget_bytes,
+)
 from repro.errors import InvalidParameterError
 from repro.obs import metrics
 
@@ -46,6 +54,10 @@ _MAX_STRIPE_BYTES = 1 << 25  # 32 MiB
 #: is not cached at all.
 _MAX_CACHE_ENTRIES = 1 << 16
 
+#: The stripe name the index's packed bit matrix lives under in its
+#: :class:`~repro.data.storage.StripeStore`.
+_ITEM_BITS = "item_bits"
+
 
 def _popcount_rows(matrix: np.ndarray) -> np.ndarray:
     """Per-row popcount of a packed uint8 matrix.
@@ -54,9 +66,14 @@ def _popcount_rows(matrix: np.ndarray) -> np.ndarray:
     of 8 bytes when ``np.bitwise_count`` is available (callers allocate
     rows pre-padded with zero bytes).
     """
+    counts: np.ndarray
     if _HAS_BITWISE_COUNT:
-        return np.bitwise_count(matrix.view(np.uint64)).sum(axis=1, dtype=np.int64)
-    return POPCOUNT[matrix].sum(axis=1, dtype=np.int64)
+        counts = np.bitwise_count(matrix.view(np.uint64)).sum(
+            axis=1, dtype=np.int64
+        )
+    else:
+        counts = POPCOUNT[matrix].sum(axis=1, dtype=np.int64)
+    return counts
 
 
 class BitmapIndex:
@@ -67,6 +84,16 @@ class BitmapIndex:
     streaming window advance never rebuilds the index from scratch. The
     stripe buffer doubles when full (like a growable vector); ``_bits``
     is always the view of the occupied prefix.
+
+    The buffer lives in a :class:`~repro.data.storage.StripeStore`. The
+    default is the in-RAM backend (byte-for-byte the historical
+    behaviour); passing an :class:`~repro.data.storage.MmapStripeStore`
+    puts the stripes on disk, every append commits the new row count to
+    the store's manifest, and :meth:`handle` / :meth:`attach` let a
+    process fan ship the index as a few hundred bytes instead of
+    pickling the bit matrix (pickling such an index does this
+    automatically). :meth:`scan_counts` streams a log larger than the
+    scan budget through block-masked ranged counting.
     """
 
     def __init__(
@@ -75,18 +102,132 @@ class BitmapIndex:
         n_items: int,
         *,
         max_cache_entries: int = _MAX_CACHE_ENTRIES,
+        store: StripeStore | None = None,
     ) -> None:
         n = len(transactions)
         self.n_transactions = n
         self.n_items = n_items
         self.max_cache_entries = max_cache_entries
+        self._store = RamStripeStore() if store is None else store
+        self._writable = True
         n_bytes = (n + 7) // 8
-        self._buf = np.zeros((n_items, n_bytes), dtype=np.uint8)
+        self._buf = self._store.create(
+            _ITEM_BITS, (n_items, n_bytes), np.uint8
+        )
         self._bits = self._buf[:, :n_bytes]
         if n:
             self._scatter(transactions, tid_offset=0)
+        self._commit()
         # Intersection-bits memo: sorted itemset tuple -> packed vector.
         self._prefix_cache: dict[tuple[int, ...], np.ndarray] = {}
+
+    @classmethod
+    def from_store(
+        cls,
+        store: StripeStore,
+        *,
+        max_cache_entries: int = _MAX_CACHE_ENTRIES,
+    ) -> "BitmapIndex":
+        """Adopt a reopened store, truncating to its committed rows.
+
+        The crash-recovery entry point: the committed meta names the
+        logical row count, and any bits a killed append scattered beyond
+        it -- the uncommitted tail of the partial byte plus the spare
+        capacity -- are zeroed here, so counts over the recovered index
+        equal counts over an index rebuilt from the committed rows.
+        """
+        self = object.__new__(cls)
+        self.n_transactions = n = int(store.meta["n_rows"])
+        self.n_items = int(store.meta["n_items"])
+        self.max_cache_entries = max_cache_entries
+        self._store = store
+        self._writable = True
+        self._buf = store.stripe(_ITEM_BITS)
+        n_bytes = (n + 7) // 8
+        if n & 7:
+            self._buf[:, n_bytes - 1] &= np.uint8(0xFF << (8 - (n & 7)) & 0xFF)
+        self._buf[:, n_bytes:] = 0
+        self._bits = self._buf[:, :n_bytes]
+        self._prefix_cache = {}
+        return self
+
+    @classmethod
+    def attach(cls, handle: StripeHandle) -> "BitmapIndex":
+        """Map a shipped handle as a read-only index (zero-copy).
+
+        The worker-side half of a process fan-out: the stripes are
+        re-mapped from the owner's files through the shared OS page
+        cache, so no data bytes cross the process boundary. The view is
+        a snapshot of the last commit; counting methods mask the partial
+        tail byte, but the owner must not run a *concurrent* append
+        while attached workers scan.
+        """
+        store = attach(handle)
+        self = object.__new__(cls)
+        self.n_transactions = n = int(store.meta["n_rows"])
+        self.n_items = int(store.meta["n_items"])
+        self.max_cache_entries = _MAX_CACHE_ENTRIES
+        self._store = store
+        self._writable = False
+        self._buf = store.stripe(_ITEM_BITS)
+        self._bits = self._buf[:, : (n + 7) // 8]
+        self._prefix_cache = {}
+        return self
+
+    def handle(self) -> StripeHandle | None:
+        """A shippable zero-copy reference, or ``None`` on the RAM backend."""
+        return self._store.handle()
+
+    @property
+    def store(self) -> StripeStore:
+        """The stripe store owning this index's packed bit matrix."""
+        return self._store
+
+    def _commit(self) -> None:
+        meta = self._store.meta
+        meta["n_rows"] = self.n_transactions
+        meta["n_items"] = self.n_items
+        self._store.commit()
+
+    def __reduce_ex__(
+        self, protocol: SupportsIndex
+    ) -> str | tuple[object, ...]:
+        # Pickling an index backed by a shared-medium store ships the
+        # byte-cheap handle; workers re-attach zero-copy. RAM-backed
+        # indexes ship one copy of the occupied packed prefix (the
+        # "copy" fan-out shape the out-of-core bench compares against).
+        handle = self._store.handle()
+        if handle is not None:
+            return (BitmapIndex.attach, (handle,))
+        return (
+            BitmapIndex._from_packed,
+            (self._bits, self.n_transactions, self.n_items),
+        )
+
+    @classmethod
+    def _from_packed(
+        cls, bits: np.ndarray, n_transactions: int, n_items: int
+    ) -> "BitmapIndex":
+        """Rebuild a RAM-backed index around a shipped packed prefix.
+
+        The pickle payload for stores with no shared medium: exactly the
+        occupied bytes, once -- not the spare-capacity buffer, its
+        prefix view, and the store's stripe as three separate arrays,
+        which is what default object pickling would serialise.
+        """
+        self = object.__new__(cls)
+        self.n_transactions = n_transactions
+        self.n_items = n_items
+        self.max_cache_entries = _MAX_CACHE_ENTRIES
+        store = RamStripeStore()
+        store._stripes[_ITEM_BITS] = bits
+        self._store = store
+        self._writable = True
+        self._buf = bits
+        self._bits = bits
+        self._commit()
+        self._prefix_cache = {}
+        return self
 
     def _scatter(
         self, transactions: Sequence[tuple[int, ...]], tid_offset: int
@@ -128,6 +269,10 @@ class BitmapIndex:
         duplicate or unsorted items within a row are harmless
         (out-of-universe items still raise).
         """
+        if not self._writable:
+            raise InvalidParameterError(
+                "cannot append to an attached (read-only) index"
+            )
         transactions = (
             transactions
             if isinstance(transactions, (list, tuple))
@@ -140,23 +285,28 @@ class BitmapIndex:
         cap_bytes = self._buf.shape[1]
         if need_bytes > cap_bytes:
             new_cap = max(need_bytes, 2 * cap_bytes, 8)
-            grown = np.zeros((self.n_items, new_cap), dtype=np.uint8)
-            grown[:, :cap_bytes] = self._buf
-            self._buf = grown
+            self._buf = self._store.resize(
+                _ITEM_BITS, (self.n_items, new_cap)
+            )
         self._scatter(transactions, tid_offset=self.n_transactions)
         self.n_transactions = n_new
         self._bits = self._buf[:, :need_bytes]
         self._prefix_cache.clear()
+        self._commit()
 
     def item_bits(self, item: int) -> np.ndarray:
         """The packed occurrence vector of a single item."""
-        return self._bits[item]
+        bits: np.ndarray = self._bits[item]
+        return bits
 
     def item_support_counts(self) -> np.ndarray:
         """Support counts of every single item, in one popcount pass."""
+        counts: np.ndarray
         if _HAS_BITWISE_COUNT:
-            return np.bitwise_count(self._bits).sum(axis=1, dtype=np.int64)
-        return POPCOUNT[self._bits].sum(axis=1).astype(np.int64)
+            counts = np.bitwise_count(self._bits).sum(axis=1, dtype=np.int64)
+        else:
+            counts = POPCOUNT[self._bits].sum(axis=1).astype(np.int64)
+        return counts
 
     def support_count(self, items: Iterable[int]) -> int:
         """Number of transactions containing every item in ``items``.
@@ -342,10 +492,45 @@ class BitmapIndex:
             if extra and n_bytes:
                 full[-1] = np.uint8(0xFF << extra & 0xFF)
             return full
-        acc = self._bits[items[0]].copy()
+        acc: np.ndarray = self._bits[items[0]].copy()
         for item in items[1:]:
             np.bitwise_and(acc, self._bits[item], out=acc)
         return acc
+
+    def scan_counts(
+        self,
+        itemsets_or_plan: "SupportCountingPlan" | Sequence[Iterable[int]],
+        *,
+        budget_bytes: int | None = None,
+    ) -> np.ndarray:
+        """Support counts via a chunked scan with bounded residency.
+
+        Splits the rows into contiguous blocks sized so one block's
+        stripe working set stays under ``budget_bytes`` (default: the
+        ``REPRO_SCAN_BUDGET_BYTES`` env var or 64 MiB), counts each
+        block with the ranged plan, and sums -- counts are integers, so
+        the total is exactly the one-shot count no matter the budget.
+        Between blocks the store drops page residency of the scanned
+        stripes, so an mmap-backed log far larger than the budget
+        streams through with a peak RSS near one block
+        (``storage.chunks_scanned`` / ``storage.rows_scanned`` account
+        for the blocks; a full scan's row tally equals the row count).
+        """
+        plan = (
+            itemsets_or_plan
+            if isinstance(itemsets_or_plan, SupportCountingPlan)
+            else SupportCountingPlan(itemsets_or_plan)
+        )
+        budget = scan_budget_bytes(budget_bytes)
+        width_bytes = max(8, budget // max(1, self.n_items))
+        sink = metrics()
+        total = np.zeros(plan.n_itemsets, dtype=np.int64)
+        for start, stop in iter_row_blocks(self.n_transactions, width_bytes * 8):
+            total += plan.count(self, start=start, stop=stop)
+            sink.inc("storage.chunks_scanned")
+            sink.inc("storage.rows_scanned", stop - start)
+            self._store.release(_ITEM_BITS)
+        return total
 
 
 class SupportCountingPlan:
@@ -379,9 +564,26 @@ class SupportCountingPlan:
             ids = np.array([canon[p] for p in positions], dtype=np.int64)
             self._groups.append((pos_arr, ids))
 
-    def count(self, index: BitmapIndex) -> np.ndarray:
-        """Support counts of the planned itemsets over ``index``."""
+    def count(
+        self, index: BitmapIndex, *, start: int = 0, stop: int | None = None
+    ) -> np.ndarray:
+        """Support counts of the planned itemsets over ``index``.
+
+        ``start``/``stop`` restrict counting to the contiguous row range
+        ``[start, stop)``: the byte slice covering the range is reduced
+        as usual and the out-of-range bits of the boundary bytes are
+        masked off, so a ranged count equals building a fresh index from
+        exactly those rows and counting it (property-tested). Contiguous
+        ranges are how shard fans and chunked scans split a *shared*
+        index without copying a single stripe.
+        """
         metrics().inc("bitmap.plan.count_calls")
+        n = index.n_transactions
+        stop = n if stop is None else stop
+        if not 0 <= start <= stop <= n:
+            raise InvalidParameterError(
+                f"row range [{start}, {stop}) outside [0, {n}]"
+            )
         if self.max_item >= index.n_items:
             raise InvalidParameterError(
                 f"plan references item {self.max_item} outside the index's "
@@ -389,20 +591,33 @@ class SupportCountingPlan:
             )
         out = np.empty(self.n_itemsets, dtype=np.int64)
         if self._empty.size:
-            out[self._empty] = index.n_transactions
-        bits = index._bits
+            out[self._empty] = stop - start
+        b0, b1 = start >> 3, (stop + 7) >> 3
+        bits = index._bits[:, b0:b1]
         n_bytes = bits.shape[1]
+        # Boundary masks (bits are MSB-first): the first byte keeps the
+        # positions >= start % 8, the last keeps those < stop % 8. Also
+        # applied to a full-range count whose row count is not a byte
+        # multiple -- committed data has a zero tail there, so the mask
+        # changes nothing, but it keeps counts over an attached snapshot
+        # immune to bits an owner scattered after the commit.
+        first_mask = np.uint8(0xFF >> (start & 7))
+        last_mask = np.uint8(0xFF if stop % 8 == 0 else (0xFF << (8 - stop % 8)) & 0xFF)
+        masked = n_bytes > 0 and (first_mask != 0xFF or last_mask != 0xFF)
         padded = n_bytes + (-n_bytes) % 8 if _HAS_BITWISE_COUNT else n_bytes
         for pos_arr, ids in self._groups:
             length = ids.shape[1]
             full = np.zeros((len(pos_arr), padded), dtype=np.uint8)
             acc = full[:, :n_bytes]
             chunk = max(1, _MAX_STRIPE_BYTES // max(1, length * n_bytes))
-            for start in range(0, len(pos_arr), chunk):
-                stripes = bits[ids[start : start + chunk]]
-                acc[start : start + chunk] = np.bitwise_and.reduce(
+            for gstart in range(0, len(pos_arr), chunk):
+                stripes = bits[ids[gstart : gstart + chunk]]
+                acc[gstart : gstart + chunk] = np.bitwise_and.reduce(
                     stripes, axis=1
                 )
+            if masked:
+                acc[:, 0] &= first_mask
+                acc[:, -1] &= last_mask
             out[pos_arr] = _popcount_rows(full)
         return out
 
@@ -444,7 +659,7 @@ class TransactionDataset:
     def transactions(self) -> list[tuple[int, ...]]:
         return self._transactions
 
-    def __iter__(self):
+    def __iter__(self) -> Iterator[tuple[int, ...]]:
         return iter(self._transactions)
 
     @property

@@ -142,6 +142,16 @@ def prime_lits_counters(
     # an executor *instance* stays open for its owner to reuse
     runner = get_executor(executor)
     owns_runner = isinstance(executor, str)
+    if isinstance(runner, ProcessExecutor):
+        # mmap-backed indexes pickle as stripe handles (zero row bytes
+        # on the wire); RAM indexes ship their whole packed buffer
+        metrics().inc(
+            "storage.bytes_shipped",
+            sum(
+                0 if index.handle() is not None else index._buf.nbytes
+                for index, _, _ in payloads
+            ),
+        )
     try:
         results = runner.map(_count_support_payload, payloads)
     finally:

@@ -8,9 +8,11 @@ from repro.stats.bootstrap import (
 from repro.stats.resample_plan import (
     CountsResamplePlan,
     LitsResamplePlan,
+    PackedLitsResamplePlan,
     PartitionResamplePlan,
     ResamplePlan,
     compile_resample_plan,
+    max_membership_bytes,
     draw_multiplicities,
     lits_membership,
     multiplicities_from_indices,
@@ -35,6 +37,7 @@ __all__ = [
     "BootstrapResult",
     "CountsResamplePlan",
     "LitsResamplePlan",
+    "PackedLitsResamplePlan",
     "PartitionResamplePlan",
     "ResamplePlan",
     "WilcoxonResult",
@@ -48,6 +51,7 @@ __all__ = [
     "failure_probability",
     "gammainc_lower",
     "gammainc_upper",
+    "max_membership_bytes",
     "mean_std",
     "normal_sf",
     "pearson_correlation",

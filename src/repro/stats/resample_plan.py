@@ -51,6 +51,7 @@ identical null vector.
 
 from __future__ import annotations
 
+import os
 import warnings
 from abc import ABC, abstractmethod
 from typing import TYPE_CHECKING, Any, Callable, Sequence
@@ -81,12 +82,38 @@ _FLOAT32_EXACT_ROWS = 1 << 24
 _MAX_DRAW_BYTES = 1 << 28  # 256 MiB
 
 #: Cap on the dense lits membership matrix (float32 bytes). A pool
-#: whose ``rows x regions`` product would exceed it does not compile --
-#: :func:`compile_resample_plan` returns ``None`` and the caller falls
-#: back to the bounded-memory per-replicate loop, which is the right
-#: trade at that scale anyway (the loop is slow but O(rows), while the
-#: matrix would not fit at all).
+#: whose ``rows x regions`` product would exceed it compiles to the
+#: packed plan instead (:class:`PackedLitsResamplePlan`): membership
+#: stays in bit-packed form (32-64x smaller) and the GEMM runs over
+#: unpacked row blocks, so the dense matrix is never resident. Override
+#: per call (``max_membership_bytes=``) or per process
+#: (``REPRO_MAX_MEMBERSHIP_BYTES``).
 _MAX_MEMBERSHIP_BYTES = 1 << 31  # 2 GiB
+
+#: Transient budget for one unpacked membership block inside the packed
+#: plan's GEMM loop (bytes of the exact float dtype). Exactness does not
+#: depend on the blocking -- partial sums are integers either way -- so
+#: this only trades temporaries against matmul call overhead.
+_MEMBERSHIP_BLOCK_BYTES = 1 << 26  # 64 MiB
+
+
+def max_membership_bytes(limit: int | None = None) -> int:
+    """The dense-membership cap: param, else env, else the default.
+
+    Resolution mirrors :func:`repro.data.storage.scan_budget_bytes`:
+    an explicit ``limit`` wins, then ``REPRO_MAX_MEMBERSHIP_BYTES``,
+    then :data:`_MAX_MEMBERSHIP_BYTES`.
+    """
+    if limit is None:
+        raw = os.environ.get("REPRO_MAX_MEMBERSHIP_BYTES")
+        limit = _MAX_MEMBERSHIP_BYTES if raw is None else int(raw)
+    if limit < 1:
+        raise InvalidParameterError("max_membership_bytes must be >= 1")
+    return int(limit)
+
+
+# the compile entry point has a keyword of the same name; alias for it
+_resolve_membership_cap = max_membership_bytes
 
 
 def _resolve_rng(
@@ -184,6 +211,45 @@ def _lits_block_counts(payload: tuple[Any, ...]) -> np.ndarray:
     for part, off in zip(parts, offsets):
         acc += w[:, off : off + part.shape[0]].astype(part.dtype) @ part
     return np.rint(acc).astype(np.int64)
+
+
+def _packed_block_counts(payload: tuple[Any, ...]) -> np.ndarray:
+    """Replicate counts of one multiplicity block from *packed* membership.
+
+    ``packed_parts`` hold the membership bits column-compressed (one
+    ``(n_regions, ceil(rows/8))`` uint8 matrix per pool part); each part
+    is unpacked in byte-aligned row blocks small enough to fit the
+    block budget and fed to the same exact-integer GEMM the dense plan
+    uses. Identical partial sums in a different association order of
+    exact integers -- the result is bit-identical to the dense path.
+    """
+    packed_parts, part_rows, offsets, block_rows, dtype, w = payload
+    n_regions = packed_parts[0].shape[0] if packed_parts else 0
+    acc = np.zeros((w.shape[0], n_regions), dtype=dtype)
+    for packed, rows, off in zip(packed_parts, part_rows, offsets):
+        for start in range(0, rows, block_rows):
+            stop = min(start + block_rows, rows)
+            # block starts are multiples of 8, so the byte slice is
+            # bit-aligned and ``count`` trims the tail exactly
+            block = np.unpackbits(
+                packed[:, start >> 3 : (stop + 7) >> 3], axis=1, count=stop - start
+            )
+            acc += w[:, off + start : off + stop].astype(dtype) @ block.T.astype(
+                dtype
+            )
+    return np.rint(acc).astype(np.int64)
+
+
+def _packed_prefix_counts(packed: np.ndarray, n_bits: int) -> np.ndarray:
+    """Per-row popcount of the first ``n_bits`` bits of packed rows."""
+    n_bytes = n_bits >> 3
+    counts = np.bitwise_count(packed[:, :n_bytes]).sum(
+        axis=1, dtype=np.int64
+    )
+    if n_bits & 7:
+        mask = np.uint8((0xFF << (8 - (n_bits & 7))) & 0xFF)
+        counts += np.bitwise_count(packed[:, n_bytes] & mask).astype(np.int64)
+    return counts
 
 
 def _partition_block_counts(payload: tuple[Any, ...]) -> np.ndarray:
@@ -581,6 +647,151 @@ class LitsResamplePlan(RowResamplePlan):
         )
 
 
+class PackedLitsResamplePlan(RowResamplePlan):
+    """Bit-packed membership bootstrap: the over-cap lits plan.
+
+    Holds the same information as :class:`LitsResamplePlan` at 1/32nd
+    (float32 pools) to 1/64th (float64 pools) the residency: membership
+    stays in the bitmap index's packed form -- one
+    ``(n_regions, ceil(rows/8))`` uint8 matrix per pool part -- and the
+    replicate GEMM streams over byte-aligned row blocks, unpacking at
+    most :data:`_MEMBERSHIP_BLOCK_BYTES` of dense float at a time.
+    Partial sums are the same exact integers in a different association
+    order, so the emitted null is bit-identical to the dense plan's
+    (regression-pinned), just slower per replicate. This is what lifts
+    the old hard 2 GiB compile ceiling: pools past
+    :func:`max_membership_bytes` now compile here instead of falling
+    back to the per-replicate loop.
+
+    Parameters
+    ----------
+    structure:
+        The fixed :class:`~repro.core.model.LitsStructure`.
+    packed_parts:
+        Bit-packed membership per pool part, ``(n_regions,
+        ceil(part_rows/8))`` uint8 each, MSB-first within a byte (the
+        bitmap index's native layout); bits past a part's row count
+        must be zero.
+    part_rows:
+        Row count of each part, in pool order (dataset 1's rows first).
+    n1, n2:
+        The original dataset sizes (``n1 + n2`` rows in the pool).
+    """
+
+    def __init__(
+        self,
+        structure: LitsStructure,
+        packed_parts: Sequence[np.ndarray],
+        part_rows: Sequence[int],
+        n1: int,
+        n2: int,
+    ) -> None:
+        super().__init__(structure, n1, n2)
+        n_regions = len(structure.regions)
+        if len(packed_parts) != len(part_rows):
+            raise InvalidParameterError(
+                "packed_parts and part_rows must align"
+            )
+        parts: list[np.ndarray] = []
+        offsets: list[int] = []
+        rows_list: list[int] = []
+        offset = 0
+        for packed, rows in zip(packed_parts, part_rows):
+            packed = np.ascontiguousarray(packed, dtype=np.uint8)
+            rows = int(rows)
+            if packed.ndim != 2 or packed.shape[0] != n_regions or (
+                packed.shape[1] < (rows + 7) >> 3
+            ):
+                raise InvalidParameterError(
+                    f"packed parts must be (n_regions={n_regions}, "
+                    f">= ceil(rows/8)) uint8, got shape "
+                    f"{tuple(packed.shape)} for {rows} rows"
+                )
+            parts.append(packed)
+            offsets.append(offset)
+            rows_list.append(rows)
+            offset += rows
+        if offset != self.n_pooled:
+            raise InvalidParameterError(
+                f"packed parts cover {offset} rows, expected "
+                f"{self.n_pooled} (= n1 + n2)"
+            )
+        self._packed_parts = tuple(parts)
+        self._part_rows = tuple(rows_list)
+        self._offsets = tuple(offsets)
+        self._dtype = (
+            np.float64 if self.n_pooled >= _FLOAT32_EXACT_ROWS else np.float32
+        )
+        per_row = max(1, np.dtype(self._dtype).itemsize * n_regions)
+        self._block_rows = max(8, (_MEMBERSHIP_BLOCK_BYTES // per_row) & ~7)
+
+    @classmethod
+    def from_datasets(
+        cls,
+        structure: LitsStructure,
+        dataset1: DatasetLike,
+        dataset2: DatasetLike,
+    ) -> "PackedLitsResamplePlan":
+        """Compile from the two bitmap indexes, never unpacking membership."""
+
+        def packed_of(index: Any, n: int) -> np.ndarray:
+            metrics().inc("bootstrap.membership.scans")
+            itemsets = structure.itemsets
+            if not itemsets:
+                return np.zeros((0, (n + 7) >> 3), dtype=np.uint8)
+            return np.stack([index.intersection_bits(s) for s in itemsets])
+
+        n1, n2 = len(dataset1), len(dataset2)
+        return cls(
+            structure,
+            (
+                packed_of(dataset1.index, n1),
+                packed_of(dataset2.index, n2),
+            ),
+            (n1, n2),
+            n1,
+            n2,
+        )
+
+    def observed_counts(self) -> tuple[np.ndarray, np.ndarray]:
+        n_regions = len(self.structure.regions)
+        counts1 = np.zeros(n_regions, dtype=np.int64)
+        counts2 = np.zeros(n_regions, dtype=np.int64)
+        for packed, rows, off in zip(
+            self._packed_parts, self._part_rows, self._offsets
+        ):
+            if off + rows <= self.n1:
+                counts1 += _packed_prefix_counts(packed, rows)
+            elif off >= self.n1:
+                counts2 += _packed_prefix_counts(packed, rows)
+            else:
+                split = self.n1 - off
+                head = _packed_prefix_counts(packed, split)
+                counts1 += head
+                counts2 += _packed_prefix_counts(packed, rows) - head
+        return counts1, counts2
+
+    def replicate_counts(
+        self,
+        multiplicities: np.ndarray,
+        *,
+        executor: ExecutorLike = "serial",
+        n_blocks: int = 1,
+    ) -> np.ndarray:
+        w = self._check_multiplicities(multiplicities)
+        # counted parent-side so the tally is executor-independent
+        metrics().inc("bootstrap.replicates.packed_gemm", int(w.shape[0]))
+        packed, rows, offs = self._packed_parts, self._part_rows, self._offsets
+        block_rows, dtype = self._block_rows, self._dtype
+        return _fan_blocks(
+            _packed_block_counts,
+            lambda block: (packed, rows, offs, block_rows, dtype, block),
+            w,
+            executor,
+            n_blocks,
+        )
+
+
 class PartitionResamplePlan(RowResamplePlan):
     """Assignment-vector bootstrap for disjoint partition regions.
 
@@ -741,15 +952,23 @@ class CountsResamplePlan(ResamplePlan):
 
 
 def compile_resample_plan(
-    structure: Structure, dataset1: DatasetLike, dataset2: DatasetLike
+    structure: Structure,
+    dataset1: DatasetLike,
+    dataset2: DatasetLike,
+    *,
+    max_membership_bytes: int | None = None,
 ) -> ResamplePlan | None:
     """Compile the count-space bootstrap for a structure/dataset pair.
 
-    Returns ``None`` when no count-space representation applies: an
-    unknown structure kind, transaction data without a bitmap index, or
-    a lits pool whose dense membership matrix would blow past
-    :data:`_MAX_MEMBERSHIP_BYTES` -- callers fall back to the
-    per-replicate loop, which stays O(rows) in memory.
+    Lits pools pick their representation by the dense membership
+    footprint: below the cap (:func:`max_membership_bytes`; override
+    with the keyword or ``REPRO_MAX_MEMBERSHIP_BYTES``) the dense
+    single-GEMM :class:`LitsResamplePlan` compiles; past it the
+    bit-packed block-streaming :class:`PackedLitsResamplePlan` takes
+    over with the identical (bit-for-bit) null. Returns ``None`` only
+    when no count-space representation applies at all: an unknown
+    structure kind, an empty pool, or transaction data without a
+    bitmap index -- callers fall back to the per-replicate loop.
     """
     if len(dataset1) + len(dataset2) < 1:
         return None
@@ -759,12 +978,15 @@ def compile_resample_plan(
         and hasattr(dataset2, "index")
     ):
         n_pooled = len(dataset1) + len(dataset2)
-        # the same dtype rule the plan itself applies: huge pools need
-        # float64 columns, doubling the bytes the cap must account for
+        # the same dtype rule the plans themselves apply: huge pools
+        # need float64 columns, doubling the bytes the cap must cover
         item_bytes = 8 if n_pooled >= _FLOAT32_EXACT_ROWS else 4
-        if item_bytes * n_pooled * len(structure.regions) > _MAX_MEMBERSHIP_BYTES:
-            return None
+        cap = _resolve_membership_cap(max_membership_bytes)
         metrics().inc("bootstrap.pooled_scans")
+        if item_bytes * n_pooled * len(structure.regions) > cap:
+            return PackedLitsResamplePlan.from_datasets(
+                structure, dataset1, dataset2
+            )
         return LitsResamplePlan.from_datasets(structure, dataset1, dataset2)
     if isinstance(structure, PartitionStructure):
         metrics().inc("bootstrap.pooled_scans")

@@ -39,9 +39,12 @@ from repro.stream.executor import (
     ThreadExecutor,
     get_executor,
     shard_dataset,
+    shard_ranges,
     shard_transactions,
+    sharded_index_sketch,
     sharded_partition_sketch,
     sharded_support_sketch,
+    sketch_index_shards,
     sketch_partition_shards,
     sketch_shards,
 )
@@ -80,9 +83,12 @@ __all__ = [
     "iter_chunks",
     "iter_tabular_chunks",
     "shard_dataset",
+    "shard_ranges",
     "shard_transactions",
+    "sharded_index_sketch",
     "sharded_partition_sketch",
     "sharded_support_sketch",
+    "sketch_index_shards",
     "sketch_partition_shards",
     "sketch_shards",
     "stream_tabular_chunks",

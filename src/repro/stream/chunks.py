@@ -33,9 +33,16 @@ import numpy as np
 from repro._typing import DatasetLike
 from repro.core.attribute import AttributeSpace
 from repro.core.predicate import Conjunction
+from repro.data.storage import StripeHandle, StripeStore, make_store
 from repro.data.tabular import TabularDataset
 from repro.data.transactions import BitmapIndex, TransactionDataset
 from repro.errors import InvalidParameterError, SchemaError
+
+#: Stripe names of a transaction log's out-of-core row storage: CSR-style
+#: ragged rows -- ``txn_offsets[i]`` is where row ``i``'s items start in
+#: ``txn_items`` and ``txn_offsets[n]`` is the total item count.
+_TXN_OFFSETS = "txn_offsets"
+_TXN_ITEMS = "txn_items"
 
 
 def iter_chunks(
@@ -133,20 +140,77 @@ class TransactionLog:
     ``.take``), so the miners and the deviation engine consume it
     directly: ``apriori(log, ms)`` after every append re-mines over all
     rows seen so far without re-scattering a single old bit.
+
+    Storage backends: ``backend="ram"`` (default) keeps the rows as a
+    Python list next to the in-RAM index -- the historical behaviour.
+    ``backend="mmap"`` (with a ``stripe_dir``) puts everything on disk:
+    the item bit-stripes through the index's store and the raw rows as
+    CSR-style offset/item column stripes, appends committing both
+    atomically -- so the log survives a process kill truncated to the
+    last committed chunk (:meth:`open`) and a process fan ships the
+    index as a zero-copy :meth:`handle` instead of pickled rows. Counts
+    and mined models are bit-identical across backends (the
+    backend-parametrized property suite pins it).
     """
 
     def __init__(
         self,
         n_items: int,
         transactions: Iterable[Iterable[int]] = (),
+        *,
+        backend: str = "ram",
+        stripe_dir: str | Path | None = None,
+        _store: StripeStore | None = None,
     ) -> None:
         if n_items <= 0:
             raise InvalidParameterError("n_items must be positive")
         self.n_items = n_items
-        self._transactions: list[tuple[int, ...]] = []
-        self._index = BitmapIndex([], n_items)
+        self._store: StripeStore | None
+        self._rows: list[tuple[int, ...]] | None
+        if _store is not None:
+            # Reopen path (:meth:`open`): adopt the committed store.
+            self._store = _store
+            self._rows = None
+            self._index = BitmapIndex.from_store(_store)
+            if transactions:
+                self.append(transactions)
+            return
+        if backend == "ram" and stripe_dir is not None:
+            raise InvalidParameterError(
+                "stripe_dir only applies to the mmap backend"
+            )
+        if backend == "ram":
+            self._store = None
+            self._rows = []
+            self._index = BitmapIndex([], n_items)
+        else:
+            store = make_store(backend, stripe_dir)
+            self._store = store
+            self._rows = None
+            store.create(_TXN_OFFSETS, (1,), np.int64)
+            store.create(_TXN_ITEMS, (0,), np.int32)
+            store.meta["items_total"] = 0
+            self._index = BitmapIndex([], n_items, store=store)
         if transactions:
             self.append(transactions)
+
+    @classmethod
+    def open(cls, stripe_dir: str | Path) -> "TransactionLog":
+        """Reopen an mmap-backed log, truncated to its last commit.
+
+        A kill mid-append leaves stripe bytes past the committed counts;
+        adoption masks the index tail and the committed ``items_total``
+        bounds the row stripes, so the reopened log equals one rebuilt
+        from the committed rows (crash-consistency tests pin this).
+        """
+        from repro.data.storage import open_store
+
+        store = open_store(stripe_dir)
+        return cls(int(store.meta["n_items"]), _store=store)
+
+    def handle(self) -> StripeHandle | None:
+        """A shippable zero-copy reference (``None`` on the RAM backend)."""
+        return self._index.handle()
 
     def append(self, transactions: Iterable[Iterable[int]]) -> "TransactionLog":
         """Append a chunk of transactions; returns ``self`` for chaining."""
@@ -159,23 +223,79 @@ class TransactionLog:
                     f"transaction {items} has items outside [0, {self.n_items})"
                 )
             cleaned.append(items)
+        if self._rows is None:
+            # Row stripes first, then the index append -- whose commit
+            # publishes both, so every commit point is a consistent log.
+            self._append_row_stripes(cleaned)
         self._index.append(cleaned)
-        self._transactions.extend(cleaned)
+        if self._rows is not None:
+            self._rows.extend(cleaned)
         return self
+
+    def _append_row_stripes(self, cleaned: list[tuple[int, ...]]) -> None:
+        store = self._store
+        assert store is not None
+        n_old = self._index.n_transactions
+        total_old = int(store.meta["items_total"])
+        lengths = np.fromiter(
+            (len(t) for t in cleaned), dtype=np.int64, count=len(cleaned)
+        )
+        flat = np.fromiter(
+            (i for t in cleaned for i in t), dtype=np.int32,
+            count=int(lengths.sum()),
+        )
+        offsets = store.stripe(_TXN_OFFSETS)
+        need = n_old + len(cleaned) + 1
+        if need > offsets.shape[0]:
+            offsets = store.resize(_TXN_OFFSETS, (max(need, 2 * offsets.shape[0]),))
+        items = store.stripe(_TXN_ITEMS)
+        need_items = total_old + flat.shape[0]
+        if need_items > items.shape[0]:
+            items = store.resize(
+                _TXN_ITEMS, (max(need_items, 2 * items.shape[0], 8),)
+            )
+        np.cumsum(lengths, out=lengths)
+        offsets[n_old + 1 : need] = total_old + lengths
+        items[total_old:need_items] = flat
+        store.meta["items_total"] = need_items
+
+    def _decode_rows(
+        self, indices: Iterable[int] | None = None
+    ) -> list[tuple[int, ...]]:
+        """Materialise rows from the CSR stripes (documented O(rows))."""
+        store = self._store
+        assert store is not None
+        n = self._index.n_transactions
+        offsets = store.stripe(_TXN_OFFSETS)
+        items = store.stripe(_TXN_ITEMS)
+        which = range(n) if indices is None else indices
+        # reprolint: disable=RL004(materialisation boundary: decoding ragged rows out of column stripes is intrinsically row-wise)
+        return [
+            tuple(
+                int(v)
+                for v in items[int(offsets[int(i)]) : int(offsets[int(i) + 1])]
+            )
+            for i in which
+        ]
 
     # ------------------------------------------------------------------ #
     # Dataset protocol
     # ------------------------------------------------------------------ #
 
     def __len__(self) -> int:
-        return len(self._transactions)
+        return self._index.n_transactions
 
     def __iter__(self) -> Iterator[tuple[int, ...]]:
-        return iter(self._transactions)
+        if self._rows is not None:
+            return iter(self._rows)
+        return iter(self._decode_rows())
 
     @property
     def transactions(self) -> list[tuple[int, ...]]:
-        return self._transactions
+        """The rows as tuples (mmap backend: materialises, O(rows))."""
+        if self._rows is not None:
+            return self._rows
+        return self._decode_rows()
 
     @property
     def index(self) -> BitmapIndex:
@@ -187,12 +307,27 @@ class TransactionLog:
 
     def take(self, indices: np.ndarray | Sequence[int]) -> TransactionDataset:
         """An immutable snapshot of the rows at ``indices``."""
-        txns = [self._transactions[int(i)] for i in np.asarray(indices)]
+        if self._rows is not None:
+            txns = [self._rows[int(i)] for i in np.asarray(indices)]
+        else:
+            txns = self._decode_rows(int(i) for i in np.asarray(indices))
         return TransactionDataset(txns, self.n_items)
 
-    def to_dataset(self) -> TransactionDataset:
-        """An immutable snapshot of the whole log."""
-        return TransactionDataset(self._transactions, self.n_items)
+    def to_dataset(self, *, share_index: bool = False) -> TransactionDataset:
+        """An immutable snapshot of the whole log.
+
+        With ``share_index=True`` the snapshot adopts the log's live
+        index instead of lazily rebuilding its own -- on the mmap
+        backend that keeps every downstream count (deviation, bootstrap
+        compilation, process fan-out) on the on-disk stripes with
+        zero-copy shipping. Only safe while the log is not appended to
+        afterwards; a later ``append`` would mutate the snapshot's
+        counts.
+        """
+        dataset = TransactionDataset(self.transactions, self.n_items)
+        if share_index:
+            dataset._index = self._index
+        return dataset
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"TransactionLog(n={len(self)}, items={self.n_items})"
@@ -214,6 +349,13 @@ class TabularLog:
     until the next append that grows past capacity (take
     :meth:`to_dataset` for a stable snapshot).
 
+    Storage backends mirror :class:`TransactionLog`: ``backend="ram"``
+    (default) grows plain numpy buffers; ``backend="mmap"`` (with a
+    ``stripe_dir``) grows on-disk column stripes in place -- a C-order
+    leading-axis extend is a file append, so capacity doubling never
+    copies a committed row -- and every append commits the new row
+    count, making the log reopenable (:meth:`open`) after a kill.
+
     Parameters
     ----------
     space:
@@ -223,16 +365,81 @@ class TabularLog:
         Initial row capacity of the buffers.
     """
 
-    def __init__(self, space: AttributeSpace, capacity: int = 1024) -> None:
+    def __init__(
+        self,
+        space: AttributeSpace,
+        capacity: int = 1024,
+        *,
+        backend: str = "ram",
+        stripe_dir: str | Path | None = None,
+        _store: StripeStore | None = None,
+    ) -> None:
         if capacity < 1:
             raise InvalidParameterError("capacity must be >= 1")
         self.space = space
-        self._n = 0
-        self._X = np.empty((capacity, space.n_attributes), dtype=np.float64)
-        self._y = (
-            np.empty(capacity, dtype=np.int64) if space.class_labels else None
-        )
         self._columns_cache: tuple[int, dict[str, np.ndarray]] | None = None
+        self._y: np.ndarray | None
+        if _store is not None:
+            # Reopen path (:meth:`open`): adopt the committed store.
+            self._store: StripeStore | None = _store
+            self._n = int(_store.meta["n_rows"])
+            self._X = _store.stripe("X")
+            self._y = (
+                _store.stripe("y") if space.class_labels else None
+            )
+            return
+        if backend == "ram" and stripe_dir is not None:
+            raise InvalidParameterError(
+                "stripe_dir only applies to the mmap backend"
+            )
+        self._n = 0
+        if backend == "ram":
+            self._store = None
+            self._X = np.empty(
+                (capacity, space.n_attributes), dtype=np.float64
+            )
+            self._y = (
+                np.empty(capacity, dtype=np.int64)
+                if space.class_labels
+                else None
+            )
+        else:
+            store = make_store(backend, stripe_dir)
+            self._store = store
+            self._X = store.create(
+                "X", (capacity, space.n_attributes), np.float64
+            )
+            self._y = (
+                store.create("y", (capacity,), np.int64)
+                if space.class_labels
+                else None
+            )
+            store.meta["n_rows"] = 0
+            store.meta["n_attributes"] = space.n_attributes
+            store.meta["labelled"] = int(bool(space.class_labels))
+            store.commit()
+
+    @classmethod
+    def open(cls, stripe_dir: str | Path, space: AttributeSpace) -> "TabularLog":
+        """Reopen an mmap-backed log, truncated to its last commit.
+
+        The attribute space is not serialised with the stripes, so the
+        caller supplies it; its shape is validated against the committed
+        meta. Rows beyond the committed count (a killed mid-append) sit
+        past ``len(log)`` and are overwritten by the next append.
+        """
+        from repro.data.storage import open_store
+
+        store = open_store(stripe_dir)
+        if int(store.meta["n_attributes"]) != space.n_attributes or int(
+            store.meta["labelled"]
+        ) != int(bool(space.class_labels)):
+            raise SchemaError(
+                "attribute space does not match the stored stripes "
+                f"(d={store.meta['n_attributes']}, "
+                f"labelled={bool(store.meta['labelled'])})"
+            )
+        return cls(space, _store=store)
 
     def _ensure_capacity(self, extra: int) -> None:
         need = self._n + extra
@@ -240,6 +447,13 @@ class TabularLog:
         if need <= capacity:
             return
         new_capacity = max(need, 2 * capacity)
+        if self._store is not None:
+            self._X = self._store.resize(
+                "X", (new_capacity, self.space.n_attributes)
+            )
+            if self._y is not None:
+                self._y = self._store.resize("y", (new_capacity,))
+            return
         X = np.empty((new_capacity, self.space.n_attributes), dtype=np.float64)
         X[: self._n] = self._X[: self._n]
         self._X = X
@@ -288,6 +502,11 @@ class TabularLog:
         if self._y is not None:
             self._y[self._n : self._n + m] = np.asarray(y, dtype=np.int64)
         self._n += m
+        if self._store is not None:
+            # Rows first, row count last: every commit point is a
+            # consistent log (the crash-consistency contract).
+            self._store.meta["n_rows"] = self._n
+            self._store.commit()
         return self
 
     # ------------------------------------------------------------------ #

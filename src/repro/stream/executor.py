@@ -32,6 +32,7 @@ from typing import Any, Callable, ClassVar, Iterable, Sequence
 
 from repro._typing import DatasetLike, ExecutorLike, StructureOrPlan
 
+from repro.data.transactions import BitmapIndex
 from repro.errors import InvalidParameterError
 from repro.obs import MetricsRegistry, enabled, metrics, use_registry
 from repro.stream.sketch import (
@@ -159,6 +160,17 @@ def _merge_worker_registries(results: list[Any]) -> list[Any]:
     return bare
 
 
+def shipped_row_bytes(shards: Sequence[Sequence[Any]]) -> int:
+    """Approximate pickled payload bytes of row shards (8 bytes/item+row).
+
+    Feeds the ``storage.bytes_shipped`` counter when a *process* fan has
+    to ship the rows themselves; the handle-based fans over a
+    shared-medium store ship none, which is the zero the out-of-core
+    invariants pin.
+    """
+    return sum(8 * (len(shard) + sum(len(t) for t in shard)) for shard in shards)
+
+
 def shard_transactions(
     transactions: Sequence[Any], n_shards: int
 ) -> list[list[Any]]:
@@ -197,6 +209,11 @@ def sketch_shards(
     owns_runner = isinstance(executor, str)
     collect = enabled()
     payloads = [(list(shard), canon, n_items, collect) for shard in shards]
+    if isinstance(runner, ProcessExecutor):
+        metrics().inc(
+            "storage.bytes_shipped",
+            shipped_row_bytes([p[0] for p in payloads]),
+        )
     try:
         results = runner.map(_sketch_shard, payloads)
     finally:
@@ -226,6 +243,112 @@ def sharded_support_sketch(
     sketches = sketch_shards(shards, itemsets, n_items, executor=executor)
     merged = sum(sketches, SupportSketch.empty(itemsets, n_items))
     return merged
+
+
+# --------------------------------------------------------------------- #
+# Shared-index (zero-copy) map-merge
+# --------------------------------------------------------------------- #
+
+
+def shard_ranges(n_rows: int, n_shards: int) -> list[tuple[int, int]]:
+    """Contiguous, near-even ``[start, stop)`` row ranges covering ``n_rows``."""
+    if n_shards < 1:
+        raise InvalidParameterError("n_shards must be >= 1")
+    base, extra = divmod(n_rows, n_shards)
+    ranges: list[tuple[int, int]] = []
+    start = 0
+    for i in range(n_shards):
+        size = base + (1 if i < extra else 0)
+        ranges.append((start, start + size))
+        start += size
+    return ranges
+
+
+def _sketch_index_shard(
+    payload: tuple[Any, ...],
+) -> SupportSketch | tuple[SupportSketch, MetricsRegistry]:
+    """Top-level map worker counting one row range of a shared index.
+
+    Serial/thread backends receive the index by reference; the process
+    backend receives it through pickle, which for a store with a shared
+    medium is a byte-cheap :class:`~repro.data.storage.StripeHandle`
+    the worker re-maps zero-copy (``BitmapIndex.__reduce_ex__``) -- the
+    attach happens during payload deserialisation, the counting under
+    the worker's collect registry.
+    """
+    index, start, stop, canon, collect = payload
+    if not collect:
+        counts = canon.plan().count(index, start=start, stop=stop)
+        return SupportSketch._from_canonical(
+            canon, counts, stop - start, index.n_items
+        )
+    local = MetricsRegistry()
+    with use_registry(local):
+        with local.span("stream.shard.sketch"):
+            counts = canon.plan().count(index, start=start, stop=stop)
+            sketch = SupportSketch._from_canonical(
+                canon, counts, stop - start, index.n_items
+            )
+        local.inc("stream.shards.sketched")
+        local.observe("stream.shard.rows", float(stop - start))
+    return sketch, local
+
+
+def sketch_index_shards(
+    index: BitmapIndex,
+    itemsets: Iterable[Iterable[int]],
+    n_shards: int = 1,
+    executor: ExecutorLike = "serial",
+) -> list[SupportSketch]:
+    """Sketch contiguous row ranges of one *shared* index, no row copies.
+
+    The ranged counting seam (:meth:`SupportCountingPlan.count` with
+    ``start``/``stop``) lets every shard scan its slice of the same
+    stripes. On the serial/thread backends the workers share the index
+    by reference. On the process backend the shipping cost depends on
+    the index's store: a shared-medium (mmap) store pickles as a stripe
+    handle -- ``storage.bytes_shipped`` stays 0 and workers attach
+    zero-copy -- while a RAM store must ship the packed buffer to every
+    worker, tallied in the same counter (the out-of-core bench measures
+    exactly this gap).
+    """
+    canon = canonical_itemsets(itemsets)
+    ranges = shard_ranges(index.n_transactions, n_shards)
+    runner = get_executor(executor)
+    owns_runner = isinstance(executor, str)
+    collect = enabled()
+    if isinstance(runner, ProcessExecutor):
+        shipped = 0 if index.handle() is not None else index._buf.nbytes
+        metrics().inc("storage.bytes_shipped", shipped * len(ranges))
+    payloads = [(index, a, b, canon, collect) for a, b in ranges]
+    try:
+        results = runner.map(_sketch_index_shard, payloads)
+    finally:
+        if owns_runner:
+            shutdown = getattr(runner, "shutdown", None)
+            if shutdown is not None:
+                shutdown()
+    if not collect:
+        return results
+    return _merge_worker_registries(results)
+
+
+def sharded_index_sketch(
+    index: BitmapIndex,
+    itemsets: Iterable[Iterable[int]],
+    n_shards: int = 1,
+    executor: ExecutorLike = "serial",
+) -> SupportSketch:
+    """Map-merge counting over a shared index: range-split, sketch, sum.
+
+    Equivalent to one full-scan sketch of the index (the
+    backend-parametrized property suite enforces bit-identity across
+    backends and executors), but no shard ever holds a row copy.
+    """
+    sketches = sketch_index_shards(
+        index, itemsets, n_shards=n_shards, executor=executor
+    )
+    return sum(sketches, SupportSketch.empty(itemsets, index.n_items))
 
 
 # --------------------------------------------------------------------- #

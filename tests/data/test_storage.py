@@ -1,0 +1,324 @@
+"""StripeStore contract, mmap recovery, and crash-consistency tests.
+
+The store contract is backend-agnostic (create/resize/commit behave
+identically on RAM and mmap), and the mmap backend additionally promises
+crash consistency against process kill: anything written after the last
+commit is invisible after a reopen. The crash tests simulate the
+post-kill disk state directly -- scribbling uncommitted bytes into the
+stripe files without touching the manifest -- which is exactly what a
+SIGKILL between stripe writes and the manifest replace leaves behind.
+"""
+
+from __future__ import annotations
+
+import json
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.data.storage import (
+    MANIFEST_NAME,
+    AttachedStripeStore,
+    MmapStripeStore,
+    RamStripeStore,
+    attach,
+    iter_row_blocks,
+    make_store,
+    manifest_meta,
+    open_store,
+    scan_budget_bytes,
+)
+from repro.data.transactions import BitmapIndex
+from repro.errors import InvalidParameterError
+from repro.stream.chunks import TransactionLog
+
+
+def _make(backend, tmp_path, tag="store"):
+    return make_store(backend, tmp_path / tag)
+
+
+ROWS = [(0, 3), (1,), (0, 1, 2), (), (2, 3), (3,), (0,), (1, 2), (2,)]
+
+
+# --------------------------------------------------------------------- #
+# The backend-shared contract
+# --------------------------------------------------------------------- #
+
+
+@pytest.mark.parametrize("backend", ["ram", "mmap"])
+class TestStoreContract:
+    def test_create_zero_initialised_and_live(self, backend, tmp_path):
+        store = _make(backend, tmp_path)
+        arr = store.create("a", (3, 4), np.uint8)
+        assert arr.shape == (3, 4) and not arr.any()
+        arr[1, 2] = 7
+        assert store.stripe("a")[1, 2] == 7
+
+    def test_resize_preserves_prefix(self, backend, tmp_path):
+        store = _make(backend, tmp_path)
+        arr = store.create("a", (2, 3), np.int64)
+        arr[:] = [[1, 2, 3], [4, 5, 6]]
+        grown = store.resize("a", (4, 5))
+        assert grown.shape == (4, 5)
+        assert np.array_equal(grown[:2, :3], [[1, 2, 3], [4, 5, 6]])
+        assert not grown[2:].any() and not grown[:, 3:].any()
+
+    def test_leading_axis_growth_preserves_prefix(self, backend, tmp_path):
+        store = _make(backend, tmp_path)
+        arr = store.create("a", (2, 3), np.float64)
+        arr[:] = 1.5
+        grown = store.resize("a", (6, 3))
+        assert np.array_equal(grown[:2], np.full((2, 3), 1.5))
+        assert not grown[2:].any()
+
+    def test_resize_rejects_shrink(self, backend, tmp_path):
+        store = _make(backend, tmp_path)
+        store.create("a", (4, 4), np.uint8)
+        with pytest.raises(InvalidParameterError):
+            store.resize("a", (2, 4))
+
+    def test_duplicate_create_rejected(self, backend, tmp_path):
+        store = _make(backend, tmp_path)
+        store.create("a", (1,), np.uint8)
+        with pytest.raises(InvalidParameterError):
+            store.create("a", (1,), np.uint8)
+
+    def test_names(self, backend, tmp_path):
+        store = _make(backend, tmp_path)
+        store.create("a", (1,), np.uint8)
+        store.create("b", (2, 2), np.int64)
+        assert sorted(store.names()) == ["a", "b"]
+
+    def test_zero_size_stripe_grows(self, backend, tmp_path):
+        store = _make(backend, tmp_path)
+        arr = store.create("a", (0,), np.int32)
+        assert arr.size == 0
+        grown = store.resize("a", (5,))
+        grown[:] = np.arange(5)
+        assert np.array_equal(store.stripe("a"), np.arange(5))
+
+
+class TestMakeStore:
+    def test_unknown_backend_rejected(self, tmp_path):
+        with pytest.raises(InvalidParameterError):
+            make_store("tape", tmp_path)
+
+    def test_mmap_requires_dir(self):
+        with pytest.raises(InvalidParameterError):
+            make_store("mmap")
+
+    def test_ram_handle_is_none(self):
+        assert RamStripeStore().handle() is None
+
+
+# --------------------------------------------------------------------- #
+# Mmap specifics: reopen, handles, generations
+# --------------------------------------------------------------------- #
+
+
+class TestMmapStore:
+    def test_fresh_constructor_rejects_existing_store(self, tmp_path):
+        MmapStripeStore(tmp_path / "s")
+        with pytest.raises(InvalidParameterError):
+            MmapStripeStore(tmp_path / "s")
+
+    def test_reopen_rolls_back_to_last_commit(self, tmp_path):
+        store = MmapStripeStore(tmp_path / "s")
+        arr = store.create("a", (4,), np.int64)
+        arr[:] = [1, 2, 3, 4]
+        store.meta["n_rows"] = 4
+        store.commit()
+        # grow + write + meta bump, all uncommitted
+        grown = store.resize("a", (8,))
+        grown[4:] = 9
+        store.meta["n_rows"] = 8
+
+        reopened = open_store(tmp_path / "s")
+        assert reopened.meta["n_rows"] == 4
+        assert np.array_equal(reopened.stripe("a"), [1, 2, 3, 4])
+
+    def test_width_growth_writes_new_generation_and_gcs_old(self, tmp_path):
+        store = MmapStripeStore(tmp_path / "s")
+        arr = store.create("a", (2, 2), np.uint8)
+        arr[:] = 5
+        store.commit()
+        files = {p.name for p in (tmp_path / "s").iterdir()}
+        assert "a.0.stripe" in files
+        grown = store.resize("a", (2, 6))  # trailing-axis growth: new gen
+        assert np.array_equal(grown[:, :2], np.full((2, 2), 5))
+        # old generation survives until the commit stops referencing it
+        assert (tmp_path / "s" / "a.0.stripe").exists()
+        store.commit()
+        assert not (tmp_path / "s" / "a.0.stripe").exists()
+        assert (tmp_path / "s" / "a.1.stripe").exists()
+
+    def test_open_deletes_unreferenced_stripe_files(self, tmp_path):
+        store = MmapStripeStore(tmp_path / "s")
+        store.create("a", (2,), np.uint8)
+        store.commit()
+        orphan = tmp_path / "s" / "dead.7.stripe"
+        orphan.write_bytes(b"garbage")
+        open_store(tmp_path / "s")
+        assert not orphan.exists()
+
+    def test_manifest_meta_reads_without_mapping(self, tmp_path):
+        store = MmapStripeStore(tmp_path / "s")
+        store.meta["n_rows"] = 17
+        store.commit()
+        assert manifest_meta(tmp_path / "s")["n_rows"] == 17
+
+    def test_handle_round_trips_through_pickle(self, tmp_path):
+        store = MmapStripeStore(tmp_path / "s")
+        arr = store.create("a", (3, 2), np.int64)
+        arr[:] = np.arange(6).reshape(3, 2)
+        store.meta["n_rows"] = 3
+        store.commit()
+        handle = pickle.loads(pickle.dumps(store.handle()))
+        attached = attach(handle)
+        assert isinstance(attached, AttachedStripeStore)
+        assert attached.meta["n_rows"] == 3
+        assert np.array_equal(attached.stripe("a"), arr)
+        assert attached.handle() is handle
+
+    def test_attached_store_is_read_only(self, tmp_path):
+        store = MmapStripeStore(tmp_path / "s")
+        store.create("a", (2,), np.uint8)
+        store.commit()
+        attached = attach(store.handle())
+        for mutate in (
+            lambda: attached.create("b", (1,), np.uint8),
+            lambda: attached.resize("a", (4,)),
+            lambda: attached.commit(),
+        ):
+            with pytest.raises(InvalidParameterError):
+                mutate()
+
+    def test_release_and_flush_do_not_corrupt(self, tmp_path):
+        store = MmapStripeStore(tmp_path / "s")
+        arr = store.create("a", (1024,), np.int64)
+        arr[:] = np.arange(1024)
+        store.commit()
+        store.flush()
+        store.release("a")
+        assert np.array_equal(store.stripe("a"), np.arange(1024))
+
+
+# --------------------------------------------------------------------- #
+# Crash consistency: reopen == rebuild from committed rows
+# --------------------------------------------------------------------- #
+
+
+def _scribble_uncommitted(stripe_dir):
+    """Simulate a SIGKILL mid-append: grow + dirty stripes, manifest stale.
+
+    Writes garbage into every committed stripe file -- flipping the
+    bytes beyond the committed extents *and* extending each file -- and
+    leaves a stale manifest temp file behind. This is exactly the set of
+    disk states an append killed before its commit can leave.
+    """
+    manifest = json.loads((stripe_dir / MANIFEST_NAME).read_text())
+    for spec in manifest["stripes"].values():
+        path = stripe_dir / spec["file"]
+        committed = path.stat().st_size
+        blob = path.read_bytes()
+        path.write_bytes(blob + b"\xff" * max(64, committed // 2))
+    (stripe_dir / (MANIFEST_NAME + ".tmp")).write_text("{broken")
+
+
+class TestCrashConsistency:
+    def test_reopened_index_matches_rebuilt(self, tmp_path):
+        committed = ROWS  # 9 rows: the committed tail byte is partial
+        log = TransactionLog(
+            4, committed, backend="mmap", stripe_dir=tmp_path / "s"
+        )
+        n_bytes = log.index._buf.shape[1]
+        del log
+
+        # the kill: uncommitted garbage lands in the files, including
+        # the spare capacity bytes of the committed rows' own stripes
+        buf_file = next((tmp_path / "s").glob("item_bits*.stripe"))
+        raw = bytearray(buf_file.read_bytes())
+        committed_bytes = (len(committed) + 7) >> 3
+        for item in range(4):
+            row = item * n_bytes
+            for b in range(committed_bytes, n_bytes):
+                raw[row + b] = 0xFF
+            # dirty the committed partial byte's spare bits too
+            raw[row + committed_bytes - 1] |= 0x7F
+        buf_file.write_bytes(bytes(raw))
+        _scribble_uncommitted(tmp_path / "s")
+
+        reopened = TransactionLog.open(tmp_path / "s")
+        rebuilt = BitmapIndex(committed, 4)
+        assert len(reopened) == len(committed)
+        assert reopened.transactions == [
+            tuple(sorted(set(t))) for t in committed
+        ]
+        itemsets = [(0,), (1,), (2,), (3,), (0, 1), (1, 2), (0, 2, 3), ()]
+        assert np.array_equal(
+            reopened.index.support_counts(itemsets),
+            rebuilt.support_counts(itemsets),
+        )
+
+    def test_append_after_recovery_continues_cleanly(self, tmp_path):
+        log = TransactionLog(
+            4, ROWS[:5], backend="mmap", stripe_dir=tmp_path / "s"
+        )
+        del log
+        _scribble_uncommitted(tmp_path / "s")
+        reopened = TransactionLog.open(tmp_path / "s")
+        reopened.append(ROWS[5:])
+        rebuilt = BitmapIndex(ROWS, 4)
+        itemsets = [(0,), (1, 2), (2, 3), ()]
+        assert np.array_equal(
+            reopened.index.support_counts(itemsets),
+            rebuilt.support_counts(itemsets),
+        )
+        # and the recovered-and-extended state itself reopens
+        again = TransactionLog.open(tmp_path / "s")
+        assert len(again) == len(ROWS)
+        assert np.array_equal(
+            again.index.support_counts(itemsets),
+            rebuilt.support_counts(itemsets),
+        )
+
+    def test_store_level_reopen_masks_nothing_it_should_keep(self, tmp_path):
+        store = MmapStripeStore(tmp_path / "s")
+        arr = store.create("a", (16,), np.uint8)
+        arr[:] = np.arange(16)
+        store.meta["n_rows"] = 16
+        store.commit()
+        _scribble_uncommitted(tmp_path / "s")
+        reopened = open_store(tmp_path / "s")
+        assert np.array_equal(reopened.stripe("a"), np.arange(16))
+
+
+# --------------------------------------------------------------------- #
+# Budget helpers
+# --------------------------------------------------------------------- #
+
+
+class TestScanBudget:
+    def test_default(self, monkeypatch):
+        monkeypatch.delenv("REPRO_SCAN_BUDGET_BYTES", raising=False)
+        assert scan_budget_bytes() == 1 << 26
+
+    def test_env_override(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SCAN_BUDGET_BYTES", "4096")
+        assert scan_budget_bytes() == 4096
+
+    def test_param_wins_over_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SCAN_BUDGET_BYTES", "4096")
+        assert scan_budget_bytes(128) == 128
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(InvalidParameterError):
+            scan_budget_bytes(0)
+
+    def test_iter_row_blocks_covers_exactly(self):
+        blocks = list(iter_row_blocks(10, 3))
+        assert blocks == [(0, 3), (3, 6), (6, 9), (9, 10)]
+        assert list(iter_row_blocks(0, 5)) == []
+        with pytest.raises(InvalidParameterError):
+            list(iter_row_blocks(5, 0))

@@ -29,10 +29,12 @@ from repro.mining.tree.builder import TreeParams
 from repro.stats.resample_plan import (
     CountsResamplePlan,
     LitsResamplePlan,
+    PackedLitsResamplePlan,
     PartitionResamplePlan,
     compile_resample_plan,
     draw_multiplicities,
     lits_membership,
+    max_membership_bytes,
     multiplicities_from_indices,
 )
 
@@ -139,6 +141,95 @@ class TestLitsExactEquality:
             g=MAX,
         )
         assert np.array_equal(slow, fast)
+
+
+class TestPackedPlanRegression:
+    """The bit-packed block-streaming plan is the dense GEMM, exactly.
+
+    ``PackedLitsResamplePlan`` exists to lift the dense membership cap;
+    its correctness contract is that under shared draws its observed
+    counts and null vector equal both the dense ``LitsResamplePlan`` and
+    the per-replicate loop oracle bit for bit -- including when the
+    block budget forces multi-block row streaming.
+    """
+
+    @given(case=lits_cases())
+    @settings(max_examples=40, deadline=None)
+    def test_packed_equals_dense_and_oracle_under_shared_draws(self, case):
+        txns, structure, n1, n_boot, seed = case
+        pooled = TransactionDataset(txns, N_ITEMS)
+        n = len(pooled)
+        d1 = pooled.take(np.arange(n1))
+        d2 = pooled.take(np.arange(n1, n))
+
+        dense = LitsResamplePlan.from_datasets(structure, d1, d2)
+        packed = PackedLitsResamplePlan.from_datasets(structure, d1, d2)
+        # force the streaming path: at most one byte-block of rows at a
+        # time, so every case with > 8 pooled rows exercises multi-block
+        packed._block_rows = 8
+
+        assert np.array_equal(
+            packed.observed_counts()[0], dense.observed_counts()[0]
+        )
+        assert np.array_equal(
+            packed.observed_counts()[1], dense.observed_counts()[1]
+        )
+
+        rng = np.random.default_rng(seed)
+        idx1 = rng.integers(0, n, size=(n_boot, n1))
+        idx2 = rng.integers(0, n, size=(n_boot, n - n1))
+        m1 = multiplicities_from_indices(idx1, n)
+        m2 = multiplicities_from_indices(idx2, n)
+        slow = oracle_null(structure, pooled, idx1, idx2)
+        assert np.array_equal(packed.null_from_multiplicities(m1, m2), slow)
+        assert np.array_equal(
+            packed.null_from_multiplicities(m1, m2),
+            dense.null_from_multiplicities(m1, m2),
+        )
+
+    def test_small_cap_routes_to_packed_with_identical_significance(self):
+        txns = [(0,), (0, 1), (1,), (2,), (0, 2), (1, 2)] * 4
+        pooled = TransactionDataset(txns, N_ITEMS)
+        structure = LitsStructure(
+            [frozenset([0]), frozenset([1]), frozenset([0, 1]), frozenset()]
+        )
+        d1 = pooled.take(np.arange(12))
+        d2 = pooled.take(np.arange(12, 24))
+        dense = compile_resample_plan(structure, d1, d2)
+        packed = compile_resample_plan(
+            structure, d1, d2, max_membership_bytes=1
+        )
+        assert isinstance(dense, LitsResamplePlan)
+        assert isinstance(packed, PackedLitsResamplePlan)
+        ref = dense.significance(16, np.random.default_rng(7))
+        got = packed.significance(16, np.random.default_rng(7))
+        assert got.observed == ref.observed
+        assert np.array_equal(got.null_values, ref.null_values)
+
+    def test_env_var_injects_the_cap(self, monkeypatch):
+        txns = [(0,), (0, 1), (1,)] * 3
+        pooled = TransactionDataset(txns, N_ITEMS)
+        structure = LitsStructure([frozenset([0]), frozenset([1])])
+        d1 = pooled.take(np.arange(4))
+        d2 = pooled.take(np.arange(4, 9))
+        monkeypatch.setenv("REPRO_MAX_MEMBERSHIP_BYTES", "1")
+        assert max_membership_bytes() == 1
+        plan = compile_resample_plan(structure, d1, d2)
+        assert isinstance(plan, PackedLitsResamplePlan)
+        # an explicit argument overrides the environment
+        assert isinstance(
+            compile_resample_plan(
+                structure, d1, d2, max_membership_bytes=1 << 31
+            ),
+            LitsResamplePlan,
+        )
+
+    def test_cap_resolver_rejects_nonpositive(self, monkeypatch):
+        with pytest.raises(InvalidParameterError):
+            max_membership_bytes(0)
+        monkeypatch.setenv("REPRO_MAX_MEMBERSHIP_BYTES", "-5")
+        with pytest.raises(InvalidParameterError):
+            max_membership_bytes()
 
 
 @st.composite
@@ -555,9 +646,10 @@ class TestChunkedDraws:
         owner.shutdown()
         assert owner._pool is None
 
-    def test_oversized_membership_pool_does_not_compile(self, monkeypatch):
-        """Past the membership-bytes cap the lits plan would not fit in
-        memory; compile returns None so callers take the O(rows) loop."""
+    def test_oversized_membership_pool_routes_to_packed(self, monkeypatch):
+        """Past the membership-bytes cap the dense lits plan would not
+        fit in memory; compile hands over to the bit-packed
+        block-streaming plan instead of the old None fallback."""
         from repro.stats import resample_plan as rp
 
         txns = [(0,), (1,), (0, 1)] * 10
@@ -565,17 +657,20 @@ class TestChunkedDraws:
         structure = LitsStructure([frozenset([0]), frozenset([1])])
         d1 = pooled.take(np.arange(15))
         d2 = pooled.take(np.arange(15, 30))
-        assert compile_resample_plan(structure, d1, d2) is not None
+        dense = compile_resample_plan(structure, d1, d2)
+        assert isinstance(dense, LitsResamplePlan)
+        assert not isinstance(dense, PackedLitsResamplePlan)
         monkeypatch.setattr(rp, "_MAX_MEMBERSHIP_BYTES", 4 * 30 * 2 - 1)
-        assert compile_resample_plan(structure, d1, d2) is None
+        packed = compile_resample_plan(structure, d1, d2)
+        assert isinstance(packed, PackedLitsResamplePlan)
 
     def test_membership_cap_accounts_for_float64_pools(self, monkeypatch):
-        """Past 2**24 pooled rows the plan's columns are 8-byte
-        float64, so the cap must budget 8 bytes/entry, not 4."""
+        """Past 2**24 pooled rows the dense plan's columns are 8-byte
+        float64, so the routing cap must budget 8 bytes/entry, not 4."""
         from repro.stats import resample_plan as rp
 
         class Huge:
-            """Index-bearing stub: compile must bail on size alone."""
+            """Index-bearing stub: routing must decide on size alone."""
 
             def __init__(self, n):
                 self._n = n
@@ -584,11 +679,24 @@ class TestChunkedDraws:
             def __len__(self):
                 return self._n
 
+        # intercept both constructors so the routing decision is
+        # observable without materialising a 2**24-row pool
+        monkeypatch.setattr(
+            rp.PackedLitsResamplePlan,
+            "from_datasets",
+            classmethod(lambda cls, *a, **k: "packed"),
+        )
+        monkeypatch.setattr(
+            rp.LitsResamplePlan,
+            "from_datasets",
+            classmethod(lambda cls, *a, **k: "dense"),
+        )
         structure = LitsStructure([frozenset([0]), frozenset([1])])
         half = rp._FLOAT32_EXACT_ROWS // 2
         # 2 regions x 2**24 rows x 8 bytes = 256 MiB; a 4-byte budget
-        # would admit this pool under a 192 MiB cap, 8-byte must not
+        # would wrongly admit this pool dense under a 192 MiB cap
         monkeypatch.setattr(rp, "_MAX_MEMBERSHIP_BYTES", 192 * (1 << 20))
         assert (
-            compile_resample_plan(structure, Huge(half), Huge(half)) is None
+            compile_resample_plan(structure, Huge(half), Huge(half))
+            == "packed"
         )

@@ -440,6 +440,69 @@ class TestRL007:
         assert codes(src) == []
 
 
+class TestRL008:
+    STORAGE = "src/repro/data/storage.py"  # hot for RL008 but not RL004
+
+    def test_copy_of_whole_buf_fires(self):
+        src = (
+            "def densify(self):\n"
+            "    return self._buf.copy()\n"
+        )
+        assert codes(src, HOT) == ["RL008"]
+
+    def test_asarray_of_whole_bits_fires(self):
+        src = (
+            "import numpy as np\n"
+            "def densify(index):\n"
+            "    return np.asarray(index._bits)\n"
+        )
+        assert codes(src, HOT) == ["RL008"]
+
+    def test_tobytes_of_stripe_call_fires(self):
+        src = (
+            "def dump(store):\n"
+            "    return store.stripe('item_bits').tobytes()\n"
+        )
+        assert codes(src, HOT) == ["RL008"]
+
+    def test_storage_module_is_hot_for_this_rule(self):
+        src = (
+            "def densify(self):\n"
+            "    return self._buf.copy()\n"
+        )
+        assert codes(src, self.STORAGE) == ["RL008"]
+
+    def test_sliced_view_copy_is_clean(self):
+        src = (
+            "def block(self, a, b):\n"
+            "    return self._buf[:, a:b].copy()\n"
+        )
+        assert codes(src, HOT) == []
+
+    def test_other_receivers_are_clean(self):
+        src = (
+            "import numpy as np\n"
+            "def f(counts, bits):\n"
+            "    return np.asarray(counts), bits.copy(), counts.tobytes()\n"
+        )
+        assert codes(src, HOT) == []
+
+    def test_cold_module_is_clean(self):
+        src = (
+            "def densify(self):\n"
+            "    return self._buf.copy()\n"
+        )
+        assert codes(src) == []
+
+    def test_oracle_function_is_exempt(self):
+        src = (
+            "def dense_counts_oracle(self):\n"
+            '    """Row-wise oracle for the property suite."""\n'
+            "    return self._buf.copy()\n"
+        )
+        assert codes(src, HOT) == []
+
+
 # --------------------------------------------------------------------- #
 # The escape hatch
 # --------------------------------------------------------------------- #
@@ -515,6 +578,7 @@ class TestRealTree:
     def test_every_rule_is_documented(self):
         assert sorted(RULE_DOCS) == [
             "RL001", "RL002", "RL003", "RL004", "RL005", "RL006", "RL007",
+            "RL008",
         ]
         for code, (title, doc) in RULE_DOCS.items():
             assert title, code

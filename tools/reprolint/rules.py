@@ -17,6 +17,9 @@ RL006     no lambdas or locally-defined closures handed to
           process-backed executor fans (they do not pickle)
 RL007     ``span(...)`` timing contexts must be entered with ``with``
           (a span that is never exited records nothing)
+RL008     hot modules must not materialise a whole stripe-store view
+          (``np.asarray``/``.copy()``/``.tobytes()`` on ``_bits``/
+          ``_buf``/``stripe(...)``); bounded slices only
 ========  ============================================================
 
 Rules are deliberately syntactic and conservative: they flag the
@@ -794,6 +797,106 @@ class SpanContextRule:
             )
 
 
+# --------------------------------------------------------------------- #
+# RL008 -- whole-stripe materialisation in hot modules
+# --------------------------------------------------------------------- #
+
+
+class StripeMaterializeRule:
+    """Out-of-core scans must not densify a whole stripe store (PR 8).
+
+    The mmap backend only stays out-of-core if hot paths read stripe
+    views in place: one ``np.asarray``/``.copy()``/``.tobytes()`` over a
+    whole store view silently pages the entire file into a private RAM
+    buffer, and every "larger than RAM" guarantee is gone. Flags calls
+    that materialise an *unsubscripted* store view (a ``_bits``/``_buf``
+    attribute, or a ``.stripe(...)`` result) inside the hot modules;
+    slices of a view (``buf[a:b].copy()``) are bounded and stay legal.
+    Deliberately row-wise property-test oracles are exempt under RL004's
+    marking convention (``*_loop``/``*_oracle`` names or "oracle" in the
+    docstring).
+    """
+
+    code = "RL008"
+    title = "whole-stripe materialisation in a hot module"
+
+    #: the out-of-core storage layer is hot for this rule even though
+    #: RL004's loop rule does not cover it
+    HOT_EXTRA_SUFFIXES = (
+        "data/storage.py",
+        "data/transactions.py",
+    )
+    STORE_VIEW_TAILS = frozenset({"_bits", "_buf"})
+    COPY_FUNCS = frozenset(
+        {"array", "asarray", "asanyarray", "ascontiguousarray"}
+    )
+    COPY_METHODS = frozenset({"copy", "tobytes"})
+
+    @classmethod
+    def is_hot(cls, path: str) -> bool:
+        posix = path.replace("\\", "/")
+        if any(posix.endswith(suffix) for suffix in cls.HOT_EXTRA_SUFFIXES):
+            return True
+        return PerRowLoopRule.is_hot(path)
+
+    def _is_store_view(self, node: ast.expr) -> bool:
+        """An unsubscripted whole-store view expression."""
+        if isinstance(node, (ast.Name, ast.Attribute)):
+            return tail_name(node) in self.STORE_VIEW_TAILS
+        if isinstance(node, ast.Call):
+            return tail_name(node.func) == "stripe"
+        return False
+
+    def _is_oracle(
+        self, function: ast.FunctionDef | ast.AsyncFunctionDef | None
+    ) -> bool:
+        if function is None:
+            return False
+        if function.name.endswith(PerRowLoopRule.ORACLE_NAME_SUFFIXES):
+            return True
+        docstring = ast.get_docstring(function) or ""
+        return "oracle" in docstring.lower()
+
+    def _violation(self, node: ast.Call) -> str | None:
+        func = node.func
+        if isinstance(func, ast.Attribute):
+            if (
+                func.attr in self.COPY_METHODS
+                and self._is_store_view(func.value)
+            ):
+                return f".{func.attr}()"
+            if (
+                func.attr in self.COPY_FUNCS
+                and isinstance(func.value, ast.Name)
+                and func.value.id in ("np", "numpy")
+                and node.args
+                and self._is_store_view(node.args[0])
+            ):
+                return f"np.{func.attr}(...)"
+        return None
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        if not self.is_hot(ctx.path):
+            return
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            what = self._violation(node)
+            if what is None:
+                continue
+            if self._is_oracle(ctx.enclosing_function(node)):
+                continue
+            yield _finding(
+                ctx,
+                node,
+                self.code,
+                f"{what} over a whole stripe view materialises the full "
+                "store in RAM, defeating the out-of-core backend; operate "
+                "on bounded slices (row blocks / byte ranges), or mark "
+                "the function as a property-test oracle",
+            )
+
+
 RULES: Sequence[object] = (
     UnseededRngRule(),
     UnguardedMergeRule(),
@@ -802,6 +905,7 @@ RULES: Sequence[object] = (
     MutableStateRule(),
     UnpicklableWorkerRule(),
     SpanContextRule(),
+    StripeMaterializeRule(),
 )
 
 #: code -> (title, docstring) for --list-rules and the docs.
