@@ -10,6 +10,10 @@ Subcommands::
     monitor-stream    --data txns.txt --window 1000 [--step 250 --boot 8]
     monitor-stream    --data people.npz --kind tabular --window 1000
     fleet             --data a.txt b.txt c.txt [--threshold 5 --groups 2]
+    sketch pack       --data a.txt --out a.sketch [--model-out a.model]
+    sketch merge      --in a.sketch b.sketch --out merged.sketch
+    sketch compare    --in a.sketch b.sketch --models a.model b.model
+    sketch inspect    --in a.sketch
 
 ``compare-*`` prints delta, (for lits) delta*, and the bootstrap
 significance -- the full Section 3 pipeline from flat files.
@@ -18,6 +22,13 @@ through :class:`repro.fleet.FleetDeviationMatrix` -- with ``--threshold``
 only pairs whose delta* bound crosses it are scanned exactly -- and
 emits the matrix, a 2-D MDS embedding, the groups, and the pruning
 statistics as JSON (or the matrix as CSV).
+``sketch`` is the federated workflow: ``pack`` turns one site's data
+into kilobyte wire payloads (a mergeable sketch, plus the model for lits
+stores), ``merge`` sums shard sketches without any rows, ``compare``
+computes the fleet deviation matrix *from payloads alone* (no dataset
+readable by the comparer; delta*-pruned with ``--threshold``, pair
+significance with ``--boot`` for partition fleets), and ``inspect``
+describes a payload after verifying every checksum.
 ``monitor-stream`` treats the file as a temporally ordered stream: the
 first window becomes the reference, every later window is maintained
 incrementally (mergeable sketches; no rescan of surviving rows) and
@@ -276,6 +287,80 @@ def _add_monitor_stream(sub) -> None:
     _add_obs_args(p)
 
 
+def _add_sketch(sub) -> None:
+    p = sub.add_parser(
+        "sketch",
+        help="federated sketch exchange: pack/merge/compare/inspect "
+        "kilobyte wire payloads (no data movement)",
+    )
+    ssub = p.add_subparsers(dest="sketch_command", required=True)
+
+    pk = ssub.add_parser(
+        "pack",
+        help="turn one site's data file into wire payloads (sketch + "
+        "model)",
+    )
+    pk.add_argument("--data", required=True)
+    pk.add_argument("--kind", choices=("transactions", "tabular"),
+                    default="transactions")
+    pk.add_argument("--out", required=True, help="sketch payload path")
+    pk.add_argument("--model-out", default=None,
+                    help="also write the site's packed model payload "
+                    "(lits stores ship it alongside the sketch)")
+    pk.add_argument("--min-support", type=float, default=0.02)
+    pk.add_argument("--max-len", type=int, default=2)
+    pk.add_argument("--probe-models", nargs="+", default=None,
+                    metavar="MODEL",
+                    help="packed lits-model payloads of the whole fleet; "
+                    "the sketch counts the union of their itemsets so any "
+                    "pair becomes exactly comparable (default: this "
+                    "store's own itemsets)")
+    pk.add_argument("--ref", default=None,
+                    help="packed dt-/cluster-model payload giving the "
+                    "fleet-shared structure (tabular kind; default: fit a "
+                    "dt-model on this data and embed it)")
+    pk.add_argument("--max-depth", type=int, default=6)
+    pk.add_argument("--min-leaf", type=int, default=25)
+    _add_obs_args(pk)
+
+    mg = ssub.add_parser(
+        "merge",
+        help="sum shard sketch payloads into one (no rows involved)",
+    )
+    mg.add_argument("--in", dest="inputs", nargs="+", required=True)
+    mg.add_argument("--out", required=True)
+    _add_obs_args(mg)
+
+    cp = ssub.add_parser(
+        "compare",
+        help="fleet deviation matrix purely from exchanged payloads",
+    )
+    cp.add_argument("--in", dest="inputs", nargs="+", required=True,
+                    help="sketch payloads, one per store")
+    cp.add_argument("--models", nargs="+", default=None,
+                    help="packed lits-model payloads aligned with --in "
+                    "(lits fleets; partition sketches embed their model)")
+    cp.add_argument("--names", nargs="+", default=None,
+                    help="store names (default: file stems)")
+    cp.add_argument("--threshold", type=float, default=None,
+                    help="delta* pruning threshold (lits fleets)")
+    cp.add_argument("--boot", type=int, default=0,
+                    help="bootstrap resamples for per-pair significance "
+                    "(partition fleets: counts-only CountsResamplePlan)")
+    cp.add_argument("--seed", type=int, default=0)
+    cp.add_argument("--format", choices=("json", "csv"), default="json")
+    cp.add_argument("--out", default=None,
+                    help="write the report here instead of stdout")
+    _add_obs_args(cp)
+
+    ins = ssub.add_parser(
+        "inspect",
+        help="describe payloads (kind, version, sections) after "
+        "verifying every checksum",
+    )
+    ins.add_argument("--in", dest="inputs", nargs="+", required=True)
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(prog="focus-repro", description=__doc__)
     sub = parser.add_subparsers(dest="command", required=True)
@@ -287,6 +372,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_compare_models(sub)
     _add_fleet(sub)
     _add_monitor_stream(sub)
+    _add_sketch(sub)
     return parser
 
 
@@ -517,6 +603,213 @@ def _cmd_monitor_stream(args, out) -> int:
         monitor.close()
 
 
+def _cmd_sketch_pack(args, out) -> int:
+    from pathlib import Path
+
+    from repro.wire import pack, unpack_model
+
+    if args.kind == "transactions":
+        dataset = load_transactions(args.data)
+        if args.probe_models:
+            # the two-leg protocol: the fleet's models already travelled,
+            # so sketch exactly their union -- every site counting the
+            # same collection is what makes sketches mergeable across
+            # shards and exactly comparable across stores (the local
+            # model is mined only if this site also ships one)
+            from repro.fleet import probe_itemsets
+
+            fleet_models = []
+            for path in args.probe_models:
+                probe = unpack_model(Path(path).read_bytes())
+                if not isinstance(probe, LitsModel):
+                    print(
+                        f"--probe-models: {path} is not a lits-model payload",
+                        file=sys.stderr,
+                    )
+                    return 2
+                fleet_models.append(probe)
+            probes = probe_itemsets(fleet_models)
+            model = (
+                LitsModel.mine(dataset, args.min_support, max_len=args.max_len)
+                if args.model_out
+                else None
+            )
+        else:
+            model = LitsModel.mine(
+                dataset, args.min_support, max_len=args.max_len
+            )
+            probes = model.itemsets
+        from repro.stream.sketch import SupportSketch
+
+        sketch_payload = pack(SupportSketch.from_dataset(dataset, probes))
+        model_payload = pack(model) if model is not None else b""
+        what = f"{len(probes)} itemsets over {len(dataset)} transactions"
+    else:
+        dataset = load_tabular(args.data)
+        if args.ref:
+            ref = unpack_model(Path(args.ref).read_bytes())
+            if isinstance(ref, LitsModel):
+                print(
+                    f"--ref: {args.ref} is a lits-model; a tabular sketch "
+                    "needs a dt- or cluster-model structure",
+                    file=sys.stderr,
+                )
+                return 2
+        else:
+            params = TreeParams(max_depth=args.max_depth, min_leaf=args.min_leaf)
+            ref = DtModel.fit(dataset, params)
+        from repro.stream.sketch import PartitionSketch
+
+        sketch = PartitionSketch.from_dataset(dataset, ref.structure)
+        sketch_payload = pack(sketch, model=ref)
+        model_payload = pack(ref)
+        what = (
+            f"{len(sketch.counts)} regions over {len(dataset)} rows "
+            "(model embedded)"
+        )
+    Path(args.out).write_bytes(sketch_payload)
+    print(
+        f"packed {what}: {len(sketch_payload)} bytes -> {args.out}", file=out
+    )
+    if args.model_out:
+        Path(args.model_out).write_bytes(model_payload)
+        print(
+            f"packed model: {len(model_payload)} bytes -> {args.model_out}",
+            file=out,
+        )
+    return 0
+
+
+def _cmd_sketch_merge(args, out) -> int:
+    from pathlib import Path
+
+    from repro.wire import (
+        KIND_PARTITION_SKETCH,
+        KIND_SUPPORT_SKETCH,
+        kind_of,
+        pack,
+        unpack_partition_payload,
+        unpack_partition_sketch,
+        unpack_support_sketch,
+    )
+
+    payloads = [Path(p).read_bytes() for p in args.inputs]
+    kind = kind_of(payloads[0])
+    if kind == KIND_SUPPORT_SKETCH:
+        sketches = [unpack_support_sketch(p) for p in payloads]
+        merged_payload = pack(sum(sketches[1:], sketches[0]))
+    elif kind == KIND_PARTITION_SKETCH:
+        first, model = unpack_partition_payload(payloads[0])
+        rest = [unpack_partition_sketch(p) for p in payloads[1:]]
+        merged_payload = pack(sum(rest, first), model=model)
+    else:
+        print(
+            f"{args.inputs[0]} is not a sketch payload (models do not "
+            "merge; re-mine over the merged data instead)",
+            file=sys.stderr,
+        )
+        return 2
+    Path(args.out).write_bytes(merged_payload)
+    print(
+        f"merged {len(payloads)} sketches -> {args.out} "
+        f"({len(merged_payload)} bytes)",
+        file=out,
+    )
+    return 0
+
+
+def _cmd_sketch_compare(args, out) -> int:
+    import json
+    from pathlib import Path
+
+    from repro.fleet import FleetDeviationMatrix
+
+    sketch_payloads = [Path(p).read_bytes() for p in args.inputs]
+    if args.models is not None:
+        if len(args.models) != len(args.inputs):
+            print(
+                f"--models must align with --in: got {len(args.models)} "
+                f"models for {len(args.inputs)} sketches",
+                file=sys.stderr,
+            )
+            return 2
+        model_payloads = [Path(p).read_bytes() for p in args.models]
+        shipments = list(zip(model_payloads, sketch_payloads))
+    else:
+        shipments = list(sketch_payloads)
+    names = args.names or [Path(p).stem for p in args.inputs]
+    fleet = FleetDeviationMatrix.from_sketches(shipments, names=names)
+    if args.threshold is not None and fleet.kind != "lits":
+        print(
+            "--threshold (delta* pruning) applies to lits fleets only; "
+            "partition fleets are exact from the shared structure -- use "
+            "--boot for per-pair significance instead.",
+            file=sys.stderr,
+        )
+        return 2
+    if args.threshold is not None:
+        result = fleet.pruned(args.threshold)
+    else:
+        result = fleet.exhaustive()
+
+    if args.format == "csv":
+        payload = result.to_csv()
+    else:
+        report = result.to_report()
+        report["payload_bytes"] = list(fleet.payload_bytes)
+        if args.boot > 0 and fleet.kind == "partition":
+            n = len(fleet.names)
+            report["qualification"] = [
+                {
+                    "pair": [fleet.names[i], fleet.names[j]],
+                    "p_value": fleet.qualify(
+                        i, j, n_boot=args.boot, seed=args.seed
+                    ).p_value,
+                }
+                for i in range(n)
+                for j in range(i + 1, n)
+            ]
+        payload = json.dumps(report, indent=2) + "\n"
+    if args.out:
+        Path(args.out).write_text(payload)
+    else:
+        out.write(payload)
+    shipped = sum(fleet.payload_bytes)
+    print(
+        f"{len(fleet.names)} stores compared from {shipped} payload bytes "
+        f"(no rows shipped): {result.n_sketch_exact} pairs exact from "
+        f"sketches, {result.n_pruned} certified by delta*"
+        + (f"; wrote {args.out}" if args.out else ""),
+        file=sys.stderr if not args.out else out,
+    )
+    return 0
+
+
+def _cmd_sketch_inspect(args, out) -> int:
+    import json
+    from pathlib import Path
+
+    from repro.wire import payload_info
+
+    for path in args.inputs:
+        info = payload_info(Path(path).read_bytes())
+        info["path"] = path
+        print(json.dumps(info, indent=2), file=out)
+    return 0
+
+
+_SKETCH_COMMANDS = {
+    "pack": _cmd_sketch_pack,
+    "merge": _cmd_sketch_merge,
+    "compare": _cmd_sketch_compare,
+    "inspect": _cmd_sketch_inspect,
+}
+
+
+def _cmd_sketch(args, out) -> int:
+    return _SKETCH_COMMANDS[args.sketch_command](args, out)
+
+
 COMMANDS = {
     "generate-basket": _cmd_generate_basket,
     "generate-classify": _cmd_generate_classify,
@@ -526,6 +819,7 @@ COMMANDS = {
     "compare-models": _cmd_compare_models,
     "fleet": _cmd_fleet,
     "monitor-stream": _cmd_monitor_stream,
+    "sketch": _cmd_sketch,
 }
 
 

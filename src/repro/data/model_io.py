@@ -7,14 +7,22 @@ both model classes through JSON:
 
 * :class:`LitsModel` -- itemsets + supports + threshold;
 * :class:`DecisionTree` / :class:`DtModel` -- the split tree, leaf
-  histograms, and the attribute space.
+  histograms, and the attribute space;
+* :class:`ClusterModel` -- the grid, densities, and cluster assignment.
+
+Each model class has a ``*_to_dict``/``*_from_dict`` pair (the exact
+payload the JSON files carry), used both here and by the binary wire
+codecs in :mod:`repro.wire.models` -- one canonical dict form, two
+transports. :func:`save_packed_model`/:func:`load_packed_model` write
+the compact checksummed wire envelope instead of JSON.
 """
 
 from __future__ import annotations
 
 import json
+import math
 from pathlib import Path
-from typing import Any
+from typing import TYPE_CHECKING, Any
 
 import numpy as np
 
@@ -25,10 +33,13 @@ from repro.errors import InvalidParameterError
 from repro.mining.tree.splits import CategoricalSplit, NumericSplit
 from repro.mining.tree.tree import DecisionTree, Node
 
+if TYPE_CHECKING:  # circular at runtime: cluster_model imports repro.data
+    from repro.core.cluster_model import ClusterModel
 
-def save_lits_model(model: LitsModel, path: str | Path) -> None:
-    """Write a lits-model as JSON."""
-    payload = {
+
+def lits_model_to_dict(model: LitsModel) -> dict[str, Any]:
+    """The canonical JSON-able form of a lits-model."""
+    return {
         "kind": "lits-model",
         "min_support": model.min_support,
         "n_items": model.n_items,
@@ -40,7 +51,22 @@ def save_lits_model(model: LitsModel, path: str | Path) -> None:
             )
         ],
     }
-    Path(path).write_text(json.dumps(payload, indent=1))
+
+
+def lits_model_from_dict(payload: dict[str, Any]) -> LitsModel:
+    """Rebuild a lits-model from :func:`lits_model_to_dict` output."""
+    if payload.get("kind") != "lits-model":
+        raise InvalidParameterError("payload does not describe a lits-model")
+    supports = {
+        frozenset(entry["items"]): float(entry["support"])
+        for entry in payload["itemsets"]
+    }
+    return LitsModel(supports, payload["min_support"], payload["n_items"])
+
+
+def save_lits_model(model: LitsModel, path: str | Path) -> None:
+    """Write a lits-model as JSON."""
+    Path(path).write_text(json.dumps(lits_model_to_dict(model), indent=1))
 
 
 def load_lits_model(path: str | Path) -> LitsModel:
@@ -48,11 +74,31 @@ def load_lits_model(path: str | Path) -> LitsModel:
     payload = json.loads(Path(path).read_text())
     if payload.get("kind") != "lits-model":
         raise InvalidParameterError(f"{path} does not contain a lits-model")
-    supports = {
-        frozenset(entry["items"]): float(entry["support"])
-        for entry in payload["itemsets"]
-    }
-    return LitsModel(supports, payload["min_support"], payload["n_items"])
+    return lits_model_from_dict(payload)
+
+
+def _bound_to_json(value: float) -> float | str:
+    # unbounded numeric attributes carry +/-inf bounds, which strict
+    # JSON cannot express -- encode them as signed "inf" strings
+    v = float(value)
+    if math.isfinite(v):
+        return v
+    if math.isnan(v):
+        raise InvalidParameterError("attribute bound is NaN")
+    return "inf" if v > 0 else "-inf"
+
+
+def _bound_from_json(value: float | int | str) -> float:
+    try:
+        v = float(value)
+    except (TypeError, ValueError):
+        raise InvalidParameterError(
+            f"attribute bound must be a number or a signed 'inf' string, "
+            f"got {value!r}"
+        ) from None
+    if math.isnan(v):
+        raise InvalidParameterError("attribute bound is NaN")
+    return v
 
 
 def _space_to_dict(space: AttributeSpace) -> dict[str, Any]:
@@ -61,8 +107,8 @@ def _space_to_dict(space: AttributeSpace) -> dict[str, Any]:
             {
                 "name": a.name,
                 "kind": a.kind.value,
-                "low": a.low,
-                "high": a.high,
+                "low": _bound_to_json(a.low),
+                "high": _bound_to_json(a.high),
                 "values": list(a.values),
             }
             for a in space.attributes
@@ -77,8 +123,8 @@ def _space_from_dict(d: dict[str, Any]) -> AttributeSpace:
             Attribute(
                 name=a["name"],
                 kind=AttributeKind(a["kind"]),
-                low=a["low"],
-                high=a["high"],
+                low=_bound_from_json(a["low"]),
+                high=_bound_from_json(a["high"]),
                 values=tuple(a["values"]),
             )
             for a in d["attributes"]
@@ -130,15 +176,28 @@ def _node_from_dict(d: dict[str, Any], depth: int = 0) -> Node:
     return node
 
 
-def save_dt_model(model: DtModel | DecisionTree, path: str | Path) -> None:
-    """Write a decision-tree model as JSON."""
+def dt_model_to_dict(model: DtModel | DecisionTree) -> dict[str, Any]:
+    """The canonical JSON-able form of a dt-model."""
     tree = model.tree if isinstance(model, DtModel) else model
-    payload = {
+    return {
         "kind": "dt-model",
         "space": _space_to_dict(tree.space),
         "root": _node_to_dict(tree.root),
     }
-    Path(path).write_text(json.dumps(payload, indent=1))
+
+
+def dt_model_from_dict(payload: dict[str, Any]) -> DtModel:
+    """Rebuild a dt-model from :func:`dt_model_to_dict` output."""
+    if payload.get("kind") != "dt-model":
+        raise InvalidParameterError("payload does not describe a dt-model")
+    space = _space_from_dict(payload["space"])
+    tree = DecisionTree(space=space, root=_node_from_dict(payload["root"]))
+    return DtModel(tree)
+
+
+def save_dt_model(model: DtModel | DecisionTree, path: str | Path) -> None:
+    """Write a decision-tree model as JSON."""
+    Path(path).write_text(json.dumps(dt_model_to_dict(model), indent=1))
 
 
 def load_dt_model(path: str | Path) -> DtModel:
@@ -146,6 +205,95 @@ def load_dt_model(path: str | Path) -> DtModel:
     payload = json.loads(Path(path).read_text())
     if payload.get("kind") != "dt-model":
         raise InvalidParameterError(f"{path} does not contain a dt-model")
-    space = _space_from_dict(payload["space"])
-    tree = DecisionTree(space=space, root=_node_from_dict(payload["root"]))
-    return DtModel(tree)
+    return dt_model_from_dict(payload)
+
+
+def cluster_model_to_dict(model: ClusterModel) -> dict[str, Any]:
+    """The canonical JSON-able form of a cluster-model.
+
+    Floats pass through ``repr`` (the json encoder's float form), which
+    round-trips Python floats exactly -- the rebuilt grid's cut points,
+    hence its cell predicates and ``counts_key``, equal the original's.
+    """
+    clustering = model.clustering
+    grid = clustering.grid
+    return {
+        "kind": "cluster-model",
+        "space": _space_to_dict(grid.space),
+        "attributes": list(grid.attributes),
+        "cuts": {
+            name: [float(c) for c in cuts] for name, cuts in grid.cuts.items()
+        },
+        "densities": [float(d) for d in clustering.densities],
+        "dense_cells": [int(c) for c in clustering.dense_cells],
+        "cluster_of_cell": [
+            [int(cell), int(cid)]
+            for cell, cid in sorted(clustering.cluster_of_cell.items())
+        ],
+        "n_clusters": int(clustering.n_clusters),
+    }
+
+
+def cluster_model_from_dict(payload: dict[str, Any]) -> "ClusterModel":
+    """Rebuild a cluster-model from :func:`cluster_model_to_dict` output."""
+    from repro.core.cluster_model import ClusterModel
+    from repro.mining.cluster.grid import Grid, GridClustering
+
+    if payload.get("kind") != "cluster-model":
+        raise InvalidParameterError(
+            "payload does not describe a cluster-model"
+        )
+    grid = Grid(
+        space=_space_from_dict(payload["space"]),
+        attributes=tuple(payload["attributes"]),
+        cuts={
+            name: np.array(cuts, dtype=np.float64)
+            for name, cuts in payload["cuts"].items()
+        },
+    )
+    clustering = GridClustering(
+        grid=grid,
+        densities=np.array(payload["densities"], dtype=np.float64),
+        dense_cells=np.array(payload["dense_cells"], dtype=np.int64),
+        cluster_of_cell={
+            int(cell): int(cid) for cell, cid in payload["cluster_of_cell"]
+        },
+        n_clusters=int(payload["n_clusters"]),
+    )
+    return ClusterModel(clustering)
+
+
+def save_cluster_model(model: ClusterModel, path: str | Path) -> None:
+    """Write a cluster-model as JSON."""
+    Path(path).write_text(json.dumps(cluster_model_to_dict(model), indent=1))
+
+
+def load_cluster_model(path: str | Path) -> ClusterModel:
+    """Read a cluster-model written by :func:`save_cluster_model`."""
+    payload = json.loads(Path(path).read_text())
+    if payload.get("kind") != "cluster-model":
+        raise InvalidParameterError(f"{path} does not contain a cluster-model")
+    return cluster_model_from_dict(payload)
+
+
+def save_packed_model(
+    model: LitsModel | DtModel | ClusterModel, path: str | Path
+) -> None:
+    """Write a model as a compact checksummed wire envelope.
+
+    The binary sibling of the JSON savers: same canonical dict form,
+    shipped through the :mod:`repro.wire` envelope (magic, version, kind
+    tag, per-section CRC32) -- the format sketches travel in, so a model
+    file and a sketch payload are verified by the same reader.
+    """
+    # imported lazily: repro.wire imports this module's dict converters
+    from repro.wire import pack
+
+    Path(path).write_bytes(pack(model))
+
+
+def load_packed_model(path: str | Path) -> LitsModel | DtModel | ClusterModel:
+    """Read a model written by :func:`save_packed_model` (CRC-verified)."""
+    from repro.wire.models import unpack_model
+
+    return unpack_model(Path(path).read_bytes())

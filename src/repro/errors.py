@@ -31,3 +31,19 @@ class NotFittedError(FocusError):
 
 class InvalidParameterError(FocusError):
     """A caller supplied an out-of-range or ill-typed parameter."""
+
+
+class WireFormatError(FocusError):
+    """A packed wire payload is malformed, corrupted, or unsupported.
+
+    Raised by :mod:`repro.wire` whenever a payload fails a structural
+    check -- bad magic, an unknown format version or kind tag, a
+    truncated or checksum-failing section, sections out of order --
+    so a corrupted exchange can never decode into a silently wrong
+    sketch or model. ``section`` names the offending section when the
+    failure is section-local (``None`` for header-level failures).
+    """
+
+    def __init__(self, message: str, *, section: str | None = None) -> None:
+        super().__init__(message)
+        self.section = section

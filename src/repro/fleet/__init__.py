@@ -11,7 +11,10 @@ fan-out, and incremental single-store updates when a log appends.
   engine) and :class:`FleetMatrix` (the result);
 * :mod:`repro.fleet.counting` -- per-store memoised counting state;
 * :mod:`repro.fleet.analysis` -- grouping (threshold components),
-  report assembly, and CSV export.
+  report assembly, and CSV export;
+* :mod:`repro.fleet.federated` -- :class:`SketchFleet`, the same matrix
+  computed purely from exchanged wire payloads (no rows at the
+  comparer); built via :meth:`FleetDeviationMatrix.from_sketches`.
 """
 
 from repro.fleet.analysis import components, fleet_report, matrix_to_csv
@@ -20,15 +23,18 @@ from repro.fleet.counting import (
     prime_lits_counters,
     prime_partition_passes,
 )
+from repro.fleet.federated import SketchFleet, probe_itemsets
 from repro.fleet.matrix import FleetDeviationMatrix, FleetMatrix
 
 __all__ = [
     "FleetDeviationMatrix",
     "FleetMatrix",
     "LitsStoreCounter",
+    "SketchFleet",
     "components",
     "fleet_report",
     "matrix_to_csv",
     "prime_lits_counters",
     "prime_partition_passes",
+    "probe_itemsets",
 ]

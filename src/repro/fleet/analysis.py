@@ -97,6 +97,7 @@ def fleet_report(
             "n_pairs": matrix.n_pairs,
             "n_scanned": matrix.n_scanned,
             "n_model_only": matrix.n_model_only,
+            "n_sketch_exact": matrix.n_sketch_exact,
             "n_pruned": matrix.n_pruned,
         },
         "metrics": dict(matrix.metrics),

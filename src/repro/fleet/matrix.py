@@ -39,7 +39,7 @@ store's model and recomputes only its row/column.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Mapping, Sequence
+from typing import TYPE_CHECKING, Any, Mapping, Sequence
 
 import numpy as np
 
@@ -60,6 +60,9 @@ from repro.fleet.counting import (
     prime_partition_passes,
 )
 from repro.stream.executor import get_executor
+
+if TYPE_CHECKING:  # circular at runtime: federated builds FleetMatrix
+    from repro.fleet.federated import SketchFleet
 
 #: How a cached exact pair value was obtained.
 _SCAN, _MODEL_ONLY = "scan", "model"
@@ -113,6 +116,16 @@ class FleetMatrix:
     def n_pruned(self) -> int:
         """Pairs certified by the delta* bound and never scanned."""
         return int(self.metrics.get("fleet.pairs.pruned", 0))
+
+    @property
+    def n_sketch_exact(self) -> int:
+        """Pairs measured exactly from exchanged sketch payloads.
+
+        Non-zero only for matrices built by the federated path
+        (:meth:`FleetDeviationMatrix.from_sketches`), where no dataset
+        rows are accessible to the comparer.
+        """
+        return int(self.metrics.get("fleet.pairs.sketch_exact", 0))
 
     @property
     def n_stores(self) -> int:
@@ -296,6 +309,30 @@ class FleetDeviationMatrix:
         self._exact: dict[tuple[int, int], tuple[float, str]] = {}
         self._bounds: np.ndarray | None = None
         self.n_pair_computations = 0
+
+    @classmethod
+    def from_sketches(
+        cls,
+        payloads: "Sequence[bytes | tuple[bytes, bytes]]",
+        names: Sequence[str] | None = None,
+        *,
+        f: DifferenceFunction = ABSOLUTE,
+        g: AggregateFunction = SUM,
+    ) -> "SketchFleet":
+        """A federated fleet, from exchanged wire payloads alone.
+
+        Each store's shipment is either one partition-sketch payload
+        (bytes; its dt-/cluster-model travels embedded) or a
+        ``(lits-model payload, support-sketch payload)`` pair. The
+        returned :class:`~repro.fleet.federated.SketchFleet` computes
+        the same exact deviations and the same delta*-certified pruning
+        decisions as this row-level engine, but no dataset rows are
+        accessible to the comparer -- the kilobyte payloads are all that
+        crossed the wire. See :mod:`repro.fleet.federated`.
+        """
+        from repro.fleet.federated import SketchFleet
+
+        return SketchFleet(payloads, names, f=f, g=g)
 
     def close(self) -> None:
         """Release the engine's executor pool, if it has one.

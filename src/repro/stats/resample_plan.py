@@ -63,7 +63,7 @@ from repro.core.aggregate import SUM, AggregateFunction
 from repro.core.deviation import deviation_from_counts
 from repro.core.difference import ABSOLUTE, DifferenceFunction
 from repro.core.model import LitsStructure, PartitionStructure, Structure
-from repro.errors import InvalidParameterError
+from repro.errors import IncompatibleModelsError, InvalidParameterError
 from repro.obs import metrics
 
 if TYPE_CHECKING:
@@ -933,6 +933,46 @@ class CountsResamplePlan(ResamplePlan):
         self._counts1 = counts1
         self._counts2 = counts2
         self._pvals = np.append(pooled, outside) / self.n_pooled
+
+    @classmethod
+    def from_sketches(
+        cls, sketch1: object, sketch2: object
+    ) -> "CountsResamplePlan":
+        """Compile from two mergeable partition sketches -- no rows needed.
+
+        The federated qualification path: two sites each ship a
+        :class:`~repro.stream.sketch.PartitionSketch` (kilobytes), and
+        the comparer bootstraps the pair's significance from the counts
+        alone. The sketches must measure the same structure in the same
+        region order (``sketch.key`` equality, the sketches' own merge
+        rule); disjointness then holds by construction because partition
+        regions are disjoint.
+        """
+        from repro.stream.sketch import PartitionSketch
+
+        if not (
+            isinstance(sketch1, PartitionSketch)
+            and isinstance(sketch2, PartitionSketch)
+        ):
+            raise InvalidParameterError(
+                "from_sketches takes two PartitionSketch objects, got "
+                f"{type(sketch1).__name__} and {type(sketch2).__name__} "
+                "(support sketches have overlapping itemset regions; see "
+                "LitsResamplePlan)"
+            )
+        if sketch1.key != sketch2.key:
+            raise IncompatibleModelsError(
+                "sketches measure different partition structures (or the "
+                "same regions in a different order); their counts cannot "
+                "be pooled into one bootstrap null"
+            )
+        return cls(
+            sketch1.plan.structure,
+            sketch1.counts,
+            sketch2.counts,
+            sketch1.n_rows,
+            sketch2.n_rows,
+        )
 
     def observed_counts(self) -> tuple[np.ndarray, np.ndarray]:
         return self._counts1, self._counts2

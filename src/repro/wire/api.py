@@ -1,0 +1,92 @@
+"""One-call pack/unpack over every wire kind, plus payload inspection.
+
+:func:`pack` dispatches on the object's class, :func:`unpack` on the
+payload's verified kind tag -- the pair the CLI, the federated fleet
+entry point, and model persistence all use. :func:`payload_info`
+describes a payload (kind, version, per-section sizes) after full
+verification, for ``repro sketch inspect``.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Union
+
+from repro.core.cluster_model import ClusterModel
+from repro.core.dtree_model import DtModel
+from repro.core.lits import LitsModel
+from repro.errors import InvalidParameterError
+from repro.stream.sketch import PartitionSketch, SupportSketch
+from repro.wire.format import (
+    KIND_PARTITION_SKETCH,
+    KIND_SUPPORT_SKETCH,
+    read_envelope,
+)
+from repro.wire.models import WireModel, model_from_envelope, pack_model
+from repro.wire.sketches import (
+    PartitionModel,
+    _partition_from_envelope,
+    _support_from_envelope,
+    pack_partition_sketch,
+    pack_support_sketch,
+)
+
+#: Everything the wire can carry.
+WirePayload = Union[SupportSketch, PartitionSketch, WireModel]
+
+
+def pack(
+    obj: WirePayload, *, model: PartitionModel | None = None
+) -> bytes:
+    """Encode any sketch or model as one versioned checksummed payload.
+
+    A :class:`PartitionSketch` needs its inducing ``model`` (the
+    structure travels as the model; see
+    :func:`repro.wire.sketches.pack_partition_sketch`); everything else
+    packs alone.
+    """
+    if isinstance(obj, SupportSketch):
+        return pack_support_sketch(obj)
+    if isinstance(obj, PartitionSketch):
+        if model is None:
+            raise InvalidParameterError(
+                "packing a PartitionSketch requires its inducing dt- or "
+                "cluster-model (pass model=...): the structure travels "
+                "as the model"
+            )
+        return pack_partition_sketch(obj, model)
+    if isinstance(obj, (LitsModel, DtModel, ClusterModel)):
+        return pack_model(obj)
+    raise InvalidParameterError(
+        f"{type(obj).__name__} is not wire-packable (expected a sketch "
+        "or a reference model)"
+    )
+
+
+def unpack(data: bytes) -> WirePayload:
+    """Decode any payload, dispatching on the verified kind tag.
+
+    Partition-sketch payloads decode to the sketch alone; use
+    :func:`repro.wire.sketches.unpack_partition_payload` when the
+    embedded model is wanted too.
+    """
+    envelope = read_envelope(data)
+    if envelope.kind == KIND_SUPPORT_SKETCH:
+        return _support_from_envelope(envelope)
+    if envelope.kind == KIND_PARTITION_SKETCH:
+        sketch, _ = _partition_from_envelope(envelope)
+        return sketch
+    return model_from_envelope(envelope)
+
+
+def payload_info(data: bytes) -> dict[str, Any]:
+    """Describe a payload after full verification (for inspection)."""
+    envelope = read_envelope(data)
+    return {
+        "kind": envelope.kind_name,
+        "version": envelope.version,
+        "total_bytes": len(data),
+        "sections": [
+            {"name": name, "bytes": len(payload)}
+            for name, payload in envelope.sections
+        ],
+    }

@@ -421,6 +421,152 @@ class TestObservabilityFlags:
         assert capsys.readouterr().err == ""
 
 
+class TestSketchCommands:
+    @pytest.fixture
+    def lits_fleet(self, tmp_path):
+        """Three stores through the two-leg protocol: models travel
+        first, then every site sketches the fleet-wide probe union."""
+        stores = []
+        for i, plen in enumerate((3, 3, 6)):
+            data = tmp_path / f"s{i}.txt"
+            run_cli(["generate-basket", "--out", str(data), "--n", "400",
+                     "--items", "60", "--patterns", "40", "--avg-len", "6",
+                     "--pattern-len", str(plen), "--seed", str(i + 1)])
+            model = tmp_path / f"s{i}.model"
+            sketch = tmp_path / f"s{i}.sketch"
+            run_cli(["sketch", "pack", "--kind", "transactions",
+                     "--data", str(data), "--min-support", "0.05",
+                     "--max-len", "2", "--out", str(sketch),
+                     "--model-out", str(model)])
+            stores.append((data, model, sketch))
+        model_args = [str(m) for _, m, _ in stores]
+        for data, _, sketch in stores:
+            run_cli(["sketch", "pack", "--kind", "transactions",
+                     "--data", str(data), "--min-support", "0.05",
+                     "--max-len", "2", "--probe-models", *model_args,
+                     "--out", str(sketch)])
+        return stores
+
+    def test_compare_matches_row_level_compare_lits(
+        self, tmp_path, lits_fleet
+    ):
+        import json
+        import re
+
+        report_path = tmp_path / "fleet.json"
+        run_cli(["sketch", "compare",
+                 "--in", *[str(s) for _, _, s in lits_fleet],
+                 "--models", *[str(m) for _, m, _ in lits_fleet],
+                 "--out", str(report_path)])
+        report = json.loads(report_path.read_text())
+        oracle_text = run_cli(
+            ["compare-lits", "--data1", str(lits_fleet[0][0]),
+             "--data2", str(lits_fleet[2][0]),
+             "--min-support", "0.05", "--max-len", "2"]
+        )
+        oracle = float(re.search(r"delta  = ([0-9.]+)", oracle_text).group(1))
+        assert report["matrix"][0][2] == pytest.approx(oracle, abs=1e-6)
+        assert report["pruning"]["n_sketch_exact"] == 3
+        # a lits shipment is the model payload plus the sketch payload
+        assert report["payload_bytes"] == [
+            len(m.read_bytes()) + len(s.read_bytes())
+            for _, m, s in lits_fleet
+        ]
+
+    def test_shard_sketches_merge_byte_identical_to_whole(
+        self, tmp_path, lits_fleet
+    ):
+        # split store 0's log into two shards (keeping the header);
+        # with a shared probe collection the merged shard sketches must
+        # reproduce the whole-store payload byte for byte
+        lines = lits_fleet[0][0].read_text().splitlines(keepends=True)
+        header, body = lines[0], lines[1:]
+        shard_sketches = []
+        model_args = [str(m) for _, m, _ in lits_fleet]
+        for k, rows in enumerate((body[:200], body[200:])):
+            shard = tmp_path / f"shard{k}.txt"
+            shard.write_text(header + "".join(rows))
+            out = tmp_path / f"shard{k}.sketch"
+            run_cli(["sketch", "pack", "--kind", "transactions",
+                     "--data", str(shard), "--min-support", "0.05",
+                     "--max-len", "2", "--probe-models", *model_args,
+                     "--out", str(out)])
+            shard_sketches.append(out)
+        merged = tmp_path / "merged.sketch"
+        text = run_cli(["sketch", "merge",
+                        "--in", *[str(s) for s in shard_sketches],
+                        "--out", str(merged)])
+        assert "merged 2 sketches" in text
+        assert merged.read_bytes() == lits_fleet[0][2].read_bytes()
+
+    def test_tabular_flow_with_shared_ref_and_qualification(self, tmp_path):
+        import json
+
+        sketches = []
+        ref = tmp_path / "ref.model"
+        for i, fn in enumerate((1, 1, 3)):
+            data = tmp_path / f"p{i}.npz"
+            run_cli(["generate-classify", "--out", str(data), "--n", "500",
+                     "--function", str(fn), "--seed", str(20 + i)])
+            sketch = tmp_path / f"p{i}.sketch"
+            argv = ["sketch", "pack", "--kind", "tabular", "--data",
+                    str(data), "--out", str(sketch)]
+            argv += (["--model-out", str(ref)] if i == 0
+                     else ["--ref", str(ref)])
+            run_cli(argv)
+            sketches.append(sketch)
+        report_path = tmp_path / "tab.json"
+        run_cli(["sketch", "compare", "--in", *[str(s) for s in sketches],
+                 "--boot", "50", "--seed", "7", "--out", str(report_path)])
+        report = json.loads(report_path.read_text())
+        assert report["kind"] == "partition"
+        pairs = {tuple(q["pair"]): q["p_value"]
+                 for q in report["qualification"]}
+        assert len(pairs) == 3
+        assert all(0.0 < p <= 1.0 for p in pairs.values())
+
+    def test_inspect_names_kind_and_sections(self, lits_fleet):
+        import json
+
+        text = run_cli(["sketch", "inspect", "--in",
+                        str(lits_fleet[0][2]), str(lits_fleet[0][1])])
+        infos = json.loads("[" + text.replace("}\n{", "},\n{") + "]")
+        assert [i["kind"] for i in infos] == ["support-sketch", "lits-model"]
+        assert [s["name"] for s in infos[0]["sections"]] == [
+            "meta", "sizes", "items", "counts"
+        ]
+
+    def test_corrupted_payload_is_a_typed_error(self, lits_fleet):
+        from repro.errors import WireFormatError
+
+        corrupt = bytearray(lits_fleet[0][2].read_bytes())
+        corrupt[-5] ^= 0x10
+        lits_fleet[0][2].write_bytes(bytes(corrupt))
+        with pytest.raises(WireFormatError, match="checksum"):
+            main(["sketch", "inspect", "--in", str(lits_fleet[0][2])],
+                 out=io.StringIO())
+
+    def test_merge_refuses_model_payloads(self, lits_fleet, capsys):
+        code = main(["sketch", "merge",
+                     "--in", str(lits_fleet[0][1]), str(lits_fleet[1][1]),
+                     "--out", "/dev/null"], out=io.StringIO())
+        assert code == 2
+        assert "merge" in capsys.readouterr().err
+
+    def test_threshold_rejected_for_partition_fleet(self, tmp_path, capsys):
+        data = tmp_path / "p.npz"
+        run_cli(["generate-classify", "--out", str(data), "--n", "400",
+                 "--seed", "3"])
+        sketch = tmp_path / "p.sketch"
+        run_cli(["sketch", "pack", "--kind", "tabular", "--data", str(data),
+                 "--out", str(sketch)])
+        code = main(["sketch", "compare", "--in", str(sketch), str(sketch),
+                     "--names", "x", "y", "--threshold", "0.5",
+                     "--out", "/dev/null"], out=io.StringIO())
+        assert code == 2
+        assert "threshold" in capsys.readouterr().err
+
+
 class TestParser:
     def test_unknown_command_exits(self):
         with pytest.raises(SystemExit):

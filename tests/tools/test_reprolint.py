@@ -504,6 +504,58 @@ class TestRL008:
 
 
 # --------------------------------------------------------------------- #
+# RL009 -- wire unpack paths must pass the checksum trust boundary
+# --------------------------------------------------------------------- #
+
+
+class TestRL009:
+    def test_unpack_without_read_envelope_fires(self):
+        src = (
+            "import struct\n"
+            "def unpack_counts(data):\n"
+            "    n = struct.unpack_from('<Q', data, 8)[0]\n"
+            "    return list(data[16 : 16 + n])\n"
+        )
+        # struct.unpack_from is not a wire decoder: it proves nothing
+        # about checksums, so the function still fires
+        assert codes(src) == ["RL009"]
+
+    def test_unpack_calling_read_envelope_is_clean(self):
+        src = (
+            "def unpack_counts(data):\n"
+            "    envelope = read_envelope(data)\n"
+            "    return envelope.sections\n"
+        )
+        assert codes(src) == []
+
+    def test_unpack_delegating_to_unpack_is_clean(self):
+        src = (
+            "def unpack_both(data):\n"
+            "    return unpack_model(data), data\n"
+        )
+        assert codes(src) == []
+
+    def test_unpack_delegating_to_from_envelope_is_clean(self):
+        src = (
+            "def _unpack_inner(data):\n"
+            "    return _sketch_from_envelope(_verified(data))\n"
+        )
+        # *_from_envelope constructors only accept verified Envelopes
+        assert codes(src) == []
+
+    def test_section_decoder_taking_payload_is_out_of_scope(self):
+        src = (
+            "def unpack_array(payload, section):\n"
+            "    return memoryview(payload)\n"
+        )
+        assert codes(src) == []
+
+    def test_non_unpack_function_is_out_of_scope(self):
+        src = "def parse(data):\n    return data[4:]\n"
+        assert codes(src) == []
+
+
+# --------------------------------------------------------------------- #
 # The escape hatch
 # --------------------------------------------------------------------- #
 
@@ -578,7 +630,7 @@ class TestRealTree:
     def test_every_rule_is_documented(self):
         assert sorted(RULE_DOCS) == [
             "RL001", "RL002", "RL003", "RL004", "RL005", "RL006", "RL007",
-            "RL008",
+            "RL008", "RL009",
         ]
         for code, (title, doc) in RULE_DOCS.items():
             assert title, code

@@ -1,0 +1,164 @@
+"""Hand-built objects behind the golden wire fixtures.
+
+Everything here is constructed literally -- no miner, no fitter, no RNG
+-- so the committed golden bytes pin the *wire format* and nothing else.
+A change in mining internals cannot disturb these fixtures; only a
+change to the serialization itself can, and that is exactly what the
+golden suite must catch.
+
+``tests/wire/make_golden.py`` writes the fixtures from these builders;
+``tests/wire/test_golden.py`` decodes the committed bytes and checks
+them against the same builders.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.attribute import Attribute, AttributeKind, AttributeSpace, numeric
+from repro.core.cluster_model import ClusterModel
+from repro.core.dtree_model import DtModel
+from repro.core.lits import LitsModel
+from repro.data.tabular import TabularDataset
+from repro.data.transactions import TransactionDataset
+from repro.mining.cluster.grid import Grid, GridClustering
+from repro.mining.tree.splits import CategoricalSplit, NumericSplit
+from repro.mining.tree.tree import DecisionTree, Node
+from repro.stream.sketch import PartitionSketch, SupportSketch
+
+#: (age, salary, score) -- score is unbounded, pinning the signed-"inf"
+#: bound encoding inside the golden bytes; colour is categorical,
+#: pinning the categorical-split and categorical-attribute paths.
+DT_SPACE = AttributeSpace(
+    attributes=(
+        numeric("age", 0, 100),
+        numeric("salary", 0, 200_000),
+        numeric("score"),  # [-inf, inf)
+        Attribute("colour", AttributeKind.CATEGORICAL, values=(0.0, 1.0, 2.0)),
+    ),
+    class_labels=(0, 1),
+)
+
+#: The 2-attribute space of the paper's figures, for the cluster grid.
+GRID_SPACE = AttributeSpace(
+    attributes=(numeric("age", 0, 100), numeric("salary", 0, 200_000)),
+    class_labels=(0, 1),
+)
+
+
+def lits_model() -> LitsModel:
+    """Four itemsets over a 5-item universe, supports picked by hand."""
+    return LitsModel(
+        {
+            frozenset({0}): 0.6,
+            frozenset({1}): 0.5,
+            frozenset({2}): 0.35,
+            frozenset({0, 1}): 0.3,
+        },
+        min_support=0.25,
+        n_items=5,
+    )
+
+
+def transactions() -> TransactionDataset:
+    """Ten fixed transactions over the 5-item universe."""
+    txns = [
+        (0, 1),
+        (0, 1, 2),
+        (0,),
+        (1, 2),
+        (2,),
+        (0, 1),
+        (3,),
+        (0, 2, 3),
+        (1,),
+        (0, 1, 3),
+    ]
+    return TransactionDataset(txns, n_items=5)
+
+
+def support_sketch() -> SupportSketch:
+    """The lits-model's itemsets counted over the fixed transactions."""
+    return SupportSketch.from_dataset(transactions(), lits_model().itemsets)
+
+
+def dt_model() -> DtModel:
+    """A literal 4-leaf tree: numeric root, one categorical split."""
+    root = Node(
+        class_counts=np.array([40, 40]),
+        split=NumericSplit("age", 30.0, 1.0),
+        left=Node(
+            class_counts=np.array([20, 10]),
+            split=CategoricalSplit("colour", frozenset({0.0, 2.0}), 0.5),
+            left=Node(class_counts=np.array([15, 5])),
+            right=Node(class_counts=np.array([5, 5])),
+        ),
+        right=Node(
+            class_counts=np.array([20, 30]),
+            split=NumericSplit("salary", 100_000.0, 0.75),
+            left=Node(class_counts=np.array([5, 20])),
+            right=Node(class_counts=np.array([15, 10])),
+        ),
+    )
+    return DtModel(DecisionTree(space=DT_SPACE, root=root))
+
+
+def dt_dataset() -> TabularDataset:
+    """Eight fixed rows over (age, salary, score, colour)."""
+    X = np.array(
+        [
+            [25.0, 50_000.0, -1.5, 0.0],
+            [25.0, 90_000.0, 0.25, 1.0],
+            [28.0, 40_000.0, 3.0, 2.0],
+            [40.0, 80_000.0, -0.5, 1.0],
+            [45.0, 120_000.0, 2.0, 0.0],
+            [60.0, 110_000.0, 1.0, 2.0],
+            [70.0, 95_000.0, -2.0, 1.0],
+            [35.0, 150_000.0, 0.0, 0.0],
+        ]
+    )
+    y = np.array([0, 1, 0, 1, 1, 0, 1, 0], dtype=np.int64)
+    return TabularDataset(DT_SPACE, X, y)
+
+
+def dt_partition_sketch() -> PartitionSketch:
+    """The fixed rows counted over the literal tree's partition."""
+    return PartitionSketch.from_dataset(dt_dataset(), dt_model().structure)
+
+
+def cluster_model() -> ClusterModel:
+    """A literal 2x2 grid clustering: cells 0 and 3 dense, two clusters."""
+    grid = Grid(
+        GRID_SPACE,
+        ("age", "salary"),
+        {"age": np.array([50.0]), "salary": np.array([100_000.0])},
+    )
+    clustering = GridClustering(
+        grid=grid,
+        densities=np.array([0.4, 0.1, 0.2, 0.3]),
+        dense_cells=np.array([0, 3]),
+        cluster_of_cell={0: 0, 3: 1},
+        n_clusters=2,
+    )
+    return ClusterModel(clustering)
+
+
+def grid_dataset() -> TabularDataset:
+    """Six fixed rows over (age, salary)."""
+    X = np.array(
+        [
+            [25.0, 50_000.0],
+            [30.0, 150_000.0],
+            [45.0, 90_000.0],
+            [60.0, 40_000.0],
+            [75.0, 120_000.0],
+            [80.0, 180_000.0],
+        ]
+    )
+    y = np.array([0, 1, 0, 1, 0, 1], dtype=np.int64)
+    return TabularDataset(GRID_SPACE, X, y)
+
+
+def cluster_partition_sketch() -> PartitionSketch:
+    """The fixed rows counted over the grid clustering's partition."""
+    return PartitionSketch.from_dataset(grid_dataset(), cluster_model().structure)

@@ -1,0 +1,73 @@
+"""Regenerate the committed golden wire fixtures.
+
+Run from the repository root::
+
+    PYTHONPATH=src python tests/wire/make_golden.py
+
+Only run this when the wire format version is deliberately bumped: the
+whole point of ``tests/wire/golden/`` is that the committed v1 bytes
+never change. The two malformed fixtures are byte-patched from a valid
+envelope (the header is not checksummed, so a future-version or
+unknown-kind header is otherwise well-formed -- exactly the payload a
+newer producer would emit).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))
+
+import golden_objects as g  # noqa: E402
+
+from repro.wire import pack, payload_info  # noqa: E402
+
+GOLDEN = Path(__file__).parent / "golden"
+
+
+def _patched(payload: bytes, offset: int, value: int) -> bytes:
+    out = bytearray(payload)
+    out[offset] = value
+    return bytes(out)
+
+
+def main() -> None:
+    GOLDEN.mkdir(exist_ok=True)
+    fixtures: dict[str, bytes] = {
+        "lits_model.bin": pack(g.lits_model()),
+        "support_sketch.bin": pack(g.support_sketch()),
+        "dt_model.bin": pack(g.dt_model()),
+        "cluster_model.bin": pack(g.cluster_model()),
+        "partition_sketch_dt.bin": pack(
+            g.dt_partition_sketch(), model=g.dt_model()
+        ),
+        "partition_sketch_cluster.bin": pack(
+            g.cluster_partition_sketch(), model=g.cluster_model()
+        ),
+    }
+    # header layout: magic[0:4] | version u16 [4:6] | kind u8 [6]
+    base = fixtures["lits_model.bin"]
+    fixtures["unknown_version.bin"] = _patched(base, 4, 2)
+    fixtures["unknown_kind.bin"] = _patched(base, 6, 9)
+
+    expected: dict[str, dict] = {}
+    for name, payload in sorted(fixtures.items()):
+        (GOLDEN / name).write_bytes(payload)
+        entry: dict = {
+            "sha256": hashlib.sha256(payload).hexdigest(),
+            "total_bytes": len(payload),
+        }
+        if not name.startswith("unknown_"):
+            entry.update(payload_info(payload))
+        expected[name] = entry
+        print(f"{name}: {len(payload)} bytes")
+    (GOLDEN / "expected.json").write_text(
+        json.dumps(expected, indent=2, sort_keys=True) + "\n"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,295 @@
+"""Hypothesis properties: ``unpack(pack(x)) == x``, for any shape of x.
+
+The golden suite pins the v1 bytes of a handful of known objects; this
+suite pins the *codec algebra* over arbitrary objects:
+
+* round trip -- packing then unpacking reproduces the object exactly
+  (sketch equality, model canonical-dict equality), including empty
+  sketches, the empty itemset, single-region structures, unbounded
+  attribute domains, and arbitrary float64 supports/thresholds;
+* determinism -- equal objects pack to byte-identical payloads, and
+  ``pack(unpack(p)) == p``;
+* merge transport -- merging two unpacked sketches is bit-identical to
+  merging the in-memory originals, so a federated merge of shipped
+  shards equals the single-site merge.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+import golden_objects as g
+from repro.core.lits import LitsModel
+from repro.data.model_io import dt_model_to_dict, lits_model_to_dict
+from repro.stream.sketch import PartitionSketch, SupportSketch
+from repro.wire import pack, unpack, unpack_partition_payload
+
+N_ITEMS = 9
+
+transactions_strategy = st.lists(
+    st.lists(st.integers(min_value=0, max_value=N_ITEMS - 1), max_size=5),
+    max_size=40,
+)
+
+#: Arbitrary probe collections -- possibly empty, possibly holding the
+#: empty itemset (supported by everything).
+itemsets_strategy = st.lists(
+    st.lists(st.integers(min_value=0, max_value=N_ITEMS - 1), max_size=4),
+    max_size=12,
+)
+
+supports_strategy = st.floats(
+    min_value=0.0,
+    max_value=1.0,
+    exclude_min=True,
+    allow_nan=False,
+)
+
+
+class TestSupportSketchRoundTrip:
+    @given(txns=transactions_strategy, itemsets=itemsets_strategy)
+    @settings(max_examples=60, deadline=None)
+    def test_unpack_pack_is_identity(self, txns, itemsets):
+        sketch = SupportSketch.from_transactions(txns, itemsets, N_ITEMS)
+        payload = pack(sketch)
+        decoded = unpack(payload)
+        assert decoded == sketch
+        assert decoded.n_transactions == sketch.n_transactions
+        assert pack(decoded) == payload
+
+    @given(
+        txns1=transactions_strategy,
+        txns2=transactions_strategy,
+        itemsets=itemsets_strategy,
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_merge_of_unpacked_equals_in_memory_merge(
+        self, txns1, txns2, itemsets
+    ):
+        a = SupportSketch.from_transactions(txns1, itemsets, N_ITEMS)
+        b = SupportSketch.from_transactions(txns2, itemsets, N_ITEMS)
+        shipped = unpack(pack(a)) + unpack(pack(b))
+        local = a + b
+        assert shipped == local
+        np.testing.assert_array_equal(shipped.counts, local.counts)
+        assert pack(shipped) == pack(local)
+
+    def test_empty_sketch_round_trips(self):
+        empty = SupportSketch.empty([], N_ITEMS)
+        assert unpack(pack(empty)) == empty
+        also_empty = SupportSketch.empty([[0], [0, 1]], N_ITEMS)
+        assert unpack(pack(also_empty)) == also_empty
+
+
+@st.composite
+def lits_models(draw):
+    itemsets = draw(
+        st.sets(
+            st.frozensets(
+                st.integers(min_value=0, max_value=N_ITEMS - 1),
+                min_size=1,
+                max_size=4,
+            ),
+            min_size=1,
+            max_size=10,
+        )
+    )
+    supports = {s: draw(supports_strategy) for s in itemsets}
+    min_support = draw(
+        st.floats(
+            min_value=0.0, max_value=1.0, exclude_min=True, allow_nan=False
+        )
+    )
+    return LitsModel(supports, min_support=min_support, n_items=N_ITEMS)
+
+
+class TestLitsModelRoundTrip:
+    @given(model=lits_models())
+    @settings(max_examples=60, deadline=None)
+    def test_unpack_pack_is_identity(self, model):
+        payload = pack(model)
+        decoded = unpack(payload)
+        # canonical-dict equality covers itemsets, exact float64
+        # supports, min_support, and the universe size
+        assert lits_model_to_dict(decoded) == lits_model_to_dict(model)
+        assert pack(decoded) == payload
+
+
+@st.composite
+def dt_node_dicts(draw, depth=0):
+    """Arbitrary small trees in the canonical dict form."""
+    counts = draw(
+        st.lists(
+            st.integers(min_value=0, max_value=500), min_size=2, max_size=2
+        )
+    )
+    node = {"class_counts": counts}
+    if depth < 3 and draw(st.booleans()):
+        kind = draw(st.sampled_from(["numeric", "categorical"]))
+        if kind == "numeric":
+            attribute = draw(st.sampled_from(["age", "salary", "score"]))
+            node["split"] = {
+                "type": "numeric",
+                "attribute": attribute,
+                "threshold": draw(
+                    st.floats(
+                        allow_nan=False, allow_infinity=False, width=64
+                    )
+                ),
+                "gain": draw(
+                    st.floats(min_value=0.0, max_value=2.0, allow_nan=False)
+                ),
+            }
+        else:
+            node["split"] = {
+                "type": "categorical",
+                "attribute": "colour",
+                "left_values": sorted(
+                    draw(
+                        st.sets(
+                            st.sampled_from([0.0, 1.0, 2.0]),
+                            min_size=1,
+                            max_size=2,
+                        )
+                    )
+                ),
+                "gain": draw(
+                    st.floats(min_value=0.0, max_value=2.0, allow_nan=False)
+                ),
+            }
+        node["left"] = draw(dt_node_dicts(depth=depth + 1))
+        node["right"] = draw(dt_node_dicts(depth=depth + 1))
+    return node
+
+
+@st.composite
+def dt_models(draw):
+    from repro.data.model_io import dt_model_from_dict
+
+    return dt_model_from_dict(
+        {
+            "kind": "dt-model",
+            "space": {
+                "attributes": [
+                    {
+                        "name": "age",
+                        "kind": "numeric",
+                        "low": 0.0,
+                        "high": 100.0,
+                        "values": [],
+                    },
+                    {
+                        "name": "salary",
+                        "kind": "numeric",
+                        "low": 0.0,
+                        "high": 200000.0,
+                        "values": [],
+                    },
+                    {
+                        "name": "score",
+                        "kind": "numeric",
+                        "low": "-inf",
+                        "high": "inf",
+                        "values": [],
+                    },
+                    {
+                        "name": "colour",
+                        "kind": "categorical",
+                        "low": "-inf",
+                        "high": "inf",
+                        "values": [0.0, 1.0, 2.0],
+                    },
+                ],
+                "class_labels": [0, 1],
+            },
+            "root": draw(dt_node_dicts()),
+        }
+    )
+
+
+class TestDtModelRoundTrip:
+    @given(model=dt_models())
+    @settings(max_examples=40, deadline=None)
+    def test_unpack_pack_is_identity(self, model):
+        payload = pack(model)
+        decoded = unpack(payload)
+        assert dt_model_to_dict(decoded) == dt_model_to_dict(model)
+        assert pack(decoded) == payload
+
+
+@st.composite
+def partition_sketches(draw):
+    """Arbitrary counts over the golden dt/cluster structures --
+    including the single-cell structure of a split-less root."""
+    which = draw(st.sampled_from(["dt", "cluster", "stump"]))
+    if which == "dt":
+        model = g.dt_model()
+    elif which == "cluster":
+        model = g.cluster_model()
+    else:
+        from repro.data.model_io import dt_model_from_dict
+
+        model = dt_model_from_dict(
+            {
+                "kind": "dt-model",
+                "space": {
+                    "attributes": [
+                        {
+                            "name": "age",
+                            "kind": "numeric",
+                            "low": 0.0,
+                            "high": 100.0,
+                            "values": [],
+                        }
+                    ],
+                    "class_labels": [0, 1],
+                },
+                "root": {"class_counts": [1, 1]},
+            }
+        )
+    n_regions = len(model.structure.regions)
+    n_rows = draw(st.integers(min_value=0, max_value=1000))
+    counts = draw(
+        st.lists(
+            st.integers(min_value=0, max_value=n_rows),
+            min_size=n_regions,
+            max_size=n_regions,
+        )
+    )
+    sketch = PartitionSketch(
+        model.structure, np.asarray(counts, dtype=np.int64), n_rows
+    )
+    return sketch, model
+
+
+class TestPartitionSketchRoundTrip:
+    @given(pair=partition_sketches())
+    @settings(max_examples=40, deadline=None)
+    def test_unpack_pack_is_identity(self, pair):
+        sketch, model = pair
+        payload = pack(sketch, model=model)
+        decoded, decoded_model = unpack_partition_payload(payload)
+        assert decoded == sketch
+        assert decoded.key == sketch.key
+        assert pack(decoded, model=decoded_model) == payload
+
+    @given(pair=partition_sketches(), data=st.data())
+    @settings(max_examples=30, deadline=None)
+    def test_merge_of_unpacked_equals_in_memory_merge(self, pair, data):
+        a, model = pair
+        other_counts = data.draw(
+            st.lists(
+                st.integers(min_value=0, max_value=a.n_rows),
+                min_size=len(a.counts),
+                max_size=len(a.counts),
+            )
+        )
+        b = PartitionSketch(
+            a.plan, np.asarray(other_counts, dtype=np.int64), a.n_rows
+        )
+        shipped = unpack(pack(a, model=model)) + unpack(pack(b, model=model))
+        local = a + b
+        np.testing.assert_array_equal(shipped.counts, local.counts)
+        assert shipped.n_rows == local.n_rows

@@ -20,6 +20,9 @@ RL007     ``span(...)`` timing contexts must be entered with ``with``
 RL008     hot modules must not materialise a whole stripe-store view
           (``np.asarray``/``.copy()``/``.tobytes()`` on ``_bits``/
           ``_buf``/``stripe(...)``); bounded slices only
+RL009     every whole-payload wire ``unpack*`` (first parameter
+          ``data``) must verify checksums via ``read_envelope`` or
+          delegate to a decoder that does
 ========  ============================================================
 
 Rules are deliberately syntactic and conservative: they flag the
@@ -897,6 +900,83 @@ class StripeMaterializeRule:
             )
 
 
+# --------------------------------------------------------------------- #
+# RL009 -- wire unpack paths must pass the checksum trust boundary
+# --------------------------------------------------------------------- #
+
+
+class WireTrustBoundaryRule:
+    """Wire decoders must verify checksums before constructing (PR 9).
+
+    ``repro.wire.format.read_envelope`` is the single trust boundary of
+    the wire format: magic, version, kind, framing, and every section
+    CRC32 are checked there *before* any caller sees payload bytes. A
+    decoder that builds objects from raw bytes without going through it
+    happily constructs garbage from corrupted or foreign input.
+
+    The convention the wire package pins: a whole-payload decoder is a
+    function named ``unpack*`` whose first parameter is ``data``
+    (untrusted bytes). Every such function must call ``read_envelope``
+    itself, or delegate to another ``unpack*`` function (itself subject
+    to this rule) or a ``*from_envelope`` constructor (which only
+    accepts already-verified ``Envelope`` objects). Section-level
+    decoders take ``payload`` (post-verification bytes) as their first
+    parameter and are out of scope by that naming.
+    """
+
+    code = "RL009"
+    title = "wire unpack path skipping the read_envelope trust boundary"
+
+    NAME_RE = re.compile(r"^_?unpack")
+    UNTRUSTED_FIRST_ARG = "data"
+
+    def _first_arg(
+        self, function: ast.FunctionDef | ast.AsyncFunctionDef
+    ) -> str | None:
+        args = function.args.posonlyargs + function.args.args
+        names = [a.arg for a in args if a.arg not in ("self", "cls")]
+        return names[0] if names else None
+
+    def _is_trusted(
+        self, function: ast.FunctionDef | ast.AsyncFunctionDef
+    ) -> bool:
+        for node in ast.walk(function):
+            if not isinstance(node, ast.Call):
+                continue
+            if tail_name(node.func) == "read_envelope":
+                return True
+            # delegation must target a repo decoder by bare name --
+            # struct.unpack_from and friends (attribute calls) prove
+            # nothing about checksums
+            if isinstance(node.func, ast.Name) and (
+                self.NAME_RE.match(node.func.id)
+                or node.func.id.endswith("from_envelope")
+            ):
+                return True
+        return False
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            if not self.NAME_RE.match(node.name):
+                continue
+            if self._first_arg(node) != self.UNTRUSTED_FIRST_ARG:
+                continue
+            if self._is_trusted(node):
+                continue
+            yield _finding(
+                ctx,
+                node,
+                self.code,
+                f"{node.name}() decodes untrusted payload bytes without "
+                "read_envelope; every wire unpack path must verify the "
+                "section checksums before constructing objects (call "
+                "read_envelope, or delegate to an unpack*/[*_]from_envelope "
+                "decoder that does)",
+            )
+
+
 RULES: Sequence[object] = (
     UnseededRngRule(),
     UnguardedMergeRule(),
@@ -906,6 +986,7 @@ RULES: Sequence[object] = (
     UnpicklableWorkerRule(),
     SpanContextRule(),
     StripeMaterializeRule(),
+    WireTrustBoundaryRule(),
 )
 
 #: code -> (title, docstring) for --list-rules and the docs.
