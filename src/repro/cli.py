@@ -42,6 +42,17 @@ accept ``--metrics [PATH]`` and ``--profile``: both run the engine under
 a :mod:`repro.obs` registry; ``--metrics`` emits the counter snapshot as
 JSON (to ``PATH``, or stderr), ``--profile`` prints the span/metrics
 report table to stderr.
+
+The fanning commands (``fleet``, ``monitor-stream``) accept the
+resilience knobs ``--retries``, ``--shard-timeout`` and ``--on-failure
+{raise,degrade}``: any of them arms a
+:class:`repro.resilience.SupervisedExecutor` around ``--executor``, so
+shard failures are retried with seeded backoff, broken process pools
+are rebuilt, and exhausted fans either fail typed or degrade down the
+process->thread->serial ladder. ``monitor-stream --checkpoint-dir DIR``
+additionally writes a crash-durable checkpoint after every chunk and,
+when ``DIR`` already holds one, resumes from it -- the resumed run
+emits exactly the observations the uninterrupted run would have.
 """
 
 from __future__ import annotations
@@ -188,6 +199,67 @@ def _add_obs_args(p) -> None:
     )
 
 
+def _add_resilience_args(p) -> None:
+    """The supervised-fan knobs of the fanning commands."""
+    p.add_argument(
+        "--retries", type=int, default=None, metavar="N",
+        help="supervise the executor fan: retry each failed shard up to "
+        "N extra times with seeded backoff (any resilience flag arms "
+        "repro.resilience.SupervisedExecutor around --executor)",
+    )
+    p.add_argument(
+        "--shard-timeout", type=float, default=None, metavar="SECONDS",
+        help="abandon and retry a shard stalled past this many seconds "
+        "(on the process rung the pool is rebuilt, so the stalled "
+        "worker dies with it)",
+    )
+    p.add_argument(
+        "--on-failure", choices=("raise", "degrade"), default=None,
+        help="what a shard exhausting its retry budget does: raise a "
+        "typed ShardFailedError naming the shard (raise, the default), "
+        "or first degrade the fan down the process->thread->serial "
+        "ladder (degrade)",
+    )
+
+
+def _resolve_cli_executor(args):
+    """``--executor``, wrapped in supervision when a resilience flag asks.
+
+    Returns the plain backend name when no resilience flag was given
+    (the call sites own and release it as before); otherwise a
+    :class:`~repro.resilience.SupervisedExecutor` instance the caller
+    must shut down.
+    """
+    flags = (args.retries, args.shard_timeout, args.on_failure)
+    if all(flag is None for flag in flags):
+        return args.executor
+    from repro.resilience import SupervisedExecutor
+
+    return SupervisedExecutor(  # reprolint: disable=RL003(factory hands ownership to the command handler, which releases it in a finally or via monitor.close)
+        args.executor,
+        retries=2 if args.retries is None else args.retries,
+        shard_timeout=args.shard_timeout,
+        on_failure=args.on_failure or "raise",
+        seed=getattr(args, "seed", 0) or 0,
+    )
+
+
+def _skip_rows(chunks, n: int):
+    """Drop the first ``n`` rows of a chunk stream (the resume offset)."""
+    for chunk in chunks:
+        size = len(chunk)
+        if n >= size:
+            n -= size
+            continue
+        if n:
+            chunk = (
+                chunk[n:] if isinstance(chunk, list)
+                else chunk.slice_rows(n, size)
+            )
+            n = 0
+        yield chunk
+
+
 def _add_compare_lits(sub) -> None:
     p = sub.add_parser("compare-lits", help="lits-model deviation of two files")
     p.add_argument("--data1", required=True)
@@ -243,6 +315,7 @@ def _add_fleet(sub) -> None:
                    help="write the report here instead of stdout")
     p.add_argument("--executor", choices=("serial", "thread", "process"),
                    default="serial")
+    _add_resilience_args(p)
     _add_obs_args(p)
 
 
@@ -284,6 +357,12 @@ def _add_monitor_stream(sub) -> None:
     p.add_argument("--seed", type=int, default=0,
                    help="bootstrap RNG seed (default 0: reproducible "
                    "drift verdicts)")
+    p.add_argument("--checkpoint-dir", default=None, metavar="DIR",
+                   help="write a crash-durable checkpoint to DIR after "
+                   "every chunk; when DIR already holds one, resume from "
+                   "it (skipping the rows already ingested) instead of "
+                   "starting over")
+    _add_resilience_args(p)
     _add_obs_args(p)
 
 
@@ -511,13 +590,20 @@ def _cmd_fleet(args, out) -> int:
             for d in datasets
         ]
     names = args.names or [Path(p).stem for p in args.data]
+    runner = _resolve_cli_executor(args)
     engine = FleetDeviationMatrix(
-        models, datasets, names=names, executor=args.executor
+        models, datasets, names=names, executor=runner
     )
-    if args.threshold is not None:
-        result = engine.pruned(args.threshold)
-    else:
-        result = engine.exhaustive()
+    try:
+        if args.threshold is not None:
+            result = engine.pruned(args.threshold)
+        else:
+            result = engine.exhaustive()
+    finally:
+        # a backend *name* is owned and released by the engine's fans; a
+        # supervised instance is ours to release
+        if not isinstance(runner, str):
+            runner.shutdown()
 
     if args.format == "csv":
         payload = result.to_csv()
@@ -558,7 +644,7 @@ def _cmd_monitor_stream(args, out) -> int:
         delta_threshold=args.delta_threshold,
         policy=args.policy,
         rng=np.random.default_rng(args.seed),
-        executor=args.executor,
+        executor=_resolve_cli_executor(args),
         n_shards=args.shards,
     )
     if args.kind == "tabular":
@@ -577,11 +663,24 @@ def _cmd_monitor_stream(args, out) -> int:
 
         monitor = OnlineChangeMonitor(builder, n_items, **common)
 
+    if args.checkpoint_dir:
+        from repro.resilience import has_checkpoint
+
+        if has_checkpoint(args.checkpoint_dir):
+            monitor.resume(args.checkpoint_dir)
+            chunks = _skip_rows(chunks, monitor.rows_ingested)
+            print(
+                f"resumed from {args.checkpoint_dir} at row "
+                f"{monitor.rows_ingested}",
+                file=sys.stderr,
+            )
+
     try:
-        n_drifted = 0
-        for observation in monitor.monitor_stream(chunks):
-            n_drifted += observation.drifted
-            print(observation.describe(), file=out)
+        for chunk in chunks:
+            for observation in monitor.push(chunk):
+                print(observation.describe(), file=out)
+            if args.checkpoint_dir:
+                monitor.checkpoint(args.checkpoint_dir)
         if monitor.is_warming_up:
             print(
                 f"stream ended during warm-up: fewer than {args.window} rows",
@@ -589,8 +688,10 @@ def _cmd_monitor_stream(args, out) -> int:
             )
             return 0
         for observation in monitor.flush():
-            n_drifted += observation.drifted
             print(f"{observation.describe()} [partial final window]", file=out)
+        # totals come from the (checkpoint-restored) lifetime history, so
+        # a resumed run reports exactly what the uninterrupted run would
+        n_drifted = sum(1 for o in monitor.history if o.drifted)
         print(
             f"{len(monitor.history)} windows monitored, {n_drifted} drifted; "
             f"{monitor.rows_sketched} rows sketched incrementally",

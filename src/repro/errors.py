@@ -33,6 +33,56 @@ class InvalidParameterError(FocusError):
     """A caller supplied an out-of-range or ill-typed parameter."""
 
 
+class ExecutorError(FocusError):
+    """An executor backend failed outside any single shard's control.
+
+    Raised by the executor layer (:mod:`repro.stream.executor`,
+    :mod:`repro.resilience`) when the *backend itself* misbehaves: a
+    broken process pool that could not be rebuilt, a map/submit on a
+    closed executor, or a raw :mod:`concurrent.futures` failure that
+    would otherwise leak a backend-specific exception out of a fan call
+    site. Shard-attributable failures raise the more specific
+    :class:`ShardFailedError`.
+    """
+
+
+class ShardFailedError(ExecutorError):
+    """One or more shards of a supervised fan exhausted their retries.
+
+    Raised instead of returning a silently short (and therefore wrong)
+    merge. ``shards`` names the quarantined shard indices in fan order;
+    ``errors`` carries one rendered cause per quarantined shard, aligned
+    with ``shards``.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        shards: tuple[int, ...] = (),
+        errors: tuple[str, ...] = (),
+    ) -> None:
+        super().__init__(message)
+        self.shards = shards
+        self.errors = errors
+
+
+class CheckpointError(FocusError):
+    """A monitor checkpoint could not be written, read, or resumed.
+
+    Covers the whole durability surface of
+    :mod:`repro.resilience.checkpoint`: a missing or unreadable
+    manifest, a corrupted state/sketch file (wire checksum or JSON
+    failure), and a resume against a monitor whose configuration does
+    not match the checkpointed fingerprint. ``path`` names the file or
+    directory that failed when the failure is file-local.
+    """
+
+    def __init__(self, message: str, *, path: str | None = None) -> None:
+        super().__init__(message)
+        self.path = path
+
+
 class WireFormatError(FocusError):
     """A packed wire payload is malformed, corrupted, or unsupported.
 

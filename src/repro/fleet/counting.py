@@ -36,9 +36,9 @@ from repro.core.partition_plan import cell_assignments
 from repro.errors import InvalidParameterError
 from repro.obs import MetricsRegistry, enabled, metrics, use_registry
 from repro.stream.executor import (
-    ProcessExecutor,
     _merge_worker_registries,
     get_executor,
+    process_backed,
 )
 
 
@@ -142,7 +142,7 @@ def prime_lits_counters(
     # an executor *instance* stays open for its owner to reuse
     runner = get_executor(executor)
     owns_runner = isinstance(executor, str)
-    if isinstance(runner, ProcessExecutor):
+    if process_backed(runner):
         # mmap-backed indexes pickle as stripe handles (zero row bytes
         # on the wire); RAM indexes ship their whole packed buffer
         metrics().inc(
@@ -184,7 +184,10 @@ def prime_partition_passes(
     runner = get_executor(executor)
     owns_runner = isinstance(executor, str)
     try:
-        if isinstance(runner, ProcessExecutor):
+        if process_backed(runner) and not getattr(runner, "degradable", False):
+            # a degradable supervised fan is allowed through: its process
+            # rung will break on the unpicklable closures and the ladder
+            # lands the work on the thread/serial rungs below
             raise InvalidParameterError(
                 "the process executor cannot fan out partition fleets (GCR "
                 "overlay assigners are closures and the assignment memo "

@@ -1,0 +1,69 @@
+"""Fault-tolerant execution: supervised fans, durable checkpoints, chaos.
+
+The robustness layer under every executor fan and streaming monitor in
+the engine (PRs 2-9 built the speed; this package makes it survive):
+
+* :class:`SupervisedExecutor` -- retry/timeout/rebuild/degrade
+  supervision over the plain serial/thread/process backends, with the
+  strict contract that a fan either completes bit-identically to the
+  fault-free run or fails typed and loud
+  (:class:`~repro.errors.ShardFailedError` names the shards);
+* :func:`partial_support_sketch` / :func:`partial_partition_sketch` --
+  the opt-in partial mode: a merged sketch plus *exact* excluded-row
+  accounting, never a silently short merge;
+* :mod:`repro.resilience.checkpoint` -- crash-durable
+  atomic-manifest checkpoints for :class:`OnlineChangeMonitor`
+  (``monitor.checkpoint(dir)`` / ``monitor.resume(dir)``);
+* :mod:`repro.resilience.chaos` -- the deterministic fault-injection
+  harness (seeded :class:`FaultPlan`: worker death, injected
+  exceptions, stalls, checkpoint corruption) the chaos suite drives;
+* :mod:`repro.resilience.backoff` -- seeded, counterfactually
+  deterministic retry backoff (RL001/RL010 route every retry here).
+
+Obs counters: ``resilience.retries``, ``resilience.pool_rebuilds``,
+``resilience.degraded_fans``, ``resilience.quarantined_shards``,
+``resilience.checkpoints_written``, ``resilience.checkpoints_resumed``.
+All are zero on a fault-free run -- the bench snapshot invariant CI
+asserts.
+"""
+
+from repro.resilience.backoff import backoff_delay, sleep_backoff
+from repro.resilience.chaos import (
+    Fault,
+    FaultPlan,
+    FaultyCall,
+    InjectedFault,
+    corrupt_checkpoint,
+)
+from repro.resilience.checkpoint import (
+    has_checkpoint,
+    resume_checkpoint,
+    write_checkpoint,
+)
+from repro.resilience.supervisor import (
+    FanReport,
+    PartialSketchReport,
+    ShardFailure,
+    SupervisedExecutor,
+    partial_partition_sketch,
+    partial_support_sketch,
+)
+
+__all__ = [
+    "Fault",
+    "FaultPlan",
+    "FaultyCall",
+    "FanReport",
+    "InjectedFault",
+    "PartialSketchReport",
+    "ShardFailure",
+    "SupervisedExecutor",
+    "backoff_delay",
+    "corrupt_checkpoint",
+    "has_checkpoint",
+    "partial_partition_sketch",
+    "partial_support_sketch",
+    "resume_checkpoint",
+    "sleep_backoff",
+    "write_checkpoint",
+]

@@ -1,0 +1,46 @@
+"""Deterministic seeded exponential backoff for supervised retries.
+
+Retry jitter is randomness like any other randomness in this engine: it
+must be seeded, or two runs of the same failing fan schedule different
+retry patterns and the chaos suite's bit-identity contract dissolves
+into timing noise. The jitter here is *counterfactually* deterministic:
+the delay for ``(shard, attempt)`` is a pure function of the fan's
+jitter seed and those two integers, independent of the order in which
+other shards happen to fail. RL001 (no unseeded randomness) and RL010
+(retry sleeps route through :func:`sleep_backoff`) both point at this
+module.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+
+def backoff_delay(
+    shard: int,
+    attempt: int,
+    *,
+    base: float = 0.05,
+    cap: float = 2.0,
+    jitter_seed: int = 0,
+) -> float:
+    """Seconds to wait before retry number ``attempt`` of ``shard``.
+
+    Exponential in the attempt (``base * 2**(attempt-1)``, capped at
+    ``cap``), scaled by a deterministic jitter factor in ``[0.5, 1.0)``
+    drawn from a generator seeded with ``(jitter_seed, shard,
+    attempt)`` -- no process-global state, no wall-clock entropy.
+    """
+    if attempt < 1:
+        return 0.0
+    raw = min(cap, base * float(2 ** (attempt - 1)))
+    jitter = np.random.default_rng((jitter_seed, shard, attempt)).random()
+    return raw * (0.5 + 0.5 * jitter)
+
+
+def sleep_backoff(delay: float) -> None:
+    """The single blessed retry sleep (RL010 routes every retry here)."""
+    if delay > 0.0:
+        time.sleep(delay)

@@ -27,13 +27,19 @@ pins serial == thread == process, counter for counter.
 
 from __future__ import annotations
 
-from concurrent.futures import Executor, ProcessPoolExecutor, ThreadPoolExecutor
+from concurrent.futures import (
+    BrokenExecutor,
+    Executor,
+    Future,
+    ProcessPoolExecutor,
+    ThreadPoolExecutor,
+)
 from typing import Any, Callable, ClassVar, Iterable, Sequence
 
 from repro._typing import DatasetLike, ExecutorLike, StructureOrPlan
 
 from repro.data.transactions import BitmapIndex
-from repro.errors import InvalidParameterError
+from repro.errors import ExecutorError, InvalidParameterError
 from repro.obs import MetricsRegistry, enabled, metrics, use_registry
 from repro.stream.sketch import (
     PartitionSketch,
@@ -48,8 +54,39 @@ class SerialExecutor:
 
     name = "serial"
 
+    def __init__(self) -> None:
+        self._closed = False
+
     def map(self, fn: Callable[[Any], Any], items: Iterable[Any]) -> list[Any]:
+        self._check_open()
         return [fn(item) for item in items]
+
+    def submit(self, fn: Callable[[Any], Any], item: Any) -> Future[Any]:
+        """Run ``fn(item)`` eagerly, returning an already-settled future.
+
+        Gives the serial backend the same submit/harvest surface the
+        pooled backends have, so a supervisor can drive all three rungs
+        of its degradation ladder through one code path.
+        """
+        self._check_open()
+        future: Future[Any] = Future()
+        future.set_running_or_notify_cancel()
+        try:
+            future.set_result(fn(item))
+        except Exception as exc:  # reprolint: disable=RL010(failure is captured on the future and re-raised by its result, matching the pooled backends)
+            future.set_exception(exc)
+        return future
+
+    def close(self) -> None:
+        """Permanently retire the executor; later map/submit calls raise."""
+        self._closed = True
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise ExecutorError(
+                "serial executor is closed; close() is permanent -- "
+                "construct a new executor to keep mapping"
+            )
 
 
 class _PooledExecutor:
@@ -65,11 +102,57 @@ class _PooledExecutor:
     #: concrete pool constructor; set by subclasses
     _pool_factory: ClassVar[Callable[..., Executor] | None] = None
 
+    name: ClassVar[str] = "pooled"
+
     def __init__(self, max_workers: int | None = None) -> None:
         self.max_workers = max_workers
         self._pool: Executor | None = None
+        self._closed = False
 
     def map(self, fn: Callable[[Any], Any], items: Iterable[Any]) -> list[Any]:
+        pool = self._ensure_pool()
+        try:
+            return list(pool.map(fn, items))
+        except BrokenExecutor as exc:
+            # Never leak the raw concurrent.futures failure: release the
+            # carcass (a later map respawns workers) and raise the typed
+            # error. Shard-level retry/re-execution lives one layer up,
+            # in repro.resilience.SupervisedExecutor.
+            self.shutdown(wait=False)
+            raise ExecutorError(
+                f"{self.name} pool broke mid-map ({exc!r}); the pool was "
+                "released and a later map respawns workers. Wrap the fan "
+                "in repro.resilience.SupervisedExecutor to retry the "
+                "unfinished shards instead of failing the whole map."
+            ) from exc
+
+    def submit(self, fn: Callable[[Any], Any], item: Any) -> Future[Any]:
+        """Submit one task, returning its future.
+
+        Unlike :meth:`map`, a :class:`BrokenExecutor` propagates raw
+        here: submit/harvest is the supervisor seam, and the supervisor
+        needs the backend-specific signal to decide pool rebuilds.
+        """
+        return self._ensure_pool().submit(fn, item)
+
+    def shutdown(self, wait: bool = True) -> None:
+        """Release the worker pool (a later map lazily recreates it)."""
+        if self._pool is not None:
+            self._pool.shutdown(wait=wait)
+            self._pool = None
+
+    def close(self) -> None:
+        """Permanently retire the executor; later map/submit calls raise."""
+        self.shutdown(wait=False)
+        self._closed = True
+
+    def _ensure_pool(self) -> Executor:
+        if self._closed:
+            raise ExecutorError(
+                f"{self.name} executor is closed; close() is permanent -- "
+                "construct a new executor (or use shutdown(), which a "
+                "later map recovers from) to keep mapping"
+            )
         if self._pool is None:
             factory = self._pool_factory
             if factory is None:  # pragma: no cover - abstract-base misuse
@@ -77,13 +160,7 @@ class _PooledExecutor:
                     "pooled executor subclasses must set _pool_factory"
                 )
             self._pool = factory(max_workers=self.max_workers)
-        return list(self._pool.map(fn, items))
-
-    def shutdown(self) -> None:
-        """Release the worker pool (a later map lazily recreates it)."""
-        if self._pool is not None:
-            self._pool.shutdown()
-            self._pool = None
+        return self._pool
 
 
 class ThreadExecutor(_PooledExecutor):
@@ -107,23 +184,41 @@ _EXECUTORS = {
 }
 
 
-def get_executor(
-    executor: ExecutorLike,
-) -> SerialExecutor | ThreadExecutor | ProcessExecutor:
+def get_executor(executor: ExecutorLike) -> ExecutorLike:
     """Resolve an executor name or pass an executor instance through."""
     if isinstance(executor, str):
+        if executor == "supervised":
+            # Lazy import: repro.resilience sits above this module and
+            # wraps the plain backends defined here.
+            from repro.resilience import SupervisedExecutor
+
+            return SupervisedExecutor()  # reprolint: disable=RL003(factory hands ownership to the caller, the same contract as every get_executor resolution)
         try:
             return _EXECUTORS[executor]()
         except KeyError:
             raise InvalidParameterError(
                 f"unknown executor {executor!r}; expected one of "
-                f"{tuple(_EXECUTORS)}"
+                f"{tuple(_EXECUTORS) + ('supervised',)}"
             ) from None
     if hasattr(executor, "map"):
         return executor
     raise InvalidParameterError(
         f"executor must be a name or expose .map(fn, items), got {executor!r}"
     )
+
+
+def process_backed(executor: ExecutorLike) -> bool:
+    """True when the executor's map step runs in worker *processes*.
+
+    The fan call sites use this to decide pickling-cost accounting
+    (``storage.bytes_shipped``) and closure-shipping guards. Plain
+    executors answer by type; wrappers such as
+    :class:`repro.resilience.SupervisedExecutor` answer for their
+    *current* rung via a ``process_backed`` attribute.
+    """
+    if isinstance(executor, ProcessExecutor):
+        return True
+    return bool(getattr(executor, "process_backed", False))
 
 
 def _sketch_shard(
@@ -209,7 +304,7 @@ def sketch_shards(
     owns_runner = isinstance(executor, str)
     collect = enabled()
     payloads = [(list(shard), canon, n_items, collect) for shard in shards]
-    if isinstance(runner, ProcessExecutor):
+    if process_backed(runner):
         metrics().inc(
             "storage.bytes_shipped",
             shipped_row_bytes([p[0] for p in payloads]),
@@ -317,7 +412,7 @@ def sketch_index_shards(
     runner = get_executor(executor)
     owns_runner = isinstance(executor, str)
     collect = enabled()
-    if isinstance(runner, ProcessExecutor):
+    if process_backed(runner):
         shipped = 0 if index.handle() is not None else index._buf.nbytes
         metrics().inc("storage.bytes_shipped", shipped * len(ranges))
     payloads = [(index, a, b, canon, collect) for a, b in ranges]

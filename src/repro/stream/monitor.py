@@ -254,6 +254,10 @@ class OnlineChangeMonitor:
         self._buffer = (
             _TransactionBuffer() if kind == "transactions" else _TabularBuffer()
         )
+        #: lifetime rows accepted by :meth:`push`, including warm-up and
+        #: rows still buffered -- the exact stream offset a resumed run
+        #: must skip to (see :meth:`checkpoint` / :meth:`resume`)
+        self.rows_ingested = 0
         self._reference_data: Any = None
         self._windows: WindowManager | None = None
         self._ref_counts: np.ndarray | None = None
@@ -285,7 +289,9 @@ class OnlineChangeMonitor:
         manager and, if a window completes, produces one qualified
         observation.
         """
+        before = len(self._buffer)
         self._buffer.extend(data)
+        self.rows_ingested += len(self._buffer) - before
         observations: list[Observation] = []
         while True:
             if self._reference_data is None:
@@ -335,6 +341,33 @@ class OnlineChangeMonitor:
             if window is not None:
                 observations.append(self._qualify_window(window))
         return observations
+
+    def checkpoint(self, directory: Any) -> Any:
+        """Persist the full monitor state durably under ``directory``.
+
+        Atomic-manifest publish (the ``MmapStripeStore`` pattern): the
+        new generation's files are written first, the manifest is
+        swapped in last via ``os.replace``, and a kill at *any* point
+        leaves the previous committed checkpoint intact. Returns the
+        manifest path. See :mod:`repro.resilience.checkpoint`.
+        """
+        from repro.resilience.checkpoint import write_checkpoint
+
+        return write_checkpoint(self, directory)
+
+    def resume(self, directory: Any) -> "OnlineChangeMonitor":
+        """Restore the last committed checkpoint into this fresh monitor.
+
+        The monitor must be newly constructed with the same
+        configuration that wrote the checkpoint (the persisted
+        fingerprint is verified). Afterwards, pushing the stream's
+        remaining rows (``rows_ingested`` rows were already consumed)
+        produces bit-identical observations to the uninterrupted run.
+        """
+        from repro.resilience.checkpoint import resume_checkpoint
+
+        resume_checkpoint(self, directory)
+        return self
 
     def close(self) -> None:
         """Release pooled executor workers (thread/process backends).

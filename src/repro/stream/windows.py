@@ -364,6 +364,38 @@ class WindowManager:
         reset, when the tracked structure changes)."""
         return tuple(chunk for _, chunk in self._chunks)
 
+    def restore(
+        self,
+        entries: Iterable[tuple[Any, Any]],
+        *,
+        row_offset: int,
+        windows_emitted: int,
+        rows_sketched: int,
+    ) -> None:
+        """Adopt a checkpointed ring: ``(sketch, chunk)`` pairs + counters.
+
+        Used by :mod:`repro.resilience.checkpoint` on a *freshly built*
+        manager: the ring, the running sum, and the lifetime counters
+        are set to the persisted values so the next :meth:`push` behaves
+        bit-identically to the manager that wrote the checkpoint. The
+        counters are written to the manager's local sink only -- they
+        are lifetime monitor state, not work done by this process, so
+        the ambient registry is deliberately not forwarded to.
+        """
+        entries = list(entries)
+        current = self.sketcher.empty()
+        for sketch, _ in entries:
+            current = current + sketch
+        self._chunks = deque(entries)
+        self._current = current
+        self._row_offset = row_offset
+        self._metrics.inc(
+            "stream.windows.emitted", windows_emitted - self.windows_emitted
+        )
+        self._metrics.inc(
+            "stream.windows.rows_sketched", rows_sketched - self.rows_sketched
+        )
+
     def push(self, chunk: Any) -> Window | None:
         """Consume one chunk; return the completed :class:`Window`, if any.
 

@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import pytest
 
-from repro.errors import InvalidParameterError
+from repro.errors import ExecutorError, InvalidParameterError
 from repro.stream.executor import (
     ProcessExecutor,
     SerialExecutor,
@@ -74,3 +74,58 @@ class TestBackendEquivalence:
             executor=ProcessExecutor(max_workers=2),
         )
         assert merged == single_scan
+
+
+def _boom(x):
+    raise ValueError(f"worker bug on {x}")
+
+
+class TestTypedLifecycleErrors:
+    """Raw concurrent.futures states never leak: closed executors and
+    broken pools surface as typed repro errors (PR 10)."""
+
+    def test_serial_map_after_close_raises_typed(self):
+        ex = SerialExecutor()
+        ex.close()
+        with pytest.raises(ExecutorError, match="closed"):
+            ex.map(len, [(1, 2)])
+
+    def test_serial_submit_after_close_raises_typed(self):
+        ex = SerialExecutor()
+        ex.close()
+        with pytest.raises(ExecutorError, match="closed"):
+            ex.submit(len, (1, 2))
+
+    def test_thread_map_after_close_raises_typed(self):
+        ex = ThreadExecutor(max_workers=1)
+        ex.close()
+        with pytest.raises(ExecutorError, match="closed"):
+            ex.map(len, [(1, 2)])
+
+    def test_shutdown_is_reusable_not_permanent(self):
+        ex = ThreadExecutor(max_workers=1)
+        try:
+            assert ex.map(len, [(1, 2)]) == [2]
+            ex.shutdown()
+            assert ex.map(len, [(1, 2, 3)]) == [3]
+        finally:
+            ex.close()
+
+    def test_serial_submit_settles_eagerly(self):
+        ex = SerialExecutor()
+        future = ex.submit(len, (1, 2, 3))
+        assert future.done()
+        assert future.result() == 3
+        failed = ex.submit(_boom, 1)
+        assert failed.done()
+        with pytest.raises(ValueError, match="worker bug"):
+            failed.result()
+
+    def test_supervised_name_resolves(self):
+        from repro.resilience import SupervisedExecutor
+
+        runner = get_executor("supervised")
+        try:
+            assert isinstance(runner, SupervisedExecutor)
+        finally:
+            runner.close()

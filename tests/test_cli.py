@@ -206,6 +206,66 @@ class TestMonitorStream:
         )
         assert "windows monitored" in text
 
+    def test_monitor_stream_supervised_matches_plain(self, stream_file):
+        base = ["monitor-stream", "--data", str(stream_file),
+                "--window", "800", "--step", "400", "--min-support", "0.05",
+                "--boot", "5", "--seed", "1"]
+        plain = run_cli(base)
+        supervised = run_cli(base + ["--retries", "1",
+                                     "--on-failure", "degrade"])
+        assert supervised == plain
+
+
+class TestMonitorStreamCheckpoint:
+    """Satellite: kill monitor-stream mid-run, rerun with the same
+    --checkpoint-dir, and the concatenated output equals the
+    uninterrupted run's."""
+
+    ARGS = ["--window", "800", "--step", "400", "--min-support", "0.05",
+            "--boot", "5", "--seed", "1"]
+
+    def test_killed_run_resumes_to_identical_output(
+        self, tmp_path, monkeypatch
+    ):
+        from repro.stream.monitor import OnlineChangeMonitor
+
+        stream_file = tmp_path / "stream.txt"
+        run_cli(["generate-basket", "--out", str(stream_file), "--n", "2400",
+                 "--items", "40", "--avg-len", "5", "--patterns", "25",
+                 "--pattern-len", "3", "--seed", "17"])
+        base = ["monitor-stream", "--data", str(stream_file)] + self.ARGS
+        uninterrupted = run_cli(base)
+
+        ckpt = tmp_path / "ckpt"
+        original_push = OnlineChangeMonitor.push
+        calls = {"n": 0}
+
+        def dying_push(self, data):
+            calls["n"] += 1
+            if calls["n"] > 3:
+                raise KeyboardInterrupt("simulated kill")
+            return original_push(self, data)
+
+        monkeypatch.setattr(OnlineChangeMonitor, "push", dying_push)
+        part1 = io.StringIO()
+        with pytest.raises(KeyboardInterrupt):
+            main(base + ["--checkpoint-dir", str(ckpt)], out=part1)
+        monkeypatch.setattr(OnlineChangeMonitor, "push", original_push)
+
+        part2 = run_cli(base + ["--checkpoint-dir", str(ckpt)])
+        assert part1.getvalue() + part2 == uninterrupted
+
+    def test_fresh_dir_runs_from_scratch(self, tmp_path):
+        stream_file = tmp_path / "stream.txt"
+        run_cli(["generate-basket", "--out", str(stream_file), "--n", "1600",
+                 "--items", "40", "--avg-len", "5", "--seed", "3"])
+        base = ["monitor-stream", "--data", str(stream_file)] + self.ARGS
+        with_ckpt = run_cli(
+            base + ["--checkpoint-dir", str(tmp_path / "fresh")]
+        )
+        assert with_ckpt == run_cli(base)
+        assert (tmp_path / "fresh" / "CHECKPOINT.json").exists()
+
 
 class TestFleet:
     @pytest.fixture

@@ -556,6 +556,98 @@ class TestRL009:
 
 
 # --------------------------------------------------------------------- #
+# RL010 -- swallowed failures and raw sleeps
+# --------------------------------------------------------------------- #
+
+
+class TestRL010:
+    RESILIENCE = "src/repro/resilience/module.py"
+
+    def test_swallowed_broad_except_fires_in_hot_module(self):
+        src = (
+            "def fan(shards):\n"
+            "    try:\n"
+            "        run(shards)\n"
+            "    except Exception:\n"
+            "        pass\n"
+        )
+        assert codes(src, HOT) == ["RL010"]
+        assert codes(src, self.RESILIENCE) == ["RL010"]
+
+    def test_bare_except_fires(self):
+        src = "try:\n    run()\nexcept:\n    log()\n"
+        assert codes(src, HOT) == ["RL010"]
+
+    def test_broad_except_in_tuple_fires(self):
+        src = (
+            "try:\n"
+            "    run()\n"
+            "except (ValueError, Exception):\n"
+            "    result = None\n"
+        )
+        assert codes(src, HOT) == ["RL010"]
+
+    def test_reraising_handler_is_clean(self):
+        src = (
+            "try:\n"
+            "    run()\n"
+            "except Exception as exc:\n"
+            "    raise ExecutorError(str(exc)) from exc\n"
+        )
+        assert codes(src, HOT) == []
+
+    def test_narrow_except_is_clean(self):
+        src = "try:\n    run()\nexcept ValueError:\n    result = None\n"
+        assert codes(src, HOT) == []
+
+    def test_cold_module_is_out_of_scope(self):
+        src = "try:\n    run()\nexcept Exception:\n    pass\n"
+        assert codes(src, "src/repro/data/io.py") == []
+
+    def test_raw_sleep_fires_in_hot_module(self):
+        src = "import time\ndef retry():\n    time.sleep(1.0)\n"
+        assert codes(src, HOT) == ["RL010"]
+        assert codes(src, self.RESILIENCE) == ["RL010"]
+
+    def test_imported_sleep_fires(self):
+        src = "from time import sleep\nsleep(0.1)\n"
+        assert codes(src, self.RESILIENCE) == ["RL010"]
+
+    def test_sleep_inside_sleep_backoff_is_the_blessed_home(self):
+        src = (
+            "import time\n"
+            "def sleep_backoff(delay):\n"
+            "    time.sleep(delay)\n"
+        )
+        assert codes(src, self.RESILIENCE) == []
+
+    def test_sleep_in_cold_module_is_out_of_scope(self):
+        src = "import time\ntime.sleep(1.0)\n"
+        assert codes(src, "benchmarks/bench_outofcore.py") == []
+
+    def test_reasoned_disable_suppresses(self):
+        src = (
+            "def fan():\n"
+            "    try:\n"
+            "        run()\n"
+            "    except Exception:  "
+            "# reprolint: disable=RL010(recorded and re-raised typed later)\n"
+            "        record()\n"
+        )
+        assert codes(src, HOT) == []
+
+    def test_reasonless_disable_does_not_suppress(self):
+        src = (
+            "def fan():\n"
+            "    try:\n"
+            "        run()\n"
+            "    except Exception:  # reprolint: disable=RL010\n"
+            "        record()\n"
+        )
+        assert sorted(codes(src, HOT)) == [REASONLESS_CODE, "RL010"]
+
+
+# --------------------------------------------------------------------- #
 # The escape hatch
 # --------------------------------------------------------------------- #
 
@@ -630,7 +722,7 @@ class TestRealTree:
     def test_every_rule_is_documented(self):
         assert sorted(RULE_DOCS) == [
             "RL001", "RL002", "RL003", "RL004", "RL005", "RL006", "RL007",
-            "RL008", "RL009",
+            "RL008", "RL009", "RL010",
         ]
         for code, (title, doc) in RULE_DOCS.items():
             assert title, code

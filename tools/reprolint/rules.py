@@ -23,6 +23,10 @@ RL008     hot modules must not materialise a whole stripe-store view
 RL009     every whole-payload wire ``unpack*`` (first parameter
           ``data``) must verify checksums via ``read_envelope`` or
           delegate to a decoder that does
+RL010     hot modules must not swallow broad exceptions (``except
+          Exception``/``BaseException`` handlers must re-raise), and
+          retry sleeps must route through the seeded backoff helper
+          ``sleep_backoff``
 ========  ============================================================
 
 Rules are deliberately syntactic and conservative: they flag the
@@ -284,6 +288,7 @@ class ExecutorLifecycleRule:
             "ThreadPoolExecutor",
             "ProcessExecutor",
             "ThreadExecutor",
+            "SupervisedExecutor",
             "get_executor",
             "resolve_executor",
         }
@@ -977,6 +982,83 @@ class WireTrustBoundaryRule:
             )
 
 
+# --------------------------------------------------------------------- #
+# RL010 -- swallowed failures and raw sleeps in hot modules
+# --------------------------------------------------------------------- #
+
+
+class SwallowedFailureRule:
+    """Failures in hot modules must stay typed and loud (PR 10).
+
+    Two contracts from the resilience layer. First, an ``except
+    Exception`` / ``except BaseException`` handler in a hot module must
+    re-raise somewhere in its body: a broad handler that swallows turns
+    a dead worker or a poisoned shard into a silently wrong fan result,
+    the exact failure mode :class:`SupervisedExecutor` exists to
+    prevent (record-then-typed-raise paths carry a reasoned disable).
+    Second, sleeping outside the blessed ``sleep_backoff`` helper is
+    how unseeded, unreproducible retry pacing sneaks in -- every retry
+    delay must come from the seeded ``backoff_delay``.
+
+    The hot scope is RL004's (designated core files plus ``/stream/``
+    and ``/fleet/``) extended with ``/resilience/`` itself.
+    """
+
+    code = "RL010"
+    title = "swallowed broad exception or raw sleep in a hot module"
+
+    BROAD_EXCEPTIONS = frozenset({"Exception", "BaseException"})
+    SLEEP_HOME = "sleep_backoff"
+
+    @classmethod
+    def is_hot(cls, path: str) -> bool:
+        posix = path.replace("\\", "/")
+        return PerRowLoopRule.is_hot(posix) or "/resilience/" in posix
+
+    def _is_broad(self, handler: ast.ExceptHandler) -> bool:
+        kind = handler.type
+        if kind is None:
+            return True
+        names = kind.elts if isinstance(kind, ast.Tuple) else [kind]
+        return any(
+            tail_name(name) in self.BROAD_EXCEPTIONS for name in names
+        )
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        if not self.is_hot(ctx.path):
+            return
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.ExceptHandler):
+                if not self._is_broad(node):
+                    continue
+                if any(
+                    isinstance(inner, ast.Raise)
+                    for stmt in node.body
+                    for inner in ast.walk(stmt)
+                ):
+                    continue
+                yield _finding(
+                    ctx,
+                    node,
+                    self.code,
+                    "broad exception handler swallows the failure in a hot "
+                    "module; re-raise a typed repro error (or record and "
+                    "re-raise later, with a reasoned disable)",
+                )
+            elif isinstance(node, ast.Call) and tail_name(node.func) == "sleep":
+                function = ctx.enclosing_function(node)
+                if function is not None and function.name == self.SLEEP_HOME:
+                    continue
+                yield _finding(
+                    ctx,
+                    node,
+                    self.code,
+                    "raw sleep in a hot module; retry pacing must route "
+                    "through repro.resilience.backoff.sleep_backoff with a "
+                    "seeded backoff_delay",
+                )
+
+
 RULES: Sequence[object] = (
     UnseededRngRule(),
     UnguardedMergeRule(),
@@ -987,6 +1069,7 @@ RULES: Sequence[object] = (
     SpanContextRule(),
     StripeMaterializeRule(),
     WireTrustBoundaryRule(),
+    SwallowedFailureRule(),
 )
 
 #: code -> (title, docstring) for --list-rules and the docs.
